@@ -1,0 +1,112 @@
+// Ablation: the primitive costs behind the design (google-benchmark).
+// Measures the simulated cost of each privilege-crossing primitive — PKS
+// switch, mitigated CR3 switch, mode switch, KSM call, PVM exit, VM exit
+// (BM), nested VM exit — the ladder that explains every figure.
+#include <benchmark/benchmark.h>
+
+#include "src/cki/cki_engine.h"
+#include "src/runtime/runtime.h"
+#include "src/virt/hvm_engine.h"
+#include "src/virt/pvm_engine.h"
+
+namespace cki {
+namespace {
+
+// Reports simulated nanoseconds per operation as the "sim_ns" counter.
+template <typename Setup, typename Op>
+void RunSim(benchmark::State& state, Setup&& setup, Op&& op) {
+  auto bed = setup();
+  uint64_t iters = 0;
+  SimNanos start = bed->ctx().clock().now();
+  for (auto _ : state) {
+    op(*bed);
+    iters++;
+  }
+  SimNanos elapsed = bed->ctx().clock().now() - start;
+  state.counters["sim_ns"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(elapsed) / static_cast<double>(iters) : 0);
+}
+
+void BM_PksSwitchPair(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kCki, Deployment::kBareMetal); },
+      [](Testbed& bed) {
+        auto& engine = static_cast<CkiEngine&>(bed.engine());
+        engine.gates().EnterKsm();
+        engine.gates().ExitKsm();
+      });
+}
+BENCHMARK(BM_PksSwitchPair);
+
+void BM_KsmCallPteUpdate(benchmark::State& state) {
+  auto bed = std::make_unique<Testbed>(RuntimeKind::kCki, Deployment::kBareMetal);
+  uint64_t base = bed->engine().MmapAnon(kPageSize, true);
+  auto& engine = static_cast<CkiEngine&>(bed->engine());
+  uint64_t iters = 0;
+  SimNanos start = bed->ctx().clock().now();
+  for (auto _ : state) {
+    // Re-protect the same page via the monitor-checked path.
+    engine.UserSyscall(SyscallRequest{.no = Sys::kMprotect,
+                                      .arg0 = base,
+                                      .arg1 = kPageSize,
+                                      .arg2 = kProtRead | kProtWrite});
+    iters++;
+  }
+  state.counters["sim_ns"] = benchmark::Counter(
+      iters > 0 ? static_cast<double>(bed->ctx().clock().now() - start) / iters : 0);
+}
+BENCHMARK(BM_KsmCallPteUpdate);
+
+void BM_CkiHypercall(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kCki, Deployment::kBareMetal); },
+      [](Testbed& bed) { bed.engine().GuestHypercall(HypercallOp::kNop); });
+}
+BENCHMARK(BM_CkiHypercall);
+
+void BM_PvmExit(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kPvm, Deployment::kBareMetal); },
+      [](Testbed& bed) { bed.engine().GuestHypercall(HypercallOp::kNop); });
+}
+BENCHMARK(BM_PvmExit);
+
+void BM_VmExitBareMetal(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kHvm, Deployment::kBareMetal); },
+      [](Testbed& bed) { bed.engine().GuestHypercall(HypercallOp::kNop); });
+}
+BENCHMARK(BM_VmExitBareMetal);
+
+void BM_VmExitNested(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kHvm, Deployment::kNested); },
+      [](Testbed& bed) { bed.engine().GuestHypercall(HypercallOp::kNop); });
+}
+BENCHMARK(BM_VmExitNested);
+
+void BM_SyscallNative(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kCki, Deployment::kBareMetal); },
+      [](Testbed& bed) { bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid}); });
+}
+BENCHMARK(BM_SyscallNative);
+
+void BM_SyscallRedirected(benchmark::State& state) {
+  RunSim(
+      state,
+      [] { return std::make_unique<Testbed>(RuntimeKind::kPvm, Deployment::kBareMetal); },
+      [](Testbed& bed) { bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid}); });
+}
+BENCHMARK(BM_SyscallRedirected);
+
+}  // namespace
+}  // namespace cki
+
+BENCHMARK_MAIN();

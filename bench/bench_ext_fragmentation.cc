@@ -1,0 +1,82 @@
+// Extension bench: the memory-utilization cost of CKI's contiguous-segment
+// delegation — the limitation the paper states in section 4.3 ("allocating
+// contiguous physical memory segments ... may result in low memory
+// utilization due to memory fragmentation"). Compares host physical memory
+// committed per container for page-granular designs vs segment delegation,
+// across container working-set sizes.
+#include <iostream>
+
+#include "src/cki/cki_engine.h"
+#include "src/metrics/report.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+// Frames a container actually dirties for a given working set, vs frames
+// the host had to commit to it.
+void Run() {
+  const int working_sets[] = {64, 256, 1024, 4096};  // pages actually used
+  std::vector<std::string> cols;
+  for (int ws : working_sets) {
+    cols.push_back(std::to_string(ws * 4) + "KiB used");
+  }
+  ReportTable committed("Host frames committed per container", "design", cols);
+  ReportTable utilization("Memory utilization (%)", "design", cols);
+
+  // Page-granular designs allocate on demand.
+  for (RuntimeKind kind : {RuntimeKind::kRunc, RuntimeKind::kHvm, RuntimeKind::kPvm}) {
+    std::vector<double> committed_row;
+    std::vector<double> util_row;
+    for (int ws : working_sets) {
+      Machine machine(MachineConfigFor(kind, Deployment::kBareMetal));
+      auto engine = MakeEngine(machine, kind);
+      engine->Boot();
+      uint64_t before = machine.frames().allocated_frames();
+      uint64_t base = engine->MmapAnon(static_cast<uint64_t>(ws) * kPageSize, false);
+      for (int i = 0; i < ws; ++i) {
+        engine->UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
+      }
+      double frames = static_cast<double>(machine.frames().allocated_frames() - before);
+      committed_row.push_back(frames);
+      util_row.push_back(100.0 * ws / frames);
+    }
+    committed.AddRow(std::string(RuntimeKindName(kind)), committed_row);
+    utilization.AddRow(std::string(RuntimeKindName(kind)), util_row);
+  }
+  // CKI commits its delegated segment up front (sized for the container's
+  // peak, here 4096 pages + kernel overhead).
+  {
+    std::vector<double> committed_row;
+    std::vector<double> util_row;
+    for (int ws : working_sets) {
+      Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+      CkiEngine engine(machine, CkiAblation::kNone, /*segment_pages=*/4608);
+      uint64_t before = machine.frames().allocated_frames();
+      engine.Boot();
+      uint64_t base = engine.MmapAnon(static_cast<uint64_t>(ws) * kPageSize, false);
+      for (int i = 0; i < ws; ++i) {
+        engine.UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
+      }
+      double frames = static_cast<double>(machine.frames().allocated_frames() - before);
+      committed_row.push_back(frames);
+      util_row.push_back(100.0 * ws / frames);
+    }
+    committed.AddRow("CKI (4.5K-page segment)", committed_row);
+    utilization.AddRow("CKI (4.5K-page segment)", util_row);
+  }
+
+  committed.Print(std::cout, 0);
+  utilization.Print(std::cout, 1);
+  std::cout << "The paper's stated limitation, quantified: a mostly-idle CKI container\n"
+               "holds its whole delegated segment, while demand-paged designs commit\n"
+               "only the working set (plus table/shadow overhead).\n";
+}
+
+}  // namespace
+}  // namespace cki
+
+int main() {
+  cki::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/runtime.h"
+
+namespace cki {
+
+struct BenchConfig {
+  std::string label;
+  RuntimeKind kind;
+  Deployment deployment;
+};
+
+// Figure 4/5 (motivation): secure containers vs RunC, without CKI.
+inline std::vector<BenchConfig> MotivationConfigs() {
+  return {
+      {"HVM-NST", RuntimeKind::kHvm, Deployment::kNested},
+      {"PVM-NST", RuntimeKind::kPvm, Deployment::kNested},
+      {"RunC-BM", RuntimeKind::kRunc, Deployment::kBareMetal},
+      {"HVM-BM", RuntimeKind::kHvm, Deployment::kBareMetal},
+      {"PVM-BM", RuntimeKind::kPvm, Deployment::kBareMetal},
+  };
+}
+
+// Figure 12 main configurations.
+inline std::vector<BenchConfig> Fig12Configs() {
+  return {
+      {"HVM-NST", RuntimeKind::kHvm, Deployment::kNested},
+      {"HVM-BM", RuntimeKind::kHvm, Deployment::kBareMetal},
+      {"PVM", RuntimeKind::kPvm, Deployment::kBareMetal},
+      {"CKI", RuntimeKind::kCki, Deployment::kBareMetal},
+      {"RunC", RuntimeKind::kRunc, Deployment::kBareMetal},
+  };
+}
+
+// Figure 11 / Figure 14 configurations (bare-metal).
+inline std::vector<BenchConfig> BareMetalConfigs() {
+  return {
+      {"RunC", RuntimeKind::kRunc, Deployment::kBareMetal},
+      {"HVM", RuntimeKind::kHvm, Deployment::kBareMetal},
+      {"CKI", RuntimeKind::kCki, Deployment::kBareMetal},
+      {"PVM", RuntimeKind::kPvm, Deployment::kBareMetal},
+  };
+}
+
+// Figure 16 configurations.
+inline std::vector<BenchConfig> Fig16Configs() {
+  return {
+      {"HVM-BM", RuntimeKind::kHvm, Deployment::kBareMetal},
+      {"HVM-NST", RuntimeKind::kHvm, Deployment::kNested},
+      {"PVM-BM", RuntimeKind::kPvm, Deployment::kBareMetal},
+      {"PVM-NST", RuntimeKind::kPvm, Deployment::kNested},
+      {"CKI-BM", RuntimeKind::kCki, Deployment::kBareMetal},
+      {"CKI-NST", RuntimeKind::kCki, Deployment::kNested},
+  };
+}
+
+}  // namespace cki
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Nested-cloud deployment comparison: the same web+cache application stack
+// (an nginx-like front end over a memcached-like cache) deployed as a
+// secure container inside an IaaS VM, under HVM, PVM and CKI — the paper's
+// headline scenario (sections 1, 2.2).
+//
+//   ./build/examples/nested_cloud
+#include <cstdio>
+#include <iostream>
+
+#include "src/metrics/report.h"
+#include "src/runtime/runtime.h"
+#include "src/workloads/io_apps.h"
+#include "src/workloads/kv_store.h"
+#include "src/workloads/mem_apps.h"
+
+using namespace cki;
+
+int main() {
+  std::printf("== deploying the same app stack as a secure container in an IaaS VM ==\n\n");
+
+  const struct {
+    const char* label;
+    RuntimeKind kind;
+  } runtimes[] = {
+      {"HVM (Kata-style)", RuntimeKind::kHvm},
+      {"PVM (software virt)", RuntimeKind::kPvm},
+      {"CKI (this paper)", RuntimeKind::kCki},
+  };
+
+  ReportTable table("nested-cloud deployment comparison", "runtime",
+                    {"boot-alloc ms", "cache kreq/s", "web req/s", "hypercall ns"});
+
+  for (const auto& rt : runtimes) {
+    Testbed bed(rt.kind, Deployment::kNested);
+
+    // Warm-up phase: the app server allocates and initializes its heap —
+    // page-fault intensive (like the btree/xsbench init phases).
+    SimNanos t0 = bed.ctx().clock().now();
+    RunMemApp(bed.engine(), MemAppSpec{.name = "init",
+                                       .fresh_pages = 1500,
+                                       .churn_ops = 500,
+                                       .warm_accesses = 20000,
+                                       .work_per_fault = 150,
+                                       .work_per_access = 150,
+                                       .base_compute_ns = 1000000});
+    double boot_ms = static_cast<double>(bed.ctx().clock().now() - t0) * 1e-6;
+
+    // Cache tier: memcached-like under 16 concurrent clients.
+    KvResult cache = RunKvBenchmark(
+        bed.engine(),
+        KvConfig{.kind = KvKind::kMemcached, .clients = 16, .total_requests = 2000});
+
+    // Web tier: nginx-like request serving.
+    IoAppSpec web = IoAppSuite()[0];  // nginx(static)
+    web.requests = 1000;
+    double web_rps = RunIoApp(bed.engine(), web);
+
+    SimNanos h0 = bed.ctx().clock().now();
+    bed.engine().GuestHypercall(HypercallOp::kNop);
+    double hypercall_ns = static_cast<double>(bed.ctx().clock().now() - h0);
+
+    table.AddRow(rt.label,
+                 {boot_ms, cache.requests_per_sec * 1e-3, web_rps, hypercall_ns});
+  }
+
+  table.Print(std::cout, 1);
+  std::printf(
+      "CKI avoids both the L0 exit tax of nested HVM and the redirection/\n"
+      "shadow-paging tax of PVM: no VM exits at all, same 390 ns hypercall\n"
+      "as on bare metal.\n");
+  return 0;
+}

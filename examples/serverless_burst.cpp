@@ -1,0 +1,94 @@
+// Serverless burst: a spike of requests arrives; the platform cold-boots a
+// fleet of secure containers, timeshares them on one core with the host
+// vCPU scheduler, and each container serves cache requests. Compares the
+// end-to-end burst completion time of CKI against PVM — the scenario that
+// motivates secure containers in nested IaaS clouds.
+//
+//   ./build/examples/serverless_burst
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/cki/cki_engine.h"
+#include "src/host/vcpu_sched.h"
+#include "src/hw/pks.h"
+#include "src/runtime/runtime.h"
+
+using namespace cki;
+
+namespace {
+
+struct BurstResult {
+  double boot_ms = 0;
+  double serve_ms = 0;
+  double fairness = 0;
+};
+
+BurstResult RunBurst(RuntimeKind kind, int n_containers, int requests_each) {
+  Machine machine(MachineConfigFor(kind, Deployment::kNested));
+  SimNanos t0 = machine.ctx().clock().now();
+
+  // Cold boot the fleet.
+  std::vector<std::unique_ptr<ContainerEngine>> fleet;
+  for (int i = 0; i < n_containers; ++i) {
+    if (kind == RuntimeKind::kCki) {
+      fleet.push_back(std::make_unique<CkiEngine>(machine, CkiAblation::kNone,
+                                                  /*segment_pages=*/4096));
+    } else {
+      fleet.push_back(MakeEngine(machine, kind));
+    }
+    fleet.back()->Boot();
+  }
+  BurstResult result;
+  result.boot_ms = static_cast<double>(machine.ctx().clock().now() - t0) * 1e-6;
+
+  // Serve the burst under the host scheduler (200 us slices).
+  VcpuScheduler sched(machine.ctx(), /*timeslice=*/200'000);
+  std::vector<int> served(static_cast<size_t>(n_containers), 0);
+  for (int i = 0; i < n_containers; ++i) {
+    ContainerEngine* engine = fleet[static_cast<size_t>(i)].get();
+    int* count = &served[static_cast<size_t>(i)];
+    sched.Add(VcpuTask{
+        .engine = engine,
+        .step =
+            [&machine, engine, count, requests_each] {
+              if (machine.cpu().extensions().pks_priv_gating) {
+                machine.cpu().SetPkrsDirect(kPkrsGuest);
+              }
+              engine->LoadAddressSpace(engine->kernel().current().pt_root,
+                                       engine->kernel().current().asid);
+              // One request: epoll + recv-equivalent file read + compute +
+              // send-equivalent write, plus a TX kick to the device.
+              engine->UserSyscall(SyscallRequest{.no = Sys::kEpollWait});
+              engine->UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+              machine.ctx().ChargeWork(2500);
+              engine->GuestHypercall(HypercallOp::kVirtioKick, 0, 0);
+              return ++*count < requests_each;
+            },
+        .label = "container-" + std::to_string(i)});
+  }
+  t0 = machine.ctx().clock().now();
+  sched.Run();
+  result.serve_ms = static_cast<double>(machine.ctx().clock().now() - t0) * 1e-6;
+  result.fairness = sched.FairnessRatio();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kContainers = 8;
+  constexpr int kRequestsEach = 400;
+  std::printf("== serverless burst: %d cold-booted containers x %d requests, one core ==\n\n",
+              kContainers, kRequestsEach);
+  std::printf("%-10s %12s %12s %10s\n", "runtime", "boot ms", "serve ms", "fairness");
+  for (RuntimeKind kind : {RuntimeKind::kPvm, RuntimeKind::kCki}) {
+    BurstResult r = RunBurst(kind, kContainers, kRequestsEach);
+    std::printf("%-10s %12.2f %12.2f %10.2f\n", std::string(RuntimeKindName(kind)).c_str(),
+                r.boot_ms, r.serve_ms, r.fairness);
+  }
+  std::printf("\nCKI's fast boots (monitored-but-cheap PTE setup) and cheap kicks\n"
+              "compound across the fleet; the scheduler keeps tenants fair because\n"
+              "no guest can mask or monopolize the timer.\n");
+  return 0;
+}

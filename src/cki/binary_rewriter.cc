@@ -1,0 +1,46 @@
+#include "src/cki/binary_rewriter.h"
+
+namespace cki {
+
+void EmitWrpkrs(std::vector<uint8_t>& image, size_t offset) {
+  for (size_t i = 0; i < kWrpkrsOpcodeLen; ++i) {
+    image[offset + i] = kWrpkrsOpcode[i];
+  }
+}
+
+ScanReport BinaryRewriter::Scan(const std::vector<uint8_t>& image) const {
+  ScanReport report;
+  if (image.size() < kWrpkrsOpcodeLen) {
+    return report;
+  }
+  for (size_t off = 0; off + kWrpkrsOpcodeLen <= image.size(); ++off) {
+    bool match = true;
+    for (size_t i = 0; i < kWrpkrsOpcodeLen; ++i) {
+      if (image[off + i] != kWrpkrsOpcode[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) {
+      continue;
+    }
+    if (gate_offsets_.count(off) != 0) {
+      report.gate_occurrences++;
+    } else {
+      report.violations.push_back(off);
+    }
+  }
+  return report;
+}
+
+size_t BinaryRewriter::Rewrite(std::vector<uint8_t>& image) const {
+  ScanReport report = Scan(image);
+  for (size_t off : report.violations) {
+    for (size_t i = 0; i < kWrpkrsOpcodeLen; ++i) {
+      image[off + i] = 0x90;  // NOP
+    }
+  }
+  return report.violations.size();
+}
+
+}  // namespace cki

@@ -1,0 +1,339 @@
+#include "src/cki/cki_engine.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hw/pks.h"
+
+namespace cki {
+
+CkiEngine::CkiEngine(Machine& machine, CkiAblation ablation, uint64_t segment_pages,
+                     int n_vcpus)
+    : ContainerEngine(machine),
+      ablation_(ablation),
+      segment_pages_(segment_pages),
+      n_vcpus_(n_vcpus < 1 ? 1 : n_vcpus),
+      pcid_base_(machine.AllocPcidRange(256)) {
+  if (!machine.cpu().extensions().pks_priv_gating) {
+    std::fprintf(stderr, "CkiEngine requires a machine with the CKI hardware extensions\n");
+    std::abort();
+  }
+}
+
+std::string_view CkiEngine::name() const {
+  switch (ablation_) {
+    case CkiAblation::kNone:
+      return nested() ? "CKI-NST" : "CKI-BM";
+    case CkiAblation::kNoOpt2:
+      return "CKI-wo-OPT2";
+    case CkiAblation::kNoOpt3:
+      return "CKI-wo-OPT3";
+  }
+  return "CKI";
+}
+
+void CkiEngine::Boot() {
+  // The host delegates a contiguous host-physical segment that the guest
+  // kernel manages directly (no second translation stage).
+  segment_ = machine_.frames().AllocSegment(segment_pages_, id_);
+  ksm_ = std::make_unique<Ksm>(machine_, id_, n_vcpus_);
+  gates_ = std::make_unique<Gates>(machine_, *ksm_);
+  machine_.cpu().set_idt(&ksm_->idt());
+
+  // Guest kernel code image: wrpkrs appears only at the registered gates;
+  // the binary-rewriting pass proves it (section 4.1).
+  guest_code_image_.assign(64 * 1024, 0x90);
+  rewriter_.RegisterGateOffset(0x1000);  // KSM call gate
+  rewriter_.RegisterGateOffset(0x1100);  // KSM call gate (exit switch)
+  rewriter_.RegisterGateOffset(0x2000);  // hypercall gate entry
+  rewriter_.RegisterGateOffset(0x2080);  // hypercall gate exit
+  for (size_t off : rewriter_.gate_offsets()) {
+    EmitWrpkrs(guest_code_image_, off);
+  }
+  ScanReport report = rewriter_.Scan(guest_code_image_);
+  assert(report.clean() && "stray wrpkrs in guest kernel image");
+  (void)report;
+
+  ContainerEngine::Boot();  // boots the kernel (monitor in boot mode)
+  ksm_->monitor().SealKernelText();
+
+  // Hand control to the deprivileged guest: PKRS = PKRS_GUEST.
+  machine_.cpu().Wrpkrs(kPkrsGuest);
+}
+
+uint64_t CkiEngine::SegmentAlloc() {
+  if (!guest_free_list_.empty()) {
+    uint64_t pa = guest_free_list_.back();
+    guest_free_list_.pop_back();
+    return pa;
+  }
+  if (segment_next_ >= segment_.pages) {
+    std::fprintf(stderr, "CkiEngine: delegated segment exhausted\n");
+    std::abort();
+  }
+  return segment_.base + (segment_next_++) * kPageSize;
+}
+
+void CkiEngine::ChargeKsmRoundtrip(SimNanos op_work) {
+  gates_->EnterKsm();
+  ctx_.ChargeWork(op_work);
+  gates_->ExitKsm();
+}
+
+SyscallResult CkiEngine::UserSyscall(const SyscallRequest& req) {
+  // Fast path: the guest kernel is reachable from user mode without host
+  // intervention — same 90 ns as native (Fig 10b).
+  Cpu& cpu = machine_.cpu();
+  const CostModel& c = ctx_.cost();
+  ctx_.Charge(c.syscall_entry, PathEvent::kSyscallEntry);
+  cpu.SyscallEntry();
+  if (ablation_ == CkiAblation::kNoOpt2) {
+    // Without OPT2 the guest kernel lives in a separate page table.
+    ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+  }
+  if (ablation_ == CkiAblation::kNoOpt3) {
+    // Without OPT3, entry came through the KSM: PKRS 0 -> PKRS_GUEST.
+    gates_->SwitchPksTo(kPkrsGuest);
+  }
+  ctx_.ChargeWork(c.syscall_handler_min);
+  SyscallResult result = kernel_->HandleSyscall(req);
+  if (ablation_ == CkiAblation::kNoOpt2) {
+    ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+  }
+  if (ablation_ == CkiAblation::kNoOpt3) {
+    // sysret must run in the KSM: PKRS_GUEST -> 0; returning to user mode
+    // restores the guest key (no third switch, hardware-assisted).
+    gates_->SwitchPksTo(kPkrsMonitor);
+  }
+  ctx_.Charge(c.sysret_exit, PathEvent::kSyscallExit);
+  cpu.Sysret(/*requested_if=*/true);
+  if (ablation_ == CkiAblation::kNoOpt3) {
+    cpu.SetPkrsDirect(kPkrsGuest);
+  }
+  return result;
+}
+
+TouchResult CkiEngine::UserTouch(uint64_t va, bool write) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kUser);
+  AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
+  const CostModel& c = ctx_.cost();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Fault f = cpu.Access(va, intent);
+    if (!f) {
+      return TouchResult::kOk;
+    }
+    if (f.type != FaultType::kPageNotPresent && f.type != FaultType::kPageProtection) {
+      return TouchResult::kSegv;
+    }
+    // Direct delivery into the guest kernel (PKRS stays PKRS_GUEST; the
+    // IDT entry for #PF needs no PKS switch).
+    ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
+    cpu.set_cpl(Cpl::kKernel);
+    if (ablation_ == CkiAblation::kNoOpt2) {
+      // Separate guest-kernel page table: exceptions pay the switch too.
+      ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+    }
+    in_fault_ = true;
+    ksm_open_ = false;
+    bool resolved = kernel_->HandlePageFault(va, write);
+    // Exit: the final iret is a KSM operation. When the fault handler
+    // already entered the KSM for its PTE update, the iret rides the same
+    // gate crossing (extended iret restores PKRS on the way out).
+    if (ksm_open_) {
+      ctx_.ChargeWork(c.ksm_iret_work + c.iret_native);
+      ksm_->IretToUser();
+      ksm_open_ = false;
+    } else {
+      gates_->EnterKsm();
+      ctx_.ChargeWork(c.ksm_iret_work + c.iret_native);
+      ksm_->IretToUser();  // iret restores PKRS_GUEST; no exit wrpkrs
+    }
+    in_fault_ = false;
+    if (ablation_ == CkiAblation::kNoOpt2) {
+      ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+    }
+    cpu.set_cpl(Cpl::kUser);
+    if (!resolved) {
+      return TouchResult::kSegv;
+    }
+  }
+  return TouchResult::kSegv;
+}
+
+uint64_t CkiEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  return Hypercall(op, a0, a1);
+}
+
+uint64_t CkiEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  (void)op;
+  (void)a0;
+  (void)a1;
+  // Hypercalls are issued by the guest kernel (ring 0, PKRS_GUEST); a user
+  // process reaches this point only through a syscall into the guest
+  // kernel first.
+  Cpu& cpu = machine_.cpu();
+  Cpl saved_cpl = cpu.cpl();
+  cpu.set_cpl(Cpl::kKernel);
+  // Same cost in bare-metal and nested clouds: the guest and host share
+  // one VMCS (or none), so no L0 intervention ever occurs (section 7.1).
+  gates_->HypercallRoundtrip();
+  cpu.set_cpl(saved_cpl);
+  return 0;
+}
+
+SimNanos CkiEngine::KickCost() const {
+  // Virtio kicks are plain hypercalls (MMIO was removed, section 5).
+  const CostModel& c = ctx_.cost();
+  return 2 * c.pks_switch + 2 * c.Cr3SwitchMitigated() + c.cki_switcher_save_restore +
+         c.hypercall_dispatch;
+}
+
+SimNanos CkiEngine::DeviceInterruptCost() const {
+  const CostModel& c = ctx_.cost();
+  // Interrupt gate to host + virtual interrupt on resume.
+  return c.hw_interrupt_delivery + c.cki_switcher_save_restore + 2 * c.Cr3SwitchMitigated() +
+         c.virq_inject;
+}
+
+bool CkiEngine::SelectVcpu(int vcpu) {
+  if (vcpu < 0 || vcpu >= n_vcpus_ || current_root_ == 0) {
+    return false;
+  }
+  // The host migrates the vCPU context; resuming loads the per-vCPU copy
+  // of the same guest root through the validated KSM path.
+  current_vcpu_ = vcpu;
+  gates_->EnterKsm();
+  ctx_.ChargeWork(ctx_.cost().ksm_pte_validate);
+  ctx_.Charge(ctx_.cost().cr3_write_raw, PathEvent::kCr3Switch);
+  PtpVerdict v = ksm_->LoadGuestCr3(current_root_, current_pcid_, current_vcpu_);
+  gates_->ExitKsm();
+  return v == PtpVerdict::kOk;
+}
+
+void CkiEngine::GuestSetVirtualIf(bool enabled) {
+  // A plain in-memory store — no privileged instruction, no trap.
+  ctx_.ChargeWork(2);
+  virtual_if_ = enabled;
+  if (virtual_if_ && !pending_virqs_.empty()) {
+    // The host notices the bit flip on its next injection opportunity and
+    // drains the deferred queue.
+    std::vector<uint8_t> pending;
+    pending.swap(pending_virqs_);
+    for (uint8_t vec : pending) {
+      InjectVirq(vec);
+    }
+  }
+}
+
+bool CkiEngine::InjectVirq(uint8_t vector) {
+  if (!virtual_if_) {
+    pending_virqs_.push_back(vector);
+    return false;
+  }
+  ctx_.Charge(ctx_.cost().virq_inject, PathEvent::kVirqInject);
+  delivered_virqs_++;
+  (void)vector;
+  return true;
+}
+
+bool CkiEngine::DeliverHardwareInterrupt(uint8_t vector) {
+  bool ok = gates_->HardwareInterruptToHost(vector);
+  if (ok) {
+    ctx_.Charge(ctx_.cost().virq_inject, PathEvent::kVirqInject);
+  }
+  return ok;
+}
+
+uint64_t CkiEngine::ReadPte(uint64_t pte_pa) {
+  // PTPs are readable by the guest (read-only under pkey_PTP).
+  return machine_.mem().ReadU64(pte_pa);
+}
+
+bool CkiEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  const CostModel& c = ctx_.cost();
+  PtpVerdict verdict;
+  if (in_batch_ || (in_fault_ && ksm_open_)) {
+    // Already inside the KSM: validate + store only.
+    ctx_.ChargeWork(c.ksm_pte_validate + c.pte_write_native);
+    verdict = ksm_->UpdatePte(pte_pa, value, level, va);
+  } else if (in_fault_) {
+    // First update of a fault handler: one-way gate entry; the matching
+    // exit is fused with the iret (Fig 10a: 77 ns for both KSM calls).
+    gates_->EnterKsm();
+    ksm_open_ = true;
+    ctx_.ChargeWork(c.ksm_pte_validate + c.pte_write_native);
+    verdict = ksm_->UpdatePte(pte_pa, value, level, va);
+  } else {
+    gates_->EnterKsm();
+    ctx_.ChargeWork(c.ksm_pte_validate + c.pte_write_native);
+    verdict = ksm_->UpdatePte(pte_pa, value, level, va);
+    gates_->ExitKsm();
+  }
+  return verdict == PtpVerdict::kOk;
+}
+
+void CkiEngine::BeginPteBatch() {
+  if (!in_batch_) {
+    gates_->EnterKsm();
+    in_batch_ = true;
+  }
+}
+
+void CkiEngine::EndPteBatch() {
+  if (in_batch_) {
+    gates_->ExitKsm();
+    in_batch_ = false;
+  }
+}
+
+uint64_t CkiEngine::AllocDataPage() { return SegmentAlloc(); }
+
+void CkiEngine::FreeDataPage(uint64_t pa) { guest_free_list_.push_back(pa); }
+
+uint64_t CkiEngine::AllocPtp(int level) {
+  uint64_t pa = SegmentAlloc();
+  if (in_batch_ || (in_fault_ && ksm_open_)) {
+    ctx_.ChargeWork(ctx_.cost().ksm_pte_validate);
+    ksm_->DeclarePtp(pa, level);
+  } else {
+    ChargeKsmRoundtrip(ctx_.cost().ksm_pte_validate);
+    ksm_->DeclarePtp(pa, level);
+  }
+  return pa;
+}
+
+void CkiEngine::FreePtp(uint64_t pa, int level) {
+  (void)level;
+  if (in_batch_) {
+    ctx_.ChargeWork(ctx_.cost().ksm_pte_validate);
+  } else {
+    ChargeKsmRoundtrip(ctx_.cost().ksm_pte_validate);
+  }
+  if (ksm_->UndeclarePtp(pa) == PtpVerdict::kOk) {
+    guest_free_list_.push_back(pa);
+  }
+}
+
+void CkiEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
+  // KSM call: validate the root is a declared top-level PTP, then load the
+  // current vCPU's copy of it.
+  const CostModel& c = ctx_.cost();
+  current_pcid_ = static_cast<uint16_t>(pcid_base_ + (asid & 0xFF));
+  gates_->EnterKsm();
+  ctx_.ChargeWork(c.ksm_pte_validate);
+  ctx_.Charge(c.cr3_write_raw, PathEvent::kCr3Switch);
+  PtpVerdict v = ksm_->LoadGuestCr3(root_pa, current_pcid_, current_vcpu_);
+  gates_->ExitKsm();
+  current_root_ = root_pa;
+  if (v != PtpVerdict::kOk) {
+    std::fprintf(stderr, "CkiEngine: CR3 load rejected (%.*s)\n",
+                 static_cast<int>(PtpVerdictName(v).size()), PtpVerdictName(v).data());
+    std::abort();
+  }
+}
+
+void CkiEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+}  // namespace cki

@@ -1,0 +1,112 @@
+#include "src/cki/driver_sandbox.h"
+
+#include "src/hw/page_table.h"
+
+namespace cki {
+
+DriverSandbox::DriverSandbox(Machine& machine) : machine_(machine) {
+  // A host-kernel address space for the sandbox: kernel-private data page
+  // keyed kKernelPrivKey.
+  root_pa_ = machine_.frames().AllocFrame(kHostOwner);
+  machine_.cpu().LoadCr3(MakeCr3(root_pa_, /*pcid=*/0));
+  MapKeyedPage(kKernelPrivVa, kKernelPrivKey);
+}
+
+void DriverSandbox::MapKeyedPage(uint64_t va, uint32_t pkey) {
+  PhysMem& mem = machine_.mem();
+  PageTableEditor editor(
+      mem, [this](int) { return machine_.frames().AllocFrame(kHostOwner); },
+      [&mem](uint64_t pte_pa, uint64_t value, int, uint64_t) {
+        mem.WriteU64(pte_pa, value);
+        return true;
+      });
+  uint64_t page = machine_.frames().AllocFrame(kHostOwner);
+  editor.MapPage(root_pa_, va, page, kPteP | kPteW | kPteNx, pkey, PageSize::k4K);
+}
+
+int DriverSandbox::RegisterDriver(const std::string& name, DriverFn fn) {
+  uint32_t pkey = kFirstDriverKey + static_cast<uint32_t>(drivers_.size());
+  if (pkey >= kNumPkeys) {
+    return -1;  // key space exhausted (12 sandboxed drivers per space)
+  }
+  uint64_t va = kDriverVaBase + static_cast<uint64_t>(drivers_.size()) * kPageSize;
+  MapKeyedPage(va, pkey);
+  drivers_.push_back(Driver{name, std::move(fn), pkey, va});
+  return static_cast<int>(drivers_.size()) - 1;
+}
+
+uint32_t DriverSandbox::DriverPkrs(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= drivers_.size()) {
+    return 0;
+  }
+  // Deny everything keyed except key 0 (shared kernel text/API surface)
+  // and the driver's own domain.
+  uint32_t pkrs = 0;
+  for (uint32_t key = 1; key < kNumPkeys; ++key) {
+    if (key != drivers_[static_cast<size_t>(id)].pkey) {
+      pkrs |= PkAccessDisable(static_cast<int>(key));
+    }
+  }
+  return pkrs;
+}
+
+uint64_t DriverSandbox::driver_page_va(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= drivers_.size()) {
+    return 0;
+  }
+  return drivers_[static_cast<size_t>(id)].page_va;
+}
+
+uint64_t DriverSandbox::CallDriver(int id, uint64_t request) {
+  if (id < 0 || static_cast<size_t>(id) >= drivers_.size()) {
+    return ~0ull;
+  }
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  uint32_t driver_pkrs = DriverPkrs(id);
+  // Entry gate: wrpkrs + post-write check (same pattern as the KSM gate).
+  if (cpu.Wrpkrs(driver_pkrs) || cpu.pkrs() != driver_pkrs) {
+    return ~0ull;
+  }
+  calls_++;
+  uint64_t status = drivers_[static_cast<size_t>(id)].fn(request);
+  // Exit gate.
+  cpu.Wrpkrs(kPkrsMonitor);
+  return status;
+}
+
+FaultType DriverSandbox::ProbeAccessFromDriver(int id, uint64_t va, bool write) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  uint32_t saved = cpu.pkrs();
+  cpu.SetPkrsDirect(DriverPkrs(id));
+  Fault f = cpu.Access(va, write ? AccessIntent::Write() : AccessIntent::Read());
+  cpu.SetPkrsDirect(saved);
+  return f.type;
+}
+
+FaultType DriverSandbox::ProbePrivInstrFromDriver(int id, PrivInstr instr) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  uint32_t saved = cpu.pkrs();
+  cpu.SetPkrsDirect(DriverPkrs(id));
+  Fault f = cpu.ExecPriv(instr);
+  cpu.SetPkrsDirect(saved);
+  return f.type;
+}
+
+SimNanos DriverSandbox::GateCost() const {
+  // Two checked PKS switches; no mode switch, no CR3 switch, no PTI/IBRS.
+  return 2 * machine_.ctx().cost().pks_switch;
+}
+
+SimNanos DriverSandbox::MicrokernelIpcCost() const {
+  // Ring-3 driver server: syscall-style entry + exit, two mitigated
+  // address-space switches, and IPC rendezvous/scheduling work — each way
+  // amortized into one round trip.
+  const CostModel& c = machine_.ctx().cost();
+  return 2 * c.mode_switch + 2 * c.Cr3SwitchMitigated() + c.syscall_entry + c.sysret_exit +
+         c.context_switch_kernel / 2;
+}
+
+}  // namespace cki

@@ -1,0 +1,88 @@
+// Future-work direction 1 of the paper (section 9): sandboxing untrusted
+// kernel drivers *within ring 0* using the CKI hardware extensions —
+// instead of deprivileging them to ring 3 as microkernels do.
+//
+// Each driver gets its own PKS key. While driver code runs, PKRS denies
+// every other domain (kernel private data, other drivers); because PKRS is
+// non-zero, the same PKS-gating extension that deprivileges container
+// kernels blocks the driver's privileged instructions for free. Crossing
+// into and out of a driver is a pair of checked PKS switches — no mode
+// switch, no page-table switch, no IPC.
+#ifndef SRC_CKI_DRIVER_SANDBOX_H_
+#define SRC_CKI_DRIVER_SANDBOX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/host/machine.h"
+#include "src/hw/pks.h"
+
+namespace cki {
+
+// A driver entry point: receives an opaque request, returns a status.
+using DriverFn = std::function<uint64_t(uint64_t request)>;
+
+class DriverSandbox {
+ public:
+  explicit DriverSandbox(Machine& machine);
+
+  // Registers a driver; allocates a PKS key and its keyed memory page.
+  // Returns the driver id, or -1 if the key space (keys 4..15) is full.
+  int RegisterDriver(const std::string& name, DriverFn fn);
+
+  // Invokes driver `id` through the sandbox gate:
+  //   wrpkrs(driver PKRS) + check -> driver fn -> wrpkrs(0) + check.
+  // Returns the driver's status, or ~0ull if the call was rejected.
+  uint64_t CallDriver(int id, uint64_t request);
+
+  // The PKRS value in force while driver `id` runs: every domain except
+  // the shared-kernel key 0 and the driver's own key is access-disabled.
+  uint32_t DriverPkrs(int id) const;
+
+  // Keyed private page of the kernel (what drivers must not touch) and of
+  // a driver (what other drivers must not touch).
+  uint64_t kernel_private_va() const { return kKernelPrivVa; }
+  uint64_t driver_page_va(int id) const;
+
+  // --- attack probes (tests) ----------------------------------------------
+  // Runs `probe` in driver `id`'s PKS context and reports the fault type
+  // observed (kNone if the access succeeded).
+  FaultType ProbeAccessFromDriver(int id, uint64_t va, bool write);
+  // Attempts a privileged instruction from driver context.
+  FaultType ProbePrivInstrFromDriver(int id, PrivInstr instr);
+
+  int driver_count() const { return static_cast<int>(drivers_.size()); }
+  uint64_t calls() const { return calls_; }
+
+  // Cost of one sandboxed driver call (gate only, excluding driver work).
+  SimNanos GateCost() const;
+  // Cost of the microkernel-style alternative: ring crossing + address
+  // space switch + IPC rendezvous, both ways.
+  SimNanos MicrokernelIpcCost() const;
+
+ private:
+  struct Driver {
+    std::string name;
+    DriverFn fn;
+    uint32_t pkey;
+    uint64_t page_va;
+  };
+
+  static constexpr uint64_t kKernelPrivVa = 0xC000'0000'0000;
+  static constexpr uint64_t kDriverVaBase = 0xC100'0000'0000;
+  static constexpr uint32_t kKernelPrivKey = 3;
+  static constexpr uint32_t kFirstDriverKey = 4;
+
+  void MapKeyedPage(uint64_t va, uint32_t pkey);
+
+  Machine& machine_;
+  uint64_t root_pa_;  // host-kernel page table root used for the probes
+  std::vector<Driver> drivers_;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_CKI_DRIVER_SANDBOX_H_

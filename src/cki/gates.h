@@ -1,0 +1,76 @@
+// PKS switch gates (paper section 4.2, Figure 8).
+//
+// Three gates connect the deprivileged guest kernel to trusted code:
+//   KSM call gate  — fast path: wrpkrs to 0 with a post-write check (anti
+//                    ROP), secure-stack switch in the per-vCPU area found at
+//                    a constant VA (kernel_gs is untrusted), dispatch,
+//                    wrpkrs back. No PTI/IBRS: the KSM maps only private
+//                    data of this container.
+//   hypercall gate — slow path: PKS switch + full context save/restore +
+//                    mitigated CR3 switch to the host kernel.
+//   interrupt gate — hardware-interrupt entry; the IDT extension zeroes
+//                    PKRS during delivery, so the gate itself contains no
+//                    wrpkrs a guest could jump to (anti forgery).
+#ifndef SRC_CKI_GATES_H_
+#define SRC_CKI_GATES_H_
+
+#include "src/cki/ksm.h"
+#include "src/host/machine.h"
+
+namespace cki {
+
+class Gates {
+ public:
+  Gates(Machine& machine, Ksm& ksm) : machine_(machine), ksm_(ksm) {}
+
+  // --- legitimate transitions -------------------------------------------
+  // Enters the KSM: wrpkrs(0) + post-write check + stack/dispatch cost.
+  // Returns false if the post-write check aborted (gate abuse).
+  bool EnterKsm();
+  // Leaves the KSM back to the guest kernel: wrpkrs(PKRS_GUEST) + check.
+  bool ExitKsm();
+
+  // A bare checked PKS switch (no dispatch): used by the CKI-wo-OPT3
+  // ablation where sysret/swapgs are blocked and the syscall path crosses
+  // the gate twice.
+  bool SwitchPksTo(uint32_t value) { return SwitchPks(value); }
+
+  // Full hypercall round trip to the host kernel: PKS switches, context
+  // save/restore, mitigated CR3 switches, dispatch.
+  void HypercallRoundtrip();
+
+  // Hardware-interrupt entry through the IDT + exit-to-host + virtual-
+  // interrupt resume. Returns false if delivery failed (triple fault).
+  bool HardwareInterruptToHost(uint8_t vector);
+
+  // --- attack entry points (for the security analysis) --------------------
+  // A compromised guest kernel jumps straight at the gate's wrpkrs with a
+  // chosen value (ROP). Returns true if the attacker ended up executing
+  // KSM-privileged code — i.e. the attack succeeded.
+  bool AttackRopWrpkrs(uint32_t desired_pkrs);
+
+  // A compromised guest kernel jumps to the interrupt-gate entry to forge
+  // an interrupt (software `int N` or direct jump): the IDT extension only
+  // re-keys on genuine hardware delivery, so the gate body faults on its
+  // first KSM-memory access. Returns true if the forged interrupt reached
+  // the host as authentic — i.e. the attack succeeded.
+  bool AttackForgeInterrupt(uint8_t vector);
+
+  // Verifies the secure stack at the constant per-vCPU VA is reachable
+  // with the current PKRS (used by tests from both sides of the gate).
+  bool SecureStackAccessible();
+
+  uint64_t aborted_switches() const { return aborted_switches_; }
+
+ private:
+  // The switch_pks macro of Fig 8a: wrpkrs + compare-to-expected.
+  bool SwitchPks(uint32_t value);
+
+  Machine& machine_;
+  Ksm& ksm_;
+  uint64_t aborted_switches_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_CKI_GATES_H_

@@ -1,0 +1,50 @@
+#include "src/cki/kernel_app.h"
+
+namespace cki {
+
+InKernelApp::InKernelApp(Machine& machine, GuestKernel& kernel, uint32_t app_key)
+    : machine_(machine), kernel_(kernel) {
+  // The app's domain: kernel-private data (keys 1..4, incl. KSM/PTP keys)
+  // is unreachable; the app's own key and the shared key 0 are open.
+  app_pkrs_ = 0;
+  for (uint32_t key = 1; key < kNumPkeys; ++key) {
+    if (key != app_key) {
+      app_pkrs_ |= PkAccessDisable(static_cast<int>(key));
+    }
+  }
+}
+
+SyscallResult InKernelApp::Call(const SyscallRequest& req) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  // Gate into kernel service context: one checked PKS switch. No swapgs,
+  // no stack switch through IST, no PTI page-table swap, no IBRS write.
+  if (cpu.Wrpkrs(kPkrsMonitor) || cpu.pkrs() != kPkrsMonitor) {
+    return {kEFAULT};
+  }
+  machine_.ctx().ChargeWork(machine_.ctx().cost().syscall_handler_min);
+  SyscallResult result = kernel_.HandleSyscall(req);
+  // Gate back into the app domain.
+  cpu.Wrpkrs(app_pkrs_);
+  calls_++;
+  return result;
+}
+
+SimNanos InKernelApp::ClassicSyscallCost() const {
+  const CostModel& c = machine_.ctx().cost();
+  return c.syscall_entry + c.syscall_handler_min + c.sysret_exit;
+}
+
+SimNanos InKernelApp::ClassicMitigatedSyscallCost() const {
+  // PTI swaps the page table and IBRS fences the predictor on both edges
+  // of every syscall once the kernel distrusts its userspace.
+  const CostModel& c = machine_.ctx().cost();
+  return ClassicSyscallCost() + 2 * (c.pti_overhead + c.ibrs_overhead + c.cr3_write_raw);
+}
+
+SimNanos InKernelApp::InKernelCallCost() const {
+  const CostModel& c = machine_.ctx().cost();
+  return 2 * c.pks_switch + c.syscall_handler_min;
+}
+
+}  // namespace cki

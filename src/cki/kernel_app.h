@@ -1,0 +1,51 @@
+// Future-work direction 2 of the paper (section 9): kernel-level syscall
+// optimization — running a syscall-intensive application *inside* the
+// kernel, deprivileged by a PKS domain, so "syscalls" become direct calls
+// through a PKS gate instead of ring crossings.
+//
+// The win is largest when the user/kernel boundary carries side-channel
+// mitigation (PTI/IBRS): the PKS gate needs none, because the app domain
+// maps only its own data (the unmapped-speculation-contract argument the
+// paper cites).
+#ifndef SRC_CKI_KERNEL_APP_H_
+#define SRC_CKI_KERNEL_APP_H_
+
+#include "src/guest/guest_kernel.h"
+#include "src/host/machine.h"
+#include "src/hw/pks.h"
+
+namespace cki {
+
+class InKernelApp {
+ public:
+  // The app is deprivileged into PKS key `app_key`: while it runs, PKRS
+  // denies the kernel-private domains; crossing into kernel service
+  // routines is one checked PKS switch each way.
+  InKernelApp(Machine& machine, GuestKernel& kernel, uint32_t app_key = 5);
+
+  // A "syscall" from the in-kernel app: PKS gate in, handler, gate out.
+  SyscallResult Call(const SyscallRequest& req);
+
+  // The PKRS value while the app domain executes.
+  uint32_t app_pkrs() const { return app_pkrs_; }
+
+  // Comparison points (ns per minimal call):
+  // classic ring-3 syscall with user/kernel side-channel mitigation.
+  SimNanos ClassicMitigatedSyscallCost() const;
+  // classic syscall without mitigation (the paper's 90 ns baseline).
+  SimNanos ClassicSyscallCost() const;
+  // this mechanism.
+  SimNanos InKernelCallCost() const;
+
+  uint64_t calls() const { return calls_; }
+
+ private:
+  Machine& machine_;
+  GuestKernel& kernel_;
+  uint32_t app_pkrs_;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_CKI_KERNEL_APP_H_

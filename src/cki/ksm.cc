@@ -1,0 +1,171 @@
+#include "src/cki/ksm.h"
+
+#include "src/hw/page_table.h"
+#include "src/hw/pks.h"
+
+namespace cki {
+
+Ksm::Ksm(Machine& machine, OwnerId owner, int n_vcpus)
+    : machine_(machine), owner_(owner), n_vcpus_(n_vcpus), monitor_(machine.frames(), owner) {
+  monitor_.ReserveTopLevelSlot(kKsmRegionSlot);
+  monitor_.ReserveTopLevelSlot(kPerVcpuSlot);
+
+  // KSM private memory + one per-vCPU area page per vCPU, all host frames:
+  // the guest cannot even name them through its delegated segments.
+  ksm_region_pa_ = AllocKsmFrame();
+  ksm_region_pdpt_ = BuildSubtree(kKsmRegionVa, ksm_region_pa_);
+  area_pas_.reserve(static_cast<size_t>(n_vcpus));
+  area_pdpts_.reserve(static_cast<size_t>(n_vcpus));
+  for (int v = 0; v < n_vcpus; ++v) {
+    uint64_t area = AllocKsmFrame();
+    area_pas_.push_back(area);
+    area_pdpts_.push_back(BuildSubtree(kPerVcpuAreaVa, area));
+  }
+
+  // IDT in KSM memory: user exceptions enter the guest kernel directly with
+  // PKRS unchanged; hardware interrupts use the interrupt gate with the
+  // IDT-PKS-switch extension and an IST stack inside the per-vCPU area.
+  idt_.SetGate(kVecPageFault,
+               IdtGate{.present = true, .handler_tag = kHandlerGuestPageFault, .ist_index = 0,
+                       .pks_switch = false});
+  idt_.SetGate(kVecGeneralProtection,
+               IdtGate{.present = true, .handler_tag = kHandlerHostInterrupt, .ist_index = 1,
+                       .pks_switch = true});
+  for (uint8_t vec : {kVecTimer, kVecVirtioNet, kVecVirtioBlk}) {
+    idt_.SetGate(vec, IdtGate{.present = true, .handler_tag = kHandlerHostInterrupt,
+                              .ist_index = 1, .pks_switch = true});
+  }
+  idt_.SetIstStack(1, kPerVcpuAreaVa + 0xF00);  // secure stack top
+}
+
+uint64_t Ksm::AllocKsmFrame() { return machine_.frames().AllocFrame(kHostOwner); }
+
+uint64_t Ksm::BuildSubtree(uint64_t va, uint64_t pa) {
+  PhysMem& mem = machine_.mem();
+  uint64_t pdpt = AllocKsmFrame();
+  uint64_t pd = AllocKsmFrame();
+  uint64_t pt = AllocKsmFrame();
+  mem.WriteU64(pdpt + static_cast<uint64_t>(PtIndex(va, 3)) * 8, MakePte(pd, kPteP | kPteW));
+  mem.WriteU64(pd + static_cast<uint64_t>(PtIndex(va, 2)) * 8, MakePte(pt, kPteP | kPteW));
+  mem.WriteU64(pt + static_cast<uint64_t>(PtIndex(va, 1)) * 8,
+               MakePte(pa, kPteP | kPteW | kPteNx, kPkeyKsm));
+  return pdpt;
+}
+
+void Ksm::InstallKsmSlots(uint64_t copy_pa, int vcpu) {
+  PhysMem& mem = machine_.mem();
+  mem.WriteU64(copy_pa + static_cast<uint64_t>(kKsmRegionSlot) * 8,
+               MakePte(ksm_region_pdpt_, kPteP | kPteW));
+  mem.WriteU64(copy_pa + static_cast<uint64_t>(kPerVcpuSlot) * 8,
+               MakePte(area_pdpts_[static_cast<size_t>(vcpu)], kPteP | kPteW));
+}
+
+PtpVerdict Ksm::DeclarePtp(uint64_t pa, int level) {
+  calls_++;
+  PtpVerdict v = monitor_.DeclarePtp(pa, level);
+  if (v != PtpVerdict::kOk) {
+    return v;
+  }
+  if (level == kPtLevels) {
+    // Create the per-vCPU hardware copies with KSM mappings pre-installed.
+    PhysMem& mem = machine_.mem();
+    std::vector<uint64_t>& copies = top_copies_[pa];
+    copies.clear();
+    for (int vcpu = 0; vcpu < n_vcpus_; ++vcpu) {
+      uint64_t copy = AllocKsmFrame();
+      for (int i = 0; i < kPtEntries; ++i) {
+        mem.WriteU64(copy + static_cast<uint64_t>(i) * 8,
+                     mem.ReadU64(pa + static_cast<uint64_t>(i) * 8));
+      }
+      InstallKsmSlots(copy, vcpu);
+      copies.push_back(copy);
+    }
+  }
+  return PtpVerdict::kOk;
+}
+
+PtpVerdict Ksm::UndeclarePtp(uint64_t pa) {
+  calls_++;
+  PtpVerdict v = monitor_.UndeclarePtp(pa);
+  if (v == PtpVerdict::kOk) {
+    auto it = top_copies_.find(pa);
+    if (it != top_copies_.end()) {
+      for (uint64_t copy : it->second) {
+        machine_.frames().FreeFrame(copy);
+      }
+      top_copies_.erase(it);
+    }
+  }
+  return v;
+}
+
+PtpVerdict Ksm::UpdatePte(uint64_t slot_pa, uint64_t value, int level, uint64_t va) {
+  calls_++;
+  uint64_t sanitized = value;
+  PtpVerdict v = monitor_.CheckStore(slot_pa, value, level, va, &sanitized);
+  if (v != PtpVerdict::kOk) {
+    machine_.ctx().trace().Record(PathEvent::kSecurityViolation);
+    return v;
+  }
+  PhysMem& mem = machine_.mem();
+  mem.WriteU64(slot_pa, sanitized);
+  if (level == kPtLevels) {
+    // Mirror into every per-vCPU copy of this root.
+    uint64_t root = slot_pa & ~(kPageSize - 1);
+    auto it = top_copies_.find(root);
+    if (it != top_copies_.end()) {
+      uint64_t offset = slot_pa & (kPageSize - 1);
+      for (uint64_t copy : it->second) {
+        mem.WriteU64(copy + offset, sanitized);
+      }
+    }
+  }
+  machine_.ctx().trace().Record(PathEvent::kPteUpdate);
+  return PtpVerdict::kOk;
+}
+
+PtpVerdict Ksm::LoadGuestCr3(uint64_t root_pa, uint16_t pcid, int vcpu) {
+  calls_++;
+  PtpVerdict v = monitor_.CheckCr3(root_pa);
+  if (v != PtpVerdict::kOk) {
+    machine_.ctx().trace().Record(PathEvent::kSecurityViolation);
+    return v;
+  }
+  uint64_t copy = TopLevelCopy(root_pa, vcpu);
+  if (copy == 0) {
+    return PtpVerdict::kRootNotDeclared;
+  }
+  machine_.cpu().LoadCr3(MakeCr3(copy, pcid));
+  return PtpVerdict::kOk;
+}
+
+uint64_t Ksm::TopLevelCopy(uint64_t root_pa, int vcpu) const {
+  auto it = top_copies_.find(Cr3Root(root_pa));
+  if (it == top_copies_.end() || vcpu < 0 ||
+      static_cast<size_t>(vcpu) >= it->second.size()) {
+    return 0;
+  }
+  return it->second[static_cast<size_t>(vcpu)];
+}
+
+uint64_t Ksm::ReadTopLevelPte(uint64_t root_pa, int index) {
+  calls_++;
+  PhysMem& mem = machine_.mem();
+  uint64_t offset = static_cast<uint64_t>(index) * 8;
+  uint64_t value = mem.ReadU64(root_pa + offset);
+  auto it = top_copies_.find(root_pa);
+  if (it != top_copies_.end()) {
+    for (uint64_t copy : it->second) {
+      // Propagate accessed/dirty from the hardware-visible copies.
+      value |= mem.ReadU64(copy + offset) & (kPteA | kPteD);
+    }
+  }
+  return value;
+}
+
+void Ksm::IretToUser() {
+  calls_++;
+  machine_.cpu().IretTrusted(Cpl::kUser, kPkrsGuest);
+}
+
+}  // namespace cki

@@ -1,0 +1,104 @@
+// The Kernel Security Monitor (KSM) of a CKI secure container.
+//
+// One KSM instance is mapped into each container's address space and
+// isolated from the deprivileged guest kernel by PKS (section 3.3): KSM
+// memory carries pkey_KSM, unreachable under PKRS_GUEST. The KSM implements
+// the privileged operations that touch only the container's private data —
+// page-table declaration/updates (via the PtpMonitor), CR3 loads of
+// validated per-vCPU top-level copies, and iret — reachable through a fast
+// PKS call gate that needs no PTI/IBRS because only private data is mapped.
+//
+// It also owns the container's IDT and IST stacks (allocated in KSM memory
+// so the guest cannot redirect or starve interrupts, section 4.4) and the
+// per-vCPU areas that sit at a constant virtual address in every per-vCPU
+// top-level copy (section 4.2, Figure 8c).
+#ifndef SRC_CKI_KSM_H_
+#define SRC_CKI_KSM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cki/ptp_monitor.h"
+#include "src/host/machine.h"
+#include "src/hw/idt.h"
+
+namespace cki {
+
+// Fixed kernel-half layout (48-bit VA, PML4 slots).
+inline constexpr uint64_t kKsmRegionVa = 0xA000'0000'0000;    // PML4 slot 320
+inline constexpr uint64_t kPerVcpuAreaVa = 0xB000'0000'0000;  // PML4 slot 352
+inline constexpr int kKsmRegionSlot = 320;
+inline constexpr int kPerVcpuSlot = 352;
+
+// Handler tags installed in the container IDT.
+inline constexpr uint32_t kHandlerGuestPageFault = 1;  // guest kernel handler
+inline constexpr uint32_t kHandlerHostInterrupt = 2;   // interrupt gate -> host
+
+class Ksm {
+ public:
+  Ksm(Machine& machine, OwnerId owner, int n_vcpus);
+
+  PtpMonitor& monitor() { return monitor_; }
+  const Idt& idt() const { return idt_; }
+  int n_vcpus() const { return n_vcpus_; }
+
+  // --- KSM call operations (reached through the PKS call gate) ------------
+  // Declares a guest page as a PTP; for top-level PTPs this also creates
+  // the per-vCPU copies with the KSM mappings pre-installed.
+  PtpVerdict DeclarePtp(uint64_t pa, int level);
+  PtpVerdict UndeclarePtp(uint64_t pa);
+
+  // Validates and applies a guest PTE store; top-level stores are mirrored
+  // into every per-vCPU copy.
+  PtpVerdict UpdatePte(uint64_t slot_pa, uint64_t value, int level, uint64_t va);
+
+  // Validates a CR3 target and loads the current vCPU's copy of it.
+  PtpVerdict LoadGuestCr3(uint64_t root_pa, uint16_t pcid, int vcpu);
+
+  // Reads a top-level PTE with accessed/dirty bits propagated from the
+  // per-vCPU copies into the original (section 4.3).
+  uint64_t ReadTopLevelPte(uint64_t root_pa, int index);
+
+  // iret on behalf of the guest: returns to user mode, hardware-restoring
+  // PKRS to the guest value (the extended-iret feature).
+  void IretToUser();
+
+  // --- addresses -----------------------------------------------------------
+  // The constant-VA secure stack / vCPU context area (Fig 8c).
+  uint64_t per_vcpu_area_va() const { return kPerVcpuAreaVa; }
+  uint64_t per_vcpu_area_pa(int vcpu) const { return area_pas_[static_cast<size_t>(vcpu)]; }
+  // Physical page holding KSM private data (pkey_KSM tagged).
+  uint64_t ksm_region_pa() const { return ksm_region_pa_; }
+
+  // The per-vCPU hardware copy of a declared top-level PTP; 0 if unknown.
+  uint64_t TopLevelCopy(uint64_t root_pa, int vcpu) const;
+
+  uint64_t ksm_calls() const { return calls_; }
+
+ private:
+  // Installs the KSM-region and per-vCPU-area mappings into a top-level
+  // copy (the two reserved PML4 slots).
+  void InstallKsmSlots(uint64_t copy_pa, int vcpu);
+  uint64_t AllocKsmFrame();
+  // Builds a 3-level subtree (PDPT/PD/PT) mapping `va` -> `pa` with
+  // pkey_KSM, returning the PDPT physical address for the PML4 slot.
+  uint64_t BuildSubtree(uint64_t va, uint64_t pa);
+
+  Machine& machine_;
+  OwnerId owner_;
+  int n_vcpus_;
+  PtpMonitor monitor_;
+  Idt idt_;
+
+  uint64_t ksm_region_pa_ = 0;
+  uint64_t ksm_region_pdpt_ = 0;                 // shared across copies
+  std::vector<uint64_t> area_pas_;               // per-vCPU area pages
+  std::vector<uint64_t> area_pdpts_;             // per-vCPU subtrees
+  std::unordered_map<uint64_t, std::vector<uint64_t>> top_copies_;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_CKI_KSM_H_

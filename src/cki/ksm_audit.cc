@@ -1,0 +1,129 @@
+#include "src/cki/ksm_audit.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/hw/pks.h"
+
+namespace cki {
+
+namespace {
+
+struct AuditState {
+  CkiEngine* engine = nullptr;
+  PhysMem* mem = nullptr;
+  AuditReport report;
+  // child PTP pa -> referencing slot pa (for A3).
+  std::map<uint64_t, uint64_t> seen_links;
+
+  void Violate(const std::string& what) { report.violations.push_back(what); }
+};
+
+std::string Hex(uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+void AuditTable(AuditState& state, uint64_t table_pa, int level) {
+  CkiEngine& engine = *state.engine;
+  PtpMonitor& monitor = engine.ksm().monitor();
+  state.report.ptps_walked++;
+  for (int i = 0; i < kPtEntries; ++i) {
+    uint64_t slot_pa = table_pa + static_cast<uint64_t>(i) * 8;
+    uint64_t entry = state.mem->ReadU64(slot_pa);
+    if (!PtePresent(entry)) {
+      continue;
+    }
+    state.report.entries_checked++;
+    uint64_t target = PteAddr(entry);
+    bool is_leaf = (level == 1) || PteHuge(entry);
+    // A1: container ownership of everything referenced.
+    if (engine.machine().frames().OwnerOf(target) != engine.id()) {
+      state.Violate("A1 foreign frame " + Hex(target) + " via slot " + Hex(slot_pa));
+      continue;
+    }
+    if (!is_leaf) {
+      // A2: next-level declared PTP.
+      if (monitor.PtpLevel(target) != level - 1) {
+        state.Violate("A2 intermediate slot " + Hex(slot_pa) + " targets level " +
+                      std::to_string(monitor.PtpLevel(target)) + " page " + Hex(target));
+        continue;
+      }
+      // A3: unique linkage.
+      auto [it, fresh] = state.seen_links.emplace(target, slot_pa);
+      if (!fresh && it->second != slot_pa) {
+        state.Violate("A3 PTP " + Hex(target) + " linked from " + Hex(it->second) + " and " +
+                      Hex(slot_pa));
+        continue;
+      }
+      AuditTable(state, target, level - 1);
+    } else {
+      // A4: kernel-executable closure.
+      bool kernel_exec = !PteUser(entry) && !PteNoExec(entry);
+      if (kernel_exec && !monitor.IsKernelTextFrame(target)) {
+        state.Violate("A4 kernel-exec leaf at slot " + Hex(slot_pa) + " -> " + Hex(target));
+      }
+      // A5: PTP-as-data mappings are read-only + pkey_PTP.
+      if (monitor.IsPtp(target)) {
+        if (PteWritable(entry) || PtePkey(entry) != kPkeyPtp) {
+          state.Violate("A5 PTP " + Hex(target) + " mapped writable/unkeyed at " + Hex(slot_pa));
+        }
+      }
+    }
+  }
+}
+
+void AuditTopLevelCopies(AuditState& state, uint64_t root) {
+  CkiEngine& engine = *state.engine;
+  PhysMem& mem = *state.mem;
+  for (int v = 0; v < engine.n_vcpus(); ++v) {
+    uint64_t copy = engine.ksm().TopLevelCopy(root, v);
+    if (copy == 0) {
+      state.Violate("A6 missing per-vCPU copy " + std::to_string(v) + " for root " + Hex(root));
+      continue;
+    }
+    for (int i = 0; i < kPtEntries; ++i) {
+      uint64_t off = static_cast<uint64_t>(i) * 8;
+      uint64_t orig = mem.ReadU64(root + off);
+      uint64_t mirrored = mem.ReadU64(copy + off);
+      if (i == kKsmRegionSlot || i == kPerVcpuSlot) {
+        if (!PtePresent(mirrored)) {
+          state.Violate("A6 KSM slot " + std::to_string(i) + " absent in copy of " + Hex(root));
+        }
+        if (PtePresent(orig)) {
+          state.Violate("A6 KSM slot " + std::to_string(i) + " leaked into original " +
+                        Hex(root));
+        }
+      } else if ((orig | kPteA | kPteD) != (mirrored | kPteA | kPteD)) {
+        // A/D bits may legitimately differ between copies and original.
+        state.Violate("A6 slot " + std::to_string(i) + " diverged: orig " + Hex(orig) +
+                      " copy " + Hex(mirrored));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport AuditContainer(CkiEngine& engine) {
+  AuditState state;
+  state.engine = &engine;
+  state.mem = &engine.machine().mem();
+  for (int pid : engine.kernel().LivePids()) {
+    Process* proc = engine.kernel().process(pid);
+    if (proc == nullptr || proc->pt_root == 0) {
+      continue;
+    }
+    if (engine.ksm().monitor().PtpLevel(proc->pt_root) != kPtLevels) {
+      state.Violate("root " + Hex(proc->pt_root) + " of pid " + std::to_string(pid) +
+                    " is not a declared top-level PTP");
+      continue;
+    }
+    AuditTable(state, proc->pt_root, kPtLevels);
+    AuditTopLevelCopies(state, proc->pt_root);
+  }
+  return state.report;
+}
+
+}  // namespace cki

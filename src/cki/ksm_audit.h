@@ -1,0 +1,45 @@
+// KSM auditor: an fsck-style global consistency checker over a live CKI
+// container. Where the PtpMonitor validates each update *incrementally*,
+// the auditor re-derives the invariants from scratch by walking the actual
+// page-table pages in simulated physical memory and cross-checking against
+// the monitor's bookkeeping:
+//
+//   A1  every present entry inside a declared PTP points to memory owned
+//       by the container (or, in a top-level copy, to KSM subtrees);
+//   A2  every intermediate entry targets a declared PTP of exactly the
+//       next-lower level;
+//   A3  no PTP is referenced from more than one intermediate entry;
+//   A4  no leaf inside a declared PTP is kernel-executable unless its
+//       frame belongs to the frozen kernel text;
+//   A5  every leaf mapping of a declared PTP is read-only and carries
+//       pkey_PTP;
+//   A6  each per-vCPU top-level copy equals its original on every guest
+//       slot and carries the KSM mappings on the reserved slots.
+//
+// Run it after churn (the soak tests do) to catch any drift between the
+// incremental checks and reality.
+#ifndef SRC_CKI_KSM_AUDIT_H_
+#define SRC_CKI_KSM_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cki/cki_engine.h"
+
+namespace cki {
+
+struct AuditReport {
+  std::vector<std::string> violations;
+  uint64_t ptps_walked = 0;
+  uint64_t entries_checked = 0;
+
+  bool clean() const { return violations.empty(); }
+};
+
+// Audits every declared top-level PTP reachable from the engine's live
+// processes, plus their per-vCPU copies.
+AuditReport AuditContainer(CkiEngine& engine);
+
+}  // namespace cki
+
+#endif  // SRC_CKI_KSM_AUDIT_H_

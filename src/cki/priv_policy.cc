@@ -1,0 +1,75 @@
+#include "src/cki/priv_policy.h"
+
+#include <cassert>
+
+namespace cki {
+
+std::string_view PrivStrategyName(PrivStrategy s) {
+  switch (s) {
+    case PrivStrategy::kDirect:
+      return "direct";
+    case PrivStrategy::kKsmCall:
+      return "KSM call";
+    case PrivStrategy::kHypercall:
+      return "hypercall";
+    case PrivStrategy::kInMemoryState:
+      return "in-memory state";
+    case PrivStrategy::kUnused:
+      return "unused (paravirt)";
+  }
+  return "unknown";
+}
+
+const std::vector<PrivPolicyEntry>& PrivPolicyTable() {
+  static const std::vector<PrivPolicyEntry> table = {
+      // System registers: boot-time only, replaced with KSM calls.
+      {PrivInstr::kLidt, true, PrivStrategy::kKsmCall, "IDT lives in KSM memory"},
+      {PrivInstr::kLgdt, true, PrivStrategy::kKsmCall, "boot-time only"},
+      {PrivInstr::kLtr, true, PrivStrategy::kKsmCall, "boot-time only"},
+      // MSRs: timer and IPI become hypercalls.
+      {PrivInstr::kRdmsr, true, PrivStrategy::kHypercall, "pv clock / features"},
+      {PrivInstr::kWrmsr, true, PrivStrategy::kHypercall, "timer update, IPI send"},
+      // Control registers.
+      {PrivInstr::kMovFromCr, false, PrivStrategy::kDirect, "reading CR0/CR4 is harmless"},
+      {PrivInstr::kMovToCr0, true, PrivStrategy::kKsmCall, "init, TS-bit lazy-FPU toggle"},
+      {PrivInstr::kMovToCr4, true, PrivStrategy::kKsmCall, "init only"},
+      {PrivInstr::kMovToCr3, true, PrivStrategy::kKsmCall, "address-space switching"},
+      {PrivInstr::kClac, false, PrivStrategy::kDirect, "AC-bit toggling is harmless"},
+      {PrivInstr::kStac, false, PrivStrategy::kDirect, "AC-bit toggling is harmless"},
+      // TLB state.
+      {PrivInstr::kInvlpg, false, PrivStrategy::kDirect,
+       "PCID contexts confine the flush to this container"},
+      {PrivInstr::kInvpcid, true, PrivStrategy::kUnused,
+       "could flush other containers' PCID contexts"},
+      // Syscall/exception plumbing.
+      {PrivInstr::kSwapgs, false, PrivStrategy::kDirect, "syscall fast path (OPT3)"},
+      {PrivInstr::kSysret, false, PrivStrategy::kDirect,
+       "with the IF-enforcement extension (no DoS via masked interrupts)"},
+      {PrivInstr::kIret, true, PrivStrategy::kKsmCall, "can rewrite segment state"},
+      // Others.
+      {PrivInstr::kHlt, false, PrivStrategy::kHypercall, "pause-vCPU hypercall"},
+      {PrivInstr::kSti, true, PrivStrategy::kInMemoryState, "interrupt flag lives in memory"},
+      {PrivInstr::kCli, true, PrivStrategy::kInMemoryState, "interrupt flag lives in memory"},
+      {PrivInstr::kPopf, true, PrivStrategy::kInMemoryState, "could clear IF"},
+      {PrivInstr::kInOut, true, PrivStrategy::kUnused, "no port I/O in a pv guest"},
+      {PrivInstr::kSmsw, true, PrivStrategy::kUnused, "legacy/system management"},
+      // The gate primitive itself.
+      {PrivInstr::kWrpkrs, false, PrivStrategy::kDirect,
+       "only at registered switch gates (binary rewriting)"},
+      {PrivInstr::kVmcall, false, PrivStrategy::kDirect, "hypercall entry"},
+  };
+  return table;
+}
+
+const PrivPolicyEntry& PolicyFor(PrivInstr instr) {
+  for (const PrivPolicyEntry& e : PrivPolicyTable()) {
+    if (e.instr == instr) {
+      return e;
+    }
+  }
+  assert(false && "instruction missing from policy table");
+  static const PrivPolicyEntry fallback{PrivInstr::kCount, false, PrivStrategy::kDirect, ""};
+  return fallback;
+}
+
+}  // namespace cki

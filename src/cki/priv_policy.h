@@ -1,0 +1,40 @@
+// Table 3 of the paper as data: how CKI virtualizes each privileged
+// instruction of the container guest kernel — blocked by the hardware
+// extension and replaced by a KSM call or hypercall, kept in memory, or
+// left directly executable.
+#ifndef SRC_CKI_PRIV_POLICY_H_
+#define SRC_CKI_PRIV_POLICY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/hw/instr.h"
+
+namespace cki {
+
+enum class PrivStrategy : uint8_t {
+  kDirect,        // executable in the guest kernel
+  kKsmCall,       // replaced with a call into the KSM
+  kHypercall,     // replaced with a host-kernel hypercall
+  kInMemoryState, // replaced by a memory flag visible to the host
+  kUnused,        // not needed by a para-virtualized container guest
+};
+
+struct PrivPolicyEntry {
+  PrivInstr instr;
+  bool blocked;            // blocked by the PKS-gating hardware extension
+  PrivStrategy strategy;
+  std::string_view note;   // the "usage" column of Table 3
+};
+
+// The full policy table (one entry per modeled privileged instruction).
+const std::vector<PrivPolicyEntry>& PrivPolicyTable();
+
+// Lookup; never fails for a valid instruction.
+const PrivPolicyEntry& PolicyFor(PrivInstr instr);
+
+std::string_view PrivStrategyName(PrivStrategy s);
+
+}  // namespace cki
+
+#endif  // SRC_CKI_PRIV_POLICY_H_

@@ -1,0 +1,200 @@
+#include "src/cki/ptp_monitor.h"
+
+#include "src/hw/pks.h"
+
+namespace cki {
+
+std::string_view PtpVerdictName(PtpVerdict v) {
+  switch (v) {
+    case PtpVerdict::kOk:
+      return "ok";
+    case PtpVerdict::kNotDeclared:
+      return "slot_not_in_declared_ptp";
+    case PtpVerdict::kWrongLevel:
+      return "wrong_level";
+    case PtpVerdict::kForeignFrame:
+      return "foreign_frame";
+    case PtpVerdict::kTargetNotPtp:
+      return "target_not_ptp";
+    case PtpVerdict::kPtpAlreadyLinked:
+      return "ptp_already_linked";
+    case PtpVerdict::kKernelExecMapping:
+      return "kernel_exec_mapping";
+    case PtpVerdict::kBadPkey:
+      return "bad_pkey";
+    case PtpVerdict::kRootNotDeclared:
+      return "root_not_declared";
+    case PtpVerdict::kReservedSlot:
+      return "reserved_top_level_slot";
+    case PtpVerdict::kDataPageInUse:
+      return "data_page_in_use";
+  }
+  return "unknown";
+}
+
+PtpMonitor::PtpMonitor(const FrameAllocator& frames, OwnerId owner)
+    : frames_(frames), owner_(owner) {}
+
+PtpVerdict PtpMonitor::DeclarePtp(uint64_t pa, int level) {
+  uint64_t pfn = pa >> kPageShift;
+  if (frames_.OwnerOf(pa) != owner_) {
+    return PtpVerdict::kForeignFrame;
+  }
+  auto it = pages_.find(pfn);
+  if (it != pages_.end() && it->second.is_ptp) {
+    return PtpVerdict::kDataPageInUse;  // double declaration
+  }
+  pages_[pfn] = PageInfo{.is_ptp = true, .level = level, .link_count = 0};
+  declared_++;
+  return PtpVerdict::kOk;
+}
+
+PtpVerdict PtpMonitor::UndeclarePtp(uint64_t pa) {
+  uint64_t pfn = pa >> kPageShift;
+  auto it = pages_.find(pfn);
+  if (it == pages_.end() || !it->second.is_ptp) {
+    return PtpVerdict::kNotDeclared;
+  }
+  if (it->second.link_count > 0) {
+    return PtpVerdict::kPtpAlreadyLinked;  // still referenced from a table
+  }
+  pages_.erase(it);
+  declared_--;
+  // Drop slot tracking for the page so a future redeclaration starts clean.
+  uint64_t base = pfn << kPageShift;
+  for (int i = 0; i < kPtEntries; ++i) {
+    slot_values_.erase(base + static_cast<uint64_t>(i) * 8);
+  }
+  return PtpVerdict::kOk;
+}
+
+bool PtpMonitor::IsPtp(uint64_t pa) const {
+  auto it = pages_.find(pa >> kPageShift);
+  return it != pages_.end() && it->second.is_ptp;
+}
+
+int PtpMonitor::PtpLevel(uint64_t pa) const {
+  auto it = pages_.find(pa >> kPageShift);
+  return (it != pages_.end() && it->second.is_ptp) ? it->second.level : -1;
+}
+
+void PtpMonitor::UpdateLinkCounts(uint64_t old_value, uint64_t value, int slot_level) {
+  if (slot_level <= 1) {
+    return;  // leaf slots never link PTPs as children
+  }
+  if (PtePresent(old_value) && !PteHuge(old_value)) {
+    auto it = pages_.find(PteAddr(old_value) >> kPageShift);
+    if (it != pages_.end() && it->second.link_count > 0) {
+      it->second.link_count--;
+    }
+  }
+  if (PtePresent(value) && !PteHuge(value)) {
+    auto it = pages_.find(PteAddr(value) >> kPageShift);
+    if (it != pages_.end()) {
+      it->second.link_count++;
+    }
+  }
+}
+
+PtpVerdict PtpMonitor::CheckStore(uint64_t slot_pa, uint64_t value, int slot_level, uint64_t va,
+                                  uint64_t* sanitized) {
+  checked_++;
+  *sanitized = value;
+  // (1) the slot must live inside a declared PTP of the matching level.
+  uint64_t slot_page = slot_pa & ~(kPageSize - 1);
+  auto it = pages_.find(slot_page >> kPageShift);
+  if (it == pages_.end() || !it->second.is_ptp) {
+    rejected_++;
+    return PtpVerdict::kNotDeclared;
+  }
+  if (it->second.level != slot_level) {
+    rejected_++;
+    return PtpVerdict::kWrongLevel;
+  }
+  // Top-level slots reserved for the KSM cannot be rewritten by the guest.
+  if (slot_level == kPtLevels) {
+    int index = static_cast<int>((slot_pa & (kPageSize - 1)) / 8);
+    auto res = reserved_slots_.find(index);
+    if (res != reserved_slots_.end() && res->second) {
+      rejected_++;
+      return PtpVerdict::kReservedSlot;
+    }
+  }
+  if (PtePresent(value)) {
+    // The guest must not pick protection keys; the monitor assigns them.
+    if (PtePkey(value) != 0) {
+      rejected_++;
+      return PtpVerdict::kBadPkey;
+    }
+    uint64_t target = PteAddr(value);
+    if (frames_.OwnerOf(target) != owner_) {
+      rejected_++;
+      return PtpVerdict::kForeignFrame;
+    }
+    bool is_leaf = (slot_level == 1) || PteHuge(value);
+    if (!is_leaf) {
+      // Intermediate entry: must reference a declared PTP of level-1,
+      // linked nowhere else (invariant: a PTP maps once).
+      int target_level = PtpLevel(target);
+      if (target_level < 0) {
+        rejected_++;
+        return PtpVerdict::kTargetNotPtp;
+      }
+      if (target_level != slot_level - 1) {
+        rejected_++;
+        return PtpVerdict::kWrongLevel;
+      }
+      auto tgt = pages_.find(target >> kPageShift);
+      uint64_t old_value = 0;
+      auto old_it = slot_values_.find(slot_pa);
+      if (old_it != slot_values_.end()) {
+        old_value = old_it->second;
+      }
+      bool relink_same = PtePresent(old_value) && PteAddr(old_value) == target;
+      if (tgt->second.link_count > 0 && !relink_same) {
+        rejected_++;
+        return PtpVerdict::kPtpAlreadyLinked;
+      }
+    } else {
+      // Leaf entry. Mapping a declared PTP as data is forced read-only in
+      // the PTP key domain (how the guest reads its own tables).
+      if (IsPtp(target)) {
+        *sanitized = MakePte(target, (value & ~(kPteW | kPtePkeyMask)), kPkeyPtp);
+      }
+      // No new kernel-executable mappings after boot (sec 4.1: prevents
+      // the guest from conjuring wrpkrs bytes). Frames that were mapped
+      // executable during boot form the frozen kernel text and may be
+      // re-mapped (e.g. into a fresh process's address space).
+      bool kernel_exec = !PteUser(value) && !PteNoExec(value);
+      if (kernel_exec) {
+        uint64_t tfn = target >> kPageShift;
+        if (boot_mode_) {
+          kernel_text_frames_[tfn] = true;
+        } else if (kernel_text_frames_.count(tfn) == 0) {
+          rejected_++;
+          return PtpVerdict::kKernelExecMapping;
+        }
+      }
+    }
+  }
+  // Bookkeeping after all checks passed.
+  uint64_t old_value = 0;
+  auto old_it = slot_values_.find(slot_pa);
+  if (old_it != slot_values_.end()) {
+    old_value = old_it->second;
+  }
+  UpdateLinkCounts(old_value, *sanitized, slot_level);
+  slot_values_[slot_pa] = *sanitized;
+  (void)va;
+  return PtpVerdict::kOk;
+}
+
+PtpVerdict PtpMonitor::CheckCr3(uint64_t root_pa) const {
+  auto it = pages_.find(Cr3Root(root_pa) >> kPageShift);
+  if (it == pages_.end() || !it->second.is_ptp || it->second.level != kPtLevels) {
+    return PtpVerdict::kRootNotDeclared;
+  }
+  return PtpVerdict::kOk;
+}
+
+}  // namespace cki

@@ -1,0 +1,115 @@
+// Page-table protection monitor of the KSM (paper section 4.3).
+//
+// CKI intercepts and verifies every page-table update of the guest kernel,
+// using nested-kernel-style invariants enforced through PKS instead of the
+// PTE writable bit:
+//   (1) only declared pages can be used as page-table pages (PTPs);
+//   (2) declared PTPs are read-only in the guest (pkey_PTP, write-disabled
+//       under PKRS_GUEST);
+//   (3) only a declared top-level PTP can be loaded into CR3.
+// Additional rules: a PTP maps into the hierarchy at most once (refcount),
+// leaf mappings of a PTP are forced read-only in the PTP key domain, every
+// mapped frame must belong to the container, and no new kernel-executable
+// mappings may appear after boot (anti-wrpkrs-injection, section 4.1).
+#ifndef SRC_CKI_PTP_MONITOR_H_
+#define SRC_CKI_PTP_MONITOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/host/frame_allocator.h"
+#include "src/hw/pte.h"
+
+namespace cki {
+
+enum class PtpVerdict : uint8_t {
+  kOk = 0,
+  kNotDeclared,          // store targets a page that is not a declared PTP
+  kWrongLevel,           // slot level does not match the declared level
+  kForeignFrame,         // mapped frame is not owned by this container
+  kTargetNotPtp,         // intermediate entry points to a non-declared page
+  kPtpAlreadyLinked,     // PTP would be referenced twice in the hierarchy
+  kKernelExecMapping,    // new kernel-executable mapping after boot
+  kBadPkey,              // guest tried to choose protection keys itself
+  kRootNotDeclared,      // CR3 load of an undeclared/non-top-level page
+  kReservedSlot,         // top-level slot reserved for KSM mappings
+  kDataPageInUse,        // declaring a PTP over a page mapped as data
+};
+
+std::string_view PtpVerdictName(PtpVerdict v);
+
+class PtpMonitor {
+ public:
+  PtpMonitor(const FrameAllocator& frames, OwnerId owner);
+
+  // Marks boot complete: from now on, new kernel-executable mappings are
+  // rejected (guest kernel code is frozen).
+  void SealKernelText() { boot_mode_ = false; }
+  bool sealed() const { return !boot_mode_; }
+
+  // Reserves top-level (PML4) slot indices for KSM-owned mappings; guest
+  // updates to these indices are rejected.
+  void ReserveTopLevelSlot(int index) { reserved_slots_[index] = true; }
+
+  // Declares `pa` as a PTP of `level`. Verifies ownership and that the page
+  // is not already declared or mapped as data.
+  PtpVerdict DeclarePtp(uint64_t pa, int level);
+
+  // Removes the declaration (teardown) once nothing links to the PTP.
+  PtpVerdict UndeclarePtp(uint64_t pa);
+
+  // Validates a guest-requested PTE store. `slot_pa` is the address of the
+  // PTE being written (it must sit inside a declared PTP of `slot_level`),
+  // `value` the proposed entry. On success, `*sanitized` holds the value
+  // to actually store (the monitor may force read-only + pkey_PTP when the
+  // guest maps a PTP as data).
+  PtpVerdict CheckStore(uint64_t slot_pa, uint64_t value, int slot_level, uint64_t va,
+                        uint64_t* sanitized);
+
+  // Validates a CR3 target (invariant 3).
+  PtpVerdict CheckCr3(uint64_t root_pa) const;
+
+  // True if `pa` is a declared PTP (any level).
+  bool IsPtp(uint64_t pa) const;
+  int PtpLevel(uint64_t pa) const;  // -1 if not declared
+
+  // True if the frame was mapped kernel-executable during boot (frozen
+  // kernel text) — the only frames allowed to stay kernel-executable.
+  bool IsKernelTextFrame(uint64_t pa) const {
+    return kernel_text_frames_.count(pa >> kPageShift) != 0;
+  }
+
+  uint64_t declared_ptps() const { return declared_; }
+  uint64_t checked_stores() const { return checked_; }
+  uint64_t rejected_stores() const { return rejected_; }
+
+ private:
+  struct PageInfo {
+    bool is_ptp = false;
+    int level = 0;
+    int link_count = 0;  // references from parent tables
+  };
+
+  // Applies the bookkeeping of replacing `old_value` with `value` in a slot.
+  void UpdateLinkCounts(uint64_t old_value, uint64_t value, int slot_level);
+
+  const FrameAllocator& frames_;
+  OwnerId owner_;
+  bool boot_mode_ = true;
+  std::unordered_map<uint64_t, PageInfo> pages_;  // pfn -> info
+  // Frames mapped kernel-executable during boot (the frozen kernel text);
+  // only these may be re-mapped executable after sealing.
+  std::unordered_map<uint64_t, bool> kernel_text_frames_;
+  std::unordered_map<int, bool> reserved_slots_;
+  // Last stored value per slot (for link-count maintenance).
+  std::unordered_map<uint64_t, uint64_t> slot_values_;
+
+  uint64_t declared_ = 0;
+  uint64_t checked_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_CKI_PTP_MONITOR_H_

@@ -1,0 +1,160 @@
+// The model guest kernel: processes, virtual memory with demand paging and
+// copy-on-write, a syscall layer, tmpfs, pipes/sockets, and a round-robin
+// scheduler. One instance runs inside each secure container (and the same
+// code acts as the host kernel for OS-level RunC containers).
+//
+// All privileged effects flow through the EnginePort seam, so the identical
+// kernel runs under RunC, HVM, PVM and CKI — exactly the paper's setting
+// where every design boots the same (para-virtualized) Linux.
+#ifndef SRC_GUEST_GUEST_KERNEL_H_
+#define SRC_GUEST_GUEST_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/guest/engine_port.h"
+#include "src/guest/ipc.h"
+#include "src/guest/process.h"
+#include "src/guest/syscall.h"
+#include "src/guest/tmpfs.h"
+#include "src/hw/page_table.h"
+#include "src/sim/context.h"
+
+namespace cki {
+
+// Interface the kernel's network syscalls (sendto/recvfrom/epoll) delegate
+// to; wired to a virtio-net frontend by the container runtime, or to a
+// loopback stub when no device is attached.
+class NetPort {
+ public:
+  virtual ~NetPort() = default;
+  // Transmits `bytes`; returns bytes sent.
+  virtual uint64_t Transmit(int conn, uint64_t bytes) = 0;
+  // Receives up to `max_bytes` from `conn`; 0 if nothing pending.
+  virtual uint64_t Receive(int conn, uint64_t max_bytes) = 0;
+  // True if any connection has pending data (epoll readiness).
+  virtual bool HasPending() const = 0;
+};
+
+class GuestKernel {
+ public:
+  GuestKernel(SimContext& ctx, EnginePort& port);
+
+  // --- process lifecycle ------------------------------------------------
+  // Creates the initial process (fresh address space, text + stack VMAs).
+  int CreateInitProcess();
+  Process* process(int pid);
+  Process& current();
+  int current_pid() const { return current_pid_; }
+
+  // Scheduler: switches to `pid` (address-space load + switch cost).
+  void SwitchTo(int pid);
+  // Picks the next runnable process (round robin) and switches to it.
+  // Returns the pid switched to, or -1 if none.
+  int Schedule();
+
+  // --- entry points the engine drives ------------------------------------
+  // Executes a syscall on behalf of the current process. The engine has
+  // already charged the design-specific entry path; handler work and its
+  // privileged effects are charged here (through the port).
+  SyscallResult HandleSyscall(const SyscallRequest& req);
+
+  // Resolves a user page fault at `va` for the current process: demand
+  // paging, copy-on-write, or file-backed fill. Returns false for an
+  // invalid access (SIGSEGV).
+  bool HandlePageFault(uint64_t va, bool write);
+
+  // --- services wired by the runtime ------------------------------------
+  void set_net(NetPort* net) { net_ = net; }
+  Tmpfs& tmpfs() { return tmpfs_; }
+
+  // Installs an accepted network connection as a socket fd of the current
+  // process (models accept() on a listening virtio-net backed socket).
+  int InstallNetSocket(int conn_id);
+
+  // --- introspection ------------------------------------------------------
+  // Pids of all processes that still own an address space.
+  std::vector<int> LivePids() const;
+  uint64_t total_page_faults() const { return page_faults_; }
+  uint64_t total_syscalls() const { return syscalls_; }
+  size_t live_processes() const;
+  PageTableEditor& editor() { return editor_; }
+
+  // Per-syscall handler body cost (beyond the generic entry/exit path).
+  SimNanos HandlerCost(Sys s) const;
+
+ private:
+  // --- memory management (guest_kernel_mm.cc) -----------------------------
+  uint64_t NewAddressSpace();
+  void MapKernelImage(uint64_t root);
+  // Page-cache page backing block `block` of inode `ino` (allocated and
+  // pinned on first use).
+  uint64_t FilePageFor(int ino, uint64_t block);
+  void MapUserPage(Process& proc, uint64_t va, uint64_t pa, uint64_t prot, bool cow_readonly);
+  bool FaultInPage(Process& proc, Vma& vma, uint64_t va, bool write);
+  bool HandleCowFault(Process& proc, Vma& vma, uint64_t va);
+  void UnmapRange(Process& proc, uint64_t start, uint64_t end);
+  void TeardownAddressSpace(Process& proc);
+  void FreeTableTree(uint64_t table_pa, int level);
+  int ClonePagesCow(Process& parent, Process& child);
+  uint64_t PteFlagsFor(uint64_t prot, bool cow_readonly) const;
+  void RefPage(uint64_t pa);
+  // Decrements the refcount; frees the page at zero.
+  void UnrefPage(uint64_t pa);
+
+  // --- syscall implementations (guest_kernel.cc) --------------------------
+  SyscallResult SysRead(Process& proc, const SyscallRequest& req);
+  SyscallResult SysWrite(Process& proc, const SyscallRequest& req);
+  SyscallResult SysOpen(Process& proc, const SyscallRequest& req);
+  SyscallResult SysClose(Process& proc, const SyscallRequest& req);
+  SyscallResult SysStat(Process& proc, const SyscallRequest& req);
+  SyscallResult SysMmap(Process& proc, const SyscallRequest& req);
+  SyscallResult SysMunmap(Process& proc, const SyscallRequest& req);
+  SyscallResult SysMprotect(Process& proc, const SyscallRequest& req);
+  SyscallResult SysBrk(Process& proc, const SyscallRequest& req);
+  SyscallResult SysFork(Process& proc);
+  SyscallResult SysExecve(Process& proc);
+  SyscallResult SysExit(Process& proc, const SyscallRequest& req);
+  SyscallResult SysWaitpid(Process& proc, const SyscallRequest& req);
+  SyscallResult SysPipe(Process& proc);
+  SyscallResult SysSocketpair(Process& proc);
+  SyscallResult SysEpollWait(Process& proc, const SyscallRequest& req);
+  SyscallResult SysSendRecv(Process& proc, const SyscallRequest& req, bool send);
+
+  void CloseFd(Process& proc, FileDesc& fd);
+  int NewProcessSlot();
+
+  SimContext& ctx_;
+  EnginePort& port_;
+  PageTableEditor editor_;
+
+  std::unordered_map<int, std::unique_ptr<Process>> procs_;
+  int next_pid_ = 1;
+  int current_pid_ = -1;
+  uint16_t next_asid_ = 1;
+
+  Tmpfs tmpfs_;
+  std::unordered_map<int, IpcChannel> channels_;
+  int next_channel_ = 1;
+  NetPort* net_ = nullptr;
+
+  // Shared-page refcounts (copy-on-write).
+  std::unordered_map<uint64_t, int> page_refs_;
+  // Physical pages of the (container-shared) kernel image.
+  std::vector<uint64_t> kernel_image_pas_;
+  // Page cache: (inode, block) -> physical page. The cache holds one
+  // reference so mapped file pages survive process unmaps.
+  std::map<std::pair<int, uint64_t>, uint64_t> file_pages_;
+
+  uint64_t page_faults_ = 0;
+  uint64_t syscalls_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_GUEST_GUEST_KERNEL_H_

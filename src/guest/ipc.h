@@ -1,0 +1,69 @@
+// Pipes and AF_UNIX socket pairs of the model guest kernel (lmbench's
+// `pipe` and `AF_UNIX` latency tests ping-pong a token through these).
+#ifndef SRC_GUEST_IPC_H_
+#define SRC_GUEST_IPC_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace cki {
+
+enum class ChannelKind : uint8_t { kPipe, kUnixSocket };
+
+// A unidirectional (pipe) or bidirectional (socketpair) byte channel.
+// Content is modeled by message lengths.
+class IpcChannel {
+ public:
+  explicit IpcChannel(ChannelKind kind, uint64_t capacity = 65536)
+      : kind_(kind), capacity_(capacity) {}
+
+  ChannelKind kind() const { return kind_; }
+
+  // Returns bytes accepted (0 if the buffer is full -> writer must block).
+  uint64_t Write(uint64_t bytes) {
+    uint64_t take = bytes;
+    if (buffered_ + take > capacity_) {
+      take = capacity_ - buffered_;
+    }
+    if (take > 0) {
+      messages_.push_back(take);
+      buffered_ += take;
+    }
+    return take;
+  }
+
+  // Returns bytes read (0 if empty -> reader must block).
+  uint64_t Read(uint64_t max_bytes) {
+    uint64_t got = 0;
+    while (got < max_bytes && !messages_.empty()) {
+      uint64_t take = messages_.front();
+      if (take > max_bytes - got) {
+        messages_.front() -= max_bytes - got;
+        take = max_bytes - got;
+      } else {
+        messages_.pop_front();
+      }
+      got += take;
+    }
+    buffered_ -= got;
+    return got;
+  }
+
+  uint64_t buffered() const { return buffered_; }
+  bool readable() const { return buffered_ > 0; }
+
+  void AddRef() { refs_++; }
+  // Returns true when the channel should be destroyed.
+  bool Release() { return --refs_ == 0; }
+
+ private:
+  ChannelKind kind_;
+  uint64_t capacity_;
+  uint64_t buffered_ = 0;
+  int refs_ = 0;
+  std::deque<uint64_t> messages_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_GUEST_IPC_H_

@@ -1,0 +1,75 @@
+// Process state of the model guest kernel.
+#ifndef SRC_GUEST_PROCESS_H_
+#define SRC_GUEST_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/guest/vma.h"
+
+namespace cki {
+
+enum class FdKind : uint8_t {
+  kFree = 0,
+  kTmpfsFile,
+  kChannelRead,   // pipe read end
+  kChannelWrite,  // pipe write end
+  kChannelBoth,   // socketpair end
+  kNetSocket,     // virtio-net backed socket
+};
+
+struct FileDesc {
+  FdKind kind = FdKind::kFree;
+  int ino = -1;         // tmpfs inode
+  uint64_t offset = 0;  // file position
+  int channel = -1;     // ipc channel id
+  int net_conn = -1;    // network connection id
+};
+
+enum class ProcState : uint8_t { kRunnable, kBlocked, kZombie, kDead };
+
+// Guest user address-space layout.
+inline constexpr uint64_t kUserTextBase = 0x0000'0000'0040'0000;
+inline constexpr uint64_t kUserHeapBase = 0x0000'0000'1000'0000;
+inline constexpr uint64_t kUserMmapBase = 0x0000'7f00'0000'0000;
+inline constexpr uint64_t kUserStackTop = 0x0000'7fff'ff00'0000;
+inline constexpr uint64_t kKernelBase = 0x0000'8000'0000'0000;  // bit 47 half
+
+inline constexpr int kTextPages = 16;
+inline constexpr int kStackPages = 8;
+
+struct Process {
+  int pid = -1;
+  int parent = -1;
+  ProcState state = ProcState::kRunnable;
+  int exit_code = 0;
+
+  uint64_t pt_root = 0;  // guest-physical address of the PML4
+  uint16_t asid = 0;     // address-space id -> PCID within the container
+
+  VmaList vmas;
+  uint64_t brk = kUserHeapBase;
+  uint64_t mmap_hint = kUserMmapBase;
+  std::vector<FileDesc> fds;
+
+  FileDesc* fd(int n) {
+    if (n < 0 || static_cast<size_t>(n) >= fds.size() || fds[n].kind == FdKind::kFree) {
+      return nullptr;
+    }
+    return &fds[static_cast<size_t>(n)];
+  }
+
+  int AllocFd() {
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].kind == FdKind::kFree) {
+        return static_cast<int>(i);
+      }
+    }
+    fds.push_back(FileDesc{});
+    return static_cast<int>(fds.size() - 1);
+  }
+};
+
+}  // namespace cki
+
+#endif  // SRC_GUEST_PROCESS_H_

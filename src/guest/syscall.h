@@ -1,0 +1,84 @@
+// The syscall surface of the model guest kernel.
+//
+// The set covers what the paper's benchmarks exercise: lmbench micro ops
+// (read/write/stat/pagefault/fork/execve/context switch/pipe/AF_UNIX),
+// SQLite-style file I/O on tmpfs, and the socket path of the key-value
+// stores. Semantics are functional (real fds, real tmpfs blocks, real VMA
+// bookkeeping); data payloads are modeled by length, not by bytes.
+#ifndef SRC_GUEST_SYSCALL_H_
+#define SRC_GUEST_SYSCALL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cki {
+
+enum class Sys : uint8_t {
+  kGetpid = 0,
+  kRead,
+  kWrite,
+  kPread,
+  kPwrite,
+  kOpen,
+  kClose,
+  kStat,
+  kFstat,
+  kFsync,
+  kMmap,
+  kMunmap,
+  kMprotect,
+  kBrk,
+  kFork,
+  kExecve,
+  kExit,
+  kWaitpid,
+  kPipe,
+  kSocketpair,
+  kSchedYield,
+  kEpollWait,
+  kSendto,
+  kRecvfrom,
+  kGettimeofday,
+  kCount,
+};
+
+std::string_view SysName(Sys s);
+
+struct SyscallRequest {
+  Sys no = Sys::kGetpid;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint64_t arg2 = 0;
+  uint64_t arg3 = 0;
+};
+
+// Negative values are -errno, mirroring the Linux convention.
+struct SyscallResult {
+  int64_t value = 0;
+
+  bool ok() const { return value >= 0; }
+};
+
+// errno values used by the model kernel.
+inline constexpr int64_t kEBADF = -9;
+inline constexpr int64_t kENOMEM = -12;
+inline constexpr int64_t kEFAULT = -14;
+inline constexpr int64_t kEINVAL = -22;
+inline constexpr int64_t kENOENT = -2;
+inline constexpr int64_t kEAGAIN = -11;
+inline constexpr int64_t kECHILD = -10;
+inline constexpr int64_t kESRCH = -3;
+
+// mmap/mprotect protection bits.
+inline constexpr uint64_t kProtRead = 1;
+inline constexpr uint64_t kProtWrite = 2;
+inline constexpr uint64_t kProtExec = 4;
+
+// mmap flag bits (SyscallRequest::arg2). File mappings take the fd in arg3.
+inline constexpr uint64_t kMapPopulate = 1;
+inline constexpr uint64_t kMapShared = 2;   // file-backed, shared page cache
+inline constexpr uint64_t kMapPrivate = 4;  // file-backed, copy-on-write
+
+}  // namespace cki
+
+#endif  // SRC_GUEST_SYSCALL_H_

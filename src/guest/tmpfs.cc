@@ -1,0 +1,54 @@
+#include "src/guest/tmpfs.h"
+
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+
+int Tmpfs::OpenOrCreate(const std::string& path) {
+  auto it = by_path_.find(path);
+  if (it != by_path_.end()) {
+    return it->second;
+  }
+  int ino = next_ino_++;
+  by_path_[path] = ino;
+  inodes_[ino] = TmpfsInode{.ino = ino, .name = path};
+  return ino;
+}
+
+int Tmpfs::Lookup(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? -1 : it->second;
+}
+
+TmpfsInode* Tmpfs::Get(int ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const TmpfsInode* Tmpfs::Get(int ino) const {
+  return const_cast<Tmpfs*>(this)->Get(ino);
+}
+
+int64_t Tmpfs::Resize(int ino, uint64_t size) {
+  TmpfsInode* node = Get(ino);
+  if (node == nullptr) {
+    return 0;
+  }
+  uint64_t new_blocks = (size + kPageSize - 1) / kPageSize;
+  int64_t delta = static_cast<int64_t>(new_blocks) - static_cast<int64_t>(node->blocks);
+  node->blocks = new_blocks;
+  node->size = size;
+  return delta;
+}
+
+bool Tmpfs::Unlink(const std::string& path) {
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) {
+    return false;
+  }
+  inodes_.erase(it->second);
+  by_path_.erase(it);
+  return true;
+}
+
+}  // namespace cki

@@ -1,0 +1,52 @@
+// In-memory filesystem of the model guest kernel.
+//
+// The paper's SQLite benchmark stores the database on tmpfs so file I/O
+// exercises only the syscall path (no virtio). Files are block lists; data
+// content is modeled by length, and copies are charged by the cost model at
+// the call site.
+#ifndef SRC_GUEST_TMPFS_H_
+#define SRC_GUEST_TMPFS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cki {
+
+struct TmpfsInode {
+  int ino = -1;
+  std::string name;
+  uint64_t size = 0;      // bytes
+  uint64_t blocks = 0;    // 4 KiB blocks currently allocated
+  uint64_t mtime_ns = 0;
+};
+
+class Tmpfs {
+ public:
+  // Returns the inode number; creates the file if absent.
+  int OpenOrCreate(const std::string& path);
+
+  // Looks up an existing file; -1 if absent.
+  int Lookup(const std::string& path) const;
+
+  TmpfsInode* Get(int ino);
+  const TmpfsInode* Get(int ino) const;
+
+  // Extends/truncates to `size`, returning how many 4 KiB blocks were
+  // (de)allocated (the kernel charges allocation work per block).
+  int64_t Resize(int ino, uint64_t size);
+
+  bool Unlink(const std::string& path);
+
+  size_t file_count() const { return by_path_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> by_path_;
+  std::unordered_map<int, TmpfsInode> inodes_;
+  int next_ino_ = 1;
+};
+
+}  // namespace cki
+
+#endif  // SRC_GUEST_TMPFS_H_

@@ -1,0 +1,118 @@
+#include "src/guest/vma.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+
+Vma* VmaList::Find(uint64_t va) {
+  auto it = areas_.upper_bound(va);
+  if (it == areas_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.Contains(va) ? &it->second : nullptr;
+}
+
+const Vma* VmaList::Find(uint64_t va) const {
+  return const_cast<VmaList*>(this)->Find(va);
+}
+
+void VmaList::Remove(uint64_t start, uint64_t end) {
+  std::vector<Vma> to_reinsert;
+  auto it = areas_.lower_bound(start);
+  // Check the area starting before `start` that may overlap into the range.
+  if (it != areas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) {
+      Vma before = prev->second;
+      Vma left = before;
+      left.end = start;
+      areas_.erase(prev);
+      if (left.start < left.end) {
+        to_reinsert.push_back(left);
+      }
+      if (before.end > end) {
+        Vma right = before;
+        right.start = end;
+        to_reinsert.push_back(right);
+      }
+    }
+  }
+  // Erase all areas starting inside [start, end), keeping any tail.
+  it = areas_.lower_bound(start);
+  while (it != areas_.end() && it->second.start < end) {
+    Vma v = it->second;
+    it = areas_.erase(it);
+    if (v.end > end) {
+      Vma right = v;
+      right.start = end;
+      to_reinsert.push_back(right);
+    }
+  }
+  for (const Vma& v : to_reinsert) {
+    areas_[v.start] = v;
+  }
+}
+
+bool VmaList::Protect(uint64_t start, uint64_t end, uint64_t prot) {
+  // Verify full coverage first.
+  uint64_t cursor = start;
+  while (cursor < end) {
+    const Vma* v = Find(cursor);
+    if (v == nullptr) {
+      return false;
+    }
+    cursor = v->end;
+  }
+  // Split/retag. Collect affected areas, remove, reinsert pieces.
+  std::vector<Vma> pieces;
+  cursor = start;
+  while (cursor < end) {
+    Vma* v = Find(cursor);
+    Vma whole = *v;
+    areas_.erase(whole.start);
+    if (whole.start < start) {
+      Vma left = whole;
+      left.end = start;
+      pieces.push_back(left);
+    }
+    Vma mid = whole;
+    mid.start = std::max(whole.start, start);
+    mid.end = std::min(whole.end, end);
+    mid.prot = prot;
+    pieces.push_back(mid);
+    if (whole.end > end) {
+      Vma right = whole;
+      right.start = end;
+      pieces.push_back(right);
+    }
+    cursor = whole.end;
+  }
+  for (const Vma& p : pieces) {
+    areas_[p.start] = p;
+  }
+  return true;
+}
+
+uint64_t VmaList::FindFree(uint64_t hint, uint64_t bytes) const {
+  uint64_t candidate = hint;
+  auto it = areas_.lower_bound(candidate);
+  // Walk forward over any overlapping areas.
+  if (it != areas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > candidate) {
+      candidate = prev->second.end;
+      it = areas_.lower_bound(candidate);
+    }
+  }
+  while (it != areas_.end() && it->second.start < candidate + bytes) {
+    candidate = it->second.end;
+    ++it;
+  }
+  return candidate;
+}
+
+}  // namespace cki

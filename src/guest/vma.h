@@ -1,0 +1,60 @@
+// Virtual memory areas of a guest process.
+#ifndef SRC_GUEST_VMA_H_
+#define SRC_GUEST_VMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/guest/syscall.h"
+
+namespace cki {
+
+enum class VmaKind : uint8_t { kAnon, kFile, kStack, kText, kHeap };
+
+struct Vma {
+  uint64_t start = 0;  // inclusive, page aligned
+  uint64_t end = 0;    // exclusive, page aligned
+  uint64_t prot = kProtRead | kProtWrite;
+  VmaKind kind = VmaKind::kAnon;
+  bool cow = false;    // pages currently copy-on-write (after fork)
+  int file_ino = -1;   // backing tmpfs inode for kFile
+  uint64_t file_offset = 0;
+
+  uint64_t pages() const { return (end - start) >> 12; }
+  bool Contains(uint64_t va) const { return va >= start && va < end; }
+};
+
+// Ordered, non-overlapping list of VMAs keyed by start address.
+class VmaList {
+ public:
+  // Inserts a new area; the caller guarantees [start,end) is free
+  // (FindFree provides such ranges).
+  void Insert(Vma vma) { areas_[vma.start] = vma; }
+
+  // The VMA containing `va`, or nullptr.
+  Vma* Find(uint64_t va);
+  const Vma* Find(uint64_t va) const;
+
+  // Removes areas (and trims partial overlaps) in [start, end).
+  void Remove(uint64_t start, uint64_t end);
+
+  // Updates the protection of [start, end), splitting areas as needed.
+  // Returns false if part of the range is unmapped.
+  bool Protect(uint64_t start, uint64_t end, uint64_t prot);
+
+  // Lowest free gap of `bytes` at or above `hint` (page aligned).
+  uint64_t FindFree(uint64_t hint, uint64_t bytes) const;
+
+  size_t count() const { return areas_.size(); }
+  const std::map<uint64_t, Vma>& areas() const { return areas_; }
+  std::map<uint64_t, Vma>& mutable_areas() { return areas_; }
+  void Clear() { areas_.clear(); }
+
+ private:
+  std::map<uint64_t, Vma> areas_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_GUEST_VMA_H_

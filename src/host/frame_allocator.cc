@@ -1,0 +1,76 @@
+#include "src/host/frame_allocator.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cki {
+
+FrameAllocator::FrameAllocator(PhysMem& mem, uint64_t base, uint64_t pages)
+    : mem_(mem), base_(base), total_pages_(pages), bump_(0) {
+  assert((base & (kPageSize - 1)) == 0 && "frame range must be page aligned");
+}
+
+uint64_t FrameAllocator::AllocFrame(OwnerId owner) {
+  uint64_t pa;
+  if (!free_list_.empty()) {
+    pa = free_list_.back();
+    free_list_.pop_back();
+    mem_.ZeroFrame(pa);
+  } else {
+    if (bump_ >= total_pages_) {
+      std::fprintf(stderr, "FrameAllocator: out of physical memory (%llu frames)\n",
+                   static_cast<unsigned long long>(total_pages_));
+      std::abort();
+    }
+    pa = base_ + bump_ * kPageSize;
+    bump_++;
+    mem_.InstallFrame(pa);
+  }
+  owner_[pa >> kPageShift] = owner;
+  allocated_++;
+  return pa;
+}
+
+void FrameAllocator::FreeFrame(uint64_t pa) {
+  auto it = owner_.find(pa >> kPageShift);
+  if (it == owner_.end()) {
+    std::fprintf(stderr, "FrameAllocator: double free or foreign frame 0x%llx\n",
+                 static_cast<unsigned long long>(pa));
+    std::abort();
+  }
+  owner_.erase(it);
+  free_list_.push_back(pa);
+  allocated_--;
+}
+
+PhysSegment FrameAllocator::AllocSegment(uint64_t pages, OwnerId owner) {
+  // Contiguity comes from the bump region; freed singleton frames are not
+  // coalesced (mirrors the fragmentation limitation the paper notes).
+  if (bump_ + pages > total_pages_) {
+    std::fprintf(stderr, "FrameAllocator: cannot carve contiguous segment of %llu pages\n",
+                 static_cast<unsigned long long>(pages));
+    std::abort();
+  }
+  PhysSegment seg{.base = base_ + bump_ * kPageSize, .pages = pages};
+  mem_.InstallRange(seg.base, pages);
+  segments_.emplace_back(seg, owner);
+  bump_ += pages;
+  allocated_ += pages;
+  return seg;
+}
+
+OwnerId FrameAllocator::OwnerOf(uint64_t pa) const {
+  auto it = owner_.find(pa >> kPageShift);
+  if (it != owner_.end()) {
+    return it->second;
+  }
+  for (const auto& [seg, owner] : segments_) {
+    if (seg.Contains(pa)) {
+      return owner;
+    }
+  }
+  return kHostOwner;
+}
+
+}  // namespace cki

@@ -1,0 +1,64 @@
+// Host physical-frame allocator.
+//
+// Besides single 4 KiB frames it supports contiguous multi-page segments:
+// CKI delegates contiguous host-physical segments to each secure container
+// so the guest kernel can place host-physical addresses into PTEs directly
+// (section 4.3). The allocator tracks per-frame ownership so the page-table
+// monitor can verify that a guest maps only memory it owns.
+#ifndef SRC_HOST_FRAME_ALLOCATOR_H_
+#define SRC_HOST_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+
+// Identifies who owns a physical frame. 0 = host kernel.
+using OwnerId = uint32_t;
+inline constexpr OwnerId kHostOwner = 0;
+
+struct PhysSegment {
+  uint64_t base = 0;
+  uint64_t pages = 0;
+
+  uint64_t end() const { return base + pages * kPageSize; }
+  bool Contains(uint64_t pa) const { return pa >= base && pa < end(); }
+};
+
+class FrameAllocator {
+ public:
+  // Manages physical range [base, base + pages * 4K).
+  FrameAllocator(PhysMem& mem, uint64_t base, uint64_t pages);
+
+  // Allocates one zeroed frame for `owner`. Returns its PA.
+  uint64_t AllocFrame(OwnerId owner);
+
+  // Releases a frame back to the free list.
+  void FreeFrame(uint64_t pa);
+
+  // Allocates a contiguous segment of `pages` zeroed frames for `owner`.
+  PhysSegment AllocSegment(uint64_t pages, OwnerId owner);
+
+  // Owner of the frame containing `pa`; kHostOwner if never allocated.
+  OwnerId OwnerOf(uint64_t pa) const;
+
+  uint64_t allocated_frames() const { return allocated_; }
+  uint64_t total_frames() const { return total_pages_; }
+
+ private:
+  PhysMem& mem_;
+  uint64_t base_;
+  uint64_t total_pages_;
+  uint64_t bump_;  // next-never-allocated frame index
+  std::vector<uint64_t> free_list_;
+  std::unordered_map<uint64_t, OwnerId> owner_;  // frame index -> owner
+  std::vector<std::pair<PhysSegment, OwnerId>> segments_;
+  uint64_t allocated_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HOST_FRAME_ALLOCATOR_H_

@@ -1,0 +1,66 @@
+// The host-kernel service layer behind the paravirtual interface: hypercall
+// dispatch with real semantics (one-shot timers, vCPU pause/resume, IPIs,
+// pv-clock) and the virtual-interrupt plumbing the engines call into.
+//
+// The engines own the *transition* cost (exit/switcher/redirect); this
+// layer owns what the host does once a request arrives — so its behavior
+// is identical for every container design, exactly as one host kernel
+// serves all of them.
+#ifndef SRC_HOST_HOST_KERNEL_H_
+#define SRC_HOST_HOST_KERNEL_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/guest/engine_port.h"
+#include "src/sim/context.h"
+
+namespace cki {
+
+// A pending one-shot timer.
+struct TimerEvent {
+  SimNanos deadline = 0;
+  int vcpu = 0;
+
+  bool operator>(const TimerEvent& other) const { return deadline > other.deadline; }
+};
+
+class HostKernel {
+ public:
+  explicit HostKernel(SimContext& ctx, int n_vcpus = 1)
+      : ctx_(ctx), paused_(static_cast<size_t>(n_vcpus), false),
+        pending_ipi_(static_cast<size_t>(n_vcpus), 0) {}
+
+  // Dispatches a hypercall that has already paid its transition cost.
+  // Returns the op-specific result value.
+  uint64_t Dispatch(HypercallOp op, uint64_t a0, uint64_t a1, int vcpu = 0);
+
+  // Fires every timer whose deadline has passed; returns the vCPUs to
+  // interrupt (each becomes a virtual timer interrupt).
+  std::vector<int> ExpireTimers();
+
+  // pv-clock: guest-readable time (ns since host boot).
+  SimNanos PvClockNow() const { return ctx_.clock().now(); }
+
+  bool vcpu_paused(int vcpu) const { return paused_[static_cast<size_t>(vcpu)]; }
+  // A wakeup event (timer/IPI/device) resumes a paused vCPU.
+  void WakeVcpu(int vcpu) { paused_[static_cast<size_t>(vcpu)] = false; }
+  uint64_t pending_ipis(int vcpu) const { return pending_ipi_[static_cast<size_t>(vcpu)]; }
+  // Consumes one pending IPI; returns false if none.
+  bool TakeIpi(int vcpu);
+
+  size_t armed_timers() const { return timers_.size(); }
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  SimContext& ctx_;
+  std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<TimerEvent>> timers_;
+  std::vector<bool> paused_;
+  std::vector<uint64_t> pending_ipi_;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HOST_HOST_KERNEL_H_

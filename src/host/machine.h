@@ -1,0 +1,73 @@
+// A simulated machine: one CPU, physical memory, a frame allocator, and the
+// shared simulation context. Container engines and the host kernel are
+// constructed on top of one Machine.
+#ifndef SRC_HOST_MACHINE_H_
+#define SRC_HOST_MACHINE_H_
+
+#include <cstdint>
+
+#include "src/host/frame_allocator.h"
+#include "src/hw/cpu.h"
+#include "src/hw/instr.h"
+#include "src/hw/phys_mem.h"
+#include "src/sim/context.h"
+
+namespace cki {
+
+// Where the container platform runs: directly on hardware, or inside an
+// IaaS VM (so every hardware VM exit of a container bounces through L0).
+enum class Deployment : uint8_t { kBareMetal, kNested };
+
+struct MachineConfig {
+  CkiHwExtensions extensions = CkiHwExtensions::None();
+  CostModel cost = CostModel::Calibrated();
+  Deployment deployment = Deployment::kBareMetal;
+  // Whether the (L0) IaaS provider exposes hardware-assisted nested
+  // virtualization to this VM. Several clouds disable it to shrink the L0
+  // attack surface (sec 2.4.1) — HVM containers then cannot deploy at all,
+  // while PVM/CKI/gVisor need no virtualization hardware.
+  bool nested_virt_available = true;
+  // Simulated physical memory size (sparse, so large defaults are cheap).
+  uint64_t phys_pages = 8ull * 1024 * 1024;  // 32 GiB
+  uint64_t phys_base = 0x1'0000'0000;        // leave low memory unused
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = MachineConfig{})
+      : config_(config),
+        ctx_(config.cost),
+        cpu_(ctx_, mem_, config.extensions),
+        frames_(mem_, config.phys_base, config.phys_pages) {}
+
+  SimContext& ctx() { return ctx_; }
+  // Hands out hardware PCID ranges so each container gets its own context
+  // block (the TLB-isolation requirement of section 4.1).
+  uint16_t AllocPcidRange(uint16_t count) {
+    uint16_t base = next_pcid_;
+    next_pcid_ = static_cast<uint16_t>(next_pcid_ + count);
+    return base;
+  }
+  // Hands out container/owner ids (0 is the host kernel).
+  OwnerId AllocOwnerId() { return next_owner_++; }
+
+  PhysMem& mem() { return mem_; }
+  Cpu& cpu() { return cpu_; }
+  FrameAllocator& frames() { return frames_; }
+  Deployment deployment() const { return config_.deployment; }
+  bool nested() const { return config_.deployment == Deployment::kNested; }
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  MachineConfig config_;
+  SimContext ctx_;
+  PhysMem mem_;
+  Cpu cpu_;
+  FrameAllocator frames_;
+  uint16_t next_pcid_ = 1;  // PCID 0 belongs to the host kernel
+  OwnerId next_owner_ = 1;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HOST_MACHINE_H_

@@ -1,0 +1,66 @@
+// Host-kernel vCPU scheduling for collocated containers.
+//
+// The host owns all hardware interrupts (paper section 3.3): it programs
+// the timer, and when the slice expires the interrupt travels through the
+// running container's interrupt path (the design-specific exit: CKI's
+// forgery-proof gate, PVM's host redirect, HVM's VM exit) back to the host
+// scheduler, which picks the next vCPU and resumes it.
+//
+// This is where CKI's DoS defenses become end-to-end visible: a container
+// cannot keep the CPU because it can neither mask interrupts (cli blocked,
+// in-memory IF, sysret IF-enforcement) nor monopolize the interrupt path
+// (gates in KSM memory, IST stacks).
+#ifndef SRC_HOST_VCPU_SCHED_H_
+#define SRC_HOST_VCPU_SCHED_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+// One schedulable vCPU: a container engine plus the work it wants to run.
+// `step` performs a small unit of guest work and returns false when the
+// vCPU has nothing left to do.
+struct VcpuTask {
+  ContainerEngine* engine = nullptr;
+  std::function<bool()> step;
+  std::string label;
+
+  // accounting (filled by the scheduler)
+  SimNanos cpu_time = 0;       // guest time actually granted
+  uint64_t slices = 0;         // times scheduled
+  uint64_t preemptions = 0;    // timer-driven involuntary switches
+  bool done = false;
+};
+
+class VcpuScheduler {
+ public:
+  // `timeslice`: timer period. A vCPU that still wants to run when the
+  // timer fires is preempted (paying its design's interrupt-exit cost).
+  explicit VcpuScheduler(SimContext& ctx, SimNanos timeslice = 1'000'000)
+      : ctx_(ctx), timeslice_(timeslice) {}
+
+  void Add(VcpuTask task) { tasks_.push_back(std::move(task)); }
+
+  // Round-robin until every task reports done (or `max_slices` elapses,
+  // guarding against runaway guests). Returns the number of slices run.
+  uint64_t Run(uint64_t max_slices = 1'000'000);
+
+  const std::vector<VcpuTask>& tasks() const { return tasks_; }
+
+  // Fairness metric: max/min granted CPU time across unfinished-equal
+  // tasks (1.0 = perfectly fair).
+  double FairnessRatio() const;
+
+ private:
+  SimContext& ctx_;
+  SimNanos timeslice_;
+  std::vector<VcpuTask> tasks_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HOST_VCPU_SCHED_H_

@@ -1,0 +1,74 @@
+#include "src/host/virtio.h"
+
+namespace cki {
+
+void VirtioNetAdapter::ClientSubmitBatch(int conn, int count, uint64_t bytes) {
+  if (count <= 0) {
+    return;
+  }
+  Conn& c = conns_[conn];
+  for (int i = 0; i < count; ++i) {
+    c.rx.push_back(bytes);
+  }
+  stats_.rx_requests += static_cast<uint64_t>(count);
+  // Backend places the buffers into the queue and notifies the guest once.
+  ctx_.ChargeWork(ctx_.cost().virtio_host_service);
+  ctx_.Charge(engine_.DeviceInterruptCost(), PathEvent::kVirqInject);
+  stats_.interrupts++;
+}
+
+uint64_t VirtioNetAdapter::ClientCollect(int conn) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    return 0;
+  }
+  uint64_t n = it->second.tx.size();
+  it->second.tx.clear();
+  return n;
+}
+
+void VirtioNetAdapter::Kick() {
+  ctx_.Charge(engine_.KickCost(), PathEvent::kVirtioKick);
+  ctx_.ChargeWork(ctx_.cost().virtio_host_service);
+  stats_.kicks++;
+  tx_pending_ = 0;
+}
+
+uint64_t VirtioNetAdapter::Transmit(int conn, uint64_t bytes) {
+  Conn& c = conns_[conn];
+  c.tx.push_back(bytes);
+  stats_.tx_responses++;
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  // Frontend bookkeeping that remains MMIO-based in some designs.
+  ctx_.ChargeWork(engine_.VirtioEmulationExtra());
+  if (++tx_pending_ >= tx_batch_) {
+    Kick();
+  }
+  return bytes;
+}
+
+uint64_t VirtioNetAdapter::Receive(int conn, uint64_t max_bytes) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.rx.empty()) {
+    return 0;
+  }
+  uint64_t bytes = it->second.rx.front();
+  it->second.rx.pop_front();
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  if (bytes > max_bytes) {
+    bytes = max_bytes;
+  }
+  return bytes;
+}
+
+bool VirtioNetAdapter::HasPending() const {
+  for (const auto& [conn, c] : conns_) {
+    (void)conn;
+    if (!c.rx.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cki

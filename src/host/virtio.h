@@ -1,0 +1,70 @@
+// Virtio-net device model connecting an external load generator (the
+// "memtier" side, running outside the container) to the guest kernel's
+// network syscalls.
+//
+// The device charges the architectural costs where they occur in each
+// container design:
+//   * one device interrupt per delivered batch  (engine.DeviceInterruptCost)
+//   * one doorbell kick per transmitted batch   (engine.KickCost)
+//   * per-request frontend/backend service work and, for designs that kept
+//     an MMIO-based frontend, the per-request emulation extra.
+// RunC containers short-circuit the device: their sockets are host sockets.
+#ifndef SRC_HOST_VIRTIO_H_
+#define SRC_HOST_VIRTIO_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct VirtioStats {
+  uint64_t kicks = 0;
+  uint64_t interrupts = 0;
+  uint64_t rx_requests = 0;
+  uint64_t tx_responses = 0;
+};
+
+class VirtioNetAdapter : public NetPort {
+ public:
+  // `tx_batch` models interrupt coalescing / NAPI-style batching: with more
+  // concurrent clients, more responses share one kick.
+  VirtioNetAdapter(ContainerEngine& engine, int tx_batch = 1)
+      : engine_(engine), ctx_(engine.machine().ctx()), tx_batch_(tx_batch < 1 ? 1 : tx_batch) {}
+
+  // --- load-generator (host) side -----------------------------------------
+  // Delivers `count` requests of `bytes` each into connection `conn` as one
+  // batch: one backend service + one guest interrupt.
+  void ClientSubmitBatch(int conn, int count, uint64_t bytes);
+
+  // Collects and discards buffered responses; returns how many.
+  uint64_t ClientCollect(int conn);
+
+  // --- guest (NetPort) side --------------------------------------------------
+  uint64_t Transmit(int conn, uint64_t bytes) override;
+  uint64_t Receive(int conn, uint64_t max_bytes) override;
+  bool HasPending() const override;
+
+  const VirtioStats& stats() const { return stats_; }
+  void set_tx_batch(int tx_batch) { tx_batch_ = tx_batch < 1 ? 1 : tx_batch; }
+
+ private:
+  struct Conn {
+    std::deque<uint64_t> rx;     // pending request sizes (guest-bound)
+    std::deque<uint64_t> tx;     // buffered response sizes (client-bound)
+  };
+
+  void Kick();
+
+  ContainerEngine& engine_;
+  SimContext& ctx_;
+  int tx_batch_;
+  int tx_pending_ = 0;  // responses since last kick
+  std::unordered_map<int, Conn> conns_;
+  VirtioStats stats_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HOST_VIRTIO_H_

@@ -1,0 +1,59 @@
+#include "src/host/virtio_blk.h"
+
+namespace cki {
+
+void VirtioBlkDevice::SubmitRead(uint64_t lba, uint64_t sectors) {
+  (void)lba;
+  stats_.reads++;
+  pending_++;
+  pending_sectors_ += sectors;
+  if (pending_ >= queue_depth_) {
+    Poll();
+  }
+}
+
+void VirtioBlkDevice::SubmitWrite(uint64_t lba, uint64_t sectors) {
+  (void)lba;
+  stats_.writes++;
+  pending_++;
+  pending_sectors_ += sectors;
+  if (pending_ >= queue_depth_) {
+    Poll();
+  }
+}
+
+void VirtioBlkDevice::CompleteBatch(int requests) {
+  if (requests <= 0) {
+    return;
+  }
+  // Doorbell: one design-priced kick for the batch.
+  ctx_.Charge(engine_.KickCost(), PathEvent::kVirtioKick);
+  stats_.kicks++;
+  // Backend service + storage access time.
+  ctx_.ChargeWork(ctx_.cost().virtio_host_service);
+  ctx_.ChargeWork(kBlkWriteLatency + pending_sectors_ * kBlkPerSector);
+  // Completion interrupt back into the guest.
+  ctx_.Charge(engine_.DeviceInterruptCost(), PathEvent::kVirqInject);
+  stats_.interrupts++;
+  // Frontend handles the completions.
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service * static_cast<SimNanos>(requests));
+  ctx_.ChargeWork(engine_.VirtioEmulationExtra());
+  pending_ = 0;
+  pending_sectors_ = 0;
+}
+
+void VirtioBlkDevice::Poll() { CompleteBatch(pending_); }
+
+void VirtioBlkDevice::Flush() {
+  // Drain the queue first, then the barrier itself (unbatchable).
+  Poll();
+  stats_.flushes++;
+  ctx_.Charge(engine_.KickCost(), PathEvent::kVirtioKick);
+  stats_.kicks++;
+  ctx_.ChargeWork(kBlkFlushLatency);
+  ctx_.Charge(engine_.DeviceInterruptCost(), PathEvent::kVirqInject);
+  stats_.interrupts++;
+  ctx_.ChargeWork(engine_.VirtioEmulationExtra());
+}
+
+}  // namespace cki

@@ -1,0 +1,72 @@
+// Virtio-blk device model: the storage path of a secure container. Reads
+// and writes are submitted as requests; each submission rings the doorbell
+// (design-priced kick), the backend performs the storage access, and the
+// completion comes back as a device interrupt. fsync() forces a flush
+// barrier (submission + completion with no batching).
+#ifndef SRC_HOST_VIRTIO_BLK_H_
+#define SRC_HOST_VIRTIO_BLK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct VirtioBlkStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t flushes = 0;
+  uint64_t kicks = 0;
+  uint64_t interrupts = 0;
+};
+
+class VirtioBlkDevice {
+ public:
+  // `queue_depth`: requests coalesced per doorbell/completion under load.
+  VirtioBlkDevice(ContainerEngine& engine, int queue_depth = 8)
+      : engine_(engine), ctx_(engine.machine().ctx()),
+        queue_depth_(queue_depth < 1 ? 1 : queue_depth) {}
+
+  // Asynchronous read/write of `sectors` 512-byte sectors at `lba`.
+  // Requests accumulate in the queue; Poll() or Flush() completes them.
+  void SubmitRead(uint64_t lba, uint64_t sectors);
+  void SubmitWrite(uint64_t lba, uint64_t sectors);
+
+  // Completes everything pending (one kick + storage latency + one
+  // completion interrupt per queue-depth batch).
+  void Poll();
+
+  // fsync semantics: barrier — submit FLUSH, wait for completion.
+  void Flush();
+
+  // Simulated device storage contents by sector (for integrity tests).
+  void WriteSectorTag(uint64_t lba, uint64_t tag) { sector_tags_[lba] = tag; }
+  uint64_t ReadSectorTag(uint64_t lba) const {
+    auto it = sector_tags_.find(lba);
+    return it == sector_tags_.end() ? 0 : it->second;
+  }
+
+  const VirtioBlkStats& stats() const { return stats_; }
+
+ private:
+  void CompleteBatch(int requests);
+
+  ContainerEngine& engine_;
+  SimContext& ctx_;
+  int queue_depth_;
+  int pending_ = 0;
+  uint64_t pending_sectors_ = 0;
+  std::unordered_map<uint64_t, uint64_t> sector_tags_;
+  VirtioBlkStats stats_;
+};
+
+// Storage latency constants (NVMe-class device behind the backend).
+inline constexpr SimNanos kBlkReadLatency = 12'000;
+inline constexpr SimNanos kBlkWriteLatency = 9'000;
+inline constexpr SimNanos kBlkFlushLatency = 25'000;
+inline constexpr SimNanos kBlkPerSector = 120;
+
+}  // namespace cki
+
+#endif  // SRC_HOST_VIRTIO_BLK_H_

@@ -1,0 +1,159 @@
+// The simulated CPU core: privilege mode, control registers, PKS/PKU
+// registers, the PCID-tagged TLB, one- and two-stage address translation,
+// privileged-instruction execution, and interrupt delivery — including all
+// five CKI hardware extensions (section 4 / 5 of the paper).
+#ifndef SRC_HW_CPU_H_
+#define SRC_HW_CPU_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/hw/ept.h"
+#include "src/hw/fault.h"
+#include "src/hw/idt.h"
+#include "src/hw/instr.h"
+#include "src/hw/page_table.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/pks.h"
+#include "src/hw/tlb.h"
+#include "src/sim/context.h"
+
+namespace cki {
+
+enum class Cpl : uint8_t { kKernel = 0, kUser = 3 };
+
+struct AccessIntent {
+  bool write = false;
+  bool exec = false;
+
+  static AccessIntent Read() { return {}; }
+  static AccessIntent Write() { return {.write = true}; }
+  static AccessIntent Exec() { return {.write = false, .exec = true}; }
+};
+
+// Result of delivering an interrupt/exception through the IDT.
+struct InterruptEntry {
+  Fault fault;               // kTripleFault when delivery itself failed
+  uint32_t handler_tag = 0;  // which handler the IDT selected
+  uint32_t saved_pkrs = 0;   // PKRS at delivery (CKI ext saves it for iret)
+  bool pks_switched = false; // the IDT extension zeroed PKRS
+};
+
+class Cpu {
+ public:
+  Cpu(SimContext& ctx, PhysMem& mem, CkiHwExtensions ext = CkiHwExtensions::None());
+
+  // --- register & mode accessors -------------------------------------------
+  Cpl cpl() const { return cpl_; }
+  void set_cpl(Cpl cpl) { cpl_ = cpl; }
+  uint64_t cr3() const { return cr3_; }
+  uint32_t pkrs() const { return pkrs_; }
+  uint32_t pkru() const { return pkru_; }
+  void set_pkru(uint32_t v) { pkru_ = v; }  // wrpkru: unprivileged
+  // Trusted/hardware-internal PKRS update with no instruction cost (e.g.
+  // the restore leg of an extended sysret/iret sequence).
+  void SetPkrsDirect(uint32_t v) { pkrs_ = v; }
+  bool interrupts_enabled() const { return if_; }
+  void set_interrupts_enabled(bool on) { if_ = on; }
+  uint64_t gs_base() const { return gs_base_; }
+  uint64_t kernel_gs_base() const { return kernel_gs_base_; }
+  void set_kernel_gs_base(uint64_t v) { kernel_gs_base_ = v; }
+  const CkiHwExtensions& extensions() const { return ext_; }
+
+  void set_idt(const Idt* idt) { idt_ = idt; }
+  // Active second-stage translation (nullptr = one-stage). Engines set this
+  // when entering VMX non-root mode.
+  void set_ept(const Ept* ept) { ept_ = ept; }
+  const Ept* ept() const { return ept_; }
+
+  Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
+
+  // Raw CR3 load used by trusted software (host kernel / KSM / hypervisor).
+  // With PCIDs enabled a CR3 write does not flush the TLB.
+  void LoadCr3(uint64_t cr3) { cr3_ = cr3; }
+
+  // Marks the current kernel stack usable/unusable. A malicious guest can
+  // point RSP at garbage; interrupt delivery without IST then triple
+  // faults (section 4.4, "Prevent interrupt stack manipulation").
+  void set_stack_valid(bool valid) { stack_valid_ = valid; }
+  bool stack_valid() const { return stack_valid_; }
+
+  // --- memory access ---------------------------------------------------------
+  // Translates and permission-checks an access to `va`, charging TLB/walk
+  // costs. On success fills the TLB and sets A/D bits in the leaf PTE.
+  // The returned fault (if any) is what the executing kernel must handle.
+  Fault Access(uint64_t va, AccessIntent intent);
+
+  // Like Access but also reports the translated PA (for device DMA etc.).
+  Fault AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa);
+
+  // --- privileged instructions -----------------------------------------------
+  // Executes a privileged instruction subject to CPL and the CKI PKS-gating
+  // extension. Returns the fault the hardware would raise, if any.
+  Fault ExecPriv(PrivInstr instr);
+
+  // wrpkrs: the proposed dedicated PKRS-write instruction. #UD without the
+  // extension, #GP in user mode, otherwise writes PKRS. Reads back the new
+  // value so gate code can implement the anti-ROP check.
+  Fault Wrpkrs(uint32_t value);
+
+  // Legacy PKRS write via wrmsr (stock PKS hardware). Subject to the wrmsr
+  // blocking rule under PKS gating.
+  Fault WrpkrsViaMsr(uint32_t value);
+
+  // swapgs: exchanges gs_base with kernel_gs_base. Allowed in the CKI guest
+  // (Table 3) — which is exactly why the KSM must not trust kernel_gs.
+  Fault Swapgs();
+
+  // invlpg: flushes one page of the *current PCID only* — PCID contexts
+  // confine a malicious guest's flushes to itself.
+  Fault Invlpg(uint64_t va);
+
+  // sysret to user mode. With the CKI extension, IF is forced on when PKRS
+  // is non-zero (a deprivileged kernel must not leave interrupts masked).
+  Fault Sysret(bool requested_if);
+
+  // syscall entry from user mode (IA32_STAR): enters kernel mode. Which
+  // handler runs is the engine's concern; hardware just switches mode.
+  void SyscallEntry() { cpl_ = Cpl::kKernel; }
+
+  // iret executed by *trusted* code (KSM / host). Restores CPL and, with
+  // the extension, a chosen PKRS value. (An untrusted guest attempting
+  // iret goes through ExecPriv and gets blocked.)
+  void IretTrusted(Cpl return_cpl, std::optional<uint32_t> restore_pkrs);
+
+  // Delivers vector `vector` through the installed IDT. `hardware`
+  // distinguishes external interrupts (which the CKI extension re-keys)
+  // from software `int N` (which must NOT re-key — that is the
+  // anti-forgery property).
+  InterruptEntry DeliverInterrupt(uint8_t vector, bool hardware);
+
+ private:
+  // Two-dimensional walk: guest page tables hold gPAs; every table access
+  // and the final data page go through the active EPT.
+  WalkResult WalkCurrent(uint64_t va) const;
+  Fault CheckLeafPermissions(uint64_t flags, uint32_t pkey, uint64_t va, AccessIntent intent,
+                             bool from_tlb) const;
+
+  SimContext& ctx_;
+  PhysMem& mem_;
+  CkiHwExtensions ext_;
+  Tlb tlb_;
+
+  Cpl cpl_ = Cpl::kKernel;
+  uint64_t cr3_ = 0;
+  uint32_t pkrs_ = 0;
+  uint32_t pkru_ = 0;
+  bool if_ = true;
+  uint64_t gs_base_ = 0;
+  uint64_t kernel_gs_base_ = 0;
+  bool stack_valid_ = true;
+
+  const Idt* idt_ = nullptr;
+  const Ept* ept_ = nullptr;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HW_CPU_H_

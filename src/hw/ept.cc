@@ -1,0 +1,42 @@
+#include "src/hw/ept.h"
+
+#include <utility>
+
+namespace cki {
+
+Ept::Ept(PhysMem& mem, PtpAllocFn alloc)
+    : mem_(mem),
+      alloc_(std::move(alloc)),
+      editor_(mem, alloc_,
+              [&mem](uint64_t pte_pa, uint64_t value, int /*level*/, uint64_t /*va*/) {
+                mem.WriteU64(pte_pa, value);
+                return true;
+              }),
+      root_pa_(alloc_(kPtLevels)) {}
+
+bool Ept::Map(uint64_t gpa, uint64_t hpa, PageSize size) {
+  bool ok = editor_.MapPage(root_pa_, gpa, hpa, kPteP | kPteW | kPteU, /*pkey=*/0, size);
+  if (ok) {
+    mapped_pages_++;
+  }
+  return ok;
+}
+
+bool Ept::Unmap(uint64_t gpa) {
+  bool ok = editor_.UnmapPage(root_pa_, gpa);
+  if (ok && mapped_pages_ > 0) {
+    mapped_pages_--;
+  }
+  return ok;
+}
+
+WalkResult Ept::Translate(uint64_t gpa) const {
+  WalkResult result = WalkPageTable(mem_, root_pa_, gpa);
+  if (result.fault) {
+    result.fault.type = FaultType::kEptViolation;
+    result.fault.va = gpa;
+  }
+  return result;
+}
+
+}  // namespace cki

@@ -1,0 +1,47 @@
+// Second-stage (extended) page tables for hardware-assisted virtualization.
+//
+// Real EPT entries use an R/W/X bit layout that differs from ordinary PTEs;
+// the simulator reuses the PTE encoding (P == readable) since nothing here
+// depends on the exact bit positions — only on the structure: a 4-level
+// radix tree from guest-physical to host-physical addresses, walked (and
+// charged) once per guest level during a two-dimensional translation.
+#ifndef SRC_HW_EPT_H_
+#define SRC_HW_EPT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/hw/fault.h"
+#include "src/hw/page_table.h"
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+
+class Ept {
+ public:
+  // `alloc` provides zeroed host frames for EPT table pages.
+  Ept(PhysMem& mem, PtpAllocFn alloc);
+
+  uint64_t root_pa() const { return root_pa_; }
+
+  // Maps gpa -> hpa (4K or 2M). Direct stores: the EPT belongs to the
+  // (trusted) hypervisor, no monitor hook is needed.
+  bool Map(uint64_t gpa, uint64_t hpa, PageSize size);
+  bool Unmap(uint64_t gpa);
+
+  // Translates a guest-physical address. A miss is an EPT violation.
+  WalkResult Translate(uint64_t gpa) const;
+
+  uint64_t mapped_pages() const { return mapped_pages_; }
+
+ private:
+  PhysMem& mem_;
+  PtpAllocFn alloc_;
+  PageTableEditor editor_;
+  uint64_t root_pa_;
+  uint64_t mapped_pages_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HW_EPT_H_

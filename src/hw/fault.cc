@@ -1,0 +1,29 @@
+#include "src/hw/fault.h"
+
+namespace cki {
+
+std::string_view FaultTypeName(FaultType t) {
+  switch (t) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kPageNotPresent:
+      return "page_not_present";
+    case FaultType::kPageProtection:
+      return "page_protection";
+    case FaultType::kPageKeyViolation:
+      return "page_key_violation";
+    case FaultType::kEptViolation:
+      return "ept_violation";
+    case FaultType::kGeneralProtection:
+      return "general_protection";
+    case FaultType::kPrivInstrBlocked:
+      return "priv_instr_blocked";
+    case FaultType::kInvalidOpcode:
+      return "invalid_opcode";
+    case FaultType::kTripleFault:
+      return "triple_fault";
+  }
+  return "unknown";
+}
+
+}  // namespace cki

@@ -1,0 +1,41 @@
+// Architectural fault descriptions returned by the simulated MMU and CPU.
+// Faults are values, not C++ exceptions: the engines (host kernel, KSM,
+// hypervisors) handle them as part of normal control flow.
+#ifndef SRC_HW_FAULT_H_
+#define SRC_HW_FAULT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cki {
+
+enum class FaultType : uint8_t {
+  kNone = 0,
+  kPageNotPresent,      // #PF, P=0
+  kPageProtection,      // #PF, permission (W/U/NX) violation
+  kPageKeyViolation,    // #PF, protection-key (PKU/PKS) violation
+  kEptViolation,        // second-stage translation fault (VM exit)
+  kGeneralProtection,   // #GP
+  kPrivInstrBlocked,    // CKI extension: privileged instruction w/ PKRS != 0
+  kInvalidOpcode,       // #UD (e.g. wrpkrs on a CPU without the extension)
+  kTripleFault,         // unrecoverable (bad interrupt stack etc.)
+};
+
+struct Fault {
+  FaultType type = FaultType::kNone;
+  uint64_t va = 0;          // faulting virtual address (page faults)
+  bool was_write = false;   // access type that faulted
+  bool was_user = false;    // CPL at fault time
+  bool was_exec = false;
+
+  bool ok() const { return type == FaultType::kNone; }
+  explicit operator bool() const { return !ok(); }  // true when faulted
+
+  static Fault None() { return Fault{}; }
+};
+
+std::string_view FaultTypeName(FaultType t);
+
+}  // namespace cki
+
+#endif  // SRC_HW_FAULT_H_

@@ -1,0 +1,49 @@
+// Interrupt descriptor table with IST support and the CKI extension that
+// switches PKRS to zero on *hardware* interrupt delivery (section 4.4,
+// "Prevent interrupt forgery").
+#ifndef SRC_HW_IDT_H_
+#define SRC_HW_IDT_H_
+
+#include <array>
+#include <cstdint>
+
+namespace cki {
+
+inline constexpr int kIdtVectors = 256;
+inline constexpr int kNumIstStacks = 8;  // IST index 0 = "no IST"
+
+// Architectural exception vectors used by the simulator.
+inline constexpr uint8_t kVecGeneralProtection = 13;
+inline constexpr uint8_t kVecPageFault = 14;
+// Device vectors (host-assigned).
+inline constexpr uint8_t kVecTimer = 32;
+inline constexpr uint8_t kVecVirtioNet = 33;
+inline constexpr uint8_t kVecVirtioBlk = 34;
+
+struct IdtGate {
+  bool present = false;
+  uint32_t handler_tag = 0;  // opaque id the kernel uses to dispatch
+  uint8_t ist_index = 0;     // 0 = use current stack; 1..7 = IST stack
+  // CKI extension bit: deliver with PKRS forced to zero (hardware
+  // interrupts only; software `int` leaves PKRS unchanged).
+  bool pks_switch = false;
+};
+
+class Idt {
+ public:
+  void SetGate(uint8_t vector, IdtGate gate) { gates_[vector] = gate; }
+  const IdtGate& gate(uint8_t vector) const { return gates_[vector]; }
+
+  // Interrupt stack table: virtual addresses of per-vector stacks. A zero
+  // address means "not configured".
+  void SetIstStack(int index, uint64_t stack_top_va) { ist_[index] = stack_top_va; }
+  uint64_t ist_stack(int index) const { return ist_[index]; }
+
+ private:
+  std::array<IdtGate, kIdtVectors> gates_{};
+  std::array<uint64_t, kNumIstStacks> ist_{};
+};
+
+}  // namespace cki
+
+#endif  // SRC_HW_IDT_H_

@@ -1,0 +1,99 @@
+#include "src/hw/instr.h"
+
+namespace cki {
+
+std::string_view PrivInstrName(PrivInstr i) {
+  switch (i) {
+    case PrivInstr::kLidt:
+      return "lidt";
+    case PrivInstr::kLgdt:
+      return "lgdt";
+    case PrivInstr::kLtr:
+      return "ltr";
+    case PrivInstr::kRdmsr:
+      return "rdmsr";
+    case PrivInstr::kWrmsr:
+      return "wrmsr";
+    case PrivInstr::kMovFromCr:
+      return "mov reg, crN";
+    case PrivInstr::kMovToCr0:
+      return "mov cr0, reg";
+    case PrivInstr::kMovToCr4:
+      return "mov cr4, reg";
+    case PrivInstr::kMovToCr3:
+      return "mov cr3, reg";
+    case PrivInstr::kClac:
+      return "clac";
+    case PrivInstr::kStac:
+      return "stac";
+    case PrivInstr::kInvlpg:
+      return "invlpg";
+    case PrivInstr::kInvpcid:
+      return "invpcid";
+    case PrivInstr::kSwapgs:
+      return "swapgs";
+    case PrivInstr::kSysret:
+      return "sysret";
+    case PrivInstr::kIret:
+      return "iret";
+    case PrivInstr::kHlt:
+      return "hlt";
+    case PrivInstr::kSti:
+      return "sti";
+    case PrivInstr::kCli:
+      return "cli";
+    case PrivInstr::kPopf:
+      return "popf";
+    case PrivInstr::kInOut:
+      return "in/out";
+    case PrivInstr::kSmsw:
+      return "smsw";
+    case PrivInstr::kWrpkrs:
+      return "wrpkrs";
+    case PrivInstr::kVmcall:
+      return "vmcall";
+    case PrivInstr::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool BlockedWhenPkrsNonzero(PrivInstr i) {
+  switch (i) {
+    // Blocked (Table 3, "Blocked? Yes").
+    case PrivInstr::kLidt:
+    case PrivInstr::kLgdt:
+    case PrivInstr::kLtr:
+    case PrivInstr::kRdmsr:
+    case PrivInstr::kWrmsr:
+    case PrivInstr::kMovToCr0:
+    case PrivInstr::kMovToCr4:
+    case PrivInstr::kMovToCr3:
+    case PrivInstr::kInvpcid:
+    case PrivInstr::kIret:
+    case PrivInstr::kSti:
+    case PrivInstr::kCli:
+    case PrivInstr::kPopf:
+    case PrivInstr::kInOut:
+    case PrivInstr::kSmsw:
+      return true;
+    // HLT is listed "No" in Table 3 (replaced with a pause-vCPU hypercall
+    // by the para-virtualized guest); executing it is not destructive.
+    case PrivInstr::kHlt:
+    // Not blocked (Table 3, "Blocked? No").
+    case PrivInstr::kMovFromCr:
+    case PrivInstr::kClac:
+    case PrivInstr::kStac:
+    case PrivInstr::kInvlpg:
+    case PrivInstr::kSwapgs:
+    case PrivInstr::kSysret:
+    case PrivInstr::kWrpkrs:
+    case PrivInstr::kVmcall:
+      return false;
+    case PrivInstr::kCount:
+      break;
+  }
+  return false;
+}
+
+}  // namespace cki

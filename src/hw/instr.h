@@ -1,0 +1,84 @@
+// Privileged-instruction model and the CKI hardware extension that gates
+// them on PKRS (paper section 4.1, Table 3).
+//
+// The extension: while PKRS is non-zero (i.e. a deprivileged guest kernel is
+// running), executing any *destructive* privileged instruction raises a
+// fault that traps to the host kernel. Harmless privileged instructions
+// remain executable to keep the fast paths fast.
+#ifndef SRC_HW_INSTR_H_
+#define SRC_HW_INSTR_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cki {
+
+enum class PrivInstr : uint8_t {
+  // System registers (boot-time only in a container guest; KSM calls).
+  kLidt = 0,   // load IDTR
+  kLgdt,       // load GDTR
+  kLtr,        // load task register
+  // Model-specific registers (timer, IPI -> hypercalls).
+  kRdmsr,
+  kWrmsr,
+  // Control registers.
+  kMovFromCr,  // read CR0/CR4 (harmless)
+  kMovToCr0,   // KSM call (init, TS-bit toggling for lazy FPU)
+  kMovToCr4,   // KSM call
+  kMovToCr3,   // KSM call (address-space switch)
+  kClac,       // toggle AC bit, harmless
+  kStac,
+  // TLB state.
+  kInvlpg,     // allowed: PCID isolation confines the flush
+  kInvpcid,    // blocked: could flush other containers' contexts
+  // Syscall / exception plumbing.
+  kSwapgs,     // allowed for syscall performance (OPT3)
+  kSysret,     // allowed, with the IF-enforcement extension
+  kIret,       // blocked: can rewrite segment state; KSM call
+  // Others.
+  kHlt,        // blocked: replaced by a vCPU-pause hypercall
+  kSti,        // blocked: interrupt state lives in memory
+  kCli,
+  kPopf,       // blocked: can clear IF
+  kInOut,      // port I/O, unused in a para-virtualized guest
+  kSmsw,       // legacy/system-management, unused
+  kWrpkrs,     // the new instruction; allowed (it is the gate primitive)
+  kVmcall,     // hypercall entry (not privileged per se; modeled here)
+  kCount,
+};
+
+std::string_view PrivInstrName(PrivInstr i);
+
+// Architectural blocked set of the CKI extension: true if executing `i`
+// with non-zero PKRS must trap. Mirrors Table 3 exactly.
+bool BlockedWhenPkrsNonzero(PrivInstr i);
+
+// Feature toggles of the proposed hardware extension. A stock CPU has all
+// of them off; a CKI CPU has all of them on. Individual toggles let tests
+// demonstrate which attack each sub-feature stops.
+struct CkiHwExtensions {
+  bool pks_priv_gating = false;    // block destructive priv instrs if PKRS != 0
+  bool wrpkrs_instruction = false; // dedicated PKRS write (vs wrmsr)
+  bool idt_pks_switch = false;     // hw interrupt delivery zeroes PKRS
+  bool iret_pks_restore = false;   // iret may restore a saved PKRS
+  bool sysret_if_enforce = false;  // sysret keeps IF=1 when PKRS != 0
+
+  static CkiHwExtensions None() { return CkiHwExtensions{}; }
+  static CkiHwExtensions All() {
+    return CkiHwExtensions{.pks_priv_gating = true,
+                           .wrpkrs_instruction = true,
+                           .idt_pks_switch = true,
+                           .iret_pks_restore = true,
+                           .sysret_if_enforce = true};
+  }
+};
+
+// The simulated opcode byte pattern of wrpkrs, used by the binary-rewriting
+// scanner (section 4.1): all wrpkrs occurrences — including unaligned ones —
+// must be eliminated from guest kernel code outside registered gates.
+inline constexpr uint8_t kWrpkrsOpcode[3] = {0x0F, 0x01, 0xEF};
+inline constexpr size_t kWrpkrsOpcodeLen = 3;
+
+}  // namespace cki
+
+#endif  // SRC_HW_INSTR_H_

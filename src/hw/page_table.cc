@@ -1,0 +1,144 @@
+#include "src/hw/page_table.h"
+
+#include <utility>
+
+namespace cki {
+
+PageTableEditor::PageTableEditor(PteReadFn read, PtpAllocFn alloc, PteStoreFn store)
+    : read_(std::move(read)), alloc_(std::move(alloc)), store_(std::move(store)) {}
+
+PageTableEditor::PageTableEditor(PhysMem& mem, PtpAllocFn alloc, PteStoreFn store)
+    : PageTableEditor([&mem](uint64_t pa) { return mem.ReadU64(pa); }, std::move(alloc),
+                      std::move(store)) {}
+
+std::optional<uint64_t> PageTableEditor::Descend(uint64_t root_pa, uint64_t va, int leaf_level,
+                                                 bool create) {
+  uint64_t table_pa = root_pa;
+  for (int level = kPtLevels; level > leaf_level; --level) {
+    uint64_t slot_pa = table_pa + static_cast<uint64_t>(PtIndex(va, level)) * 8;
+    uint64_t entry = read_(slot_pa);
+    if (!PtePresent(entry)) {
+      if (!create) {
+        return std::nullopt;
+      }
+      uint64_t new_table = alloc_(level - 1);
+      entry = MakePte(new_table, kPteP | kPteW | kPteU);
+      if (!store_(slot_pa, entry, level, va)) {
+        return std::nullopt;
+      }
+    } else if (PteHuge(entry)) {
+      // A huge leaf already covers this range; cannot descend past it.
+      return std::nullopt;
+    }
+    table_pa = PteAddr(entry);
+  }
+  return table_pa + static_cast<uint64_t>(PtIndex(va, leaf_level)) * 8;
+}
+
+bool PageTableEditor::MapPage(uint64_t root_pa, uint64_t va, uint64_t pa, uint64_t flags,
+                              uint32_t pkey, PageSize size) {
+  int leaf_level = (size == PageSize::k2M) ? 2 : 1;
+  uint64_t leaf_flags = flags | (size == PageSize::k2M ? kPtePs : 0);
+  std::optional<uint64_t> slot = Descend(root_pa, va, leaf_level, /*create=*/true);
+  if (!slot.has_value()) {
+    return false;
+  }
+  return store_(*slot, MakePte(pa, leaf_flags, pkey), leaf_level, va);
+}
+
+bool PageTableEditor::UnmapPage(uint64_t root_pa, uint64_t va) {
+  WalkResult walk = Walk(root_pa, va);
+  if (walk.fault) {
+    return false;
+  }
+  return store_(walk.leaf_pte_pa, 0, walk.leaf_level, va);
+}
+
+bool PageTableEditor::ProtectPage(uint64_t root_pa, uint64_t va, uint64_t flags, uint32_t pkey) {
+  WalkResult walk = Walk(root_pa, va);
+  if (walk.fault) {
+    return false;
+  }
+  uint64_t huge_bit = walk.leaf_pte & kPtePs;
+  return store_(walk.leaf_pte_pa, MakePte(PteAddr(walk.leaf_pte), flags | huge_bit, pkey),
+                walk.leaf_level, va);
+}
+
+WalkResult PageTableEditor::Walk(uint64_t root_pa, uint64_t va) const {
+  return WalkPageTableFn(read_, root_pa, va);
+}
+
+std::optional<uint64_t> PageTableEditor::FindLeafSlot(uint64_t root_pa, uint64_t va) const {
+  uint64_t table_pa = root_pa;
+  for (int level = kPtLevels; level > 1; --level) {
+    uint64_t slot_pa = table_pa + static_cast<uint64_t>(PtIndex(va, level)) * 8;
+    uint64_t entry = read_(slot_pa);
+    if (!PtePresent(entry)) {
+      return std::nullopt;
+    }
+    if (PteHuge(entry)) {
+      return slot_pa;
+    }
+    table_pa = PteAddr(entry);
+  }
+  return table_pa + static_cast<uint64_t>(PtIndex(va, 1)) * 8;
+}
+
+void PageTableEditor::ForEachLeafRecurse(
+    uint64_t table_pa, int level, uint64_t va_base,
+    const std::function<void(uint64_t, uint64_t, uint64_t, int)>& fn) const {
+  uint64_t span = 1ULL << (12 + 9 * (level - 1));  // VA covered per entry
+  for (int i = 0; i < kPtEntries; ++i) {
+    uint64_t slot_pa = table_pa + static_cast<uint64_t>(i) * 8;
+    uint64_t entry = read_(slot_pa);
+    if (!PtePresent(entry)) {
+      continue;
+    }
+    uint64_t va = va_base + static_cast<uint64_t>(i) * span;
+    bool is_leaf = (level == 1) || (level == 2 && PteHuge(entry));
+    if (is_leaf) {
+      fn(va, entry, slot_pa, level);
+    } else if (level > 1) {
+      ForEachLeafRecurse(PteAddr(entry), level - 1, va, fn);
+    }
+  }
+}
+
+void PageTableEditor::ForEachLeaf(
+    uint64_t root_pa,
+    const std::function<void(uint64_t, uint64_t, uint64_t, int)>& fn) const {
+  ForEachLeafRecurse(root_pa, kPtLevels, 0, fn);
+}
+
+WalkResult WalkPageTableFn(const PteReadFn& read, uint64_t root_pa, uint64_t va) {
+  WalkResult result;
+  uint64_t table_pa = root_pa;
+  for (int level = kPtLevels; level >= 1; --level) {
+    uint64_t slot_pa = table_pa + static_cast<uint64_t>(PtIndex(va, level)) * 8;
+    result.mem_refs++;
+    uint64_t entry = read(slot_pa);
+    if (!PtePresent(entry)) {
+      result.fault = Fault{.type = FaultType::kPageNotPresent, .va = va};
+      return result;
+    }
+    bool is_leaf = (level == 1) || (level == 2 && PteHuge(entry));
+    if (is_leaf) {
+      result.leaf_pte = entry;
+      result.leaf_pte_pa = slot_pa;
+      result.leaf_level = level;
+      uint64_t offset_mask = (level == 2) ? (kHugePageSize - 1) : (kPageSize - 1);
+      result.pa = (PteAddr(entry) & ~offset_mask) | (va & offset_mask);
+      return result;
+    }
+    table_pa = PteAddr(entry);
+  }
+  // Unreachable: level 1 always terminates above.
+  result.fault = Fault{.type = FaultType::kPageNotPresent, .va = va};
+  return result;
+}
+
+WalkResult WalkPageTable(const PhysMem& mem, uint64_t root_pa, uint64_t va) {
+  return WalkPageTableFn([&mem](uint64_t pa) { return mem.ReadU64(pa); }, root_pa, va);
+}
+
+}  // namespace cki

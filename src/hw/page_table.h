@@ -1,0 +1,106 @@
+// Construction and walking of 4-level x86-64 page tables stored in simulated
+// physical memory.
+//
+// Reads and stores of page-table entries go through caller-provided hooks.
+// Those hooks are the architectural seams the four container designs differ
+// on:
+//   RunC / HVM guest : direct load/store (HVM reads via its gPA->hPA backing)
+//   PVM guest        : store triggers a VM exit + shadow-PTE emulation
+//   CKI guest        : store is a KSM call validated by the page-table
+//                      monitor (the guest's own PKS view has PTPs read-only)
+#ifndef SRC_HW_PAGE_TABLE_H_
+#define SRC_HW_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/hw/fault.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/pte.h"
+
+namespace cki {
+
+// Reads the 64-bit entry at (guest-)physical address `pa`.
+using PteReadFn = std::function<uint64_t(uint64_t pa)>;
+
+// Allocates a zeroed 4 KiB frame for a page-table page and returns its PA.
+// `level` is the table level the new page will serve (3 = PDPT ... 1 = PT).
+using PtpAllocFn = std::function<uint64_t(int level)>;
+
+// Stores `value` into the PTE at physical address `pte_pa` (which sits at
+// table `level` and maps `va`). Returns false if the store was rejected
+// (e.g. the CKI monitor refused the update).
+using PteStoreFn = std::function<bool(uint64_t pte_pa, uint64_t value, int level, uint64_t va)>;
+
+enum class PageSize : uint8_t { k4K, k2M };
+
+// Result of a translation walk.
+struct WalkResult {
+  Fault fault;            // fault.ok() when translation succeeded
+  uint64_t pa = 0;        // translated physical address
+  uint64_t leaf_pte = 0;  // the leaf entry
+  uint64_t leaf_pte_pa = 0;
+  int leaf_level = 1;     // 1 = 4K leaf, 2 = 2M leaf
+  int mem_refs = 0;       // table references performed
+};
+
+// Structural navigation over a table rooted at `root_pa`. Stateless apart
+// from the injected hooks.
+class PageTableEditor {
+ public:
+  PageTableEditor(PteReadFn read, PtpAllocFn alloc, PteStoreFn store);
+  // Convenience: read directly from simulated physical memory.
+  PageTableEditor(PhysMem& mem, PtpAllocFn alloc, PteStoreFn store);
+
+  // Maps `va` -> `pa` with the given leaf flags/key, creating intermediate
+  // tables as needed (intermediate entries get P|W|U so leaf bits govern).
+  // Returns false if any PTE store was rejected.
+  bool MapPage(uint64_t root_pa, uint64_t va, uint64_t pa, uint64_t flags, uint32_t pkey,
+               PageSize size);
+
+  // Clears the leaf entry for `va`. Returns false if unmapped or rejected.
+  bool UnmapPage(uint64_t root_pa, uint64_t va);
+
+  // Rewrites the leaf entry for `va` with new flags/key, keeping the PA.
+  bool ProtectPage(uint64_t root_pa, uint64_t va, uint64_t flags, uint32_t pkey);
+
+  // Walks using this editor's read hook (correct address space for the
+  // owning kernel, e.g. gPA under HVM).
+  WalkResult Walk(uint64_t root_pa, uint64_t va) const;
+
+  // Returns the PA of the leaf PTE slot for `va` if all intermediate levels
+  // are present (the leaf itself may be non-present).
+  std::optional<uint64_t> FindLeafSlot(uint64_t root_pa, uint64_t va) const;
+
+  // Invokes `fn(va, leaf_pte, leaf_pte_pa, level)` for every present leaf
+  // under `root_pa`. Used by fork()-style address-space cloning.
+  void ForEachLeaf(uint64_t root_pa,
+                   const std::function<void(uint64_t va, uint64_t pte, uint64_t pte_pa,
+                                            int level)>& fn) const;
+
+ private:
+  // Descends to the table that holds the leaf for `va`; creates missing
+  // levels when `create` is set. Returns the PA of the leaf slot, or
+  // nullopt on missing level (when !create) or rejected store.
+  std::optional<uint64_t> Descend(uint64_t root_pa, uint64_t va, int leaf_level, bool create);
+
+  void ForEachLeafRecurse(uint64_t table_pa, int level, uint64_t va_base,
+                          const std::function<void(uint64_t, uint64_t, uint64_t, int)>& fn) const;
+
+  PteReadFn read_;
+  PtpAllocFn alloc_;
+  PteStoreFn store_;
+};
+
+// Pure translation over a read hook. Performs no permission checks (the CPU
+// applies those per access intent) but counts the memory references so
+// TLB-miss costs can be charged.
+WalkResult WalkPageTableFn(const PteReadFn& read, uint64_t root_pa, uint64_t va);
+
+// Convenience overload reading from simulated physical memory.
+WalkResult WalkPageTable(const PhysMem& mem, uint64_t root_pa, uint64_t va);
+
+}  // namespace cki
+
+#endif  // SRC_HW_PAGE_TABLE_H_

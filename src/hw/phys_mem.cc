@@ -1,0 +1,74 @@
+#include "src/hw/phys_mem.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cki {
+
+void PhysMem::InstallFrame(uint64_t pa) { installed_.insert(FrameIndex(pa)); }
+
+void PhysMem::InstallRange(uint64_t base, uint64_t pages) {
+  assert((base & (kPageSize - 1)) == 0 && "range must be page aligned");
+  if (pages == 0) {
+    return;
+  }
+  installed_ranges_.emplace_back(FrameIndex(base), FrameIndex(base) + pages - 1);
+}
+
+bool PhysMem::HasFrame(uint64_t pa) const {
+  uint64_t idx = FrameIndex(pa);
+  if (installed_.count(idx) != 0) {
+    return true;
+  }
+  for (const auto& [first, last] : installed_ranges_) {
+    if (idx >= first && idx <= last) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PhysMem::CheckInstalled(uint64_t pa) const {
+  if (!HasFrame(pa)) {
+    std::fprintf(stderr, "PhysMem: access to uninstalled frame at pa=0x%llx\n",
+                 static_cast<unsigned long long>(pa));
+    std::abort();
+  }
+}
+
+PhysMem::Page& PhysMem::MaterializePage(uint64_t pa) {
+  uint64_t idx = FrameIndex(pa);
+  auto it = pages_.find(idx);
+  if (it == pages_.end()) {
+    CheckInstalled(pa);
+    auto page = std::make_unique<Page>();
+    page->fill(0);
+    it = pages_.emplace(idx, std::move(page)).first;
+  }
+  return *it->second;
+}
+
+uint64_t PhysMem::ReadU64(uint64_t pa) const {
+  assert((pa & 7) == 0 && "unaligned 64-bit physical read");
+  auto it = pages_.find(FrameIndex(pa));
+  if (it == pages_.end()) {
+    CheckInstalled(pa);
+    return 0;  // installed but never written: reads as zero
+  }
+  return (*it->second)[(pa & (kPageSize - 1)) >> 3];
+}
+
+void PhysMem::WriteU64(uint64_t pa, uint64_t value) {
+  assert((pa & 7) == 0 && "unaligned 64-bit physical write");
+  MaterializePage(pa)[(pa & (kPageSize - 1)) >> 3] = value;
+}
+
+void PhysMem::ZeroFrame(uint64_t pa) {
+  auto it = pages_.find(FrameIndex(pa));
+  if (it != pages_.end()) {
+    it->second->fill(0);
+  }
+}
+
+}  // namespace cki

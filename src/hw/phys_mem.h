@@ -1,0 +1,62 @@
+// Sparse simulated physical memory.
+//
+// Page tables (guest and EPT) are stored as real 64-bit entries in this
+// memory, so translation in the simulator works by actually walking tables,
+// not by consulting a side map. Frames must be installed before use, but
+// backing storage materializes lazily on the first write — installing a
+// multi-gigabyte segment is O(1).
+#ifndef SRC_HW_PHYS_MEM_H_
+#define SRC_HW_PHYS_MEM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cki {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kHugePageSize = 2 * 1024 * 1024;  // 2 MiB
+inline constexpr uint64_t kHugePageShift = 21;
+
+class PhysMem {
+ public:
+  // Installs (and zeroes) the 4 KiB frame containing `pa`. Idempotent.
+  void InstallFrame(uint64_t pa);
+
+  // Installs `pages` consecutive frames starting at page-aligned `base`.
+  // O(1): backing materializes on first write.
+  void InstallRange(uint64_t base, uint64_t pages);
+
+  // True if the frame containing `pa` has been installed.
+  bool HasFrame(uint64_t pa) const;
+
+  // 64-bit loads/stores at physical addresses. The frame must be installed;
+  // accessing an uninstalled frame indicates a simulator bug and aborts.
+  uint64_t ReadU64(uint64_t pa) const;
+  void WriteU64(uint64_t pa, uint64_t value);
+
+  // Zeroes an installed frame (clear_page()).
+  void ZeroFrame(uint64_t pa);
+
+  size_t materialized_frames() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<uint64_t, kPageSize / sizeof(uint64_t)>;
+
+  static uint64_t FrameIndex(uint64_t pa) { return pa >> kPageShift; }
+
+  void CheckInstalled(uint64_t pa) const;
+  Page& MaterializePage(uint64_t pa);
+
+  std::unordered_set<uint64_t> installed_;
+  std::vector<std::pair<uint64_t, uint64_t>> installed_ranges_;  // [first, last] frame index
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HW_PHYS_MEM_H_

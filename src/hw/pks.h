@@ -1,0 +1,50 @@
+// Memory Protection Keys state (PKU for user pages, PKS for supervisor
+// pages) and the access-rights evaluation the MMU applies after a
+// translation succeeds.
+//
+// A protection-key register (PKRU/PKRS) holds two bits per key:
+//   AD (access disable) at bit 2k, WD (write disable) at bit 2k+1.
+#ifndef SRC_HW_PKS_H_
+#define SRC_HW_PKS_H_
+
+#include <cstdint>
+
+namespace cki {
+
+inline constexpr int kNumPkeys = 16;
+
+// Builds a key-rights register value denying the listed rights.
+inline constexpr uint32_t PkAccessDisable(int key) { return 1u << (2 * key); }
+inline constexpr uint32_t PkWriteDisable(int key) { return 1u << (2 * key + 1); }
+
+// True if an access of the given kind to a page tagged `key` is permitted
+// under register value `pkr`.
+inline constexpr bool PkAllows(uint32_t pkr, uint32_t key, bool is_write) {
+  if ((pkr & PkAccessDisable(static_cast<int>(key))) != 0) {
+    return false;
+  }
+  if (is_write && (pkr & PkWriteDisable(static_cast<int>(key))) != 0) {
+    return false;
+  }
+  return true;
+}
+
+// --- CKI's PKS domain assignment (section 3.3 / 4.3) -----------------------
+// Within each secure container's address space only three supervisor
+// domains are used, so the 16-key limit never constrains container count:
+//   key 0: guest-kernel pages (always accessible in kernel mode)
+//   key 1: KSM code/data, per-vCPU areas, IDT, gate code
+//   key 2: declared page-table pages (read-only for the guest)
+inline constexpr uint32_t kPkeyGuest = 0;
+inline constexpr uint32_t kPkeyKsm = 1;
+inline constexpr uint32_t kPkeyPtp = 2;
+
+// PKRS value while the deprivileged guest kernel runs: no access to KSM
+// memory, read-only access to page-table pages.
+inline constexpr uint32_t kPkrsGuest = PkAccessDisable(kPkeyKsm) | PkWriteDisable(kPkeyPtp);
+// PKRS value while the KSM (or host) runs: unrestricted.
+inline constexpr uint32_t kPkrsMonitor = 0;
+
+}  // namespace cki
+
+#endif  // SRC_HW_PKS_H_

@@ -1,0 +1,59 @@
+// x86-64 page-table entry layout, including the protection-key bits that
+// MPK/PKS repurpose (bits 62:59) and the NX bit. The simulator stores and
+// walks entries in exactly this encoding.
+#ifndef SRC_HW_PTE_H_
+#define SRC_HW_PTE_H_
+
+#include <cstdint>
+
+namespace cki {
+
+// Flag bits, Intel SDM Vol 3A table 4-19.
+inline constexpr uint64_t kPteP = 1ULL << 0;    // present
+inline constexpr uint64_t kPteW = 1ULL << 1;    // writable
+inline constexpr uint64_t kPteU = 1ULL << 2;    // user accessible
+inline constexpr uint64_t kPteA = 1ULL << 5;    // accessed
+inline constexpr uint64_t kPteD = 1ULL << 6;    // dirty
+inline constexpr uint64_t kPtePs = 1ULL << 7;   // page size (2 MiB leaf at L2)
+inline constexpr uint64_t kPteG = 1ULL << 8;    // global
+inline constexpr uint64_t kPteNx = 1ULL << 63;  // no-execute
+
+inline constexpr uint64_t kPteAddrMask = 0x000FFFFFFFFFF000ULL;
+inline constexpr int kPtePkeyShift = 59;
+inline constexpr uint64_t kPtePkeyMask = 0xFULL << kPtePkeyShift;
+
+// Number of levels in a 4-level (48-bit VA) radix table: PML4, PDPT, PD, PT.
+inline constexpr int kPtLevels = 4;
+// Entries per table page.
+inline constexpr int kPtEntries = 512;
+
+// Builds an entry from a physical address, flag bits, and a protection key.
+inline constexpr uint64_t MakePte(uint64_t pa, uint64_t flags, uint32_t pkey = 0) {
+  return (pa & kPteAddrMask) | flags | (static_cast<uint64_t>(pkey & 0xF) << kPtePkeyShift);
+}
+
+inline constexpr uint64_t PteAddr(uint64_t pte) { return pte & kPteAddrMask; }
+inline constexpr uint32_t PtePkey(uint64_t pte) {
+  return static_cast<uint32_t>((pte & kPtePkeyMask) >> kPtePkeyShift);
+}
+inline constexpr bool PtePresent(uint64_t pte) { return (pte & kPteP) != 0; }
+inline constexpr bool PteWritable(uint64_t pte) { return (pte & kPteW) != 0; }
+inline constexpr bool PteUser(uint64_t pte) { return (pte & kPteU) != 0; }
+inline constexpr bool PteHuge(uint64_t pte) { return (pte & kPtePs) != 0; }
+inline constexpr bool PteNoExec(uint64_t pte) { return (pte & kPteNx) != 0; }
+
+// Index of `va` at table level `level` (level 4 = PML4 ... level 1 = PT).
+inline constexpr int PtIndex(uint64_t va, int level) {
+  return static_cast<int>((va >> (12 + 9 * (level - 1))) & 0x1FF);
+}
+
+// CR3 carries the root-table physical address plus a 12-bit PCID.
+inline constexpr uint64_t MakeCr3(uint64_t root_pa, uint16_t pcid) {
+  return (root_pa & kPteAddrMask) | (pcid & 0xFFF);
+}
+inline constexpr uint64_t Cr3Root(uint64_t cr3) { return cr3 & kPteAddrMask; }
+inline constexpr uint16_t Cr3Pcid(uint64_t cr3) { return static_cast<uint16_t>(cr3 & 0xFFF); }
+
+}  // namespace cki
+
+#endif  // SRC_HW_PTE_H_

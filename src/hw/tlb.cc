@@ -1,0 +1,108 @@
+#include "src/hw/tlb.h"
+
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+
+Tlb::Tlb(int sets, int ways)
+    : sets_(sets),
+      ways_(ways),
+      entries_(static_cast<size_t>(sets) * static_cast<size_t>(ways)),
+      next_victim_(static_cast<size_t>(sets), 0) {}
+
+size_t Tlb::SetIndex(uint64_t vpn) const {
+  return static_cast<size_t>(vpn % static_cast<uint64_t>(sets_));
+}
+
+std::optional<TlbEntry> Tlb::Lookup(uint16_t pcid, uint64_t va) const {
+  // Probe both the 4K VPN and the 2M VPN, mirroring a unified TLB that
+  // stores both leaf sizes.
+  uint64_t vpn4k = va >> kPageShift;
+  uint64_t vpn2m = va >> kHugePageShift;
+  for (bool huge : {false, true}) {
+    uint64_t vpn = huge ? vpn2m : vpn4k;
+    size_t base = SetIndex(vpn) * static_cast<size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+      const TlbEntry& e = entries_[base + static_cast<size_t>(w)];
+      if (e.valid && e.pcid == pcid && e.huge == huge && e.vpn == vpn) {
+        hits_++;
+        return e;
+      }
+    }
+  }
+  misses_++;
+  return std::nullopt;
+}
+
+TlbEntry* Tlb::FindSlot(uint16_t pcid, uint64_t vpn, bool huge) {
+  size_t base = SetIndex(vpn) * static_cast<size_t>(ways_);
+  // Reuse a matching or invalid way first.
+  for (int w = 0; w < ways_; ++w) {
+    TlbEntry& e = entries_[base + static_cast<size_t>(w)];
+    if (!e.valid || (e.pcid == pcid && e.huge == huge && e.vpn == vpn)) {
+      return &e;
+    }
+  }
+  // Round-robin eviction.
+  size_t set = SetIndex(vpn);
+  uint32_t victim = next_victim_[set];
+  next_victim_[set] = (victim + 1) % static_cast<uint32_t>(ways_);
+  return &entries_[base + victim];
+}
+
+void Tlb::Insert(uint16_t pcid, uint64_t va, uint64_t pa, uint64_t flags, uint32_t pkey,
+                 bool huge) {
+  uint64_t vpn = huge ? (va >> kHugePageShift) : (va >> kPageShift);
+  uint64_t pfn = huge ? (pa >> kHugePageShift) : (pa >> kPageShift);
+  TlbEntry* slot = FindSlot(pcid, vpn, huge);
+  *slot = TlbEntry{
+      .valid = true, .pcid = pcid, .vpn = vpn, .pfn = pfn, .flags = flags, .pkey = pkey,
+      .huge = huge};
+}
+
+void Tlb::InvalidatePage(uint16_t pcid, uint64_t va) {
+  uint64_t vpn4k = va >> kPageShift;
+  uint64_t vpn2m = va >> kHugePageShift;
+  for (bool huge : {false, true}) {
+    uint64_t vpn = huge ? vpn2m : vpn4k;
+    size_t base = SetIndex(vpn) * static_cast<size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+      TlbEntry& e = entries_[base + static_cast<size_t>(w)];
+      if (e.valid && e.pcid == pcid && e.huge == huge && e.vpn == vpn) {
+        e.valid = false;
+      }
+    }
+  }
+}
+
+void Tlb::InvalidatePcid(uint16_t pcid) {
+  for (TlbEntry& e : entries_) {
+    if (e.valid && e.pcid == pcid) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::FlushAll() {
+  for (TlbEntry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+size_t Tlb::ValidCount() const {
+  size_t n = 0;
+  for (const TlbEntry& e : entries_) {
+    n += e.valid ? 1 : 0;
+  }
+  return n;
+}
+
+size_t Tlb::ValidCountForPcid(uint16_t pcid) const {
+  size_t n = 0;
+  for (const TlbEntry& e : entries_) {
+    n += (e.valid && e.pcid == pcid) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace cki

@@ -1,0 +1,71 @@
+// PCID-tagged translation lookaside buffer.
+//
+// CKI isolates each secure container and the host in different PCID
+// contexts, so a malicious guest's INVLPG can only flush its own entries
+// (section 4.1). The TLB model implements exactly those semantics:
+// lookups match on (pcid, vpn), INVLPG invalidates one page within one
+// PCID, INVPCID-single drops a whole context, and a non-PCID CR3 write
+// flushes everything.
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cki {
+
+struct TlbEntry {
+  bool valid = false;
+  uint16_t pcid = 0;
+  uint64_t vpn = 0;      // virtual page number (of the base page size)
+  uint64_t pfn = 0;      // physical frame number
+  uint64_t flags = 0;    // leaf PTE flags (W/U/NX) + pkey, cached
+  uint32_t pkey = 0;
+  bool huge = false;     // 2 MiB entry
+};
+
+class Tlb {
+ public:
+  // `sets` x `ways` entries; defaults approximate a modern dTLB's reach.
+  explicit Tlb(int sets = 128, int ways = 8);
+
+  // Finds the entry translating `va` under `pcid`, considering huge pages.
+  std::optional<TlbEntry> Lookup(uint16_t pcid, uint64_t va) const;
+
+  void Insert(uint16_t pcid, uint64_t va, uint64_t pa, uint64_t flags, uint32_t pkey, bool huge);
+
+  // INVLPG: drops the translation of one page in one PCID context.
+  void InvalidatePage(uint16_t pcid, uint64_t va);
+
+  // INVPCID (single-context): drops every entry of one PCID.
+  void InvalidatePcid(uint16_t pcid);
+
+  // Full flush (CR3 write without CR4.PCIDE, or INVPCID all-context).
+  void FlushAll();
+
+  // Count of currently valid entries (diagnostics / tests).
+  size_t ValidCount() const;
+
+  // Count of valid entries belonging to `pcid` (tests the isolation claim).
+  size_t ValidCountForPcid(uint16_t pcid) const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+ private:
+  size_t SetIndex(uint64_t vpn) const;
+  TlbEntry* FindSlot(uint16_t pcid, uint64_t vpn, bool huge);
+
+  int sets_;
+  int ways_;
+  std::vector<TlbEntry> entries_;  // sets_ * ways_, set-major
+  std::vector<uint32_t> next_victim_;  // per-set round robin
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_HW_TLB_H_

@@ -1,0 +1,104 @@
+#include "src/metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace cki {
+
+ReportTable::ReportTable(std::string title, std::string row_header,
+                         std::vector<std::string> columns)
+    : title_(std::move(title)), row_header_(std::move(row_header)), columns_(std::move(columns)) {}
+
+void ReportTable::AddRow(const std::string& label, std::vector<double> values) {
+  rows_.push_back(Row{label, std::move(values)});
+}
+
+double ReportTable::ValueAt(const std::string& row_label, size_t col) const {
+  for (const Row& row : rows_) {
+    if (row.label == row_label) {
+      return col < row.values.size() ? row.values[col] : 0.0;
+    }
+  }
+  throw std::out_of_range("no such row: " + row_label);
+}
+
+ReportTable ReportTable::NormalizedTo(const std::string& baseline_label, bool invert) const {
+  const Row* base = nullptr;
+  for (const Row& row : rows_) {
+    if (row.label == baseline_label) {
+      base = &row;
+      break;
+    }
+  }
+  ReportTable out(title_ + (invert ? " (normalized, higher=better)" : " (normalized)"),
+                  row_header_, columns_);
+  if (base == nullptr) {
+    return out;
+  }
+  for (const Row& row : rows_) {
+    std::vector<double> norm(row.values.size(), 0.0);
+    for (size_t i = 0; i < row.values.size() && i < base->values.size(); ++i) {
+      double b = base->values[i];
+      double v = row.values[i];
+      if (invert) {
+        norm[i] = (b > 0) ? v / b : 0.0;  // throughput relative to baseline
+      } else {
+        norm[i] = (b > 0) ? v / b : 0.0;  // latency relative to baseline
+      }
+    }
+    out.AddRow(row.label, std::move(norm));
+  }
+  return out;
+}
+
+void ReportTable::Print(std::ostream& os, int precision) const {
+  size_t label_width = row_header_.size();
+  for (const Row& row : rows_) {
+    label_width = std::max(label_width, row.label.size());
+  }
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = std::max<size_t>(columns_[i].size(), 10);
+  }
+
+  std::ios_base::fmtflags saved_flags = os.flags();
+  std::streamsize saved_precision = os.precision();
+  os << "== " << title_ << " ==\n";
+  os << std::left << std::setw(static_cast<int>(label_width + 2)) << row_header_;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    os << std::right << std::setw(static_cast<int>(widths[i] + 2)) << columns_[i];
+  }
+  os << "\n";
+  os << std::fixed << std::setprecision(precision);
+  for (const Row& row : rows_) {
+    os << std::left << std::setw(static_cast<int>(label_width + 2)) << row.label;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      double v = i < row.values.size() ? row.values[i] : 0.0;
+      os << std::right << std::setw(static_cast<int>(widths[i] + 2)) << v;
+    }
+    os << "\n";
+  }
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+  os << "\n";
+}
+
+void ReportTable::PrintCsv(std::ostream& os) const {
+  os << row_header_;
+  for (const std::string& col : columns_) {
+    os << "," << col;
+  }
+  os << "\n";
+  for (const Row& row : rows_) {
+    os << row.label;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      os << "," << (i < row.values.size() ? row.values[i] : 0.0);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace cki

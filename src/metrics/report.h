@@ -1,0 +1,49 @@
+// Result tables for the benchmark harness: aligned text output plus
+// normalization helpers matching how the paper presents each figure
+// (latency normalized to the slowest/baseline, throughput normalized to
+// the best).
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cki {
+
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::string row_header, std::vector<std::string> columns);
+
+  void AddRow(const std::string& label, std::vector<double> values);
+
+  // Returns a copy whose values are divided column-wise by the values of
+  // row `baseline_label`. With `invert`, the ratio is baseline/value
+  // (throughput-style: higher is better).
+  ReportTable NormalizedTo(const std::string& baseline_label, bool invert = false) const;
+
+  // Prints an aligned table. `precision` controls fractional digits.
+  void Print(std::ostream& os, int precision = 1) const;
+
+  // Emits `title.csv`-style lines (comma separated) for plotting.
+  void PrintCsv(std::ostream& os) const;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  double ValueAt(const std::string& row_label, size_t col) const;
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::string row_header_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_METRICS_REPORT_H_

@@ -1,0 +1,18 @@
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+void ContainerEngine::Boot() {
+  kernel_ = std::make_unique<GuestKernel>(ctx_, *this);
+  kernel_->CreateInitProcess();
+}
+
+uint64_t ContainerEngine::MmapAnon(uint64_t bytes, bool populate) {
+  SyscallResult r = UserSyscall(SyscallRequest{.no = Sys::kMmap,
+                                               .arg0 = bytes,
+                                               .arg1 = kProtRead | kProtWrite,
+                                               .arg2 = populate ? 1u : 0u});
+  return r.ok() ? static_cast<uint64_t>(r.value) : 0;
+}
+
+}  // namespace cki

@@ -1,0 +1,73 @@
+// Base class for container engines. An engine binds a model guest kernel to
+// one of the four isolation mechanisms (RunC, HVM, PVM, CKI) on a shared
+// Machine, implements the EnginePort seam with that design's mechanism and
+// costs, and exposes the user-visible operations the workloads drive.
+#ifndef SRC_RUNTIME_ENGINE_H_
+#define SRC_RUNTIME_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/guest/engine_port.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/machine.h"
+
+namespace cki {
+
+enum class TouchResult : uint8_t { kOk, kSegv };
+
+class ContainerEngine : public EnginePort {
+ public:
+  explicit ContainerEngine(Machine& machine)
+      : machine_(machine), ctx_(machine.ctx()), id_(machine.AllocOwnerId()) {}
+  ~ContainerEngine() override = default;
+
+  ContainerEngine(const ContainerEngine&) = delete;
+  ContainerEngine& operator=(const ContainerEngine&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  // Boots the container: engine-specific setup, then the guest kernel and
+  // its init process.
+  virtual void Boot();
+
+  GuestKernel& kernel() { return *kernel_; }
+  Machine& machine() { return machine_; }
+  OwnerId id() const { return id_; }
+  bool nested() const { return machine_.nested(); }
+
+  // --- user-visible operations (what workloads drive) -----------------------
+  // A syscall from the current container process, through the design's full
+  // entry/exit path.
+  virtual SyscallResult UserSyscall(const SyscallRequest& req) = 0;
+
+  // A user-mode memory access, through the MMU; faults are carried through
+  // the design's full delivery/handling/return path.
+  virtual TouchResult UserTouch(uint64_t va, bool write) = 0;
+
+  // A guest-kernel-level request to the host (the "empty hypercall" of the
+  // microbenchmarks). RunC has no hypervisor, so its engine returns 0 cost.
+  virtual uint64_t GuestHypercall(HypercallOp op, uint64_t a0 = 0, uint64_t a1 = 0) = 0;
+
+  // --- virtio path primitives (I/O workloads) -------------------------------
+  // Cost of one queue notification from guest to host (doorbell).
+  virtual SimNanos KickCost() const = 0;
+  // Cost of delivering one device interrupt to the guest (host -> guest).
+  virtual SimNanos DeviceInterruptCost() const = 0;
+  // Extra per-request device-emulation work of this design's virtio stack.
+  virtual SimNanos VirtioEmulationExtra() const { return 0; }
+
+  // Convenience: allocate + populate an anonymous user mapping and return
+  // its base VA (drives mmap through the syscall path).
+  uint64_t MmapAnon(uint64_t bytes, bool populate);
+
+ protected:
+  Machine& machine_;
+  SimContext& ctx_;
+  OwnerId id_;
+  std::unique_ptr<GuestKernel> kernel_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_RUNTIME_ENGINE_H_

@@ -1,0 +1,97 @@
+#include "src/runtime/native_engine.h"
+
+namespace cki {
+
+NativeEngine::NativeEngine(Machine& machine)
+    : ContainerEngine(machine), pcid_base_(machine.AllocPcidRange(256)) {}
+
+SyscallResult NativeEngine::UserSyscall(const SyscallRequest& req) {
+  // Native path: syscall -> ring-0 handler -> sysret. 90 ns plus handler.
+  Cpu& cpu = machine_.cpu();
+  ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
+  cpu.SyscallEntry();
+  ctx_.ChargeWork(ctx_.cost().syscall_handler_min);
+  SyscallResult result = kernel_->HandleSyscall(req);
+  ctx_.Charge(ctx_.cost().sysret_exit, PathEvent::kSyscallExit);
+  cpu.Sysret(/*requested_if=*/true);
+  return result;
+}
+
+TouchResult NativeEngine::UserTouch(uint64_t va, bool write) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kUser);
+  AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Fault f = cpu.Access(va, intent);
+    if (!f) {
+      return TouchResult::kOk;
+    }
+    if (f.type != FaultType::kPageNotPresent && f.type != FaultType::kPageProtection) {
+      return TouchResult::kSegv;
+    }
+    // Native fault: delivery straight into the kernel handler, iret back.
+    ctx_.Charge(ctx_.cost().fault_delivery, PathEvent::kPageFault);
+    cpu.set_cpl(Cpl::kKernel);
+    bool resolved = kernel_->HandlePageFault(va, write);
+    ctx_.ChargeWork(ctx_.cost().iret_native);
+    cpu.set_cpl(Cpl::kUser);
+    if (!resolved) {
+      return TouchResult::kSegv;
+    }
+  }
+  return TouchResult::kSegv;
+}
+
+uint64_t NativeEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  // No hypervisor below an OS-level container; the operation is a no-op.
+  (void)op;
+  (void)a0;
+  (void)a1;
+  return 0;
+}
+
+SimNanos NativeEngine::KickCost() const {
+  // The "device" is the host's own network stack: a function call.
+  return 0;
+}
+
+SimNanos NativeEngine::DeviceInterruptCost() const {
+  return ctx_.cost().hw_interrupt_delivery;
+}
+
+uint64_t NativeEngine::ReadPte(uint64_t pte_pa) { return machine_.mem().ReadU64(pte_pa); }
+
+bool NativeEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  (void)level;
+  (void)va;
+  ctx_.Charge(ctx_.cost().pte_write_native, PathEvent::kPteUpdate);
+  machine_.mem().WriteU64(pte_pa, value);
+  return true;
+}
+
+uint64_t NativeEngine::AllocDataPage() { return machine_.frames().AllocFrame(id_); }
+
+void NativeEngine::FreeDataPage(uint64_t pa) { machine_.frames().FreeFrame(pa); }
+
+uint64_t NativeEngine::AllocPtp(int level) {
+  (void)level;
+  return machine_.frames().AllocFrame(id_);
+}
+
+void NativeEngine::FreePtp(uint64_t pa, int level) {
+  (void)level;
+  machine_.frames().FreeFrame(pa);
+}
+
+uint64_t NativeEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  return GuestHypercall(op, a0, a1);
+}
+
+void NativeEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
+  ctx_.Charge(ctx_.cost().cr3_write_raw, PathEvent::kCr3Switch);
+  machine_.cpu().LoadCr3(MakeCr3(root_pa, static_cast<uint16_t>(pcid_base_ + (asid & 0xFF))));
+}
+
+void NativeEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+}  // namespace cki

@@ -1,0 +1,42 @@
+// RunC: the OS-level container baseline. Container processes are ordinary
+// host processes — syscalls enter the (host) kernel natively, page faults
+// are handled natively, page tables are written directly, and there is no
+// hypervisor underneath.
+#ifndef SRC_RUNTIME_NATIVE_ENGINE_H_
+#define SRC_RUNTIME_NATIVE_ENGINE_H_
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+class NativeEngine : public ContainerEngine {
+ public:
+  explicit NativeEngine(Machine& machine);
+
+  std::string_view name() const override { return "RunC"; }
+
+  SyscallResult UserSyscall(const SyscallRequest& req) override;
+  TouchResult UserTouch(uint64_t va, bool write) override;
+  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+
+  SimNanos KickCost() const override;
+  SimNanos DeviceInterruptCost() const override;
+
+  // --- EnginePort ------------------------------------------------------
+  uint64_t ReadPte(uint64_t pte_pa) override;
+  bool StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) override;
+  uint64_t AllocDataPage() override;
+  void FreeDataPage(uint64_t pa) override;
+  uint64_t AllocPtp(int level) override;
+  void FreePtp(uint64_t pa, int level) override;
+  uint64_t Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+  void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
+  void InvalidatePage(uint64_t va) override;
+
+ private:
+  uint16_t pcid_base_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_RUNTIME_NATIVE_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "src/runtime/runtime.h"
+
+#include "src/cki/cki_engine.h"
+#include "src/runtime/native_engine.h"
+#include "src/virt/gvisor_engine.h"
+#include "src/virt/hvm_engine.h"
+#include "src/virt/libos_engine.h"
+#include "src/virt/pvm_engine.h"
+
+namespace cki {
+
+std::string_view RuntimeKindName(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kRunc:
+      return "RunC";
+    case RuntimeKind::kHvm:
+      return "HVM";
+    case RuntimeKind::kPvm:
+      return "PVM";
+    case RuntimeKind::kCki:
+      return "CKI";
+    case RuntimeKind::kCkiNoOpt2:
+      return "CKI-wo-OPT2";
+    case RuntimeKind::kCkiNoOpt3:
+      return "CKI-wo-OPT3";
+    case RuntimeKind::kGvisor:
+      return "gVisor";
+    case RuntimeKind::kLibOs:
+      return "LibOS";
+  }
+  return "unknown";
+}
+
+MachineConfig MachineConfigFor(RuntimeKind kind, Deployment deployment, const CostModel& cost) {
+  MachineConfig config;
+  config.cost = cost;
+  config.deployment = deployment;
+  switch (kind) {
+    case RuntimeKind::kCki:
+    case RuntimeKind::kCkiNoOpt2:
+    case RuntimeKind::kCkiNoOpt3:
+      config.extensions = CkiHwExtensions::All();
+      break;
+    default:
+      config.extensions = CkiHwExtensions::None();
+      break;
+  }
+  return config;
+}
+
+std::unique_ptr<ContainerEngine> MakeEngine(Machine& machine, RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kRunc:
+      return std::make_unique<NativeEngine>(machine);
+    case RuntimeKind::kHvm:
+      return std::make_unique<HvmEngine>(machine);
+    case RuntimeKind::kPvm:
+      return std::make_unique<PvmEngine>(machine);
+    case RuntimeKind::kCki:
+      return std::make_unique<CkiEngine>(machine);
+    case RuntimeKind::kCkiNoOpt2:
+      return std::make_unique<CkiEngine>(machine, CkiAblation::kNoOpt2);
+    case RuntimeKind::kCkiNoOpt3:
+      return std::make_unique<CkiEngine>(machine, CkiAblation::kNoOpt3);
+    case RuntimeKind::kGvisor:
+      return std::make_unique<GvisorEngine>(machine);
+    case RuntimeKind::kLibOs:
+      return std::make_unique<LibOsEngine>(machine);
+  }
+  return nullptr;
+}
+
+Testbed::Testbed(RuntimeKind kind, Deployment deployment, const CostModel& cost) : kind_(kind) {
+  machine_ = std::make_unique<Machine>(MachineConfigFor(kind, deployment, cost));
+  engine_ = MakeEngine(*machine_, kind);
+  engine_->Boot();
+  // Benchmarks measure from a clean clock after boot.
+  machine_->ctx().clock().Reset();
+  machine_->ctx().trace().Clear();
+}
+
+}  // namespace cki

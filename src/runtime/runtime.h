@@ -1,0 +1,63 @@
+// Factory for booted container runtimes: pairs a Machine (with the right
+// hardware extensions) with a container engine, mirroring the paper's
+// evaluated configurations.
+#ifndef SRC_RUNTIME_RUNTIME_H_
+#define SRC_RUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+enum class RuntimeKind : uint8_t {
+  kRunc = 0,    // OS-level container
+  kHvm,         // Kata-style, hardware virtualization
+  kPvm,         // software virtualization (shadow paging)
+  kCki,         // this paper
+  kCkiNoOpt2,   // ablation: + page-table switches on syscalls
+  kCkiNoOpt3,   // ablation: sysret/swapgs blocked
+  kGvisor,      // userspace kernel (Systrap redirection)
+  kLibOs,       // process-like library OS (no U/K isolation)
+};
+
+std::string_view RuntimeKindName(RuntimeKind kind);
+
+// A booted single-container testbed: machine + engine, ready for workloads.
+class Testbed {
+ public:
+  Testbed(RuntimeKind kind, Deployment deployment,
+          const CostModel& cost = CostModel::Calibrated());
+
+  ContainerEngine& engine() { return *engine_; }
+  Machine& machine() { return *machine_; }
+  SimContext& ctx() { return machine_->ctx(); }
+  RuntimeKind kind() const { return kind_; }
+
+  // Simulated time consumed by `fn` (single run).
+  template <typename Fn>
+  SimNanos Measure(Fn&& fn) {
+    SimNanos before = ctx().clock().now();
+    fn();
+    return ctx().clock().now() - before;
+  }
+
+ private:
+  RuntimeKind kind_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<ContainerEngine> engine_;
+};
+
+// Creates an engine of `kind` on an existing machine (multi-container
+// setups). The machine must have the CKI extensions for CKI kinds.
+std::unique_ptr<ContainerEngine> MakeEngine(Machine& machine, RuntimeKind kind);
+
+// The machine configuration each runtime expects.
+MachineConfig MachineConfigFor(RuntimeKind kind, Deployment deployment,
+                               const CostModel& cost = CostModel::Calibrated());
+
+}  // namespace cki
+
+#endif  // SRC_RUNTIME_RUNTIME_H_

@@ -1,0 +1,42 @@
+// Shared simulation context: the virtual clock, the calibrated cost model,
+// and the event trace. One SimContext is threaded through every hardware and
+// software component of a simulated machine.
+#ifndef SRC_SIM_CONTEXT_H_
+#define SRC_SIM_CONTEXT_H_
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/trace.h"
+
+namespace cki {
+
+class SimContext {
+ public:
+  SimContext() : cost_(CostModel::Calibrated()) {}
+  explicit SimContext(const CostModel& cost) : cost_(cost) {}
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& mutable_cost() { return cost_; }
+  TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
+
+  // Charges `ns` of simulated time and records the event that caused it.
+  void Charge(SimNanos ns, PathEvent e) {
+    clock_.Advance(ns);
+    trace_.Record(e);
+  }
+
+  // Charges time with no associated architectural event (plain work).
+  void ChargeWork(SimNanos ns) { clock_.Advance(ns); }
+
+ private:
+  SimClock clock_;
+  CostModel cost_;
+  TraceLog trace_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_SIM_CONTEXT_H_

@@ -1,0 +1,85 @@
+// Small statistics helpers used by the measurement harness.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cki {
+
+// Accumulates samples and reports summary statistics. Stores raw samples so
+// percentiles are exact; benchmark sample counts stay small enough for that.
+class Stats {
+ public:
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double Sum() const {
+    double s = 0;
+    for (double v : samples_) {
+      s += v;
+    }
+    return s;
+  }
+
+  double Mean() const { return samples_.empty() ? 0.0 : Sum() / static_cast<double>(count()); }
+
+  double Min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Exact percentile over the recorded samples, p in [0, 100].
+  double Percentile(double p) {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    EnsureSorted();
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+  }
+
+  double Stddev() const {
+    if (samples_.size() < 2) {
+      return 0.0;
+    }
+    double mean = Mean();
+    double acc = 0;
+    for (double v : samples_) {
+      acc += (v - mean) * (v - mean);
+    }
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace cki
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,84 @@
+// Event tracing for the simulator.
+//
+// Every architectural event of interest (mode switch, VM exit, PKS switch,
+// page walk, ...) is recorded on a TraceLog. Tests use the counters to
+// assert path composition — e.g. that a PVM page fault really performs six
+// context switches, or that a CKI syscall performs none — independently of
+// the latency numbers.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cki {
+
+enum class PathEvent : uint8_t {
+  kSyscallEntry = 0,
+  kSyscallExit,
+  kModeSwitch,        // extra ring crossing (PVM redirection)
+  kCr3Switch,         // address-space switch
+  kPksSwitch,         // wrpkrs in a CKI gate
+  kKsmCall,           // KSM call gate round trip
+  kHypercall,         // guest -> host kernel request
+  kVmExit,            // hardware VM exit (bare-metal)
+  kNestedVmExit,      // L2 exit with L0 intervention
+  kL0WorldSwitch,     // one L0 entry/exit leg under nesting
+  kPageFault,         // guest user page fault
+  kEptViolation,      // second-stage fault
+  kShadowPtUpdate,    // SPT/SPTE emulation event
+  kPteUpdate,         // any PTE store
+  kTlbMiss,
+  kTlbHit,
+  kPageWalk1D,
+  kPageWalk2D,
+  kHwInterrupt,
+  kVirqInject,
+  kVirtioKick,
+  kPrivInstrTrap,     // blocked privileged instruction attempted
+  kSecurityViolation, // isolation breach attempt detected & stopped
+  kContextSwitch,     // guest process switch
+  kCount,             // sentinel
+};
+
+// Human-readable name for an event (for test failure messages and dumps).
+std::string_view PathEventName(PathEvent e);
+
+class TraceLog {
+ public:
+  void Record(PathEvent e) { counts_[static_cast<size_t>(e)]++; }
+
+  uint64_t Count(PathEvent e) const { return counts_[static_cast<size_t>(e)]; }
+
+  uint64_t TotalEvents() const {
+    uint64_t total = 0;
+    for (uint64_t c : counts_) {
+      total += c;
+    }
+    return total;
+  }
+
+  void Clear() { counts_.fill(0); }
+
+  // Snapshot arithmetic: lets a test compute the events attributable to a
+  // single operation as (after - before).
+  std::array<uint64_t, static_cast<size_t>(PathEvent::kCount)> Snapshot() const {
+    return counts_;
+  }
+
+ private:
+  std::array<uint64_t, static_cast<size_t>(PathEvent::kCount)> counts_{};
+};
+
+// Convenience: difference in a single counter between two snapshots.
+inline uint64_t CountDelta(
+    const std::array<uint64_t, static_cast<size_t>(PathEvent::kCount)>& before,
+    const TraceLog& log, PathEvent e) {
+  return log.Count(e) - before[static_cast<size_t>(e)];
+}
+
+}  // namespace cki
+
+#endif  // SRC_SIM_TRACE_H_

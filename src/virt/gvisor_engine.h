@@ -1,0 +1,51 @@
+// gVisor-style userspace kernel (paper section 2.4.3, Figure 3 "Userspace
+// Kernel"). The container runs on a private Sentry — a kernel
+// re-implementation living in a separate host process:
+//   * syscalls are redirected to the Sentry via Systrap: the host kernel
+//     traps the syscall and switches to the Sentry process (inter-process
+//     communication), which is much slower than a native syscall;
+//   * application page faults are handled by the HOST kernel directly
+//     (Sentry backs app memory with host mmap), avoiding shadow paging;
+//   * no virtualization hardware is involved, and nested deployment works.
+#ifndef SRC_VIRT_GVISOR_ENGINE_H_
+#define SRC_VIRT_GVISOR_ENGINE_H_
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+class GvisorEngine : public ContainerEngine {
+ public:
+  explicit GvisorEngine(Machine& machine);
+
+  std::string_view name() const override { return "gVisor"; }
+
+  SyscallResult UserSyscall(const SyscallRequest& req) override;
+  TouchResult UserTouch(uint64_t va, bool write) override;
+  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+
+  SimNanos KickCost() const override;
+  SimNanos DeviceInterruptCost() const override;
+  SimNanos VirtioEmulationExtra() const override;
+
+  // Cost of one Systrap round trip (app -> host -> Sentry -> host -> app).
+  SimNanos SystrapCost() const;
+
+  // --- EnginePort ------------------------------------------------------
+  uint64_t ReadPte(uint64_t pte_pa) override;
+  bool StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) override;
+  uint64_t AllocDataPage() override;
+  void FreeDataPage(uint64_t pa) override;
+  uint64_t AllocPtp(int level) override;
+  void FreePtp(uint64_t pa, int level) override;
+  uint64_t Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+  void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
+  void InvalidatePage(uint64_t va) override;
+
+ private:
+  uint16_t pcid_base_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_VIRT_GVISOR_ENGINE_H_

@@ -1,0 +1,243 @@
+#include "src/virt/hvm_engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cki {
+
+HvmEngine::HvmEngine(Machine& machine)
+    : ContainerEngine(machine),
+      ept_(machine.mem(),
+           [this](int /*level*/) { return machine_.frames().AllocFrame(kHostOwner); }),
+      pcid_base_(machine.AllocPcidRange(256)) {}
+
+void HvmEngine::Boot() {
+  if (nested() && !machine_.config().nested_virt_available) {
+    // HVM needs VMX/SVM inside the IaaS VM; without it the container
+    // simply cannot start (the paper's nested-cloud compatibility gap).
+    deployment_unavailable_ = true;
+    return;
+  }
+  machine_.cpu().set_ept(&ept_);
+  ContainerEngine::Boot();
+}
+
+uint64_t HvmEngine::GuestPhysAlloc() {
+  if (!guest_free_list_.empty()) {
+    uint64_t gpa = guest_free_list_.back();
+    guest_free_list_.pop_back();
+    return gpa;
+  }
+  return (guest_ram_next_++) * kPageSize;
+}
+
+uint64_t HvmEngine::Backing(uint64_t gpa, bool create) {
+  uint64_t gfn = gpa >> kPageShift;
+  auto it = backing_.find(gfn);
+  if (it != backing_.end()) {
+    return it->second | (gpa & (kPageSize - 1));
+  }
+  if (!create) {
+    std::fprintf(stderr, "HvmEngine: unbacked gPA 0x%llx\n",
+                 static_cast<unsigned long long>(gpa));
+    std::abort();
+  }
+  uint64_t hpa = machine_.frames().AllocFrame(id_);
+  backing_[gfn] = hpa;
+  ept_.Map(gfn << kPageShift, hpa, PageSize::k4K);
+  return hpa | (gpa & (kPageSize - 1));
+}
+
+void HvmEngine::ChargeVmExit() {
+  const CostModel& c = ctx_.cost();
+  if (nested()) {
+    // L2 exit: four L0 world-switch legs plus shadow-VMCS synchronization.
+    for (int i = 0; i < 4; ++i) {
+      ctx_.Charge(c.l0_world_switch, PathEvent::kL0WorldSwitch);
+    }
+    ctx_.Charge(c.vmcs_shadow_sync, PathEvent::kNestedVmExit);
+  } else {
+    ctx_.Charge(c.vmexit_roundtrip_bm, PathEvent::kVmExit);
+  }
+}
+
+void HvmEngine::HandleEptViolation(uint64_t gpa) {
+  const CostModel& c = ctx_.cost();
+  ctx_.trace().Record(PathEvent::kEptViolation);
+  if (nested()) {
+    // The violation exits to L0, which resumes L1; L1's shadow-EPT update
+    // (vmread/vmwrite/INVEPT) traps back to L0 several times (sec 7.1:
+    // a nested EPT fault costs ~4 nested exits plus emulation work).
+    for (int i = 0; i < c.shadow_ept_fault_exits; ++i) {
+      ChargeVmExit();
+    }
+    ctx_.ChargeWork(c.shadow_ept_emulation);
+  } else {
+    ChargeVmExit();
+    ctx_.ChargeWork(c.ept_violation_work);
+  }
+  if (cold_faults_) {
+    // Fresh memory: the host also allocates backing storage (one more
+    // management exit), making Table 2's cold faults heavier than the
+    // warmed faults of Fig 10a. The allocation is L1-local, so even under
+    // nesting this is a bare-metal-priced exit.
+    ctx_.Charge(c.vmexit_roundtrip_bm, PathEvent::kVmExit);
+    ctx_.ChargeWork(c.hvm_cold_backing_work);
+  }
+  if (ept_huge_pages_) {
+    // Back the whole 2 MiB region at once: one violation per 512 pages.
+    uint64_t gpa_base = gpa & ~(kHugePageSize - 1);
+    PhysSegment seg = machine_.frames().AllocSegment(kHugePageSize / kPageSize, id_);
+    for (uint64_t i = 0; i < kHugePageSize / kPageSize; ++i) {
+      backing_[(gpa_base >> kPageShift) + i] = seg.base + i * kPageSize;
+    }
+    ept_.Map(gpa_base, seg.base, PageSize::k2M);
+  } else {
+    Backing(gpa, /*create=*/true);
+  }
+}
+
+SyscallResult HvmEngine::UserSyscall(const SyscallRequest& req) {
+  // Native-speed syscalls inside the guest: no VM exit involved.
+  Cpu& cpu = machine_.cpu();
+  ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
+  cpu.SyscallEntry();
+  ctx_.ChargeWork(ctx_.cost().syscall_handler_min);
+  SyscallResult result = kernel_->HandleSyscall(req);
+  ctx_.Charge(ctx_.cost().sysret_exit, PathEvent::kSyscallExit);
+  cpu.Sysret(/*requested_if=*/true);
+  return result;
+}
+
+TouchResult HvmEngine::UserTouch(uint64_t va, bool write) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kUser);
+  AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
+  const CostModel& c = ctx_.cost();
+  // A fresh page typically needs both a guest #PF and then an EPT
+  // violation on the retry; bound the loop defensively.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Fault f = cpu.Access(va, intent);
+    if (!f) {
+      return TouchResult::kOk;
+    }
+    switch (f.type) {
+      case FaultType::kPageNotPresent:
+      case FaultType::kPageProtection: {
+        // Guest-internal fault: delivered and handled entirely in the L2
+        // guest kernel (slightly heavier than native, Fig 10a).
+        ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
+        cpu.set_cpl(Cpl::kKernel);
+        ctx_.ChargeWork(c.hvm_guest_handler_extra);
+        if (nested()) {
+          ctx_.ChargeWork(c.hvm_nested_guest_handler_extra);
+        }
+        bool resolved = kernel_->HandlePageFault(va, write);
+        ctx_.ChargeWork(c.iret_native);
+        cpu.set_cpl(Cpl::kUser);
+        if (!resolved) {
+          return TouchResult::kSegv;
+        }
+        break;
+      }
+      case FaultType::kEptViolation:
+        HandleEptViolation(f.va);
+        break;
+      default:
+        return TouchResult::kSegv;
+    }
+  }
+  return TouchResult::kSegv;
+}
+
+uint64_t HvmEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  return Hypercall(op, a0, a1);
+}
+
+uint64_t HvmEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  (void)a0;
+  (void)a1;
+  ctx_.trace().Record(PathEvent::kHypercall);
+  ChargeVmExit();
+  ctx_.ChargeWork(ctx_.cost().hypercall_dispatch);
+  (void)op;
+  return 0;
+}
+
+SimNanos HvmEngine::KickCost() const {
+  const CostModel& c = ctx_.cost();
+  SimNanos exit_cost = nested() ? c.NestedExitRoundtrip() : c.vmexit_roundtrip_bm;
+  return exit_cost + c.virtio_kick_mmio;
+}
+
+SimNanos HvmEngine::DeviceInterruptCost() const {
+  const CostModel& c = ctx_.cost();
+  // Bare metal: hardware assists (APICv-style injection) keep delivery to
+  // one exit plus the injection. Nested: the injection and the guest's EOI
+  // write are both L0-mediated cycles.
+  if (nested()) {
+    return 2 * c.NestedExitRoundtrip() + c.virq_inject;
+  }
+  return c.vmexit_roundtrip_bm + c.virq_inject;
+}
+
+SimNanos HvmEngine::VirtioEmulationExtra() const {
+  // Bare metal: vhost + EVENT_IDX suppression elide the frontend's MMIO
+  // register traffic. Nested: ISR reads, notification toggles and ring
+  // index accesses each bounce through L0.
+  const CostModel& c = ctx_.cost();
+  if (!nested()) {
+    return 0;
+  }
+  return 4 * (c.NestedExitRoundtrip() + c.virtio_kick_mmio);
+}
+
+uint64_t HvmEngine::ReadPte(uint64_t pte_pa) {
+  return machine_.mem().ReadU64(Backing(pte_pa, /*create=*/false));
+}
+
+bool HvmEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  (void)level;
+  (void)va;
+  // With EPT the guest manages its own tables: a direct store, no exit.
+  ctx_.Charge(ctx_.cost().pte_write_native, PathEvent::kPteUpdate);
+  machine_.mem().WriteU64(Backing(pte_pa, /*create=*/false), value);
+  return true;
+}
+
+uint64_t HvmEngine::AllocDataPage() {
+  // Backing is left lazy: the first user access raises an EPT violation
+  // ("the newly allocated gPA is not mapped in the EPT", sec 7.1).
+  if (!data_free_list_.empty()) {
+    uint64_t gpa = data_free_list_.back();
+    data_free_list_.pop_back();
+    return gpa;
+  }
+  return (data_gpa_next_++) * kPageSize;
+}
+
+void HvmEngine::FreeDataPage(uint64_t pa) { data_free_list_.push_back(pa); }
+
+uint64_t HvmEngine::AllocPtp(int level) {
+  (void)level;
+  uint64_t gpa = GuestPhysAlloc();
+  // Page-table pages are written immediately by the guest kernel, so their
+  // backing exists by construction (they come from already-touched RAM).
+  Backing(gpa, /*create=*/true);
+  return gpa;
+}
+
+void HvmEngine::FreePtp(uint64_t pa, int level) {
+  (void)level;
+  guest_free_list_.push_back(pa);
+}
+
+void HvmEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
+  // Guest CR3 loads do not exit under EPT.
+  ctx_.Charge(ctx_.cost().cr3_write_raw, PathEvent::kCr3Switch);
+  machine_.cpu().LoadCr3(MakeCr3(root_pa, static_cast<uint16_t>(pcid_base_ + (asid & 0xFF))));
+}
+
+void HvmEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+}  // namespace cki

@@ -1,0 +1,84 @@
+// HVM: hardware-assisted virtualization (the Kata Containers baseline).
+//
+// The guest runs in VMX non-root mode with two-stage translation: guest
+// page tables map gVA -> gPA, the host's EPT maps gPA -> hPA. Syscalls and
+// guest page faults stay inside the guest; EPT violations and hypercalls
+// cause VM exits. Under nested deployment every VM exit of the (L2)
+// container bounces through the L0 hypervisor, and EPT-violation handling
+// requires shadow-EPT emulation by L0 (sections 2.4.1, 7.1).
+#ifndef SRC_VIRT_HVM_ENGINE_H_
+#define SRC_VIRT_HVM_ENGINE_H_
+
+#include <unordered_map>
+
+#include "src/hw/ept.h"
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+class HvmEngine : public ContainerEngine {
+ public:
+  explicit HvmEngine(Machine& machine);
+
+  std::string_view name() const override { return nested() ? "HVM-NST" : "HVM-BM"; }
+
+  void Boot() override;
+
+  // True when the deployment is impossible (nested container requested but
+  // the IaaS VM has no nested virtualization). Boot() then does nothing.
+  bool deployment_unavailable() const { return deployment_unavailable_; }
+
+  SyscallResult UserSyscall(const SyscallRequest& req) override;
+  TouchResult UserTouch(uint64_t va, bool write) override;
+  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+
+  SimNanos KickCost() const override;
+  SimNanos DeviceInterruptCost() const override;
+  SimNanos VirtioEmulationExtra() const override;
+
+  // Table-2 style "cold" faults: fresh memory whose host backing must also
+  // be allocated (one extra management exit per fault).
+  void set_cold_faults(bool cold) { cold_faults_ = cold; }
+  // Backs EPT mappings with 2 MiB pages (the "2M" configurations).
+  void set_ept_huge_pages(bool huge) { ept_huge_pages_ = huge; }
+
+  const Ept& ept() const { return ept_; }
+
+  // --- EnginePort ------------------------------------------------------
+  uint64_t ReadPte(uint64_t pte_pa) override;
+  bool StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) override;
+  uint64_t AllocDataPage() override;
+  void FreeDataPage(uint64_t pa) override;
+  uint64_t AllocPtp(int level) override;
+  void FreePtp(uint64_t pa, int level) override;
+  uint64_t Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+  void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
+  void InvalidatePage(uint64_t va) override;
+
+ private:
+  // One VM exit round trip, bare-metal or nested as configured.
+  void ChargeVmExit();
+  // Handles an EPT violation at guest-physical address `gpa`.
+  void HandleEptViolation(uint64_t gpa);
+  // Host-physical address backing `gpa`; allocates (and EPT-maps) when
+  // `create` is set. Aborts if absent and !create.
+  uint64_t Backing(uint64_t gpa, bool create);
+  uint64_t GuestPhysAlloc();
+
+  Ept ept_;
+  std::unordered_map<uint64_t, uint64_t> backing_;  // gPA page -> hPA page
+  std::vector<uint64_t> guest_free_list_;
+  std::vector<uint64_t> data_free_list_;
+  uint64_t guest_ram_next_ = 0;  // bump pointer in gPA space (page index)
+  // Data pages come from a separate gPA arena so 2 MiB EPT backing never
+  // covers (and corrupts) page-table pages.
+  uint64_t data_gpa_next_ = (1ull << 40) >> kPageShift;
+  uint16_t pcid_base_;
+  bool cold_faults_ = false;
+  bool ept_huge_pages_ = false;
+  bool deployment_unavailable_ = false;
+};
+
+}  // namespace cki
+
+#endif  // SRC_VIRT_HVM_ENGINE_H_

@@ -1,0 +1,137 @@
+#include "src/virt/libos_engine.h"
+
+namespace cki {
+
+namespace {
+// A libOS "syscall" is a call through a function-pointer table.
+constexpr SimNanos kFnCallOverhead = 8;
+}  // namespace
+
+LibOsEngine::LibOsEngine(Machine& machine)
+    : ContainerEngine(machine), pcid_base_(machine.AllocPcidRange(16)) {}
+
+void LibOsEngine::MapLibOsState() {
+  if (state_mapped_) {
+    return;
+  }
+  state_mapped_ = true;
+  // The libOS's own bookkeeping lives in the application's address space,
+  // user-accessible — that is the design.
+  Process& proc = kernel_->current();
+  uint64_t page = AllocDataPage();
+  kernel_->editor().MapPage(proc.pt_root, kLibOsStateVa, page, kPteP | kPteW | kPteU | kPteNx,
+                            0, PageSize::k4K);
+  proc.vmas.Insert(Vma{.start = kLibOsStateVa,
+                       .end = kLibOsStateVa + kPageSize,
+                       .prot = kProtRead | kProtWrite,
+                       .kind = VmaKind::kAnon});
+}
+
+SyscallResult LibOsEngine::UserSyscall(const SyscallRequest& req) {
+  // Compatibility limit: a single-process container.
+  if (req.no == Sys::kFork || req.no == Sys::kExecve) {
+    return {kEINVAL};
+  }
+  // No ring crossing at all: a function call into the linked libOS.
+  ctx_.ChargeWork(kFnCallOverhead);
+  ctx_.ChargeWork(ctx_.cost().syscall_handler_min);
+  return kernel_->HandleSyscall(req);
+}
+
+TouchResult LibOsEngine::UserTouch(uint64_t va, bool write) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kUser);
+  AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
+  const CostModel& c = ctx_.cost();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Fault f = cpu.Access(va, intent);
+    if (!f) {
+      return TouchResult::kOk;
+    }
+    if (f.type != FaultType::kPageNotPresent && f.type != FaultType::kPageProtection) {
+      return TouchResult::kSegv;
+    }
+    // The unikernel process's faults are handled by the host kernel.
+    ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
+    cpu.set_cpl(Cpl::kKernel);
+    bool resolved = kernel_->HandlePageFault(va, write);
+    ctx_.ChargeWork(c.iret_native);
+    cpu.set_cpl(Cpl::kUser);
+    if (!resolved) {
+      return TouchResult::kSegv;
+    }
+  }
+  return TouchResult::kSegv;
+}
+
+bool LibOsEngine::AppCanTouchLibOsState() {
+  MapLibOsState();
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kUser);
+  // Application code writing libOS internals: same address space, user
+  // mapping, no protection boundary. It simply works — the weakness.
+  Fault f = cpu.Access(kLibOsStateVa, AccessIntent::Write());
+  return f.ok();
+}
+
+uint64_t LibOsEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  return Hypercall(op, a0, a1);
+}
+
+uint64_t LibOsEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  (void)op;
+  (void)a0;
+  (void)a1;
+  // LibOS -> host requests are host syscalls from the unikernel process.
+  ctx_.trace().Record(PathEvent::kHypercall);
+  ctx_.Charge(ctx_.cost().mode_switch, PathEvent::kModeSwitch);
+  ctx_.ChargeWork(ctx_.cost().hypercall_dispatch);
+  ctx_.Charge(ctx_.cost().mode_switch, PathEvent::kModeSwitch);
+  return 0;
+}
+
+SimNanos LibOsEngine::KickCost() const {
+  return 2 * ctx_.cost().mode_switch + ctx_.cost().hypercall_dispatch;
+}
+
+SimNanos LibOsEngine::DeviceInterruptCost() const {
+  return ctx_.cost().hw_interrupt_delivery;
+}
+
+uint64_t LibOsEngine::ReadPte(uint64_t pte_pa) { return machine_.mem().ReadU64(pte_pa); }
+
+bool LibOsEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  (void)level;
+  (void)va;
+  ctx_.Charge(ctx_.cost().pte_write_native, PathEvent::kPteUpdate);
+  machine_.mem().WriteU64(pte_pa, value);
+  return true;
+}
+
+uint64_t LibOsEngine::AllocDataPage() { return machine_.frames().AllocFrame(id_); }
+
+void LibOsEngine::FreeDataPage(uint64_t pa) { machine_.frames().FreeFrame(pa); }
+
+uint64_t LibOsEngine::AllocPtp(int level) {
+  (void)level;
+  return machine_.frames().AllocFrame(id_);
+}
+
+void LibOsEngine::FreePtp(uint64_t pa, int level) {
+  (void)level;
+  machine_.frames().FreeFrame(pa);
+}
+
+void LibOsEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
+  ctx_.Charge(ctx_.cost().cr3_write_raw, PathEvent::kCr3Switch);
+  machine_.cpu().LoadCr3(MakeCr3(root_pa, static_cast<uint16_t>(pcid_base_ + (asid & 0xF))));
+}
+
+void LibOsEngine::InvalidatePage(uint64_t va) {
+  // The libOS runs in user mode: invlpg would #GP. Memory-management
+  // operations are host syscalls underneath (mmap/mprotect), and the host
+  // kernel performs the TLB maintenance.
+  machine_.cpu().tlb().InvalidatePage(Cr3Pcid(machine_.cpu().cr3()), va);
+}
+
+}  // namespace cki

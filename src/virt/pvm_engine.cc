@@ -1,0 +1,271 @@
+#include "src/virt/pvm_engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cki {
+
+PvmEngine::PvmEngine(Machine& machine)
+    : ContainerEngine(machine),
+      shadow_editor_(machine.mem(),
+                     [&machine](int /*level*/) { return machine.frames().AllocFrame(kHostOwner); },
+                     [&machine](uint64_t pte_pa, uint64_t value, int, uint64_t) {
+                       machine.mem().WriteU64(pte_pa, value);
+                       return true;
+                     }),
+      pcid_base_(machine.AllocPcidRange(256)) {}
+
+uint64_t PvmEngine::GuestPhysAlloc() {
+  if (!guest_free_list_.empty()) {
+    uint64_t gpa = guest_free_list_.back();
+    guest_free_list_.pop_back();
+    return gpa;
+  }
+  return (guest_ram_next_++) * kPageSize;
+}
+
+uint64_t PvmEngine::Backing(uint64_t gpa, bool create) {
+  uint64_t gfn = gpa >> kPageShift;
+  auto it = backing_.find(gfn);
+  if (it != backing_.end()) {
+    return it->second | (gpa & (kPageSize - 1));
+  }
+  if (!create) {
+    std::fprintf(stderr, "PvmEngine: unbacked gPA 0x%llx\n",
+                 static_cast<unsigned long long>(gpa));
+    std::abort();
+  }
+  if (cold_faults_) {
+    // Fresh backing: the host resolves the gPA through the hypervisor
+    // process's VMA and allocates memory — the expensive part of Table 2's
+    // cold faults (two extra host round trips plus lookup work).
+    ChargePvmExit();
+    ChargePvmExit();
+    ctx_.ChargeWork(ctx_.cost().pvm_cold_backing_work);
+  }
+  uint64_t hpa = machine_.frames().AllocFrame(id_);
+  backing_[gfn] = hpa;
+  return hpa | (gpa & (kPageSize - 1));
+}
+
+void PvmEngine::ChargePvmExit() {
+  const CostModel& c = ctx_.cost();
+  ctx_.Charge(c.mode_switch, PathEvent::kModeSwitch);
+  ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+  ctx_.ChargeWork(c.pvm_exit_extra);
+  ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+  ctx_.Charge(c.mode_switch, PathEvent::kModeSwitch);
+  if (nested()) {
+    ctx_.ChargeWork(c.pvm_nested_delta);
+  }
+  ctx_.trace().Record(PathEvent::kVmExit);
+}
+
+void PvmEngine::ChargeSyscallRedirect() {
+  // One leg of syscall redirection: host -> guest kernel (or back): one
+  // extra mode switch plus one mitigated page-table switch.
+  const CostModel& c = ctx_.cost();
+  ctx_.Charge(c.mode_switch, PathEvent::kModeSwitch);
+  ctx_.Charge(c.Cr3SwitchMitigated(), PathEvent::kCr3Switch);
+}
+
+uint64_t PvmEngine::ShadowRoot(uint64_t guest_root) {
+  auto it = shadow_roots_.find(guest_root);
+  if (it != shadow_roots_.end()) {
+    return it->second;
+  }
+  uint64_t shadow = machine_.frames().AllocFrame(kHostOwner);
+  shadow_roots_[guest_root] = shadow;
+  return shadow;
+}
+
+void PvmEngine::SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_pte) {
+  auto it = shadow_roots_.find(guest_root);
+  if (it == shadow_roots_.end()) {
+    return;  // never activated: the shadow will be built lazily on faults
+  }
+  uint64_t shadow_root = it->second;
+  if (!PtePresent(guest_pte)) {
+    shadow_editor_.UnmapPage(shadow_root, va);
+    // The guest kernel follows each unmap with invlpg (paravirt contract),
+    // which the engine applies to the hardware TLB via InvalidatePage.
+    return;
+  }
+  uint64_t hpa = Backing(PteAddr(guest_pte), /*create=*/true) & kPteAddrMask;
+  uint64_t flags = guest_pte & ~(kPteAddrMask | kPtePkeyMask);
+  shadow_editor_.MapPage(shadow_root, va, hpa, flags, /*pkey=*/0, PageSize::k4K);
+  shadow_fills_++;
+}
+
+SyscallResult PvmEngine::UserSyscall(const SyscallRequest& req) {
+  // App -> host kernel -> (mode + page-table switch) -> user-mode guest
+  // kernel -> handler -> (switch back) -> host -> app. Fig 10b: 336 ns.
+  Cpu& cpu = machine_.cpu();
+  ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
+  cpu.SyscallEntry();
+  ChargeSyscallRedirect();  // host -> guest kernel address space
+  ctx_.ChargeWork(ctx_.cost().syscall_handler_min);
+  SyscallResult result = kernel_->HandleSyscall(req);
+  ChargeSyscallRedirect();  // guest kernel -> host
+  ctx_.Charge(ctx_.cost().sysret_exit, PathEvent::kSyscallExit);
+  cpu.Sysret(/*requested_if=*/true);
+  return result;
+}
+
+TouchResult PvmEngine::UserTouch(uint64_t va, bool write) {
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kUser);
+  AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
+  const CostModel& c = ctx_.cost();
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Fault f = cpu.Access(va, intent);
+    if (!f) {
+      return TouchResult::kOk;
+    }
+    if (f.type != FaultType::kPageNotPresent && f.type != FaultType::kPageProtection) {
+      return TouchResult::kSegv;
+    }
+    // Every fault first traps to the host kernel, which walks the guest
+    // page table to classify it (true guest fault vs stale shadow entry).
+    ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
+    cpu.set_cpl(Cpl::kKernel);
+    uint64_t guest_root = kernel_->current().pt_root;
+    WalkResult guest_walk = kernel_->editor().Walk(guest_root, va);
+    bool stale_shadow = !guest_walk.fault && (!f.was_write || PteWritable(guest_walk.leaf_pte));
+    if (stale_shadow) {
+      // The guest mapping exists; only the shadow entry is missing.
+      ctx_.Charge(c.spt_hidden_fill, PathEvent::kShadowPtUpdate);
+      SyncShadowLeaf(guest_root, va & ~(kPageSize - 1), guest_walk.leaf_pte);
+      cpu.set_cpl(Cpl::kUser);
+      continue;
+    }
+    // Redirect into the user-mode guest kernel (exception injection).
+    ChargePvmExit();
+    ctx_.ChargeWork(c.pvm_exception_inject);
+    ctx_.ChargeWork(c.pvm_guest_handler_extra);
+    bool resolved = kernel_->HandlePageFault(va, write);
+    // Return to the faulting application via the host kernel.
+    ChargePvmExit();
+    cpu.set_cpl(Cpl::kUser);
+    if (!resolved) {
+      return TouchResult::kSegv;
+    }
+  }
+  return TouchResult::kSegv;
+}
+
+uint64_t PvmEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  return Hypercall(op, a0, a1);
+}
+
+uint64_t PvmEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  (void)op;
+  (void)a0;
+  (void)a1;
+  ctx_.trace().Record(PathEvent::kHypercall);
+  ChargePvmExit();
+  return 0;
+}
+
+SimNanos PvmEngine::KickCost() const {
+  const CostModel& c = ctx_.cost();
+  SimNanos exit_cost = 2 * c.mode_switch + 2 * c.Cr3SwitchMitigated() + c.pvm_exit_extra +
+                       (nested() ? c.pvm_nested_delta : 0);
+  return exit_cost;
+}
+
+SimNanos PvmEngine::DeviceInterruptCost() const {
+  const CostModel& c = ctx_.cost();
+  // The host owns hardware interrupts natively; injecting into the
+  // user-mode guest costs one redirection leg each way plus the injection.
+  return 2 * (c.mode_switch + c.Cr3SwitchMitigated()) + c.virq_inject;
+}
+
+SimNanos PvmEngine::VirtioEmulationExtra() const {
+  // PVM keeps the MMIO-based virtio frontend: ISR status read, used-ring
+  // notification toggles and the avail-ring doorbell are emulated MMIO
+  // traps (CKI replaced all of these with one hypercall, section 5).
+  const CostModel& c = ctx_.cost();
+  SimNanos exit_cost = 2 * c.mode_switch + 2 * c.Cr3SwitchMitigated() + c.pvm_exit_extra +
+                       (nested() ? c.pvm_nested_delta : 0);
+  return 7 * (exit_cost + c.virtio_kick_mmio);
+}
+
+uint64_t PvmEngine::ReadPte(uint64_t pte_pa) {
+  return machine_.mem().ReadU64(Backing(pte_pa, /*create=*/false));
+}
+
+bool PvmEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  const CostModel& c = ctx_.cost();
+  if (in_batch_) {
+    ctx_.Charge(c.spt_emulation_batched, PathEvent::kShadowPtUpdate);
+    if (++batch_pending_ >= 32) {
+      ChargePvmExit();
+      batch_pending_ = 0;
+    }
+  } else {
+    // Para-virtual PTE update: exit to host + shadow emulation (walk,
+    // decode, SPTE generation). Fig 10a: 466 + 1,828 ns.
+    ChargePvmExit();
+    ctx_.Charge(c.spt_emulation, PathEvent::kShadowPtUpdate);
+  }
+  spt_emulations_++;
+  machine_.mem().WriteU64(Backing(pte_pa, /*create=*/false), value);
+  ctx_.trace().Record(PathEvent::kPteUpdate);
+  // Eagerly mirror leaf updates that belong to a known address space.
+  if (level == 1) {
+    for (const auto& [guest_root, shadow_root] : shadow_roots_) {
+      (void)shadow_root;
+      std::optional<uint64_t> slot = kernel_->editor().FindLeafSlot(guest_root, va);
+      if (slot.has_value() && *slot == pte_pa) {
+        SyncShadowLeaf(guest_root, va & ~(kPageSize - 1), value);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void PvmEngine::BeginPteBatch() {
+  in_batch_ = true;
+  batch_pending_ = 0;
+}
+
+void PvmEngine::EndPteBatch() {
+  if (batch_pending_ > 0) {
+    ChargePvmExit();
+  }
+  in_batch_ = false;
+  batch_pending_ = 0;
+}
+
+uint64_t PvmEngine::AllocDataPage() { return GuestPhysAlloc(); }
+
+void PvmEngine::FreeDataPage(uint64_t pa) { guest_free_list_.push_back(pa); }
+
+uint64_t PvmEngine::AllocPtp(int level) {
+  (void)level;
+  uint64_t gpa = GuestPhysAlloc();
+  Backing(gpa, /*create=*/true);
+  return gpa;
+}
+
+void PvmEngine::FreePtp(uint64_t pa, int level) {
+  (void)level;
+  guest_free_list_.push_back(pa);
+}
+
+void PvmEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
+  // A guest process switch is a hypercall: the host locates the shadow
+  // root for the new guest root and loads it.
+  ChargePvmExit();
+  ctx_.ChargeWork(ctx_.cost().pvm_shadow_root_switch);
+  uint64_t shadow_root = ShadowRoot(root_pa);
+  ctx_.Charge(ctx_.cost().cr3_write_raw, PathEvent::kCr3Switch);
+  machine_.cpu().LoadCr3(
+      MakeCr3(shadow_root, static_cast<uint16_t>(pcid_base_ + (asid & 0xFF))));
+}
+
+void PvmEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+}  // namespace cki

@@ -1,0 +1,52 @@
+#include "src/workloads/blk_workload.h"
+
+namespace cki {
+
+BlkResult RunWalCommit(ContainerEngine& engine, int transactions, int wal_sectors) {
+  SimContext& ctx = engine.machine().ctx();
+  VirtioBlkDevice blk(engine, /*queue_depth=*/8);
+
+  SimNanos start = ctx.clock().now();
+  for (int txn = 0; txn < transactions; ++txn) {
+    // Transaction body: syscall into the guest kernel + log record build.
+    engine.UserSyscall(SyscallRequest{.no = Sys::kPwrite, .arg0 = 0, .arg1 = 512, .arg2 = 0});
+    ctx.ChargeWork(2500);
+    blk.SubmitWrite(static_cast<uint64_t>(txn) * 8, static_cast<uint64_t>(wal_sectors));
+    blk.Flush();  // durability barrier: one full submit/complete round trip
+    if (txn % 16 == 15) {
+      blk.SubmitWrite(1'000'000 + static_cast<uint64_t>(txn), 32);
+    }
+  }
+  blk.Poll();
+  SimNanos elapsed = ctx.clock().now() - start;
+
+  BlkResult result;
+  double secs = static_cast<double>(elapsed) * 1e-9;
+  result.ops_per_sec = secs > 0 ? static_cast<double>(transactions) / secs : 0;
+  result.kicks = blk.stats().kicks;
+  result.interrupts = blk.stats().interrupts;
+  return result;
+}
+
+BlkResult RunSequentialScan(ContainerEngine& engine, int requests, int sectors) {
+  SimContext& ctx = engine.machine().ctx();
+  VirtioBlkDevice blk(engine, /*queue_depth=*/16);
+
+  SimNanos start = ctx.clock().now();
+  for (int i = 0; i < requests; ++i) {
+    blk.SubmitRead(static_cast<uint64_t>(i) * static_cast<uint64_t>(sectors),
+                   static_cast<uint64_t>(sectors));
+    ctx.ChargeWork(1500);  // per-extent processing in the guest
+  }
+  blk.Poll();
+  SimNanos elapsed = ctx.clock().now() - start;
+
+  BlkResult result;
+  double secs = static_cast<double>(elapsed) * 1e-9;
+  result.ops_per_sec = secs > 0 ? static_cast<double>(requests) / secs : 0;
+  result.kicks = blk.stats().kicks;
+  result.interrupts = blk.stats().interrupts;
+  return result;
+}
+
+}  // namespace cki

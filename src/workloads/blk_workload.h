@@ -1,0 +1,28 @@
+// Storage workloads over the virtio-blk device: a WAL-style database commit
+// loop (write + fsync per transaction) and a sequential scan. The fsync
+// path cannot batch, so it exposes the per-exit cost of each design the way
+// netperf-RR exposes it on the network side.
+#ifndef SRC_WORKLOADS_BLK_WORKLOAD_H_
+#define SRC_WORKLOADS_BLK_WORKLOAD_H_
+
+#include "src/host/virtio_blk.h"
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct BlkResult {
+  double ops_per_sec = 0;
+  uint64_t kicks = 0;
+  uint64_t interrupts = 0;
+};
+
+// WAL commit loop: per transaction, write `wal_sectors` to the log, fsync,
+// then every 16 transactions checkpoint 32 sectors to the main file.
+BlkResult RunWalCommit(ContainerEngine& engine, int transactions = 500, int wal_sectors = 8);
+
+// Sequential scan: large batched reads (queue depth amortizes the exits).
+BlkResult RunSequentialScan(ContainerEngine& engine, int requests = 2000, int sectors = 256);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_BLK_WORKLOAD_H_

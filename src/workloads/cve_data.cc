@@ -1,0 +1,45 @@
+#include "src/workloads/cve_data.h"
+
+namespace cki {
+
+const std::vector<CveClass>& CveClasses() {
+  // Counts derived from the percentages of Figure 2 (209 CVEs total).
+  static const std::vector<CveClass> classes = {
+      {"out-of-bound R/W", 83, true},     // 39.9%
+      {"use-after-free", 42, true},       // 20.2%
+      {"null dereference", 27, true},     // 12.8%
+      {"other mem. corruption", 13, true},// 6.4%
+      {"logic error", 17, true},          // 8.0%
+      {"memory leakage", 12, true},       // 5.9%
+      {"kernel panic", 6, true},          // 2.7%
+      {"deadlock/deadloop", 3, true},     // 1.6%
+      {"information leakage", 6, false},  // 2.7% (the only non-DoS class)
+  };
+  return classes;
+}
+
+double DosShare() {
+  int dos = 0;
+  int total = 0;
+  for (const CveClass& c : CveClasses()) {
+    total += c.count;
+    if (c.dos_capable) {
+      dos += c.count;
+    }
+  }
+  return total > 0 ? static_cast<double>(dos) / static_cast<double>(total) : 0;
+}
+
+bool ContainedByKernelSeparation(const CveClass& c) {
+  // A compromised guest kernel only takes down its own container.
+  (void)c;
+  return true;
+}
+
+bool ContainedByKernelSharing(const CveClass& c) {
+  // Enclaves protect confidentiality/integrity of container data, but a
+  // DoS against the shared kernel takes everything down.
+  return !c.dos_capable;
+}
+
+}  // namespace cki

@@ -1,0 +1,35 @@
+// The container-exploitable Linux kernel CVE dataset of Figure 2:
+// 209 CVEs from 2022-2023 classified by security effect, and whether each
+// class can mount a denial-of-service attack. Motivates the VM-level
+// (kernel-separation) design: 97.3% of the CVEs can DoS a shared kernel,
+// which enclave-based (kernel-sharing) containers cannot contain.
+#ifndef SRC_WORKLOADS_CVE_DATA_H_
+#define SRC_WORKLOADS_CVE_DATA_H_
+
+#include <string_view>
+#include <vector>
+
+namespace cki {
+
+struct CveClass {
+  std::string_view effect;
+  int count;           // of 209 total
+  bool dos_capable;    // can break/starve a shared kernel
+};
+
+inline constexpr int kCveTotal = 209;
+
+const std::vector<CveClass>& CveClasses();
+
+// Share (0..1) of CVEs that enable DoS.
+double DosShare();
+
+// Containment comparison: a kernel-separation design contains every class
+// (a compromised guest kernel is discarded with its container); a
+// kernel-sharing (enclave) design cannot contain the DoS-capable ones.
+bool ContainedByKernelSeparation(const CveClass& c);
+bool ContainedByKernelSharing(const CveClass& c);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_CVE_DATA_H_

@@ -1,0 +1,111 @@
+#include "src/workloads/io_apps.h"
+
+#include <algorithm>
+
+#include "src/host/virtio.h"
+
+namespace cki {
+
+const std::vector<IoAppSpec>& IoAppSuite() {
+  static const std::vector<IoAppSpec> suite = {
+      // Static file serving: accept/stat/open/sendfile-ish syscall chain.
+      {.name = "nginx(static)", .requests = 2000, .syscalls_per_req = 6, .net_round_trips = 1,
+       .bytes_per_req = 8192, .compute_per_req = 7000, .concurrency = 16},
+      // Reverse proxy: a second upstream round trip per request.
+      {.name = "nginx(proxy)", .requests = 1500, .syscalls_per_req = 10, .net_round_trips = 2,
+       .bytes_per_req = 8192, .compute_per_req = 10000, .concurrency = 16},
+      {.name = "httpd", .requests = 1500, .syscalls_per_req = 8, .net_round_trips = 1,
+       .bytes_per_req = 8192, .compute_per_req = 16000, .concurrency = 16},
+      {.name = "redis", .requests = 3000, .syscalls_per_req = 1, .net_round_trips = 1,
+       .bytes_per_req = 500, .compute_per_req = 12000, .concurrency = 16},
+      {.name = "memcached", .requests = 3000, .syscalls_per_req = 1, .net_round_trips = 1,
+       .bytes_per_req = 500, .compute_per_req = 1800, .concurrency = 16},
+      // Bulk streaming: one send per 16 KiB segment, kicks amortized.
+      {.name = "netperf(TX)", .requests = 4000, .syscalls_per_req = 0, .net_round_trips = 0,
+       .bytes_per_req = 16384, .compute_per_req = 1200, .concurrency = 32},
+      // 1-byte ping-pong: every transaction pays a kick and an interrupt.
+      {.name = "netperf(RR)", .requests = 3000, .syscalls_per_req = 0, .net_round_trips = 1,
+       .bytes_per_req = 1, .compute_per_req = 800, .concurrency = 1},
+      // SQLite on tmpfs: pure syscall path, no virtio (random writes).
+      {.name = "sqlite(tmpfs)", .requests = 3000, .syscalls_per_req = 3, .net_round_trips = 0,
+       .bytes_per_req = 200, .compute_per_req = 2700, .concurrency = 1},
+  };
+  return suite;
+}
+
+double RunIoApp(ContainerEngine& engine, const IoAppSpec& spec) {
+  SimContext& ctx = engine.machine().ctx();
+  GuestKernel& kernel = engine.kernel();
+
+  int batch = std::max(1, std::min(spec.concurrency, 24));
+  VirtioNetAdapter adapter(engine, /*tx_batch=*/batch);
+  kernel.set_net(&adapter);
+  constexpr int kConn = 1;
+  int sockfd = kernel.InstallNetSocket(kConn);
+  SyscallResult file = engine.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 555});
+  uint64_t filefd = static_cast<uint64_t>(file.value);
+  engine.UserSyscall(SyscallRequest{.no = Sys::kWrite, .arg0 = filefd, .arg1 = 16 * kPageSize});
+
+  SimNanos start = ctx.clock().now();
+  if (spec.net_round_trips == 0 && spec.syscalls_per_req == 0) {
+    // netperf TX: transmit-only streaming.
+    for (int i = 0; i < spec.requests; ++i) {
+      engine.UserSyscall(SyscallRequest{.no = Sys::kSendto,
+                                        .arg0 = static_cast<uint64_t>(sockfd),
+                                        .arg1 = spec.bytes_per_req});
+      ctx.ChargeWork(spec.compute_per_req);
+    }
+  } else if (spec.net_round_trips == 0) {
+    // sqlite-style: syscalls only.
+    for (int i = 0; i < spec.requests; ++i) {
+      for (int s = 0; s < spec.syscalls_per_req; ++s) {
+        engine.UserSyscall(SyscallRequest{.no = (s % 2 == 0) ? Sys::kPwrite : Sys::kPread,
+                                          .arg0 = filefd,
+                                          .arg1 = spec.bytes_per_req,
+                                          .arg2 = 0});
+      }
+      ctx.ChargeWork(spec.compute_per_req);
+    }
+  } else {
+    int remaining = spec.requests;
+    while (remaining > 0) {
+      int in_flight = std::min(batch, remaining);
+      adapter.ClientSubmitBatch(kConn, in_flight, 256);
+      for (int r = 0; r < in_flight; ++r) {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kEpollWait});
+        engine.UserSyscall(SyscallRequest{
+            .no = Sys::kRecvfrom, .arg0 = static_cast<uint64_t>(sockfd), .arg1 = 256});
+        // Application syscall chain (stat/open/read of the served file...).
+        for (int s = 0; s < spec.syscalls_per_req; ++s) {
+          engine.UserSyscall(SyscallRequest{.no = (s % 3 == 0) ? Sys::kStat : Sys::kPread,
+                                            .arg0 = (s % 3 == 0) ? 555 : filefd,
+                                            .arg1 = 512,
+                                            .arg2 = 0});
+        }
+        // Upstream round trips beyond the first (proxying).
+        for (int t = 1; t < spec.net_round_trips; ++t) {
+          engine.UserSyscall(SyscallRequest{.no = Sys::kSendto,
+                                            .arg0 = static_cast<uint64_t>(sockfd),
+                                            .arg1 = 256});
+          adapter.ClientSubmitBatch(kConn, 1, spec.bytes_per_req);
+          engine.UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                            .arg0 = static_cast<uint64_t>(sockfd),
+                                            .arg1 = spec.bytes_per_req});
+        }
+        ctx.ChargeWork(spec.compute_per_req);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kSendto,
+                                          .arg0 = static_cast<uint64_t>(sockfd),
+                                          .arg1 = spec.bytes_per_req});
+      }
+      adapter.ClientCollect(kConn);
+      remaining -= in_flight;
+    }
+  }
+  SimNanos elapsed = ctx.clock().now() - start;
+  kernel.set_net(nullptr);
+
+  double secs = static_cast<double>(elapsed) * 1e-9;
+  return (secs > 0) ? static_cast<double>(spec.requests) / secs : 0;
+}
+
+}  // namespace cki

@@ -1,0 +1,33 @@
+// I/O-intensive server applications for Figure 5: nginx (static & proxy),
+// httpd, redis, memcached, netperf (TX & RR), sqlite on tmpfs. Each is
+// modeled by its per-request syscall mix, network round trips, payload and
+// compute; all traffic flows through the virtio-net model so the designs'
+// kick/interrupt costs apply.
+#ifndef SRC_WORKLOADS_IO_APPS_H_
+#define SRC_WORKLOADS_IO_APPS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct IoAppSpec {
+  std::string_view name;
+  int requests = 2000;
+  int syscalls_per_req = 4;     // beyond the recv/send pair
+  int net_round_trips = 1;      // 0 = transmit-only streaming (netperf TX)
+  uint64_t bytes_per_req = 8192;
+  SimNanos compute_per_req = 8000;
+  int concurrency = 16;         // in-flight requests (batch amortization)
+};
+
+const std::vector<IoAppSpec>& IoAppSuite();
+
+// Returns throughput in requests (or segments) per second.
+double RunIoApp(ContainerEngine& engine, const IoAppSpec& spec);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_IO_APPS_H_

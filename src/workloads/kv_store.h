@@ -1,0 +1,40 @@
+// In-memory key-value store servers (memcached- and Redis-like) driven by a
+// memtier-style load generator for Figure 16 (and the redis/memcached
+// columns of Figure 5).
+//
+// The server runs inside the container: per request it epoll-waits, reads
+// the request from a virtio-net backed socket, executes the store logic,
+// and writes the response. The client side batches by concurrency: more
+// clients keep more requests in flight, so doorbells and interrupts are
+// amortized — this is what bends the throughput curves of Figure 16.
+#ifndef SRC_WORKLOADS_KV_STORE_H_
+#define SRC_WORKLOADS_KV_STORE_H_
+
+#include "src/host/virtio.h"
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+enum class KvKind : uint8_t {
+  kMemcached,  // light per-request work: hash lookup + slab copy
+  kRedis,      // heavier single-threaded core: protocol parse, dict, RESP
+};
+
+struct KvConfig {
+  KvKind kind = KvKind::kMemcached;
+  int clients = 16;           // memtier concurrency
+  int total_requests = 4000;
+  uint64_t value_bytes = 500;  // paper: 500-byte data, 1:1 read/write
+};
+
+struct KvResult {
+  double requests_per_sec = 0;
+  uint64_t interrupts = 0;
+  uint64_t kicks = 0;
+};
+
+KvResult RunKvBenchmark(ContainerEngine& engine, const KvConfig& config);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_KV_STORE_H_

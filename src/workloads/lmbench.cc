@@ -1,0 +1,193 @@
+#include "src/workloads/lmbench.h"
+
+#include <functional>
+
+namespace cki {
+
+namespace {
+
+// Warms the current process image so fork() has a realistic number of
+// pages to clone (text + stack + a small heap).
+void WarmProcessImage(ContainerEngine& engine) {
+  for (int i = 0; i < kTextPages; ++i) {
+    engine.UserTouch(kUserTextBase + static_cast<uint64_t>(i) * kPageSize, false);
+  }
+  for (int i = 1; i <= kStackPages; ++i) {
+    engine.UserTouch(kUserStackTop - static_cast<uint64_t>(i) * kPageSize, true);
+  }
+  uint64_t heap = engine.MmapAnon(24 * kPageSize, /*populate=*/true);
+  (void)heap;
+}
+
+SimNanos MeasureLoop(ContainerEngine& engine, int iters, const std::function<void()>& body) {
+  SimContext& ctx = engine.machine().ctx();
+  SimNanos start = ctx.clock().now();
+  for (int i = 0; i < iters; ++i) {
+    body();
+  }
+  return (ctx.clock().now() - start) / static_cast<SimNanos>(iters);
+}
+
+int ForkChild(ContainerEngine& engine) {
+  SyscallResult r = engine.UserSyscall(SyscallRequest{.no = Sys::kFork});
+  return static_cast<int>(r.value);
+}
+
+}  // namespace
+
+std::string_view LmbenchOpName(LmbenchOp op) {
+  switch (op) {
+    case LmbenchOp::kRead:
+      return "read";
+    case LmbenchOp::kWrite:
+      return "write";
+    case LmbenchOp::kStat:
+      return "stat";
+    case LmbenchOp::kProtFault:
+      return "prot fault";
+    case LmbenchOp::kPageFault:
+      return "page fault";
+    case LmbenchOp::kForkExit:
+      return "fork/exit";
+    case LmbenchOp::kForkExecve:
+      return "fork/execve";
+    case LmbenchOp::kCtxSwitch2p:
+      return "ctxsw 2p/0k";
+    case LmbenchOp::kPipe:
+      return "pipe";
+    case LmbenchOp::kAfUnix:
+      return "AF_UNIX";
+    case LmbenchOp::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const std::vector<LmbenchOp>& LmbenchSuite() {
+  static const std::vector<LmbenchOp> suite = {
+      LmbenchOp::kRead,       LmbenchOp::kWrite,      LmbenchOp::kStat,
+      LmbenchOp::kProtFault,  LmbenchOp::kPageFault,  LmbenchOp::kForkExit,
+      LmbenchOp::kForkExecve, LmbenchOp::kCtxSwitch2p, LmbenchOp::kPipe,
+      LmbenchOp::kAfUnix,
+  };
+  return suite;
+}
+
+SimNanos RunLmbenchOp(ContainerEngine& engine, LmbenchOp op) {
+  GuestKernel& kernel = engine.kernel();
+  switch (op) {
+    case LmbenchOp::kRead: {
+      SyscallResult fd = engine.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 901});
+      engine.UserSyscall(
+          SyscallRequest{.no = Sys::kWrite, .arg0 = static_cast<uint64_t>(fd.value), .arg1 = 64});
+      return MeasureLoop(engine, 128, [&] {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kPread,
+                                          .arg0 = static_cast<uint64_t>(fd.value),
+                                          .arg1 = 1,
+                                          .arg2 = 0});
+      });
+    }
+    case LmbenchOp::kWrite: {
+      SyscallResult fd = engine.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 902});
+      engine.UserSyscall(
+          SyscallRequest{.no = Sys::kWrite, .arg0 = static_cast<uint64_t>(fd.value), .arg1 = 64});
+      return MeasureLoop(engine, 128, [&] {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kPwrite,
+                                          .arg0 = static_cast<uint64_t>(fd.value),
+                                          .arg1 = 1,
+                                          .arg2 = 0});
+      });
+    }
+    case LmbenchOp::kStat: {
+      engine.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 903});
+      return MeasureLoop(engine, 128, [&] {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kStat, .arg0 = 903});
+      });
+    }
+    case LmbenchOp::kProtFault: {
+      uint64_t page = engine.MmapAnon(kPageSize, /*populate=*/true);
+      engine.UserSyscall(SyscallRequest{
+          .no = Sys::kMprotect, .arg0 = page, .arg1 = kPageSize, .arg2 = kProtRead});
+      return MeasureLoop(engine, 64, [&] { engine.UserTouch(page, /*write=*/true); });
+    }
+    case LmbenchOp::kPageFault: {
+      constexpr int kChunk = 64;
+      return MeasureLoop(engine, 8, [&] {
+               uint64_t base = engine.MmapAnon(kChunk * kPageSize, false);
+               for (int i = 0; i < kChunk; ++i) {
+                 engine.UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
+               }
+             }) /
+             kChunk;
+    }
+    case LmbenchOp::kForkExit: {
+      WarmProcessImage(engine);
+      int parent = kernel.current_pid();
+      return MeasureLoop(engine, 8, [&] {
+        int child = ForkChild(engine);
+        kernel.SwitchTo(child);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kExit, .arg0 = 0});
+        // SysExit schedules back to the parent.
+        (void)parent;
+        engine.UserSyscall(SyscallRequest{.no = Sys::kWaitpid, .arg0 = 0});
+      });
+    }
+    case LmbenchOp::kForkExecve: {
+      WarmProcessImage(engine);
+      return MeasureLoop(engine, 8, [&] {
+        int child = ForkChild(engine);
+        kernel.SwitchTo(child);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kExecve});
+        engine.UserSyscall(SyscallRequest{.no = Sys::kExit, .arg0 = 0});
+        engine.UserSyscall(SyscallRequest{.no = Sys::kWaitpid, .arg0 = 0});
+      });
+    }
+    case LmbenchOp::kCtxSwitch2p: {
+      int child = ForkChild(engine);
+      (void)child;
+      // Two runnable processes; each yield switches to the other.
+      return MeasureLoop(engine, 64, [&] {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kSchedYield});
+      });
+    }
+    case LmbenchOp::kPipe: {
+      SyscallResult p1 = engine.UserSyscall(SyscallRequest{.no = Sys::kPipe});
+      SyscallResult p2 = engine.UserSyscall(SyscallRequest{.no = Sys::kPipe});
+      uint64_t r1 = static_cast<uint64_t>(p1.value) & 0xFFFF;
+      uint64_t w1 = static_cast<uint64_t>(p1.value) >> 16;
+      uint64_t r2 = static_cast<uint64_t>(p2.value) & 0xFFFF;
+      uint64_t w2 = static_cast<uint64_t>(p2.value) >> 16;
+      int parent = kernel.current_pid();
+      int child = ForkChild(engine);
+      // One round trip: parent->child on pipe 1, child->parent on pipe 2.
+      return MeasureLoop(engine, 64, [&] {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kWrite, .arg0 = w1, .arg1 = 1});
+        kernel.SwitchTo(child);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kRead, .arg0 = r1, .arg1 = 1});
+        engine.UserSyscall(SyscallRequest{.no = Sys::kWrite, .arg0 = w2, .arg1 = 1});
+        kernel.SwitchTo(parent);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kRead, .arg0 = r2, .arg1 = 1});
+      });
+    }
+    case LmbenchOp::kAfUnix: {
+      SyscallResult sp = engine.UserSyscall(SyscallRequest{.no = Sys::kSocketpair});
+      uint64_t s0 = static_cast<uint64_t>(sp.value) & 0xFFFF;
+      uint64_t s1 = static_cast<uint64_t>(sp.value) >> 16;
+      int parent = kernel.current_pid();
+      int child = ForkChild(engine);
+      return MeasureLoop(engine, 64, [&] {
+        engine.UserSyscall(SyscallRequest{.no = Sys::kSendto, .arg0 = s0, .arg1 = 1});
+        kernel.SwitchTo(child);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kRecvfrom, .arg0 = s1, .arg1 = 1});
+        engine.UserSyscall(SyscallRequest{.no = Sys::kSendto, .arg0 = s1, .arg1 = 1});
+        kernel.SwitchTo(parent);
+        engine.UserSyscall(SyscallRequest{.no = Sys::kRecvfrom, .arg0 = s0, .arg1 = 1});
+      });
+    }
+    case LmbenchOp::kCount:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace cki

@@ -1,0 +1,39 @@
+// lmbench micro-operation suite (Figure 11): read, write, stat, prot fault,
+// page fault, fork/exit, fork/execve, context switch (2p/0k), pipe latency,
+// AF_UNIX latency. Each op runs through the container's full syscall /
+// fault / scheduling mechanisms.
+#ifndef SRC_WORKLOADS_LMBENCH_H_
+#define SRC_WORKLOADS_LMBENCH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+enum class LmbenchOp : uint8_t {
+  kRead = 0,
+  kWrite,
+  kStat,
+  kProtFault,
+  kPageFault,
+  kForkExit,
+  kForkExecve,
+  kCtxSwitch2p,
+  kPipe,
+  kAfUnix,
+  kCount,
+};
+
+std::string_view LmbenchOpName(LmbenchOp op);
+
+// All ops, in figure order.
+const std::vector<LmbenchOp>& LmbenchSuite();
+
+// Average latency (ns) of one operation.
+SimNanos RunLmbenchOp(ContainerEngine& engine, LmbenchOp op);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_LMBENCH_H_

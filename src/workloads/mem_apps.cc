@@ -1,0 +1,132 @@
+#include "src/workloads/mem_apps.h"
+
+#include "src/sim/rng.h"
+
+namespace cki {
+
+const std::vector<MemAppSpec>& MemoryAppSuite() {
+  // fresh_pages sets the fault share (drives the HVM columns), churn_ops
+  // sets the PTE-update share (drives the PVM column); warm accesses and
+  // compute fill in the app's RunC baseline. See DESIGN.md.
+  static const std::vector<MemAppSpec> suite = {
+      // B-tree store: insert-heavy; node splits/rebalancing churn PTEs.
+      {.name = "btree", .fresh_pages = 2000, .churn_ops = 8700, .warm_accesses = 200000,
+       .work_per_fault = 150, .work_per_access = 230, .base_compute_ns = 1900000},
+      // Monte-Carlo neutron transport: large fault-heavy init phase.
+      {.name = "xsbench", .fresh_pages = 4000, .churn_ops = 2000, .warm_accesses = 150000,
+       .work_per_fault = 120, .work_per_access = 300, .base_compute_ns = 5000000},
+      // Cache-unfriendly graph annealing: warm random traffic dominates.
+      {.name = "canneal", .fresh_pages = 1000, .churn_ops = 3850, .warm_accesses = 300000,
+       .work_per_fault = 100, .work_per_access = 140, .base_compute_ns = 7600000},
+      // Dedup: hash-table growth, many remaps/unmaps.
+      {.name = "dedup", .fresh_pages = 2500, .churn_ops = 13300, .warm_accesses = 180000,
+       .work_per_fault = 140, .work_per_access = 200, .base_compute_ns = 10600000},
+      // Fluidanimate: compute bound, few faults.
+      {.name = "fluidanimate", .fresh_pages = 600, .churn_ops = 1330, .warm_accesses = 250000,
+       .work_per_fault = 100, .work_per_access = 180, .base_compute_ns = 8000000},
+      // Frequent-itemset mining: moderate faults.
+      {.name = "freqmine", .fresh_pages = 860, .churn_ops = 2050, .warm_accesses = 220000,
+       .work_per_fault = 110, .work_per_access = 190, .base_compute_ns = 9300000},
+  };
+  return suite;
+}
+
+SimNanos RunMemApp(ContainerEngine& engine, const MemAppSpec& spec, uint64_t seed) {
+  SimContext& ctx = engine.machine().ctx();
+  Rng rng(seed);
+  SimNanos start = ctx.clock().now();
+
+  // Phase 1: allocation — every page demand-faults through the design's
+  // full fault path.
+  uint64_t bytes = static_cast<uint64_t>(spec.fresh_pages) * kPageSize;
+  uint64_t base = engine.MmapAnon(bytes, /*populate=*/false);
+  for (int i = 0; i < spec.fresh_pages; ++i) {
+    engine.UserTouch(base + static_cast<uint64_t>(i) * kPageSize, /*write=*/true);
+    ctx.ChargeWork(spec.work_per_fault);
+  }
+
+  // Phase 2: page-protection churn — PTE updates with no fault, taken
+  // through the design's PTE-update mechanism (direct store / VM exit +
+  // shadow emulation / KSM call).
+  for (int i = 0; i < spec.churn_ops; ++i) {
+    uint64_t page = base + (rng.NextBelow(static_cast<uint64_t>(spec.fresh_pages))) * kPageSize;
+    uint64_t prot = (i % 2 == 0) ? kProtRead : (kProtRead | kProtWrite);
+    engine.UserSyscall(SyscallRequest{
+        .no = Sys::kMprotect, .arg0 = page, .arg1 = kPageSize, .arg2 = prot});
+  }
+  // Leave everything writable for phase 3.
+  engine.UserSyscall(SyscallRequest{
+      .no = Sys::kMprotect, .arg0 = base, .arg1 = bytes, .arg2 = kProtRead | kProtWrite});
+
+  // Phase 3: warm random accesses (TLB traffic over the resident set).
+  for (int i = 0; i < spec.warm_accesses; ++i) {
+    uint64_t va = base + rng.NextBelow(bytes - 8);
+    engine.UserTouch(va, /*write=*/false);
+    ctx.ChargeWork(spec.work_per_access);
+  }
+
+  ctx.ChargeWork(spec.base_compute_ns);
+  return ctx.clock().now() - start;
+}
+
+SimNanos RunBtreeRatio(ContainerEngine& engine, double lookup_per_insert, int total_ops,
+                       uint64_t seed) {
+  SimContext& ctx = engine.machine().ctx();
+  Rng rng(seed);
+  SimNanos start = ctx.clock().now();
+
+  int inserts = static_cast<int>(total_ops / (1.0 + lookup_per_insert));
+  if (inserts < 1) {
+    inserts = 1;
+  }
+  int lookups = total_ops - inserts;
+
+  // Grow-as-you-insert region: a node page holds several entries, so a
+  // fresh page faults in once per few inserts; splits add PTE churn.
+  constexpr int kEntriesPerPage = 4;
+  int grow_pages = inserts / kEntriesPerPage + 1;
+  uint64_t base = engine.MmapAnon(static_cast<uint64_t>(grow_pages) * kPageSize, false);
+  for (int i = 0; i < inserts; ++i) {
+    engine.UserTouch(base + static_cast<uint64_t>(i / kEntriesPerPage) * kPageSize, true);
+    ctx.ChargeWork(650);  // key insertion + node write
+    if (i % 16 == 0) {
+      engine.UserSyscall(SyscallRequest{.no = Sys::kMprotect,
+                                        .arg0 = base +
+                                                static_cast<uint64_t>(i / kEntriesPerPage) *
+                                                    kPageSize,
+                                        .arg1 = kPageSize,
+                                        .arg2 = kProtRead | kProtWrite});
+    }
+  }
+  for (int i = 0; i < lookups; ++i) {
+    uint64_t page = rng.NextBelow(static_cast<uint64_t>(grow_pages));
+    engine.UserTouch(base + page * kPageSize, false);
+    ctx.ChargeWork(480);  // tree descent
+  }
+  return ctx.clock().now() - start;
+}
+
+SimNanos RunXsbenchParticles(ContainerEngine& engine, int particles, int grid_pages,
+                             uint64_t seed) {
+  SimContext& ctx = engine.machine().ctx();
+  Rng rng(seed);
+  SimNanos start = ctx.clock().now();
+
+  // Initialization: generate the nuclide grid (fault-heavy).
+  uint64_t bytes = static_cast<uint64_t>(grid_pages) * kPageSize;
+  uint64_t base = engine.MmapAnon(bytes, false);
+  for (int i = 0; i < grid_pages; ++i) {
+    engine.UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
+    ctx.ChargeWork(400);  // data generation
+  }
+  // Calculation: per-particle cross-section lookups over the warm grid.
+  for (int p = 0; p < particles; ++p) {
+    for (int l = 0; l < 16; ++l) {
+      engine.UserTouch(base + rng.NextBelow(bytes - 8), false);
+      ctx.ChargeWork(130);
+    }
+  }
+  return ctx.clock().now() - start;
+}
+
+}  // namespace cki

@@ -1,0 +1,52 @@
+// Page-fault-intensive application models (PARSEC / vmitosis-style) for
+// Figures 4, 12 and 13.
+//
+// Each application is characterized by the memory-system signature that the
+// paper's evaluation actually exercises:
+//   fresh_pages      demand-faulted pages (allocation/initialization phase)
+//   churn_ops        page-protection churn (mprotect-style PTE updates
+//                    without faults: rebalancing, remapping, GC-like work)
+//   warm_accesses    random accesses over the resident region (TLB traffic)
+//   work_per_*       app compute attached to each op
+//   base_compute_ns  compute independent of the memory system
+// The relative weights were derived from the paper's per-app overheads
+// (HVM-NST +28~226%, HVM-BM +2~21%, PVM +6~73%, CKI <3% vs RunC).
+#ifndef SRC_WORKLOADS_MEM_APPS_H_
+#define SRC_WORKLOADS_MEM_APPS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct MemAppSpec {
+  std::string_view name;
+  int fresh_pages = 0;
+  int churn_ops = 0;
+  int warm_accesses = 0;
+  SimNanos work_per_fault = 0;
+  SimNanos work_per_access = 0;
+  SimNanos base_compute_ns = 0;
+};
+
+// The six applications of Figure 4 / Figure 12.
+const std::vector<MemAppSpec>& MemoryAppSuite();
+
+// Runs one application inside the container; returns its simulated latency.
+SimNanos RunMemApp(ContainerEngine& engine, const MemAppSpec& spec, uint64_t seed = 1);
+
+// Figure 13a: BTree with a given lookup:insert ratio (total ops fixed).
+// Inserts allocate fresh pages (faults + PTE churn); lookups only read.
+SimNanos RunBtreeRatio(ContainerEngine& engine, double lookup_per_insert, int total_ops = 20000,
+                       uint64_t seed = 2);
+
+// Figure 13b: XSBench with a given particle count. Initialization faults a
+// fixed grid; each particle performs warm lookups.
+SimNanos RunXsbenchParticles(ContainerEngine& engine, int particles, int grid_pages = 1500,
+                             uint64_t seed = 3);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_MEM_APPS_H_

@@ -1,0 +1,43 @@
+// sqlite-bench (leveldb's db_bench_sqlite3) workload model for Figures 14
+// and 15. The database lives on tmpfs, so each operation exercises only the
+// syscall path (file reads/writes/fsync) plus heap growth (page faults as
+// the B-tree and page cache grow) — no virtualized I/O.
+//
+// Per-pattern signatures: average syscalls per operation (the bottom strip
+// of Figure 14), fresh heap pages per 1,000 operations, and SQL engine
+// compute. Batch variants amortize journal syscalls across a transaction.
+#ifndef SRC_WORKLOADS_SQLITE_BENCH_H_
+#define SRC_WORKLOADS_SQLITE_BENCH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct SqlitePattern {
+  std::string_view name;
+  int ops = 4000;
+  double syscalls_per_op = 1.0;  // pwrite/pread/fsync mix on the db file
+  double write_fraction = 1.0;   // of those syscalls, share that are writes
+  int fresh_pages_per_kop = 0;   // heap/page-cache growth faults
+  SimNanos compute_per_op = 0;   // SQL parsing, B-tree work in user space
+};
+
+const std::vector<SqlitePattern>& SqliteSuite();
+
+struct SqliteResult {
+  double ops_per_sec = 0;
+  double syscalls_per_sec = 0;
+};
+
+// Runs one pattern; `warm` performs an untimed first pass so one-time
+// memory-backing costs settle (the paper runs each case twice to ignore
+// HVM's EPT warm-up).
+SqliteResult RunSqlitePattern(ContainerEngine& engine, const SqlitePattern& pattern,
+                              bool warm = true, uint64_t seed = 11);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_SQLITE_BENCH_H_

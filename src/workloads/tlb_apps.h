@@ -1,0 +1,31 @@
+// TLB-miss-intensive applications for Table 4: GUPS (HPCC RandomAccess)
+// and BTree lookups over a resident set far larger than TLB reach. These
+// isolate the two-dimensional page-walk penalty of HVM: the data is warm
+// (no faults), but nearly every access misses the TLB.
+#ifndef SRC_WORKLOADS_TLB_APPS_H_
+#define SRC_WORKLOADS_TLB_APPS_H_
+
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct TlbAppResult {
+  SimNanos elapsed = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t tlb_hits = 0;
+};
+
+// GUPS: `updates` random read-modify-writes over a `table_pages` region.
+// The paper's table is 45 GB; the simulated region just needs to exceed TLB
+// reach by the same margin (miss rate ~1).
+TlbAppResult RunGups(ContainerEngine& engine, int updates = 200000, int table_pages = 65536,
+                     uint64_t seed = 7);
+
+// BTree lookup phase over a pre-built large tree: each lookup costs one
+// descent (compute) and roughly one TLB miss.
+TlbAppResult RunBtreeLookup(ContainerEngine& engine, int lookups = 150000,
+                            int tree_pages = 65536, uint64_t seed = 8);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_TLB_APPS_H_

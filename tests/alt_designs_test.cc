@@ -1,0 +1,135 @@
+// Tests for the gVisor-style userspace kernel and the process-like LibOS
+// engines: the performance and security trade-offs of Table 1 must be
+// observable, and basic kernel semantics must still hold where the design
+// supports them.
+#include <gtest/gtest.h>
+
+#include "src/runtime/runtime.h"
+#include "src/virt/gvisor_engine.h"
+#include "src/virt/libos_engine.h"
+
+namespace cki {
+namespace {
+
+// --- gVisor -------------------------------------------------------------------
+
+TEST(GvisorTest, SyscallsAreSystrapSlow) {
+  Testbed gv(RuntimeKind::kGvisor, Deployment::kBareMetal);
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  auto syscall_ns = [](Testbed& bed) {
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+    return bed.Measure([&] { bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid}); });
+  };
+  SimNanos gv_ns = syscall_ns(gv);
+  SimNanos native_ns = syscall_ns(runc);
+  EXPECT_GT(gv_ns, 15 * native_ns) << "Systrap involves IPC (paper: much slower than native)";
+  EXPECT_LT(gv_ns, 60 * native_ns);
+}
+
+TEST(GvisorTest, PageFaultsAvoidShadowPaging) {
+  // gVisor lets the host handle app faults: they must be near-native and
+  // far below PVM's shadow-paging cost.
+  Testbed gv(RuntimeKind::kGvisor, Deployment::kBareMetal);
+  Testbed pvm(RuntimeKind::kPvm, Deployment::kBareMetal);
+  auto fault_ns = [](Testbed& bed) {
+    uint64_t base = bed.engine().MmapAnon(16 * kPageSize, false);
+    bed.engine().UserTouch(base, true);
+    return bed.Measure([&] {
+      for (int i = 1; i < 16; ++i) {
+        bed.engine().UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
+      }
+    });
+  };
+  EXPECT_LT(fault_ns(gv), fault_ns(pvm) / 3);
+}
+
+TEST(GvisorTest, KernelSemanticsHold) {
+  Testbed bed(RuntimeKind::kGvisor, Deployment::kBareMetal);
+  uint64_t base = bed.engine().MmapAnon(2 * kPageSize, false);
+  EXPECT_EQ(bed.engine().UserTouch(base, true), TouchResult::kOk);
+  SyscallResult r = bed.engine().UserSyscall(SyscallRequest{.no = Sys::kFork});
+  EXPECT_TRUE(r.ok()) << "gVisor supports multi-processing";
+  EXPECT_TRUE(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kWaitpid, .arg0 = 0}).ok());
+}
+
+TEST(GvisorTest, NoVirtualizationHardwareInvolved) {
+  Testbed bed(RuntimeKind::kGvisor, Deployment::kNested);
+  uint64_t base = bed.engine().MmapAnon(4 * kPageSize, false);
+  auto before = bed.ctx().trace().Snapshot();
+  bed.engine().UserTouch(base, true);
+  bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+  EXPECT_EQ(CountDelta(before, bed.ctx().trace(), PathEvent::kVmExit), 0u);
+  EXPECT_EQ(CountDelta(before, bed.ctx().trace(), PathEvent::kNestedVmExit), 0u);
+}
+
+// --- LibOS ---------------------------------------------------------------------
+
+TEST(LibOsTest, SyscallsAreFunctionCallFast) {
+  Testbed libos(RuntimeKind::kLibOs, Deployment::kBareMetal);
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  auto syscall_ns = [](Testbed& bed) {
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+    return bed.Measure([&] { bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid}); });
+  };
+  EXPECT_LT(syscall_ns(libos), syscall_ns(runc))
+      << "a function call beats even a native syscall";
+}
+
+TEST(LibOsTest, NoUserKernelIsolation) {
+  Testbed bed(RuntimeKind::kLibOs, Deployment::kBareMetal);
+  EXPECT_TRUE(static_cast<LibOsEngine&>(bed.engine()).AppCanTouchLibOsState())
+      << "the Table-1 security gap: app reaches libOS internals";
+}
+
+TEST(LibOsTest, CkiDoesHaveUserKernelIsolation) {
+  // Contrast: under CKI the app cannot touch guest-kernel memory (U/K bit)
+  // nor KSM memory (PKS) — shown elsewhere; here the libOS counterpart.
+  Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  // Kernel image is mapped supervisor-only at kKernelBase.
+  bed.machine().cpu().set_cpl(Cpl::kUser);
+  Fault f = bed.machine().cpu().Access(kKernelBase, AccessIntent::Read());
+  EXPECT_EQ(f.type, FaultType::kPageProtection);
+}
+
+TEST(LibOsTest, MultiProcessingUnsupported) {
+  Testbed bed(RuntimeKind::kLibOs, Deployment::kBareMetal);
+  EXPECT_EQ(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kFork}).value, kEINVAL);
+  EXPECT_EQ(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kExecve}).value, kEINVAL);
+}
+
+TEST(LibOsTest, SingleProcessWorkStillWorks) {
+  Testbed bed(RuntimeKind::kLibOs, Deployment::kBareMetal);
+  uint64_t base = bed.engine().MmapAnon(4 * kPageSize, false);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bed.engine().UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true),
+              TouchResult::kOk);
+  }
+  SyscallResult fd = bed.engine().UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 3});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(bed.engine()
+                .UserSyscall(SyscallRequest{
+                    .no = Sys::kWrite, .arg0 = static_cast<uint64_t>(fd.value), .arg1 = 256})
+                .value,
+            256);
+}
+
+// --- ordering across the whole design space -------------------------------------
+
+TEST(DesignSpaceTest, SyscallLatencyLadder) {
+  auto syscall_ns = [](RuntimeKind kind) {
+    Testbed bed(kind, Deployment::kBareMetal);
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+    return bed.Measure([&] { bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid}); });
+  };
+  SimNanos libos = syscall_ns(RuntimeKind::kLibOs);
+  SimNanos cki_ns = syscall_ns(RuntimeKind::kCki);
+  SimNanos pvm = syscall_ns(RuntimeKind::kPvm);
+  SimNanos gvisor = syscall_ns(RuntimeKind::kGvisor);
+  // LibOS < CKI(=native) < PVM < gVisor — Figure 3's syscall story.
+  EXPECT_LT(libos, cki_ns);
+  EXPECT_LT(cki_ns, pvm);
+  EXPECT_LT(pvm, gvisor);
+}
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,66 @@
+// Compatibility matrix tests (Table 1, bottom rows): nested-cloud
+// deployability and container binary compatibility per design.
+#include <gtest/gtest.h>
+
+#include "src/runtime/runtime.h"
+#include "src/virt/hvm_engine.h"
+
+namespace cki {
+namespace {
+
+TEST(CompatibilityTest, HvmCannotDeployWithoutNestedVirt) {
+  MachineConfig config = MachineConfigFor(RuntimeKind::kHvm, Deployment::kNested);
+  config.nested_virt_available = false;  // the IaaS disabled it
+  Machine machine(config);
+  HvmEngine engine(machine);
+  engine.Boot();
+  EXPECT_TRUE(engine.deployment_unavailable());
+}
+
+TEST(CompatibilityTest, HvmDeploysWhenNestedVirtExists) {
+  Machine machine(MachineConfigFor(RuntimeKind::kHvm, Deployment::kNested));
+  HvmEngine engine(machine);
+  engine.Boot();
+  EXPECT_FALSE(engine.deployment_unavailable());
+  EXPECT_TRUE(engine.UserSyscall(SyscallRequest{.no = Sys::kGetpid}).ok());
+}
+
+TEST(CompatibilityTest, SoftwareDesignsDeployWithoutNestedVirt) {
+  for (RuntimeKind kind : {RuntimeKind::kPvm, RuntimeKind::kCki, RuntimeKind::kGvisor}) {
+    MachineConfig config = MachineConfigFor(kind, Deployment::kNested);
+    config.nested_virt_available = false;
+    Machine machine(config);
+    std::unique_ptr<ContainerEngine> engine = MakeEngine(machine, kind);
+    engine->Boot();
+    EXPECT_TRUE(engine->UserSyscall(SyscallRequest{.no = Sys::kGetpid}).ok())
+        << RuntimeKindName(kind) << " needs no virtualization hardware";
+  }
+}
+
+TEST(CompatibilityTest, BinaryCompatibilityMatrix) {
+  // fork+execve (multi-processing) works on every kernel-separation design
+  // and on gVisor; the proc-like LibOS rejects it.
+  for (RuntimeKind kind : {RuntimeKind::kRunc, RuntimeKind::kHvm, RuntimeKind::kPvm,
+                           RuntimeKind::kCki, RuntimeKind::kGvisor}) {
+    Testbed bed(kind, Deployment::kBareMetal);
+    EXPECT_TRUE(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kFork}).ok())
+        << RuntimeKindName(kind);
+  }
+  Testbed libos(RuntimeKind::kLibOs, Deployment::kBareMetal);
+  EXPECT_FALSE(libos.engine().UserSyscall(SyscallRequest{.no = Sys::kFork}).ok());
+}
+
+TEST(CompatibilityTest, CkiNeedsItsHardwareExtensions) {
+  // On a stock CPU the CKI gates cannot exist: wrpkrs is #UD. The runtime
+  // factory therefore provisions extension-enabled machines for CKI kinds
+  // and stock machines for everything else.
+  EXPECT_TRUE(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal)
+                  .extensions.pks_priv_gating);
+  EXPECT_FALSE(MachineConfigFor(RuntimeKind::kPvm, Deployment::kBareMetal)
+                   .extensions.pks_priv_gating);
+  EXPECT_FALSE(MachineConfigFor(RuntimeKind::kGvisor, Deployment::kBareMetal)
+                   .extensions.wrpkrs_instruction);
+}
+
+}  // namespace
+}  // namespace cki

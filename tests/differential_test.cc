@@ -1,0 +1,167 @@
+// Differential testing: all container designs must be *functionally*
+// indistinguishable (the paper's compatibility claim — CKI supports the
+// same guest feature set as software virtualization). A randomized syscall/
+// memory-op sequence is executed on every engine, and every return value
+// and touch outcome must match the RunC reference exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/runtime/runtime.h"
+#include "src/sim/rng.h"
+
+namespace cki {
+namespace {
+
+// One operation of the random program.
+struct Op {
+  enum Kind { kSyscall, kTouch } kind;
+  SyscallRequest req;
+  uint64_t touch_offset;  // relative to the arena
+  bool touch_write;
+};
+
+// Deterministically generates a program of mixed operations.
+std::vector<Op> GenerateProgram(uint64_t seed, int length) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    switch (rng.NextBelow(10)) {
+      case 0:
+        ops.push_back({Op::kSyscall, {.no = Sys::kGetpid}, 0, false});
+        break;
+      case 1:
+        ops.push_back({Op::kSyscall,
+                       {.no = Sys::kOpen, .arg0 = rng.NextBelow(4)},
+                       0,
+                       false});
+        break;
+      case 2:
+        ops.push_back({Op::kSyscall,
+                       {.no = Sys::kWrite, .arg0 = 3 + rng.NextBelow(3),
+                        .arg1 = 1 + rng.NextBelow(8192)},
+                       0,
+                       false});
+        break;
+      case 3:
+        ops.push_back({Op::kSyscall,
+                       {.no = Sys::kPread, .arg0 = 3 + rng.NextBelow(3),
+                        .arg1 = 1 + rng.NextBelow(4096), .arg2 = rng.NextBelow(8192)},
+                       0,
+                       false});
+        break;
+      case 4:
+        ops.push_back({Op::kSyscall,
+                       {.no = Sys::kMprotect, .arg0 = rng.NextBelow(16) * kPageSize,
+                        .arg1 = kPageSize,
+                        .arg2 = rng.NextBool(0.5) ? kProtRead : (kProtRead | kProtWrite)},
+                       0,
+                       false});
+        break;
+      case 5:
+        ops.push_back({Op::kSyscall, {.no = Sys::kStat, .arg0 = rng.NextBelow(4)}, 0, false});
+        break;
+      case 6:
+        ops.push_back({Op::kSyscall, {.no = Sys::kBrk, .arg0 = 0}, 0, false});
+        break;
+      default:
+        ops.push_back(
+            {Op::kTouch, {}, rng.NextBelow(16 * kPageSize - 8), rng.NextBool(0.5)});
+        break;
+    }
+  }
+  return ops;
+}
+
+// Executes the program and returns a transcript of every outcome.
+std::string ExecuteProgram(ContainerEngine& engine, const std::vector<Op>& ops) {
+  std::ostringstream transcript;
+  // Fixed arena at a deterministic location: all engines place the first
+  // mmap at the same guest VA.
+  uint64_t arena = engine.MmapAnon(16 * kPageSize, /*populate=*/false);
+  transcript << "arena@" << std::hex << arena << std::dec << "\n";
+  for (const Op& op : ops) {
+    if (op.kind == Op::kSyscall) {
+      SyscallRequest req = op.req;
+      if (req.no == Sys::kMprotect) {
+        req.arg0 += arena;
+      }
+      SyscallResult r = engine.UserSyscall(req);
+      transcript << SysName(req.no) << "=" << r.value << "\n";
+    } else {
+      TouchResult r = engine.UserTouch(arena + op.touch_offset, op.touch_write);
+      transcript << "touch+" << op.touch_offset << (op.touch_write ? "w" : "r") << "="
+                 << (r == TouchResult::kOk ? "ok" : "segv") << "\n";
+    }
+  }
+  return transcript.str();
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllDesignsAgreeWithRunc) {
+  std::vector<Op> program = GenerateProgram(GetParam(), 300);
+  Testbed reference(RuntimeKind::kRunc, Deployment::kBareMetal);
+  std::string expected = ExecuteProgram(reference.engine(), program);
+
+  const std::pair<RuntimeKind, Deployment> designs[] = {
+      {RuntimeKind::kHvm, Deployment::kBareMetal},
+      {RuntimeKind::kHvm, Deployment::kNested},
+      {RuntimeKind::kPvm, Deployment::kBareMetal},
+      {RuntimeKind::kPvm, Deployment::kNested},
+      {RuntimeKind::kCki, Deployment::kBareMetal},
+      {RuntimeKind::kCki, Deployment::kNested},
+      {RuntimeKind::kCkiNoOpt2, Deployment::kBareMetal},
+      {RuntimeKind::kCkiNoOpt3, Deployment::kBareMetal},
+      {RuntimeKind::kGvisor, Deployment::kBareMetal},
+  };
+  for (auto [kind, dep] : designs) {
+    Testbed bed(kind, dep);
+    std::string got = ExecuteProgram(bed.engine(), program);
+    EXPECT_EQ(got, expected) << RuntimeKindName(kind)
+                             << (dep == Deployment::kNested ? " (nested)" : "");
+  }
+}
+
+TEST_P(DifferentialTest, ProcessLifecycleAgrees) {
+  // fork/exit/wait interleavings (excluding LibOS, which rejects fork).
+  Rng rng(GetParam() * 17 + 3);
+  const std::pair<RuntimeKind, Deployment> designs[] = {
+      {RuntimeKind::kRunc, Deployment::kBareMetal},
+      {RuntimeKind::kPvm, Deployment::kBareMetal},
+      {RuntimeKind::kCki, Deployment::kBareMetal},
+      {RuntimeKind::kHvm, Deployment::kNested},
+  };
+  std::string reference;
+  for (size_t d = 0; d < std::size(designs); ++d) {
+    Rng local(GetParam() * 17 + 3);
+    Testbed bed(designs[d].first, designs[d].second);
+    ContainerEngine& engine = bed.engine();
+    std::ostringstream transcript;
+    for (int i = 0; i < 12; ++i) {
+      SyscallResult child = engine.UserSyscall(SyscallRequest{.no = Sys::kFork});
+      transcript << "fork=" << child.value << "\n";
+      if (local.NextBool(0.7) && child.ok()) {
+        engine.kernel().SwitchTo(static_cast<int>(child.value));
+        uint64_t heap = engine.MmapAnon(4 * kPageSize, local.NextBool(0.5));
+        transcript << "childheap=" << std::hex << heap << std::dec << "\n";
+        transcript << "exit=" << engine.UserSyscall(SyscallRequest{.no = Sys::kExit}).value
+                   << "\n";
+        transcript << "wait=" << engine.UserSyscall(SyscallRequest{.no = Sys::kWaitpid}).value
+                   << "\n";
+      }
+    }
+    if (d == 0) {
+      reference = transcript.str();
+    } else {
+      EXPECT_EQ(transcript.str(), reference) << RuntimeKindName(designs[d].first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(11u, 222u, 3333u, 44444u, 555555u));
+
+}  // namespace
+}  // namespace cki

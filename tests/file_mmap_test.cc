@@ -1,0 +1,130 @@
+// Tests for file-backed mappings and the page cache of the model guest
+// kernel: shared mappings alias the same physical page across processes,
+// private mappings copy on write, and the cache pins pages across unmaps.
+#include <gtest/gtest.h>
+
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+class FileMmapTest : public ::testing::TestWithParam<RuntimeKind> {
+ protected:
+  FileMmapTest() : bed_(GetParam(), Deployment::kBareMetal) {}
+
+  ContainerEngine& engine() { return bed_.engine(); }
+  GuestKernel& kernel() { return bed_.engine().kernel(); }
+
+  int OpenFile(uint64_t tag) {
+    SyscallResult fd = engine().UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = tag});
+    EXPECT_TRUE(fd.ok());
+    engine().UserSyscall(SyscallRequest{
+        .no = Sys::kWrite, .arg0 = static_cast<uint64_t>(fd.value), .arg1 = 4 * kPageSize});
+    return static_cast<int>(fd.value);
+  }
+
+  uint64_t MapFile(int fd, uint64_t flags, uint64_t prot = kProtRead | kProtWrite) {
+    SyscallResult r = engine().UserSyscall(SyscallRequest{.no = Sys::kMmap,
+                                                          .arg0 = 4 * kPageSize,
+                                                          .arg1 = prot,
+                                                          .arg2 = flags,
+                                                          .arg3 = static_cast<uint64_t>(fd)});
+    EXPECT_TRUE(r.ok());
+    return static_cast<uint64_t>(r.value);
+  }
+
+  // Physical address currently mapped at `va` in the current process.
+  uint64_t PaOf(uint64_t va) {
+    WalkResult walk = kernel().editor().Walk(kernel().current().pt_root, va);
+    EXPECT_TRUE(walk.fault.ok());
+    return PteAddr(walk.leaf_pte);
+  }
+
+  Testbed bed_;
+};
+
+TEST_P(FileMmapTest, SharedMappingAliasesPageCache) {
+  int fd = OpenFile(100);
+  uint64_t a = MapFile(fd, kMapShared);
+  uint64_t b = MapFile(fd, kMapShared);
+  ASSERT_NE(a, b);
+  ASSERT_EQ(engine().UserTouch(a, true), TouchResult::kOk);
+  ASSERT_EQ(engine().UserTouch(b, false), TouchResult::kOk);
+  EXPECT_EQ(PaOf(a), PaOf(b)) << "both mappings must alias the same cache page";
+}
+
+TEST_P(FileMmapTest, SharedMappingSurvivesAcrossFork) {
+  int fd = OpenFile(101);
+  uint64_t base = MapFile(fd, kMapShared);
+  ASSERT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  uint64_t parent_pa = PaOf(base);
+  SyscallResult child = engine().UserSyscall(SyscallRequest{.no = Sys::kFork});
+  ASSERT_TRUE(child.ok());
+  kernel().SwitchTo(static_cast<int>(child.value));
+  ASSERT_EQ(engine().UserTouch(base, false), TouchResult::kOk);
+  EXPECT_EQ(PaOf(base), parent_pa) << "child shares the same file page";
+}
+
+TEST_P(FileMmapTest, PrivateMappingCopiesOnWrite) {
+  int fd = OpenFile(102);
+  uint64_t base = MapFile(fd, kMapPrivate);
+  ASSERT_EQ(engine().UserTouch(base, false), TouchResult::kOk);  // read: cache page
+  uint64_t cache_pa = PaOf(base);
+  ASSERT_EQ(engine().UserTouch(base, true), TouchResult::kOk);   // write: copy
+  EXPECT_NE(PaOf(base), cache_pa) << "private write must not touch the cache page";
+  // A fresh shared mapping still sees the original cache page.
+  uint64_t shared = MapFile(fd, kMapShared);
+  ASSERT_EQ(engine().UserTouch(shared, false), TouchResult::kOk);
+  EXPECT_EQ(PaOf(shared), cache_pa);
+}
+
+TEST_P(FileMmapTest, CachePinsPagesAcrossUnmap) {
+  int fd = OpenFile(103);
+  uint64_t a = MapFile(fd, kMapShared);
+  ASSERT_EQ(engine().UserTouch(a, true), TouchResult::kOk);
+  uint64_t pa = PaOf(a);
+  ASSERT_TRUE(engine()
+                  .UserSyscall(SyscallRequest{.no = Sys::kMunmap, .arg0 = a, .arg1 = 4 * kPageSize})
+                  .ok());
+  // Remap: the same physical page comes back from the cache.
+  uint64_t b = MapFile(fd, kMapShared);
+  ASSERT_EQ(engine().UserTouch(b, false), TouchResult::kOk);
+  EXPECT_EQ(PaOf(b), pa);
+}
+
+TEST_P(FileMmapTest, DistinctBlocksDistinctPages) {
+  int fd = OpenFile(104);
+  uint64_t base = MapFile(fd, kMapShared);
+  ASSERT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  ASSERT_EQ(engine().UserTouch(base + kPageSize, true), TouchResult::kOk);
+  EXPECT_NE(PaOf(base), PaOf(base + kPageSize));
+}
+
+TEST_P(FileMmapTest, MmapOfBadFdFails) {
+  SyscallResult r = engine().UserSyscall(SyscallRequest{.no = Sys::kMmap,
+                                                        .arg0 = kPageSize,
+                                                        .arg1 = kProtRead,
+                                                        .arg2 = kMapShared,
+                                                        .arg3 = 99});
+  EXPECT_EQ(r.value, kEBADF);
+}
+
+TEST_P(FileMmapTest, SharedPlusPrivateIsInvalid) {
+  int fd = OpenFile(105);
+  SyscallResult r = engine().UserSyscall(SyscallRequest{.no = Sys::kMmap,
+                                                        .arg0 = kPageSize,
+                                                        .arg1 = kProtRead,
+                                                        .arg2 = kMapShared | kMapPrivate,
+                                                        .arg3 = static_cast<uint64_t>(fd)});
+  EXPECT_EQ(r.value, kEINVAL);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FileMmapTest,
+                         ::testing::Values(RuntimeKind::kRunc, RuntimeKind::kHvm,
+                                           RuntimeKind::kPvm, RuntimeKind::kCki),
+                         [](const ::testing::TestParamInfo<RuntimeKind>& param_info) {
+                           return std::string(RuntimeKindName(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,105 @@
+// Unit tests for the PKS switch gates and KSM operations not covered by
+// the attack-oriented security suite: legitimate gate sequences, cost
+// composition, KSM call accounting, and UndeclarePtp edge cases.
+#include <gtest/gtest.h>
+
+#include "src/cki/cki_engine.h"
+#include "src/hw/pks.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+class GatesKsmTest : public ::testing::Test {
+ protected:
+  GatesKsmTest() : bed_(RuntimeKind::kCki, Deployment::kBareMetal) {}
+
+  CkiEngine& engine() { return static_cast<CkiEngine&>(bed_.engine()); }
+  Cpu& cpu() { return bed_.machine().cpu(); }
+
+  Testbed bed_;
+};
+
+TEST_F(GatesKsmTest, EnterExitRoundTripRestoresGuestKey) {
+  cpu().set_cpl(Cpl::kKernel);
+  cpu().SetPkrsDirect(kPkrsGuest);
+  ASSERT_TRUE(engine().gates().EnterKsm());
+  EXPECT_EQ(cpu().pkrs(), kPkrsMonitor);
+  ASSERT_TRUE(engine().gates().ExitKsm());
+  EXPECT_EQ(cpu().pkrs(), kPkrsGuest);
+}
+
+TEST_F(GatesKsmTest, GatePairCostsTwoPksSwitchesPlusDispatch) {
+  cpu().set_cpl(Cpl::kKernel);
+  cpu().SetPkrsDirect(kPkrsGuest);
+  const CostModel& c = bed_.ctx().cost();
+  SimNanos t0 = bed_.ctx().clock().now();
+  engine().gates().EnterKsm();
+  engine().gates().ExitKsm();
+  EXPECT_EQ(bed_.ctx().clock().now() - t0, 2 * c.pks_switch + c.ksm_dispatch);
+}
+
+TEST_F(GatesKsmTest, HypercallRoundtripIs390ns) {
+  cpu().set_cpl(Cpl::kKernel);
+  cpu().SetPkrsDirect(kPkrsGuest);
+  SimNanos t0 = bed_.ctx().clock().now();
+  engine().gates().HypercallRoundtrip();
+  EXPECT_EQ(bed_.ctx().clock().now() - t0, 390u);
+  EXPECT_EQ(cpu().pkrs(), kPkrsGuest) << "guest key restored after the switcher";
+}
+
+TEST_F(GatesKsmTest, HardwareInterruptRestoresPkrsViaIret) {
+  cpu().set_cpl(Cpl::kKernel);
+  cpu().SetPkrsDirect(kPkrsGuest);
+  ASSERT_TRUE(engine().gates().HardwareInterruptToHost(kVecTimer));
+  EXPECT_EQ(cpu().pkrs(), kPkrsGuest);
+  EXPECT_TRUE(cpu().interrupts_enabled());
+}
+
+TEST_F(GatesKsmTest, KsmCallCountingTracksOperations) {
+  uint64_t calls_before = engine().ksm().ksm_calls();
+  uint64_t base = engine().MmapAnon(2 * kPageSize, false);
+  engine().UserTouch(base, true);
+  EXPECT_GT(engine().ksm().ksm_calls(), calls_before)
+      << "the fault's PTE update and iret are KSM calls";
+}
+
+TEST_F(GatesKsmTest, UndeclareUnknownPageFails) {
+  uint64_t data = engine().AllocDataPage();
+  EXPECT_EQ(engine().ksm().UndeclarePtp(data), PtpVerdict::kNotDeclared);
+}
+
+TEST_F(GatesKsmTest, RedeclareAfterUndeclareWorks) {
+  uint64_t page = engine().AllocDataPage();
+  ASSERT_EQ(engine().ksm().DeclarePtp(page, 1), PtpVerdict::kOk);
+  ASSERT_EQ(engine().ksm().UndeclarePtp(page), PtpVerdict::kOk);
+  EXPECT_EQ(engine().ksm().DeclarePtp(page, 2), PtpVerdict::kOk)
+      << "a clean page can be redeclared at a different level";
+  EXPECT_EQ(engine().ksm().monitor().PtpLevel(page), 2);
+}
+
+TEST_F(GatesKsmTest, DoubleDeclareFails) {
+  uint64_t page = engine().AllocDataPage();
+  ASSERT_EQ(engine().ksm().DeclarePtp(page, 1), PtpVerdict::kOk);
+  EXPECT_EQ(engine().ksm().DeclarePtp(page, 1), PtpVerdict::kDataPageInUse);
+}
+
+TEST_F(GatesKsmTest, TopLevelCopyLifecycle) {
+  uint64_t page = engine().AllocDataPage();
+  ASSERT_EQ(engine().ksm().DeclarePtp(page, kPtLevels), PtpVerdict::kOk);
+  EXPECT_NE(engine().ksm().TopLevelCopy(page, 0), 0u);
+  ASSERT_EQ(engine().ksm().UndeclarePtp(page), PtpVerdict::kOk);
+  EXPECT_EQ(engine().ksm().TopLevelCopy(page, 0), 0u) << "copies freed on undeclare";
+}
+
+TEST_F(GatesKsmTest, SecureStackVisibilityFollowsPkrs) {
+  cpu().set_cpl(Cpl::kKernel);
+  cpu().SetPkrsDirect(kPkrsGuest);
+  EXPECT_FALSE(engine().gates().SecureStackAccessible());
+  cpu().SetPkrsDirect(kPkrsMonitor);
+  EXPECT_TRUE(engine().gates().SecureStackAccessible());
+  cpu().SetPkrsDirect(kPkrsGuest);
+}
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,70 @@
+// Unit tests for tmpfs and the IPC channels of the model guest kernel.
+#include <gtest/gtest.h>
+
+#include "src/guest/ipc.h"
+#include "src/guest/tmpfs.h"
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+namespace {
+
+TEST(TmpfsTest, CreateLookupUnlink) {
+  Tmpfs fs;
+  int ino = fs.OpenOrCreate("/etc/conf");
+  EXPECT_GT(ino, 0);
+  EXPECT_EQ(fs.OpenOrCreate("/etc/conf"), ino);
+  EXPECT_EQ(fs.Lookup("/etc/conf"), ino);
+  EXPECT_EQ(fs.Lookup("/missing"), -1);
+  EXPECT_TRUE(fs.Unlink("/etc/conf"));
+  EXPECT_EQ(fs.Lookup("/etc/conf"), -1);
+  EXPECT_FALSE(fs.Unlink("/etc/conf"));
+}
+
+TEST(TmpfsTest, ResizeTracksBlocks) {
+  Tmpfs fs;
+  int ino = fs.OpenOrCreate("/data");
+  EXPECT_EQ(fs.Resize(ino, 3 * kPageSize + 100), 4);  // 4 fresh blocks
+  EXPECT_EQ(fs.Get(ino)->size, 3 * kPageSize + 100);
+  EXPECT_EQ(fs.Resize(ino, 3 * kPageSize + 200), 0);  // same block count
+  EXPECT_EQ(fs.Resize(ino, kPageSize), -3);           // shrink
+  EXPECT_EQ(fs.Get(ino)->blocks, 1u);
+}
+
+TEST(TmpfsTest, DistinctFilesDistinctInodes) {
+  Tmpfs fs;
+  int a = fs.OpenOrCreate("/a");
+  int b = fs.OpenOrCreate("/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(fs.file_count(), 2u);
+}
+
+TEST(IpcChannelTest, FifoByteAccounting) {
+  IpcChannel pipe(ChannelKind::kPipe);
+  EXPECT_EQ(pipe.Read(10), 0u);
+  EXPECT_EQ(pipe.Write(100), 100u);
+  EXPECT_EQ(pipe.Write(50), 50u);
+  EXPECT_EQ(pipe.buffered(), 150u);
+  EXPECT_EQ(pipe.Read(120), 120u);  // crosses message boundary
+  EXPECT_EQ(pipe.Read(100), 30u);
+  EXPECT_FALSE(pipe.readable());
+}
+
+TEST(IpcChannelTest, CapacityBoundsWrites) {
+  IpcChannel pipe(ChannelKind::kPipe, /*capacity=*/100);
+  EXPECT_EQ(pipe.Write(80), 80u);
+  EXPECT_EQ(pipe.Write(80), 20u);  // partial
+  EXPECT_EQ(pipe.Write(10), 0u);   // full -> writer must block
+  pipe.Read(50);
+  EXPECT_EQ(pipe.Write(60), 50u);
+}
+
+TEST(IpcChannelTest, RefCountingControlsLifetime) {
+  IpcChannel socket(ChannelKind::kUnixSocket);
+  socket.AddRef();
+  socket.AddRef();
+  EXPECT_FALSE(socket.Release());
+  EXPECT_TRUE(socket.Release());
+}
+
+}  // namespace
+}  // namespace cki

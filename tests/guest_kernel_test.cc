@@ -1,0 +1,173 @@
+// Functional tests of the model guest kernel, parameterized over all four
+// container runtimes: the same syscall semantics must hold regardless of
+// the isolation mechanism underneath (the paper's compatibility claim).
+#include <gtest/gtest.h>
+
+#include "src/guest/process.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+struct EngineParam {
+  RuntimeKind kind;
+  Deployment deployment;
+};
+
+class KernelSemanticsTest : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  KernelSemanticsTest() : bed_(GetParam().kind, GetParam().deployment) {}
+
+  ContainerEngine& engine() { return bed_.engine(); }
+  GuestKernel& kernel() { return bed_.engine().kernel(); }
+
+  SyscallResult Sys1(Sys no, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0) {
+    return engine().UserSyscall(SyscallRequest{.no = no, .arg0 = a0, .arg1 = a1, .arg2 = a2});
+  }
+
+  Testbed bed_;
+};
+
+TEST_P(KernelSemanticsTest, GetpidReturnsCurrentPid) {
+  EXPECT_EQ(Sys1(Sys::kGetpid).value, kernel().current_pid());
+}
+
+TEST_P(KernelSemanticsTest, MmapTouchMunmap) {
+  uint64_t base = engine().MmapAnon(4 * kPageSize, false);
+  ASSERT_NE(base, 0u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(engine().UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true),
+              TouchResult::kOk);
+  }
+  EXPECT_TRUE(Sys1(Sys::kMunmap, base, 4 * kPageSize).ok());
+  // The unmapped range faults as SIGSEGV now.
+  EXPECT_EQ(engine().UserTouch(base, false), TouchResult::kSegv);
+}
+
+TEST_P(KernelSemanticsTest, AccessOutsideAnyVmaIsSegv) {
+  EXPECT_EQ(engine().UserTouch(0x13'3700'0000, true), TouchResult::kSegv);
+}
+
+TEST_P(KernelSemanticsTest, MprotectReadOnlyBlocksWrites) {
+  uint64_t base = engine().MmapAnon(kPageSize, true);
+  ASSERT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  ASSERT_TRUE(Sys1(Sys::kMprotect, base, kPageSize, kProtRead).ok());
+  EXPECT_EQ(engine().UserTouch(base, true), TouchResult::kSegv);
+  EXPECT_EQ(engine().UserTouch(base, false), TouchResult::kOk);
+  ASSERT_TRUE(Sys1(Sys::kMprotect, base, kPageSize, kProtRead | kProtWrite).ok());
+  EXPECT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+}
+
+TEST_P(KernelSemanticsTest, BrkGrowsAndShrinksHeap) {
+  uint64_t cur = static_cast<uint64_t>(Sys1(Sys::kBrk, 0).value);
+  uint64_t grown = cur + 8 * kPageSize;
+  ASSERT_EQ(static_cast<uint64_t>(Sys1(Sys::kBrk, grown).value), grown);
+  EXPECT_EQ(engine().UserTouch(cur, true), TouchResult::kOk);
+  ASSERT_EQ(static_cast<uint64_t>(Sys1(Sys::kBrk, cur).value), cur);
+  EXPECT_EQ(engine().UserTouch(cur, true), TouchResult::kSegv);
+}
+
+TEST_P(KernelSemanticsTest, FileReadWriteStat) {
+  SyscallResult fd = Sys1(Sys::kOpen, 42);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(Sys1(Sys::kWrite, static_cast<uint64_t>(fd.value), 5000).value, 5000);
+  EXPECT_EQ(Sys1(Sys::kFstat, static_cast<uint64_t>(fd.value)).value, 5000);
+  EXPECT_EQ(Sys1(Sys::kPread, static_cast<uint64_t>(fd.value), 1000, 0).value, 1000);
+  // Reading past EOF returns the remaining bytes.
+  EXPECT_EQ(Sys1(Sys::kPread, static_cast<uint64_t>(fd.value), 9999, 4000).value, 1000);
+  EXPECT_TRUE(Sys1(Sys::kClose, static_cast<uint64_t>(fd.value)).ok());
+  EXPECT_EQ(Sys1(Sys::kRead, static_cast<uint64_t>(fd.value), 1).value, kEBADF);
+}
+
+TEST_P(KernelSemanticsTest, PipeCarriesBytes) {
+  SyscallResult p = Sys1(Sys::kPipe);
+  ASSERT_TRUE(p.ok());
+  uint64_t rfd = static_cast<uint64_t>(p.value) & 0xFFFF;
+  uint64_t wfd = static_cast<uint64_t>(p.value) >> 16;
+  EXPECT_EQ(Sys1(Sys::kRead, rfd, 10).value, kEAGAIN);  // empty
+  EXPECT_EQ(Sys1(Sys::kWrite, wfd, 10).value, 10);
+  EXPECT_EQ(Sys1(Sys::kRead, rfd, 4).value, 4);
+  EXPECT_EQ(Sys1(Sys::kRead, rfd, 100).value, 6);
+}
+
+TEST_P(KernelSemanticsTest, ForkCreatesCowChild) {
+  uint64_t base = engine().MmapAnon(2 * kPageSize, true);
+  ASSERT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  int parent = kernel().current_pid();
+  SyscallResult r = Sys1(Sys::kFork);
+  ASSERT_TRUE(r.ok());
+  int child = static_cast<int>(r.value);
+  ASSERT_NE(child, parent);
+
+  // Parent write triggers copy-on-write but succeeds.
+  EXPECT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  // Child sees the same mapping, also writable through CoW.
+  kernel().SwitchTo(child);
+  EXPECT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  EXPECT_EQ(Sys1(Sys::kGetpid).value, child);
+  Sys1(Sys::kExit, 7);
+  EXPECT_EQ(kernel().current_pid(), parent);
+  EXPECT_EQ(Sys1(Sys::kWaitpid, 0).value, child);
+}
+
+TEST_P(KernelSemanticsTest, ExecveReplacesAddressSpace) {
+  uint64_t base = engine().MmapAnon(kPageSize, true);
+  ASSERT_EQ(engine().UserTouch(base, true), TouchResult::kOk);
+  ASSERT_TRUE(Sys1(Sys::kExecve).ok());
+  // Old mapping is gone; text is freshly mapped.
+  EXPECT_EQ(engine().UserTouch(base, false), TouchResult::kSegv);
+  EXPECT_EQ(engine().UserTouch(kUserTextBase, false), TouchResult::kOk);
+}
+
+TEST_P(KernelSemanticsTest, SchedYieldRoundRobins) {
+  int parent = kernel().current_pid();
+  SyscallResult r = Sys1(Sys::kFork);
+  ASSERT_TRUE(r.ok());
+  int child = static_cast<int>(r.value);
+  ASSERT_TRUE(Sys1(Sys::kSchedYield).ok());
+  EXPECT_EQ(kernel().current_pid(), child);
+  ASSERT_TRUE(Sys1(Sys::kSchedYield).ok());
+  EXPECT_EQ(kernel().current_pid(), parent);
+}
+
+TEST_P(KernelSemanticsTest, WaitpidWithNoChildrenFails) {
+  EXPECT_EQ(Sys1(Sys::kWaitpid, 0).value, kECHILD);
+}
+
+TEST_P(KernelSemanticsTest, StackIsUsable) {
+  EXPECT_EQ(engine().UserTouch(kUserStackTop - kPageSize, true), TouchResult::kOk);
+}
+
+TEST_P(KernelSemanticsTest, SocketpairRoundTrip) {
+  SyscallResult sp = Sys1(Sys::kSocketpair);
+  ASSERT_TRUE(sp.ok());
+  uint64_t s0 = static_cast<uint64_t>(sp.value) & 0xFFFF;
+  uint64_t s1 = static_cast<uint64_t>(sp.value) >> 16;
+  EXPECT_EQ(Sys1(Sys::kSendto, s0, 64).value, 64);
+  EXPECT_EQ(Sys1(Sys::kRecvfrom, s1, 64).value, 64);
+  EXPECT_EQ(Sys1(Sys::kRecvfrom, s1, 64).value, kEAGAIN);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, KernelSemanticsTest,
+    ::testing::Values(EngineParam{RuntimeKind::kRunc, Deployment::kBareMetal},
+                      EngineParam{RuntimeKind::kHvm, Deployment::kBareMetal},
+                      EngineParam{RuntimeKind::kHvm, Deployment::kNested},
+                      EngineParam{RuntimeKind::kPvm, Deployment::kBareMetal},
+                      EngineParam{RuntimeKind::kPvm, Deployment::kNested},
+                      EngineParam{RuntimeKind::kCki, Deployment::kBareMetal},
+                      EngineParam{RuntimeKind::kCki, Deployment::kNested},
+                      EngineParam{RuntimeKind::kCkiNoOpt2, Deployment::kBareMetal},
+                      EngineParam{RuntimeKind::kCkiNoOpt3, Deployment::kBareMetal}),
+    [](const ::testing::TestParamInfo<EngineParam>& param_info) {
+      std::string name(RuntimeKindName(param_info.param.kind));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name + (param_info.param.deployment == Deployment::kNested ? "_NST" : "_BM");
+    });
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,90 @@
+// Unit tests for the VMA list of the model guest kernel.
+#include <gtest/gtest.h>
+
+#include "src/guest/vma.h"
+#include "src/hw/phys_mem.h"
+
+namespace cki {
+namespace {
+
+Vma Make(uint64_t start, uint64_t end, uint64_t prot = kProtRead | kProtWrite) {
+  return Vma{.start = start, .end = end, .prot = prot};
+}
+
+TEST(VmaTest, InsertAndFind) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x5000));
+  EXPECT_NE(list.Find(0x1000), nullptr);
+  EXPECT_NE(list.Find(0x4FFF), nullptr);
+  EXPECT_EQ(list.Find(0x5000), nullptr);
+  EXPECT_EQ(list.Find(0x0FFF), nullptr);
+}
+
+TEST(VmaTest, RemoveWholeArea) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x5000));
+  list.Remove(0x1000, 0x5000);
+  EXPECT_EQ(list.Find(0x2000), nullptr);
+  EXPECT_EQ(list.count(), 0u);
+}
+
+TEST(VmaTest, RemoveMiddleSplitsArea) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x9000));
+  list.Remove(0x3000, 0x5000);
+  EXPECT_NE(list.Find(0x2000), nullptr);
+  EXPECT_EQ(list.Find(0x3000), nullptr);
+  EXPECT_EQ(list.Find(0x4FFF), nullptr);
+  EXPECT_NE(list.Find(0x5000), nullptr);
+  EXPECT_EQ(list.count(), 2u);
+}
+
+TEST(VmaTest, RemoveAcrossMultipleAreas) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x3000));
+  list.Insert(Make(0x4000, 0x6000));
+  list.Insert(Make(0x7000, 0x9000));
+  list.Remove(0x2000, 0x8000);
+  EXPECT_NE(list.Find(0x1000), nullptr);
+  EXPECT_EQ(list.Find(0x2000), nullptr);
+  EXPECT_EQ(list.Find(0x5000), nullptr);
+  EXPECT_EQ(list.Find(0x7000), nullptr);
+  EXPECT_NE(list.Find(0x8000), nullptr);
+}
+
+TEST(VmaTest, ProtectSplitsAndRetags) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x9000, kProtRead | kProtWrite));
+  ASSERT_TRUE(list.Protect(0x3000, 0x5000, kProtRead));
+  EXPECT_EQ(list.Find(0x2000)->prot, kProtRead | kProtWrite);
+  EXPECT_EQ(list.Find(0x3000)->prot, kProtRead);
+  EXPECT_EQ(list.Find(0x4FFF)->prot, kProtRead);
+  EXPECT_EQ(list.Find(0x5000)->prot, kProtRead | kProtWrite);
+}
+
+TEST(VmaTest, ProtectFailsOnUnmappedGap) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x3000));
+  list.Insert(Make(0x5000, 0x7000));
+  EXPECT_FALSE(list.Protect(0x2000, 0x6000, kProtRead));
+}
+
+TEST(VmaTest, FindFreeSkipsOccupiedRanges) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x3000));
+  list.Insert(Make(0x3000, 0x6000));
+  uint64_t free = list.FindFree(0x1000, 0x2000);
+  EXPECT_GE(free, 0x6000u);
+  // A gap large enough is used.
+  list.Insert(Make(0x9000, 0xA000));
+  EXPECT_EQ(list.FindFree(0x6000, 0x3000), 0x6000u);
+}
+
+TEST(VmaTest, FindFreeRespectsHintInsideArea) {
+  VmaList list;
+  list.Insert(Make(0x1000, 0x5000));
+  EXPECT_GE(list.FindFree(0x2000, 0x1000), 0x5000u);
+}
+
+}  // namespace
+}  // namespace cki

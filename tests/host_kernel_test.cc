@@ -1,0 +1,88 @@
+// Tests for the host-kernel hypercall service layer: timers, vCPU
+// pause/wake, IPIs, pv-clock — the paravirtual semantics behind Table 3's
+// "replaced with hypercalls" column.
+#include <gtest/gtest.h>
+
+#include "src/host/host_kernel.h"
+#include "src/sim/context.h"
+
+namespace cki {
+namespace {
+
+TEST(HostKernelTest, PauseAndWake) {
+  SimContext ctx;
+  HostKernel host(ctx, /*n_vcpus=*/2);
+  EXPECT_FALSE(host.vcpu_paused(0));
+  host.Dispatch(HypercallOp::kPauseVcpu, 0, 0, /*vcpu=*/0);
+  EXPECT_TRUE(host.vcpu_paused(0));
+  EXPECT_FALSE(host.vcpu_paused(1));
+  host.WakeVcpu(0);
+  EXPECT_FALSE(host.vcpu_paused(0));
+}
+
+TEST(HostKernelTest, TimersFireInDeadlineOrder) {
+  SimContext ctx;
+  HostKernel host(ctx, 2);
+  host.Dispatch(HypercallOp::kSetTimer, /*deadline=*/500, 0, /*vcpu=*/1);
+  host.Dispatch(HypercallOp::kSetTimer, /*deadline=*/200, 0, /*vcpu=*/0);
+  EXPECT_EQ(host.armed_timers(), 2u);
+  EXPECT_TRUE(host.ExpireTimers().empty());  // t = 0
+  ctx.ChargeWork(250);
+  std::vector<int> fired = host.ExpireTimers();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0);
+  ctx.ChargeWork(300);
+  fired = host.ExpireTimers();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(host.armed_timers(), 0u);
+}
+
+TEST(HostKernelTest, TimerWakesPausedVcpu) {
+  SimContext ctx;
+  HostKernel host(ctx, 1);
+  host.Dispatch(HypercallOp::kSetTimer, 100, 0, 0);
+  host.Dispatch(HypercallOp::kPauseVcpu, 0, 0, 0);  // hlt until the tick
+  ASSERT_TRUE(host.vcpu_paused(0));
+  ctx.ChargeWork(150);
+  host.ExpireTimers();
+  EXPECT_FALSE(host.vcpu_paused(0));
+}
+
+TEST(HostKernelTest, IpisQueueWakeAndDrain) {
+  SimContext ctx;
+  HostKernel host(ctx, 4);
+  host.Dispatch(HypercallOp::kPauseVcpu, 0, 0, /*vcpu=*/3);
+  EXPECT_EQ(host.Dispatch(HypercallOp::kSendIpi, /*dest=*/3, 0, /*vcpu=*/0), 0u);
+  EXPECT_EQ(host.Dispatch(HypercallOp::kSendIpi, 3, 0, 1), 0u);
+  EXPECT_FALSE(host.vcpu_paused(3)) << "IPIs wake halted vCPUs";
+  EXPECT_EQ(host.pending_ipis(3), 2u);
+  EXPECT_TRUE(host.TakeIpi(3));
+  EXPECT_TRUE(host.TakeIpi(3));
+  EXPECT_FALSE(host.TakeIpi(3));
+}
+
+TEST(HostKernelTest, IpiToBogusVcpuFails) {
+  SimContext ctx;
+  HostKernel host(ctx, 2);
+  EXPECT_EQ(host.Dispatch(HypercallOp::kSendIpi, /*dest=*/9, 0, 0), ~0ull);
+}
+
+TEST(HostKernelTest, PvClockTracksSimTime) {
+  SimContext ctx;
+  HostKernel host(ctx, 1);
+  ctx.ChargeWork(12345);
+  EXPECT_EQ(host.PvClockNow(), 12345u);
+}
+
+TEST(HostKernelTest, DispatchCountsRequests) {
+  SimContext ctx;
+  HostKernel host(ctx, 1);
+  host.Dispatch(HypercallOp::kNop, 0, 0);
+  host.Dispatch(HypercallOp::kYield, 0, 0);
+  EXPECT_EQ(host.Dispatch(HypercallOp::kLogByte, 0, 'x'), static_cast<uint64_t>('x'));
+  EXPECT_EQ(host.dispatched(), 3u);
+}
+
+}  // namespace
+}  // namespace cki

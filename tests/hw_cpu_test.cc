@@ -1,0 +1,250 @@
+// Unit tests for the CPU core: permission checks, protection keys, A/D
+// bits, two-stage translation, interrupt delivery and the CKI extensions.
+#include <gtest/gtest.h>
+
+#include "src/hw/cpu.h"
+#include "src/hw/pks.h"
+#include "src/sim/context.h"
+
+namespace cki {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : cpu_(ctx_, mem_, CkiHwExtensions::All()), next_frame_(0x10'0000) {
+    root_ = AllocFrame();
+    cpu_.LoadCr3(MakeCr3(root_, /*pcid=*/1));
+  }
+
+  uint64_t AllocFrame() {
+    uint64_t pa = next_frame_;
+    next_frame_ += kPageSize;
+    mem_.InstallFrame(pa);
+    return pa;
+  }
+
+  void Map(uint64_t va, uint64_t pa, uint64_t flags, uint32_t pkey = 0) {
+    PageTableEditor editor(mem_, [this](int) { return AllocFrame(); },
+                           [this](uint64_t pte_pa, uint64_t value, int, uint64_t) {
+                             mem_.WriteU64(pte_pa, value);
+                             return true;
+                           });
+    ASSERT_TRUE(editor.MapPage(root_, va, pa, flags, pkey, PageSize::k4K));
+  }
+
+  SimContext ctx_;
+  PhysMem mem_;
+  Cpu cpu_;
+  uint64_t next_frame_;
+  uint64_t root_ = 0;
+};
+
+TEST_F(CpuTest, TranslatesMappedPage) {
+  uint64_t pa = AllocFrame();
+  Map(0x40'0000, pa, kPteP | kPteW | kPteU);
+  cpu_.set_cpl(Cpl::kUser);
+  uint64_t out = 0;
+  EXPECT_TRUE(cpu_.AccessTranslate(0x40'0123, AccessIntent::Read(), &out).ok());
+  EXPECT_EQ(out, pa + 0x123);
+}
+
+TEST_F(CpuTest, UnmappedPageFaults) {
+  cpu_.set_cpl(Cpl::kUser);
+  Fault f = cpu_.Access(0x99'9000, AccessIntent::Read());
+  EXPECT_EQ(f.type, FaultType::kPageNotPresent);
+  EXPECT_EQ(f.va, 0x99'9000u);
+  EXPECT_TRUE(f.was_user);
+}
+
+TEST_F(CpuTest, UserCannotTouchSupervisorPage) {
+  Map(0x50'0000, AllocFrame(), kPteP | kPteW);  // U=0
+  cpu_.set_cpl(Cpl::kUser);
+  EXPECT_EQ(cpu_.Access(0x50'0000, AccessIntent::Read()).type, FaultType::kPageProtection);
+  cpu_.set_cpl(Cpl::kKernel);
+  EXPECT_TRUE(cpu_.Access(0x50'0000, AccessIntent::Read()).ok());
+}
+
+TEST_F(CpuTest, WriteToReadOnlyFaults) {
+  Map(0x60'0000, AllocFrame(), kPteP | kPteU);
+  cpu_.set_cpl(Cpl::kUser);
+  EXPECT_TRUE(cpu_.Access(0x60'0000, AccessIntent::Read()).ok());
+  Fault f = cpu_.Access(0x60'0000, AccessIntent::Write());
+  EXPECT_EQ(f.type, FaultType::kPageProtection);
+  EXPECT_TRUE(f.was_write);
+}
+
+TEST_F(CpuTest, NxBlocksExecution) {
+  Map(0x70'0000, AllocFrame(), kPteP | kPteU | kPteNx);
+  cpu_.set_cpl(Cpl::kUser);
+  EXPECT_TRUE(cpu_.Access(0x70'0000, AccessIntent::Read()).ok());
+  EXPECT_EQ(cpu_.Access(0x70'0000, AccessIntent::Exec()).type, FaultType::kPageProtection);
+}
+
+TEST_F(CpuTest, PksGovernsSupervisorPages) {
+  Map(0x80'0000, AllocFrame(), kPteP | kPteW, kPkeyKsm);  // supervisor, key 1
+  cpu_.set_cpl(Cpl::kKernel);
+  cpu_.SetPkrsDirect(kPkrsGuest);
+  EXPECT_EQ(cpu_.Access(0x80'0000, AccessIntent::Read()).type, FaultType::kPageKeyViolation);
+  cpu_.SetPkrsDirect(0);
+  EXPECT_TRUE(cpu_.Access(0x80'0000, AccessIntent::Read()).ok());
+}
+
+TEST_F(CpuTest, PksWriteDisableAllowsReads) {
+  Map(0x81'0000, AllocFrame(), kPteP | kPteW, kPkeyPtp);  // supervisor, key 2
+  cpu_.set_cpl(Cpl::kKernel);
+  cpu_.SetPkrsDirect(kPkrsGuest);  // key 2: write-disable
+  EXPECT_TRUE(cpu_.Access(0x81'0000, AccessIntent::Read()).ok());
+  EXPECT_EQ(cpu_.Access(0x81'0000, AccessIntent::Write()).type, FaultType::kPageKeyViolation);
+  cpu_.SetPkrsDirect(0);
+}
+
+TEST_F(CpuTest, PkuGovernsUserPages) {
+  Map(0x82'0000, AllocFrame(), kPteP | kPteW | kPteU, /*pkey=*/3);
+  cpu_.set_cpl(Cpl::kUser);
+  cpu_.set_pkru(PkAccessDisable(3));
+  EXPECT_EQ(cpu_.Access(0x82'0000, AccessIntent::Read()).type, FaultType::kPageKeyViolation);
+  cpu_.set_pkru(0);
+  EXPECT_TRUE(cpu_.Access(0x82'0000, AccessIntent::Read()).ok());
+}
+
+TEST_F(CpuTest, PkrsDoesNotAffectUserPagesAndViceVersa) {
+  Map(0x83'0000, AllocFrame(), kPteP | kPteW | kPteU, /*pkey=*/4);  // user page key 4
+  cpu_.set_cpl(Cpl::kKernel);
+  cpu_.SetPkrsDirect(PkAccessDisable(4));  // PKS denies key 4...
+  EXPECT_TRUE(cpu_.Access(0x83'0000, AccessIntent::Read()).ok())
+      << "...but PKU governs user pages";
+  cpu_.SetPkrsDirect(0);
+}
+
+TEST_F(CpuTest, AccessSetsAccessedAndDirtyBits) {
+  uint64_t pa = AllocFrame();
+  Map(0x90'0000, pa, kPteP | kPteW | kPteU);
+  cpu_.set_cpl(Cpl::kUser);
+  ASSERT_TRUE(cpu_.Access(0x90'0000, AccessIntent::Read()).ok());
+  WalkResult walk = WalkPageTable(mem_, root_, 0x90'0000);
+  EXPECT_TRUE((walk.leaf_pte & kPteA) != 0);
+  EXPECT_TRUE((walk.leaf_pte & kPteD) == 0);
+  // Writes need a fresh translation to mark D (TLB caches the first one).
+  cpu_.tlb().FlushAll();
+  ASSERT_TRUE(cpu_.Access(0x90'0000, AccessIntent::Write()).ok());
+  walk = WalkPageTable(mem_, root_, 0x90'0000);
+  EXPECT_TRUE((walk.leaf_pte & kPteD) != 0);
+}
+
+TEST_F(CpuTest, TlbCachesTranslations) {
+  Map(0xA0'0000, AllocFrame(), kPteP | kPteU);
+  cpu_.set_cpl(Cpl::kUser);
+  auto before = ctx_.trace().Snapshot();
+  ASSERT_TRUE(cpu_.Access(0xA0'0000, AccessIntent::Read()).ok());
+  ASSERT_TRUE(cpu_.Access(0xA0'0000, AccessIntent::Read()).ok());
+  EXPECT_EQ(CountDelta(before, ctx_.trace(), PathEvent::kTlbMiss), 1u);
+  EXPECT_EQ(CountDelta(before, ctx_.trace(), PathEvent::kTlbHit), 1u);
+}
+
+TEST_F(CpuTest, TwoStageTranslationThroughEpt) {
+  // Build a tiny guest: guest tables live at gPAs, EPT maps gPA -> hPA.
+  PhysMem& mem = mem_;
+  Ept ept(mem, [this](int) { return AllocFrame(); });
+  // Identity-ish backing: gPA 0x1000 (guest root) -> fresh host frame, etc.
+  uint64_t root_h = AllocFrame();
+  ASSERT_TRUE(ept.Map(0x1000, root_h, PageSize::k4K));
+  uint64_t pt_h[3];
+  for (int i = 0; i < 3; ++i) {
+    pt_h[i] = AllocFrame();
+    ASSERT_TRUE(ept.Map(0x2000 + static_cast<uint64_t>(i) * 0x1000, pt_h[i], PageSize::k4K));
+  }
+  uint64_t data_h = AllocFrame();
+  ASSERT_TRUE(ept.Map(0x9000, data_h, PageSize::k4K));
+
+  // Guest page table (entries hold gPAs), written through the backing.
+  uint64_t va = 0x40'0000;
+  mem.WriteU64(root_h + static_cast<uint64_t>(PtIndex(va, 4)) * 8, MakePte(0x2000, kPteP | kPteU));
+  mem.WriteU64(pt_h[0] + static_cast<uint64_t>(PtIndex(va, 3)) * 8,
+               MakePte(0x3000, kPteP | kPteU));
+  mem.WriteU64(pt_h[1] + static_cast<uint64_t>(PtIndex(va, 2)) * 8,
+               MakePte(0x4000, kPteP | kPteU));
+  mem.WriteU64(pt_h[2] + static_cast<uint64_t>(PtIndex(va, 1)) * 8,
+               MakePte(0x9000, kPteP | kPteU));
+
+  cpu_.set_ept(&ept);
+  cpu_.LoadCr3(MakeCr3(0x1000, 2));
+  cpu_.set_cpl(Cpl::kUser);
+  uint64_t out = 0;
+  Fault f = cpu_.AccessTranslate(va + 0x44, AccessIntent::Read(), &out);
+  ASSERT_TRUE(f.ok()) << FaultTypeName(f.type);
+  EXPECT_EQ(out, data_h + 0x44);
+  // Unbacked gPA: EPT violation reported with the guest-physical address.
+  mem.WriteU64(pt_h[2] + static_cast<uint64_t>(PtIndex(va + kPageSize, 1)) * 8,
+               MakePte(0xB000, kPteP | kPteU));
+  cpu_.tlb().FlushAll();
+  f = cpu_.Access(va + kPageSize, AccessIntent::Read());
+  EXPECT_EQ(f.type, FaultType::kEptViolation);
+  EXPECT_EQ(f.va, 0xB000u);
+  cpu_.set_ept(nullptr);
+}
+
+TEST_F(CpuTest, TwoDimensionalWalkChargesMoreTime) {
+  // Identical mapping, once with and once without an EPT: the 2-D walk
+  // must cost walk_refs_2d vs walk_refs_1d.
+  const CostModel& c = ctx_.cost();
+  EXPECT_GT(c.WalkCost(true), c.WalkCost(false));
+  EXPECT_EQ(c.WalkCost(true), static_cast<SimNanos>(c.walk_refs_2d) * c.walk_mem_ref);
+}
+
+TEST_F(CpuTest, InterruptDeliveryHonorsIdt) {
+  Idt idt;
+  idt.SetGate(kVecTimer, IdtGate{.present = true, .handler_tag = 42, .ist_index = 0});
+  cpu_.set_idt(&idt);
+  InterruptEntry entry = cpu_.DeliverInterrupt(kVecTimer, true);
+  EXPECT_TRUE(entry.fault.ok());
+  EXPECT_EQ(entry.handler_tag, 42u);
+  EXPECT_EQ(cpu_.cpl(), Cpl::kKernel);
+  EXPECT_FALSE(cpu_.interrupts_enabled());
+  // Missing gate: triple fault.
+  EXPECT_EQ(cpu_.DeliverInterrupt(kVecVirtioBlk, true).fault.type, FaultType::kTripleFault);
+}
+
+TEST_F(CpuTest, IdtPksSwitchOnlyOnHardwareInterrupts) {
+  Idt idt;
+  idt.SetGate(kVecTimer,
+              IdtGate{.present = true, .handler_tag = 1, .ist_index = 0, .pks_switch = true});
+  cpu_.set_idt(&idt);
+  cpu_.SetPkrsDirect(kPkrsGuest);
+  InterruptEntry hw = cpu_.DeliverInterrupt(kVecTimer, /*hardware=*/true);
+  EXPECT_TRUE(hw.pks_switched);
+  EXPECT_EQ(cpu_.pkrs(), 0u);
+  EXPECT_EQ(hw.saved_pkrs, kPkrsGuest);
+  cpu_.SetPkrsDirect(kPkrsGuest);
+  InterruptEntry sw = cpu_.DeliverInterrupt(kVecTimer, /*hardware=*/false);
+  EXPECT_FALSE(sw.pks_switched);
+  EXPECT_EQ(cpu_.pkrs(), kPkrsGuest);
+}
+
+TEST_F(CpuTest, IretRestoresPkrsWithExtension) {
+  cpu_.SetPkrsDirect(0);
+  cpu_.IretTrusted(Cpl::kUser, kPkrsGuest);
+  EXPECT_EQ(cpu_.pkrs(), kPkrsGuest);
+  EXPECT_EQ(cpu_.cpl(), Cpl::kUser);
+  EXPECT_TRUE(cpu_.interrupts_enabled());
+}
+
+TEST_F(CpuTest, SwapgsExchangesBases) {
+  cpu_.set_cpl(Cpl::kKernel);
+  cpu_.SetPkrsDirect(0);
+  cpu_.set_kernel_gs_base(0x1234);
+  ASSERT_TRUE(cpu_.Swapgs().ok());
+  EXPECT_EQ(cpu_.gs_base(), 0x1234u);
+  EXPECT_EQ(cpu_.kernel_gs_base(), 0u);
+}
+
+TEST_F(CpuTest, WrpkrsChargesPksSwitchCost) {
+  cpu_.set_cpl(Cpl::kKernel);
+  SimNanos before = ctx_.clock().now();
+  ASSERT_TRUE(cpu_.Wrpkrs(kPkrsGuest).ok());
+  EXPECT_EQ(ctx_.clock().now() - before, ctx_.cost().pks_switch);
+  EXPECT_EQ(cpu_.pkrs(), kPkrsGuest);
+  cpu_.SetPkrsDirect(0);
+}
+
+}  // namespace
+}  // namespace cki

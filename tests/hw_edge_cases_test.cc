@@ -1,0 +1,135 @@
+// Edge-case and failure-injection tests for the hardware layer: huge-page
+// conflicts, walk reference counting, EPT unmap, and contract violations
+// that must abort loudly rather than corrupt state silently.
+#include <gtest/gtest.h>
+
+#include "src/hw/ept.h"
+#include "src/hw/page_table.h"
+#include "src/hw/phys_mem.h"
+#include "src/host/frame_allocator.h"
+
+namespace cki {
+namespace {
+
+class HwEdgeTest : public ::testing::Test {
+ protected:
+  HwEdgeTest() : next_(0x100'0000) {}
+
+  uint64_t Alloc() {
+    uint64_t pa = next_;
+    next_ += kPageSize;
+    mem_.InstallFrame(pa);
+    return pa;
+  }
+
+  PageTableEditor MakeEditor() {
+    return PageTableEditor(
+        mem_, [this](int) { return Alloc(); },
+        [this](uint64_t pte_pa, uint64_t value, int, uint64_t) {
+          mem_.WriteU64(pte_pa, value);
+          return true;
+        });
+  }
+
+  PhysMem mem_;
+  uint64_t next_;
+};
+
+TEST_F(HwEdgeTest, CannotMap4KUnderExistingHugeLeaf) {
+  PageTableEditor editor = MakeEditor();
+  uint64_t root = Alloc();
+  ASSERT_TRUE(editor.MapPage(root, 0x4000'0000, 0x200'0000, kPteP | kPteW, 0, PageSize::k2M));
+  // A 4K mapping inside the covered range must be refused (cannot descend
+  // past a huge leaf).
+  EXPECT_FALSE(editor.MapPage(root, 0x4000'1000, 0x9000, kPteP, 0, PageSize::k4K));
+}
+
+TEST_F(HwEdgeTest, HugeLeafUnmapAndRemap) {
+  PageTableEditor editor = MakeEditor();
+  uint64_t root = Alloc();
+  ASSERT_TRUE(editor.MapPage(root, 0x4000'0000, 0x200'0000, kPteP | kPteW, 0, PageSize::k2M));
+  ASSERT_TRUE(editor.UnmapPage(root, 0x4000'0000));
+  // Now a 4K mapping in the freed range works.
+  EXPECT_TRUE(editor.MapPage(root, 0x4000'1000, 0x9000, kPteP, 0, PageSize::k4K));
+}
+
+TEST_F(HwEdgeTest, WalkCountsReferencesExactly) {
+  PageTableEditor editor = MakeEditor();
+  uint64_t root = Alloc();
+  ASSERT_TRUE(editor.MapPage(root, 0x1234'5000, 0x8000, kPteP, 0, PageSize::k4K));
+  WalkResult w4k = WalkPageTable(mem_, root, 0x1234'5000);
+  EXPECT_EQ(w4k.mem_refs, 4);
+  ASSERT_TRUE(editor.MapPage(root, 0x8000'0000, 0x400'0000, kPteP | kPteW, 0, PageSize::k2M));
+  WalkResult w2m = WalkPageTable(mem_, root, 0x8000'0000);
+  EXPECT_EQ(w2m.mem_refs, 3);
+  WalkResult miss = WalkPageTable(mem_, root, 0xFF00'0000'0000);  // untouched PML4 slot
+  EXPECT_EQ(miss.mem_refs, 1) << "a missing PML4 entry terminates after one reference";
+  WalkResult mid_miss = WalkPageTable(mem_, root, 0xFFFF'0000);  // same PML4 slot as 4K map
+  EXPECT_EQ(mid_miss.mem_refs, 2) << "a missing PDPT entry terminates after two references";
+}
+
+TEST_F(HwEdgeTest, ForEachLeafVisitsAllLeavesOnce) {
+  PageTableEditor editor = MakeEditor();
+  uint64_t root = Alloc();
+  ASSERT_TRUE(editor.MapPage(root, 0x1000, 0x10'0000, kPteP, 0, PageSize::k4K));
+  ASSERT_TRUE(editor.MapPage(root, 0x7f00'0000'0000, 0x20'0000, kPteP, 0, PageSize::k4K));
+  ASSERT_TRUE(editor.MapPage(root, 0x4000'0000, 0x40'0000, kPteP, 0, PageSize::k2M));
+  int leaves = 0;
+  int huge = 0;
+  editor.ForEachLeaf(root, [&](uint64_t, uint64_t, uint64_t, int level) {
+    leaves++;
+    huge += (level == 2) ? 1 : 0;
+  });
+  EXPECT_EQ(leaves, 3);
+  EXPECT_EQ(huge, 1);
+}
+
+TEST_F(HwEdgeTest, EptUnmapRestoresViolation) {
+  Ept ept(mem_, [this](int) { return Alloc(); });
+  uint64_t hpa = Alloc();
+  ASSERT_TRUE(ept.Map(0x5000, hpa, PageSize::k4K));
+  EXPECT_TRUE(ept.Translate(0x5000).fault.ok());
+  ASSERT_TRUE(ept.Unmap(0x5000));
+  EXPECT_EQ(ept.Translate(0x5000).fault.type, FaultType::kEptViolation);
+  EXPECT_EQ(ept.mapped_pages(), 0u);
+}
+
+TEST_F(HwEdgeTest, PteOffsetArithmetic) {
+  // The offset within 4K vs 2M leaves must compose correctly.
+  PageTableEditor editor = MakeEditor();
+  uint64_t root = Alloc();
+  ASSERT_TRUE(editor.MapPage(root, 0x4000'0000, 0x800'0000, kPteP, 0, PageSize::k2M));
+  WalkResult walk = WalkPageTable(mem_, root, 0x4000'0000 + 0x1F'FFF8);
+  ASSERT_TRUE(walk.fault.ok());
+  EXPECT_EQ(walk.pa, 0x800'0000u + 0x1F'FFF8u);
+}
+
+// --- contract violations abort (failure injection) ---------------------------
+
+TEST(HwDeathTest, UninstalledFrameAccessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PhysMem mem;
+  EXPECT_DEATH(mem.WriteU64(0xDEAD'B000, 1), "uninstalled frame");
+  EXPECT_DEATH((void)mem.ReadU64(0xDEAD'B000), "uninstalled frame");
+}
+
+TEST(HwDeathTest, DoubleFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PhysMem mem;
+  FrameAllocator alloc(mem, 0x10'0000, 16);
+  uint64_t pa = alloc.AllocFrame(1);
+  alloc.FreeFrame(pa);
+  EXPECT_DEATH(alloc.FreeFrame(pa), "double free");
+}
+
+TEST(HwDeathTest, PhysicalExhaustionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PhysMem mem;
+  FrameAllocator alloc(mem, 0x10'0000, 2);
+  alloc.AllocFrame(1);
+  alloc.AllocFrame(1);
+  EXPECT_DEATH(alloc.AllocFrame(1), "out of physical memory");
+}
+
+}  // namespace
+}  // namespace cki

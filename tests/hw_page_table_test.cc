@@ -1,0 +1,151 @@
+// Unit tests for physical memory, page-table construction and walking.
+#include <gtest/gtest.h>
+
+#include "src/hw/page_table.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/pte.h"
+
+namespace cki {
+namespace {
+
+// Simple bump frame allocator for tests.
+class TestAlloc {
+ public:
+  explicit TestAlloc(PhysMem& mem, uint64_t base = 0x10'0000) : mem_(mem), next_(base) {}
+
+  uint64_t Alloc() {
+    uint64_t pa = next_;
+    next_ += kPageSize;
+    mem_.InstallFrame(pa);
+    return pa;
+  }
+
+  PtpAllocFn AsPtpAlloc() {
+    return [this](int /*level*/) { return Alloc(); };
+  }
+
+ private:
+  PhysMem& mem_;
+  uint64_t next_;
+};
+
+PteStoreFn DirectStore(PhysMem& mem) {
+  return [&mem](uint64_t pte_pa, uint64_t value, int /*level*/, uint64_t /*va*/) {
+    mem.WriteU64(pte_pa, value);
+    return true;
+  };
+}
+
+TEST(PhysMemTest, InstallAndReadWrite) {
+  PhysMem mem;
+  mem.InstallFrame(0x5000);
+  EXPECT_TRUE(mem.HasFrame(0x5000));
+  EXPECT_TRUE(mem.HasFrame(0x5FF8));
+  EXPECT_FALSE(mem.HasFrame(0x6000));
+  mem.WriteU64(0x5010, 0xDEADBEEF);
+  EXPECT_EQ(mem.ReadU64(0x5010), 0xDEADBEEFu);
+  mem.ZeroFrame(0x5000);
+  EXPECT_EQ(mem.ReadU64(0x5010), 0u);
+}
+
+TEST(PageTableTest, MapAndWalk4K) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  PageTableEditor editor(mem, alloc.AsPtpAlloc(), DirectStore(mem));
+  uint64_t root = alloc.Alloc();
+
+  uint64_t va = 0x7f00'1234'5000;
+  uint64_t pa = 0x9'F000;
+  mem.InstallFrame(pa);
+  ASSERT_TRUE(editor.MapPage(root, va, pa, kPteP | kPteW | kPteU, /*pkey=*/0, PageSize::k4K));
+
+  WalkResult walk = WalkPageTable(mem, root, va + 0x123);
+  ASSERT_TRUE(walk.fault.ok());
+  EXPECT_EQ(walk.pa, pa + 0x123);
+  EXPECT_EQ(walk.leaf_level, 1);
+  EXPECT_EQ(walk.mem_refs, kPtLevels);
+}
+
+TEST(PageTableTest, WalkReportsNotPresent) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  uint64_t root = alloc.Alloc();
+  WalkResult walk = WalkPageTable(mem, root, 0x1000);
+  EXPECT_EQ(walk.fault.type, FaultType::kPageNotPresent);
+}
+
+TEST(PageTableTest, MapAndWalk2M) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  PageTableEditor editor(mem, alloc.AsPtpAlloc(), DirectStore(mem));
+  uint64_t root = alloc.Alloc();
+
+  uint64_t va = 0x4000'0000;         // 2M aligned
+  uint64_t pa = 0x2000'0000;
+  ASSERT_TRUE(editor.MapPage(root, va, pa, kPteP | kPteW, /*pkey=*/0, PageSize::k2M));
+
+  WalkResult walk = WalkPageTable(mem, root, va + 0x12'3456);
+  ASSERT_TRUE(walk.fault.ok());
+  EXPECT_EQ(walk.pa, pa + 0x12'3456);
+  EXPECT_EQ(walk.leaf_level, 2);
+  EXPECT_EQ(walk.mem_refs, 3);  // PML4, PDPT, PD leaf
+}
+
+TEST(PageTableTest, UnmapClearsLeaf) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  PageTableEditor editor(mem, alloc.AsPtpAlloc(), DirectStore(mem));
+  uint64_t root = alloc.Alloc();
+  uint64_t va = 0x1'0000'0000;
+  ASSERT_TRUE(editor.MapPage(root, va, 0x8000, kPteP | kPteW, 0, PageSize::k4K));
+  ASSERT_TRUE(editor.UnmapPage(root, va));
+  EXPECT_EQ(WalkPageTable(mem, root, va).fault.type, FaultType::kPageNotPresent);
+  EXPECT_FALSE(editor.UnmapPage(root, va));  // already gone
+}
+
+TEST(PageTableTest, ProtectRewritesFlagsKeepsAddress) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  PageTableEditor editor(mem, alloc.AsPtpAlloc(), DirectStore(mem));
+  uint64_t root = alloc.Alloc();
+  uint64_t va = 0x2000'0000;
+  ASSERT_TRUE(editor.MapPage(root, va, 0xA000, kPteP | kPteW, 0, PageSize::k4K));
+  ASSERT_TRUE(editor.ProtectPage(root, va, kPteP, /*pkey=*/2));
+
+  WalkResult walk = WalkPageTable(mem, root, va);
+  ASSERT_TRUE(walk.fault.ok());
+  EXPECT_EQ(PteAddr(walk.leaf_pte), 0xA000u);
+  EXPECT_FALSE(PteWritable(walk.leaf_pte));
+  EXPECT_EQ(PtePkey(walk.leaf_pte), 2u);
+}
+
+TEST(PageTableTest, RejectedStoreFailsMapping) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  // A store hook that refuses leaf-level stores (monitor-style rejection).
+  PteStoreFn refusing = [&mem](uint64_t pte_pa, uint64_t value, int level, uint64_t /*va*/) {
+    if (level == 1) {
+      return false;
+    }
+    mem.WriteU64(pte_pa, value);
+    return true;
+  };
+  PageTableEditor editor(mem, alloc.AsPtpAlloc(), refusing);
+  uint64_t root = alloc.Alloc();
+  EXPECT_FALSE(editor.MapPage(root, 0x3000'0000, 0xB000, kPteP, 0, PageSize::k4K));
+}
+
+TEST(PageTableTest, FindLeafSlotRequiresIntermediateLevels) {
+  PhysMem mem;
+  TestAlloc alloc(mem);
+  PageTableEditor editor(mem, alloc.AsPtpAlloc(), DirectStore(mem));
+  uint64_t root = alloc.Alloc();
+  EXPECT_FALSE(editor.FindLeafSlot(root, 0x5000'0000).has_value());
+  ASSERT_TRUE(editor.MapPage(root, 0x5000'0000, 0xC000, kPteP, 0, PageSize::k4K));
+  EXPECT_TRUE(editor.FindLeafSlot(root, 0x5000'0000).has_value());
+  // A neighbouring page in the same PT has a slot too (leaf may be empty).
+  EXPECT_TRUE(editor.FindLeafSlot(root, 0x5000'1000).has_value());
+}
+
+}  // namespace
+}  // namespace cki

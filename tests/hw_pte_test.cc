@@ -1,0 +1,84 @@
+// Unit tests for the PTE encoding and protection-key helpers.
+#include <gtest/gtest.h>
+
+#include "src/hw/pks.h"
+#include "src/hw/pte.h"
+
+namespace cki {
+namespace {
+
+TEST(PteTest, RoundTripsAddressFlagsAndKey) {
+  uint64_t pte = MakePte(0x1234'5000, kPteP | kPteW | kPteU, /*pkey=*/7);
+  EXPECT_EQ(PteAddr(pte), 0x1234'5000u);
+  EXPECT_EQ(PtePkey(pte), 7u);
+  EXPECT_TRUE(PtePresent(pte));
+  EXPECT_TRUE(PteWritable(pte));
+  EXPECT_TRUE(PteUser(pte));
+  EXPECT_FALSE(PteHuge(pte));
+  EXPECT_FALSE(PteNoExec(pte));
+}
+
+TEST(PteTest, KeyBitsDoNotLeakIntoAddress) {
+  uint64_t pte = MakePte(0xFFFF'F000, 0, /*pkey=*/15);
+  EXPECT_EQ(PteAddr(pte), 0xFFFF'F000u);
+  EXPECT_EQ(PtePkey(pte), 15u);
+}
+
+TEST(PteTest, PkeyMaskedToFourBits) {
+  uint64_t pte = MakePte(0, 0, /*pkey=*/0x1F);
+  EXPECT_EQ(PtePkey(pte), 0xFu);
+}
+
+TEST(PteTest, HugeAndNxBits) {
+  uint64_t pte = MakePte(0x20'0000, kPteP | kPtePs | kPteNx);
+  EXPECT_TRUE(PteHuge(pte));
+  EXPECT_TRUE(PteNoExec(pte));
+}
+
+TEST(PteTest, IndexExtraction) {
+  // va = PML4 idx 1, PDPT idx 2, PD idx 3, PT idx 4.
+  uint64_t va = (1ULL << 39) | (2ULL << 30) | (3ULL << 21) | (4ULL << 12);
+  EXPECT_EQ(PtIndex(va, 4), 1);
+  EXPECT_EQ(PtIndex(va, 3), 2);
+  EXPECT_EQ(PtIndex(va, 2), 3);
+  EXPECT_EQ(PtIndex(va, 1), 4);
+}
+
+TEST(PteTest, Cr3PackingKeepsPcidAndRoot) {
+  uint64_t cr3 = MakeCr3(0xABCD'E000, 0x123);
+  EXPECT_EQ(Cr3Root(cr3), 0xABCD'E000u);
+  EXPECT_EQ(Cr3Pcid(cr3), 0x123);
+}
+
+TEST(PksTest, AccessDisableBlocksReadsAndWrites) {
+  uint32_t pkr = PkAccessDisable(3);
+  EXPECT_FALSE(PkAllows(pkr, 3, /*is_write=*/false));
+  EXPECT_FALSE(PkAllows(pkr, 3, /*is_write=*/true));
+  EXPECT_TRUE(PkAllows(pkr, 2, false));
+  EXPECT_TRUE(PkAllows(pkr, 4, true));
+}
+
+TEST(PksTest, WriteDisableAllowsReadsOnly) {
+  uint32_t pkr = PkWriteDisable(5);
+  EXPECT_TRUE(PkAllows(pkr, 5, /*is_write=*/false));
+  EXPECT_FALSE(PkAllows(pkr, 5, /*is_write=*/true));
+}
+
+TEST(PksTest, GuestPkrsDeniesKsmAndPtpWrites) {
+  // The CKI domain assignment: guest code can neither touch KSM memory nor
+  // write page-table pages, but may read PTPs and use its own pages freely.
+  EXPECT_TRUE(PkAllows(kPkrsGuest, kPkeyGuest, true));
+  EXPECT_FALSE(PkAllows(kPkrsGuest, kPkeyKsm, false));
+  EXPECT_FALSE(PkAllows(kPkrsGuest, kPkeyKsm, true));
+  EXPECT_TRUE(PkAllows(kPkrsGuest, kPkeyPtp, false));
+  EXPECT_FALSE(PkAllows(kPkrsGuest, kPkeyPtp, true));
+}
+
+TEST(PksTest, MonitorPkrsAllowsEverything) {
+  for (int key = 0; key < kNumPkeys; ++key) {
+    EXPECT_TRUE(PkAllows(kPkrsMonitor, static_cast<uint32_t>(key), true));
+  }
+}
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,98 @@
+// Unit tests for the PCID-tagged TLB.
+#include <gtest/gtest.h>
+
+#include "src/hw/phys_mem.h"
+#include "src/hw/pte.h"
+#include "src/hw/tlb.h"
+
+namespace cki {
+namespace {
+
+TEST(TlbTest, InsertAndLookup) {
+  Tlb tlb;
+  tlb.Insert(1, 0x40'0000, 0x9000, kPteW, 0, false);
+  auto hit = tlb.Lookup(1, 0x40'0123);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pfn, 0x9000u >> kPageShift);
+  EXPECT_FALSE(tlb.Lookup(1, 0x41'0000).has_value());
+}
+
+TEST(TlbTest, PcidTagsSeparateContexts) {
+  Tlb tlb;
+  tlb.Insert(1, 0x40'0000, 0x9000, 0, 0, false);
+  EXPECT_TRUE(tlb.Lookup(1, 0x40'0000).has_value());
+  EXPECT_FALSE(tlb.Lookup(2, 0x40'0000).has_value());
+  tlb.Insert(2, 0x40'0000, 0xA000, 0, 0, false);
+  EXPECT_EQ(tlb.Lookup(1, 0x40'0000)->pfn, 0x9000u >> kPageShift);
+  EXPECT_EQ(tlb.Lookup(2, 0x40'0000)->pfn, 0xA000u >> kPageShift);
+}
+
+TEST(TlbTest, InvalidatePageIsPcidLocal) {
+  Tlb tlb;
+  tlb.Insert(1, 0x40'0000, 0x9000, 0, 0, false);
+  tlb.Insert(2, 0x40'0000, 0xA000, 0, 0, false);
+  tlb.InvalidatePage(1, 0x40'0000);
+  EXPECT_FALSE(tlb.Lookup(1, 0x40'0000).has_value());
+  EXPECT_TRUE(tlb.Lookup(2, 0x40'0000).has_value());
+}
+
+TEST(TlbTest, InvalidatePcidDropsWholeContext) {
+  Tlb tlb;
+  for (uint64_t i = 0; i < 16; ++i) {
+    tlb.Insert(3, i * kPageSize, i * kPageSize, 0, 0, false);
+    tlb.Insert(4, i * kPageSize, i * kPageSize, 0, 0, false);
+  }
+  tlb.InvalidatePcid(3);
+  EXPECT_EQ(tlb.ValidCountForPcid(3), 0u);
+  EXPECT_EQ(tlb.ValidCountForPcid(4), 16u);
+}
+
+TEST(TlbTest, FlushAllDropsEverything) {
+  Tlb tlb;
+  tlb.Insert(1, 0x1000, 0x1000, 0, 0, false);
+  tlb.Insert(2, 0x2000, 0x2000, 0, 0, false);
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.ValidCount(), 0u);
+}
+
+TEST(TlbTest, HugePagesCoverTwoMegabytes) {
+  Tlb tlb;
+  tlb.Insert(1, 0x40'0000, 0x20'0000, 0, 0, /*huge=*/true);
+  // Anywhere in the same 2 MiB region hits.
+  auto hit = tlb.Lookup(1, 0x40'0000 + 0x12'3456);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->huge);
+  EXPECT_FALSE(tlb.Lookup(1, 0x60'0000).has_value());
+}
+
+TEST(TlbTest, EvictionKeepsCapacityBounded) {
+  Tlb tlb(/*sets=*/4, /*ways=*/2);  // 8 entries
+  for (uint64_t i = 0; i < 64; ++i) {
+    tlb.Insert(1, i * kPageSize, i * kPageSize, 0, 0, false);
+  }
+  EXPECT_LE(tlb.ValidCount(), 8u);
+}
+
+TEST(TlbTest, HitMissCountersTrack) {
+  Tlb tlb;
+  tlb.Lookup(1, 0x5000);
+  tlb.Insert(1, 0x5000, 0x5000, 0, 0, false);
+  tlb.Lookup(1, 0x5000);
+  EXPECT_EQ(tlb.misses(), 1u);
+  EXPECT_EQ(tlb.hits(), 1u);
+  tlb.ResetCounters();
+  EXPECT_EQ(tlb.misses() + tlb.hits(), 0u);
+}
+
+TEST(TlbTest, ReinsertUpdatesExistingEntry) {
+  Tlb tlb;
+  tlb.Insert(1, 0x7000, 0x1000, 0, 0, false);
+  tlb.Insert(1, 0x7000, 0x2000, kPteW, 5, false);
+  auto hit = tlb.Lookup(1, 0x7000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pfn, 0x2000u >> kPageShift);
+  EXPECT_EQ(hit->pkey, 5u);
+}
+
+}  // namespace
+}  // namespace cki

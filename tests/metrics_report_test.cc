@@ -1,0 +1,70 @@
+// Tests for the benchmark reporting tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/metrics/report.h"
+
+namespace cki {
+namespace {
+
+ReportTable SampleTable() {
+  ReportTable t("sample", "config", {"a", "b"});
+  t.AddRow("base", {10.0, 40.0});
+  t.AddRow("fast", {5.0, 20.0});
+  t.AddRow("slow", {20.0, 80.0});
+  return t;
+}
+
+TEST(ReportTableTest, ValueLookup) {
+  ReportTable t = SampleTable();
+  EXPECT_DOUBLE_EQ(t.ValueAt("base", 0), 10.0);
+  EXPECT_DOUBLE_EQ(t.ValueAt("slow", 1), 80.0);
+  EXPECT_THROW(t.ValueAt("missing", 0), std::out_of_range);
+}
+
+TEST(ReportTableTest, NormalizationDividesByBaselineRow) {
+  ReportTable norm = SampleTable().NormalizedTo("base");
+  EXPECT_DOUBLE_EQ(norm.ValueAt("base", 0), 1.0);
+  EXPECT_DOUBLE_EQ(norm.ValueAt("fast", 0), 0.5);
+  EXPECT_DOUBLE_EQ(norm.ValueAt("slow", 1), 2.0);
+}
+
+TEST(ReportTableTest, PrintIsAlignedAndRestoresStream) {
+  ReportTable t = SampleTable();
+  std::ostringstream os;
+  os << 3.14159;  // default formatting before
+  t.Print(os, 2);
+  os << 3.14159;  // must print identically after
+  std::string s = os.str();
+  EXPECT_NE(s.find("== sample =="), std::string::npos);
+  EXPECT_NE(s.find("config"), std::string::npos);
+  EXPECT_NE(s.find("10.00"), std::string::npos);
+  // Stream state restored: both bare prints identical.
+  size_t first = s.find("3.14159");
+  size_t last = s.rfind("3.14159");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(first, last);
+}
+
+TEST(ReportTableTest, CsvOutput) {
+  ReportTable t = SampleTable();
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(),
+            "config,a,b\n"
+            "base,10,40\n"
+            "fast,5,20\n"
+            "slow,20,80\n");
+}
+
+TEST(ReportTableTest, MissingValuesPrintAsZero) {
+  ReportTable t("partial", "row", {"x", "y", "z"});
+  t.AddRow("short", {1.0});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "row,x,y,z\nshort,1,0,0\n");
+}
+
+}  // namespace
+}  // namespace cki

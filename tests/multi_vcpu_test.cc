@@ -1,0 +1,117 @@
+// Multi-vCPU tests: the per-vCPU top-level copies and constant-VA per-vCPU
+// areas of section 4.2 / Figure 8c, exercised with more than one vCPU.
+#include <gtest/gtest.h>
+
+#include "src/cki/cki_engine.h"
+#include "src/hw/pks.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+class MultiVcpuTest : public ::testing::Test {
+ protected:
+  MultiVcpuTest() : machine_(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal)) {
+    engine_ = std::make_unique<CkiEngine>(machine_, CkiAblation::kNone, /*segment_pages=*/16384,
+                                          /*n_vcpus=*/4);
+    engine_->Boot();
+  }
+
+  Machine machine_;
+  std::unique_ptr<CkiEngine> engine_;
+};
+
+TEST_F(MultiVcpuTest, EveryVcpuHasItsOwnTopLevelCopy) {
+  uint64_t root = engine_->kernel().current().pt_root;
+  std::set<uint64_t> copies;
+  for (int v = 0; v < 4; ++v) {
+    uint64_t copy = engine_->ksm().TopLevelCopy(root, v);
+    ASSERT_NE(copy, 0u) << "vcpu " << v;
+    copies.insert(copy);
+  }
+  EXPECT_EQ(copies.size(), 4u) << "copies must be distinct physical pages";
+}
+
+TEST_F(MultiVcpuTest, ConstantVaMapsDifferentAreaPerVcpu) {
+  // The defining property of Fig 8c: the same virtual address resolves to
+  // a different per-vCPU area page depending on which copy is loaded.
+  Cpu& cpu = machine_.cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  cpu.SetPkrsDirect(kPkrsMonitor);  // KSM context can touch its area
+  std::set<uint64_t> pas;
+  for (int v = 0; v < 4; ++v) {
+    cpu.SetPkrsDirect(kPkrsGuest);
+    ASSERT_TRUE(engine_->SelectVcpu(v));
+    cpu.SetPkrsDirect(kPkrsMonitor);
+    cpu.tlb().FlushAll();  // force a fresh walk through the new copy
+    uint64_t pa = 0;
+    Fault f = cpu.AccessTranslate(engine_->ksm().per_vcpu_area_va(), AccessIntent::Write(), &pa);
+    ASSERT_TRUE(f.ok()) << "vcpu " << v << ": " << FaultTypeName(f.type);
+    EXPECT_EQ(pa & ~(kPageSize - 1), engine_->ksm().per_vcpu_area_pa(v));
+    pas.insert(pa & ~(kPageSize - 1));
+  }
+  EXPECT_EQ(pas.size(), 4u) << "one secure-stack page per vCPU";
+  cpu.SetPkrsDirect(kPkrsGuest);
+  engine_->SelectVcpu(0);
+}
+
+TEST_F(MultiVcpuTest, GuestMappingsVisibleFromEveryVcpu) {
+  uint64_t base = engine_->MmapAnon(2 * kPageSize, false);
+  ASSERT_EQ(engine_->UserTouch(base, true), TouchResult::kOk);
+  for (int v = 1; v < 4; ++v) {
+    machine_.cpu().SetPkrsDirect(kPkrsGuest);
+    machine_.cpu().set_cpl(Cpl::kKernel);
+    ASSERT_TRUE(engine_->SelectVcpu(v));
+    EXPECT_EQ(engine_->UserTouch(base, false), TouchResult::kOk)
+        << "copies share the lower table levels, so data is coherent";
+  }
+  machine_.cpu().set_cpl(Cpl::kKernel);
+  machine_.cpu().SetPkrsDirect(kPkrsGuest);
+  engine_->SelectVcpu(0);
+}
+
+TEST_F(MultiVcpuTest, TopLevelUpdatesReachAllCopies) {
+  // Fault in a page whose top-level slot is new, then verify every copy
+  // carries the new PML4 entry.
+  uint64_t far_va = 0x5000'0000'0000;  // a fresh PML4 slot (index 160)
+  engine_->kernel().current().vmas.Insert(Vma{.start = far_va,
+                                              .end = far_va + kPageSize,
+                                              .prot = kProtRead | kProtWrite,
+                                              .kind = VmaKind::kAnon});
+  ASSERT_EQ(engine_->UserTouch(far_va, true), TouchResult::kOk);
+  uint64_t root = engine_->kernel().current().pt_root;
+  int slot = PtIndex(far_va, kPtLevels);
+  uint64_t original = machine_.mem().ReadU64(root + static_cast<uint64_t>(slot) * 8);
+  ASSERT_TRUE(PtePresent(original));
+  for (int v = 0; v < 4; ++v) {
+    uint64_t copy = engine_->ksm().TopLevelCopy(root, v);
+    EXPECT_EQ(machine_.mem().ReadU64(copy + static_cast<uint64_t>(slot) * 8), original)
+        << "vcpu " << v;
+  }
+}
+
+TEST_F(MultiVcpuTest, SelectVcpuRejectsOutOfRange) {
+  machine_.cpu().set_cpl(Cpl::kKernel);
+  machine_.cpu().SetPkrsDirect(kPkrsGuest);
+  EXPECT_FALSE(engine_->SelectVcpu(-1));
+  EXPECT_FALSE(engine_->SelectVcpu(4));
+  EXPECT_TRUE(engine_->SelectVcpu(3));
+  engine_->SelectVcpu(0);
+}
+
+TEST_F(MultiVcpuTest, AccessedBitsAggregateAcrossVcpuCopies) {
+  uint64_t root = engine_->kernel().current().pt_root;
+  int slot = PtIndex(kUserTextBase, kPtLevels);
+  engine_->UserTouch(kUserTextBase, false);  // ensure the slot exists
+  // Hardware marks A in two different copies (two vCPUs ran the thread).
+  for (int v : {1, 3}) {
+    uint64_t copy = engine_->ksm().TopLevelCopy(root, v);
+    uint64_t off = static_cast<uint64_t>(slot) * 8;
+    machine_.mem().WriteU64(copy + off, machine_.mem().ReadU64(copy + off) | kPteA);
+  }
+  uint64_t merged = engine_->ksm().ReadTopLevelPte(root, slot);
+  EXPECT_TRUE((merged & kPteA) != 0);
+}
+
+}  // namespace
+}  // namespace cki

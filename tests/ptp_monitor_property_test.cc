@@ -1,0 +1,157 @@
+// Property-style tests of the page-table monitor: randomized operation
+// sequences must never violate the nested-kernel invariants, and the
+// monitor's bookkeeping (link counts, declarations) must stay consistent
+// with the accepted operations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/cki/ptp_monitor.h"
+#include "src/host/machine.h"
+#include "src/sim/rng.h"
+
+namespace cki {
+namespace {
+
+class MonitorPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  MonitorPropertyTest()
+      : machine_(), owner_(machine_.AllocOwnerId()), monitor_(machine_.frames(), owner_) {
+    // A pool of frames owned by the container and a few foreign frames.
+    for (int i = 0; i < 64; ++i) {
+      own_frames_.push_back(machine_.frames().AllocFrame(owner_));
+    }
+    OwnerId other = machine_.AllocOwnerId();
+    for (int i = 0; i < 8; ++i) {
+      foreign_frames_.push_back(machine_.frames().AllocFrame(other));
+    }
+  }
+
+  Machine machine_;
+  OwnerId owner_;
+  PtpMonitor monitor_;
+  std::vector<uint64_t> own_frames_;
+  std::vector<uint64_t> foreign_frames_;
+};
+
+TEST_P(MonitorPropertyTest, RandomOperationSequencePreservesInvariants) {
+  Rng rng(GetParam());
+  monitor_.SealKernelText();
+
+  // Model state mirroring what the monitor should track.
+  std::map<uint64_t, int> declared;      // pa -> level
+  std::map<uint64_t, uint64_t> links;    // child pa -> parent slot
+  std::map<uint64_t, uint64_t> slots;    // slot -> child pa
+
+  for (int step = 0; step < 2000; ++step) {
+    int action = static_cast<int>(rng.NextBelow(4));
+    uint64_t frame = own_frames_[rng.NextBelow(own_frames_.size())];
+    switch (action) {
+      case 0: {  // declare as PTP (random level 1..4)
+        int level = 1 + static_cast<int>(rng.NextBelow(4));
+        PtpVerdict v = monitor_.DeclarePtp(frame, level);
+        if (declared.count(frame) != 0) {
+          EXPECT_EQ(v, PtpVerdict::kDataPageInUse) << "double declaration must fail";
+        } else if (v == PtpVerdict::kOk) {
+          declared[frame] = level;
+        }
+        break;
+      }
+      case 1: {  // link a child into a parent table
+        if (declared.empty()) {
+          break;
+        }
+        auto parent_it = declared.begin();
+        std::advance(parent_it, static_cast<long>(rng.NextBelow(declared.size())));
+        auto child_it = declared.begin();
+        std::advance(child_it, static_cast<long>(rng.NextBelow(declared.size())));
+        uint64_t slot = parent_it->first + rng.NextBelow(kPtEntries) * 8;
+        uint64_t sanitized = 0;
+        PtpVerdict v = monitor_.CheckStore(slot, MakePte(child_it->first, kPteP | kPteW),
+                                           parent_it->second, 0, &sanitized);
+        bool level_ok = parent_it->second > 1 && child_it->second == parent_it->second - 1;
+        bool child_linked = links.count(child_it->first) != 0 &&
+                            links[child_it->first] != slot;
+        if (!level_ok) {
+          EXPECT_NE(v, PtpVerdict::kOk) << "level mismatch must be rejected";
+        } else if (child_linked) {
+          EXPECT_EQ(v, PtpVerdict::kPtpAlreadyLinked);
+        }
+        if (v == PtpVerdict::kOk && parent_it->second > 1) {
+          if (slots.count(slot) != 0) {
+            links.erase(slots[slot]);
+          }
+          links[child_it->first] = slot;
+          slots[slot] = child_it->first;
+        }
+        break;
+      }
+      case 2: {  // map a foreign frame (must always fail)
+        if (declared.empty()) {
+          break;
+        }
+        auto parent_it = declared.begin();
+        std::advance(parent_it, static_cast<long>(rng.NextBelow(declared.size())));
+        uint64_t slot = parent_it->first + rng.NextBelow(kPtEntries) * 8;
+        uint64_t foreign = foreign_frames_[rng.NextBelow(foreign_frames_.size())];
+        uint64_t sanitized = 0;
+        PtpVerdict v =
+            monitor_.CheckStore(slot, MakePte(foreign, kPteP | kPteW), parent_it->second, 0,
+                                &sanitized);
+        EXPECT_EQ(v, PtpVerdict::kForeignFrame)
+            << "foreign frames must never be mappable";
+        break;
+      }
+      case 3: {  // unlink a slot (store zero)
+        if (slots.empty()) {
+          break;
+        }
+        auto slot_it = slots.begin();
+        std::advance(slot_it, static_cast<long>(rng.NextBelow(slots.size())));
+        int parent_level = 0;
+        for (const auto& [pa, level] : declared) {
+          if (slot_it->first >= pa && slot_it->first < pa + kPageSize) {
+            parent_level = level;
+            break;
+          }
+        }
+        uint64_t sanitized = 0;
+        PtpVerdict v = monitor_.CheckStore(slot_it->first, 0, parent_level, 0, &sanitized);
+        if (v == PtpVerdict::kOk) {
+          links.erase(slot_it->second);
+          slots.erase(slot_it);
+        }
+        break;
+      }
+    }
+  }
+  // Invariant: the monitor never accepted a kernel-executable mapping or a
+  // foreign frame, and declarations match the model.
+  EXPECT_EQ(monitor_.declared_ptps(), declared.size());
+  for (const auto& [pa, level] : declared) {
+    EXPECT_TRUE(monitor_.IsPtp(pa));
+    EXPECT_EQ(monitor_.PtpLevel(pa), level);
+  }
+}
+
+TEST_P(MonitorPropertyTest, UndeclareOnlyWhenUnlinked) {
+  Rng rng(GetParam() * 31 + 7);
+  uint64_t parent = own_frames_[0];
+  uint64_t child = own_frames_[1];
+  ASSERT_EQ(monitor_.DeclarePtp(parent, 2), PtpVerdict::kOk);
+  ASSERT_EQ(monitor_.DeclarePtp(child, 1), PtpVerdict::kOk);
+  uint64_t slot = parent + rng.NextBelow(kPtEntries) * 8;
+  uint64_t sanitized = 0;
+  ASSERT_EQ(monitor_.CheckStore(slot, MakePte(child, kPteP | kPteW), 2, 0, &sanitized),
+            PtpVerdict::kOk);
+  EXPECT_EQ(monitor_.UndeclarePtp(child), PtpVerdict::kPtpAlreadyLinked);
+  ASSERT_EQ(monitor_.CheckStore(slot, 0, 2, 0, &sanitized), PtpVerdict::kOk);
+  EXPECT_EQ(monitor_.UndeclarePtp(child), PtpVerdict::kOk);
+  EXPECT_FALSE(monitor_.IsPtp(child));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorPropertyTest,
+                         ::testing::Values(1u, 42u, 1337u, 0xDEADBEEFu, 987654321u));
+
+}  // namespace
+}  // namespace cki

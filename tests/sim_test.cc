@@ -1,0 +1,124 @@
+// Tests for the simulation substrate: clock, RNG determinism, statistics,
+// trace accounting, and the calibrated cost-model identities the engines
+// rely on.
+#include <gtest/gtest.h>
+
+#include "src/sim/context.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace cki {
+namespace {
+
+TEST(ClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.Advance(100);
+  clock.Advance(23);
+  EXPECT_EQ(clock.now(), 123u);
+  ScopedTimer timer(clock);
+  clock.Advance(77);
+  EXPECT_EQ(timer.elapsed(), 77u);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyUnbiased) {
+  Rng rng(99);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 3000, 200);
+}
+
+TEST(StatsTest, SummaryStatistics) {
+  Stats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 5.0);
+  EXPECT_NEAR(stats.Stddev(), 1.5811, 1e-3);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  Stats stats;
+  stats.Add(10);
+  stats.Add(20);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 15.0);
+}
+
+TEST(TraceTest, CountsAndSnapshots) {
+  TraceLog log;
+  log.Record(PathEvent::kVmExit);
+  log.Record(PathEvent::kVmExit);
+  log.Record(PathEvent::kPksSwitch);
+  EXPECT_EQ(log.Count(PathEvent::kVmExit), 2u);
+  auto snap = log.Snapshot();
+  log.Record(PathEvent::kVmExit);
+  EXPECT_EQ(CountDelta(snap, log, PathEvent::kVmExit), 1u);
+  EXPECT_EQ(log.TotalEvents(), 4u);
+  log.Clear();
+  EXPECT_EQ(log.TotalEvents(), 0u);
+}
+
+TEST(ContextTest, ChargeAdvancesClockAndRecords) {
+  SimContext ctx;
+  ctx.Charge(50, PathEvent::kHypercall);
+  ctx.ChargeWork(25);
+  EXPECT_EQ(ctx.clock().now(), 75u);
+  EXPECT_EQ(ctx.trace().Count(PathEvent::kHypercall), 1u);
+}
+
+// The calibration identities of DESIGN.md section 4: composed paths equal
+// the paper's published numbers.
+TEST(CostModelTest, CalibrationIdentities) {
+  CostModel c = CostModel::Calibrated();
+  // Fig 10b.
+  EXPECT_EQ(c.syscall_entry + c.syscall_handler_min + c.sysret_exit, 90u);
+  EXPECT_EQ(90 + 2 * c.pks_switch, 154u);                       // CKI-wo-OPT3 (~153)
+  EXPECT_EQ(90 + 2 * c.Cr3SwitchMitigated(), 238u);             // CKI-wo-OPT2
+  EXPECT_EQ(238 + 2 * c.mode_switch, 336u);                     // PVM
+  // Fig 10a: native fault and the CKI KSM share.
+  EXPECT_EQ(c.fault_delivery + c.pgfault_handler_core + c.iret_native, 1000u);
+  EXPECT_EQ(c.pks_switch + c.ksm_dispatch + c.ksm_pte_validate + c.pte_write_native +
+                c.ksm_iret_work + c.iret_native,
+            77u);
+  // Hypercalls (Table 2 / sec 7.1).
+  EXPECT_EQ(c.vmexit_roundtrip_bm + c.hypercall_dispatch, 1088u);
+  EXPECT_EQ(c.NestedExitRoundtrip() + c.hypercall_dispatch, 6746u);
+  EXPECT_EQ(2 * c.mode_switch + 2 * c.Cr3SwitchMitigated() + c.pvm_exit_extra, 466u);
+  EXPECT_EQ(2 * c.pks_switch + 2 * c.Cr3SwitchMitigated() + c.cki_switcher_save_restore +
+                c.hypercall_dispatch,
+            390u);
+  // Two-dimensional walks cost 6x the references of a native walk.
+  EXPECT_EQ(c.walk_refs_2d, 24);
+  EXPECT_EQ(c.walk_refs_1d, 4);
+}
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,95 @@
+// Hardware-visibility consistency properties: after arbitrary touch/
+// mprotect churn, what the CPU translates through the *hardware* tables
+// must agree exactly with a simple model of the guest kernel's view, under
+// every design (shadow tables and per-vCPU copies included). This is the
+// integration property that shadow-sync and copy-mirroring bugs break.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/runtime/runtime.h"
+#include "src/sim/rng.h"
+
+namespace cki {
+namespace {
+
+struct Param {
+  RuntimeKind kind;
+  uint64_t seed;
+};
+
+class TableConsistencyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TableConsistencyTest, HardwareViewMatchesModelAfterChurn) {
+  Testbed bed(GetParam().kind, Deployment::kBareMetal);
+  ContainerEngine& engine = bed.engine();
+  Rng rng(GetParam().seed);
+
+  constexpr int kPages = 48;
+  uint64_t arena = engine.MmapAnon(kPages * kPageSize, false);
+
+  // Model: per page, the VMA protection and whether it has been faulted in.
+  std::map<int, bool> vma_writable;  // default true (RW arena)
+  std::map<int, bool> present;
+  auto writable = [&](int page) {
+    auto it = vma_writable.find(page);
+    return it == vma_writable.end() ? true : it->second;
+  };
+
+  for (int step = 0; step < 800; ++step) {
+    int page = static_cast<int>(rng.NextBelow(kPages));
+    uint64_t va = arena + static_cast<uint64_t>(page) * kPageSize +
+                  rng.NextBelow(kPageSize - 8);
+    switch (rng.NextBelow(3)) {
+      case 0: {  // read
+        EXPECT_EQ(engine.UserTouch(va, false), TouchResult::kOk)
+            << "read, page " << page << " step " << step;
+        present[page] = true;
+        break;
+      }
+      case 1: {  // write
+        bool expect_ok = writable(page);
+        EXPECT_EQ(engine.UserTouch(va, true) == TouchResult::kOk, expect_ok)
+            << "write, page " << page << " step " << step;
+        if (expect_ok) {
+          present[page] = true;
+        }
+        break;
+      }
+      case 2: {  // mprotect toggle
+        bool w = rng.NextBool(0.5);
+        ASSERT_TRUE(engine
+                        .UserSyscall(SyscallRequest{
+                            .no = Sys::kMprotect,
+                            .arg0 = arena + static_cast<uint64_t>(page) * kPageSize,
+                            .arg1 = kPageSize,
+                            .arg2 = w ? (kProtRead | kProtWrite) : kProtRead})
+                        .ok());
+        vma_writable[page] = w;
+        break;
+      }
+    }
+  }
+
+  // Final sweep: the hardware MMU must agree with the model everywhere.
+  for (int page = 0; page < kPages; ++page) {
+    uint64_t va = arena + static_cast<uint64_t>(page) * kPageSize;
+    EXPECT_EQ(engine.UserTouch(va, false), TouchResult::kOk) << "final read " << page;
+    EXPECT_EQ(engine.UserTouch(va, true) == TouchResult::kOk, writable(page))
+        << "final write " << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSeeds, TableConsistencyTest,
+    ::testing::Values(Param{RuntimeKind::kRunc, 1}, Param{RuntimeKind::kHvm, 2},
+                      Param{RuntimeKind::kPvm, 3}, Param{RuntimeKind::kCki, 4},
+                      Param{RuntimeKind::kPvm, 55}, Param{RuntimeKind::kCki, 66},
+                      Param{RuntimeKind::kGvisor, 7}, Param{RuntimeKind::kLibOs, 8}),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::string(RuntimeKindName(param_info.param.kind)) + "_" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,84 @@
+// End-to-end paravirtual timer flow: the guest kernel arms a timer via
+// hypercall (wrmsr is blocked, Table 3), halts via the pause-vCPU hypercall
+// (hlt replacement), the host expires the timer and injects a virtual
+// interrupt — honoring the guest's in-memory interrupt flag.
+#include <gtest/gtest.h>
+
+#include "src/cki/cki_engine.h"
+#include "src/host/host_kernel.h"
+#include "src/hw/pks.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+class TimerIntegrationTest : public ::testing::Test {
+ protected:
+  TimerIntegrationTest()
+      : bed_(RuntimeKind::kCki, Deployment::kBareMetal), host_(bed_.ctx(), /*n_vcpus=*/1) {}
+
+  CkiEngine& engine() { return static_cast<CkiEngine&>(bed_.engine()); }
+
+  // The guest issues a hypercall; the engine charges the gate, the host
+  // layer provides the semantics.
+  uint64_t GuestHypercall(HypercallOp op, uint64_t a0 = 0, uint64_t a1 = 0) {
+    engine().GuestHypercall(op, a0, a1);  // transition cost + trace
+    return host_.Dispatch(op, a0, a1, /*vcpu=*/0);
+  }
+
+  Testbed bed_;
+  HostKernel host_;
+};
+
+TEST_F(TimerIntegrationTest, TimerTickWakesHaltedGuest) {
+  SimNanos deadline = bed_.ctx().clock().now() + 50'000;
+  GuestHypercall(HypercallOp::kSetTimer, deadline);
+  GuestHypercall(HypercallOp::kPauseVcpu);
+  ASSERT_TRUE(host_.vcpu_paused(0));
+
+  // Host idles until the deadline.
+  bed_.ctx().ChargeWork(60'000);
+  std::vector<int> fired = host_.ExpireTimers();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_FALSE(host_.vcpu_paused(0));
+  // Injection honors the virtual IF and reaches the guest.
+  EXPECT_TRUE(engine().InjectVirq(kVecTimer));
+  EXPECT_EQ(engine().delivered_virqs(), 1u);
+}
+
+TEST_F(TimerIntegrationTest, MaskedGuestGetsTickAfterUnmask) {
+  SimNanos deadline = bed_.ctx().clock().now() + 10'000;
+  GuestHypercall(HypercallOp::kSetTimer, deadline);
+  engine().GuestSetVirtualIf(false);  // guest critical section
+  bed_.ctx().ChargeWork(20'000);
+  for (int vcpu : host_.ExpireTimers()) {
+    engine().InjectVirq(vcpu == 0 ? kVecTimer : kVecTimer);
+  }
+  EXPECT_EQ(engine().delivered_virqs(), 0u);
+  EXPECT_EQ(engine().pending_virqs(), 1u);
+  engine().GuestSetVirtualIf(true);  // leaves the critical section
+  EXPECT_EQ(engine().delivered_virqs(), 1u);
+}
+
+TEST_F(TimerIntegrationTest, HltInstructionItselfNeedsNoTrap) {
+  // Table 3: hlt is NOT blocked — the pv guest replaces it with the pause
+  // hypercall, but executing it is harmless.
+  Cpu& cpu = bed_.machine().cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  cpu.SetPkrsDirect(kPkrsGuest);
+  EXPECT_TRUE(cpu.ExecPriv(PrivInstr::kHlt).ok());
+}
+
+TEST_F(TimerIntegrationTest, CrossVcpuIpiFlow) {
+  HostKernel smp_host(bed_.ctx(), /*n_vcpus=*/2);
+  // vCPU 1 halts; vCPU 0 sends it an IPI (wrmsr ICR is blocked; the guest
+  // uses the hypercall, Table 3).
+  smp_host.Dispatch(HypercallOp::kPauseVcpu, 0, 0, /*vcpu=*/1);
+  engine().GuestHypercall(HypercallOp::kSendIpi, /*dest=*/1, 0);
+  smp_host.Dispatch(HypercallOp::kSendIpi, 1, 0, /*vcpu=*/0);
+  EXPECT_FALSE(smp_host.vcpu_paused(1));
+  EXPECT_TRUE(smp_host.TakeIpi(1));
+}
+
+}  // namespace
+}  // namespace cki

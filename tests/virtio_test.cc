@@ -1,0 +1,77 @@
+// Tests for the virtio-net device model: queue semantics, batching,
+// kick/interrupt accounting, and per-design cost ordering.
+#include <gtest/gtest.h>
+
+#include "src/host/virtio.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+TEST(VirtioTest, RequestsFlowClientToGuestAndBack) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VirtioNetAdapter adapter(bed.engine(), /*tx_batch=*/1);
+  adapter.ClientSubmitBatch(1, 3, 500);
+  EXPECT_TRUE(adapter.HasPending());
+  EXPECT_EQ(adapter.Receive(1, 500), 500u);
+  EXPECT_EQ(adapter.Receive(1, 500), 500u);
+  EXPECT_EQ(adapter.Transmit(1, 500), 500u);
+  EXPECT_EQ(adapter.Transmit(1, 500), 500u);
+  EXPECT_EQ(adapter.ClientCollect(1), 2u);
+  EXPECT_EQ(adapter.Receive(1, 500), 500u);
+  EXPECT_FALSE(adapter.HasPending());
+  EXPECT_EQ(adapter.Receive(1, 500), 0u);
+}
+
+TEST(VirtioTest, OneInterruptPerSubmittedBatch) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VirtioNetAdapter adapter(bed.engine(), 1);
+  adapter.ClientSubmitBatch(1, 8, 100);
+  adapter.ClientSubmitBatch(1, 8, 100);
+  EXPECT_EQ(adapter.stats().interrupts, 2u);
+  EXPECT_EQ(adapter.stats().rx_requests, 16u);
+}
+
+TEST(VirtioTest, TxBatchingAmortizesKicks) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VirtioNetAdapter adapter(bed.engine(), /*tx_batch=*/4);
+  for (int i = 0; i < 8; ++i) {
+    adapter.Transmit(1, 100);
+  }
+  EXPECT_EQ(adapter.stats().kicks, 2u);
+}
+
+TEST(VirtioTest, ReceiveTruncatesToBuffer) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VirtioNetAdapter adapter(bed.engine(), 1);
+  adapter.ClientSubmitBatch(1, 1, 1000);
+  EXPECT_EQ(adapter.Receive(1, 400), 400u);
+}
+
+TEST(VirtioTest, KickCostOrderingMatchesDesigns) {
+  // CKI's hypercall kick < PVM's host round trip < HVM-BM's VM exit <<
+  // HVM-NST's L0-mediated exit.
+  Testbed cki_bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  Testbed pvm_bed(RuntimeKind::kPvm, Deployment::kBareMetal);
+  Testbed hvm_bm(RuntimeKind::kHvm, Deployment::kBareMetal);
+  Testbed hvm_nst(RuntimeKind::kHvm, Deployment::kNested);
+  EXPECT_LT(cki_bed.engine().KickCost(), pvm_bed.engine().KickCost());
+  EXPECT_LT(pvm_bed.engine().KickCost(), hvm_bm.engine().KickCost());
+  EXPECT_LT(hvm_bm.engine().KickCost(), hvm_nst.engine().KickCost() / 4);
+}
+
+TEST(VirtioTest, CkiKickCostIsIndependentOfNesting) {
+  Testbed bm(RuntimeKind::kCki, Deployment::kBareMetal);
+  Testbed nst(RuntimeKind::kCki, Deployment::kNested);
+  EXPECT_EQ(bm.engine().KickCost(), nst.engine().KickCost());
+  EXPECT_EQ(bm.engine().DeviceInterruptCost(), nst.engine().DeviceInterruptCost());
+}
+
+TEST(VirtioTest, RuncHasNoVirtualizationTax) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  EXPECT_EQ(bed.engine().KickCost(), 0u);
+  EXPECT_EQ(bed.engine().VirtioEmulationExtra(), 0u);
+}
+
+}  // namespace
+}  // namespace cki

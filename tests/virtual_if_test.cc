@@ -1,0 +1,73 @@
+// Tests for the para-virtual interrupt state (Table 3: sti/cli/popf are
+// blocked; the guest keeps its interrupt flag as an in-memory bit, and the
+// host defers virtual-interrupt injection while it is clear — without ever
+// losing its own ability to interrupt the guest).
+#include <gtest/gtest.h>
+
+#include "src/cki/cki_engine.h"
+#include "src/hw/pks.h"
+#include "src/runtime/runtime.h"
+
+namespace cki {
+namespace {
+
+class VirtualIfTest : public ::testing::Test {
+ protected:
+  VirtualIfTest() : bed_(RuntimeKind::kCki, Deployment::kBareMetal) {}
+
+  CkiEngine& engine() { return static_cast<CkiEngine&>(bed_.engine()); }
+
+  Testbed bed_;
+};
+
+TEST_F(VirtualIfTest, InjectionIsImmediateWhenEnabled) {
+  EXPECT_TRUE(engine().virtual_if());
+  EXPECT_TRUE(engine().InjectVirq(kVecVirtioNet));
+  EXPECT_EQ(engine().delivered_virqs(), 1u);
+  EXPECT_EQ(engine().pending_virqs(), 0u);
+}
+
+TEST_F(VirtualIfTest, InjectionDefersWhileGuestMasksVirtually) {
+  engine().GuestSetVirtualIf(false);
+  EXPECT_FALSE(engine().InjectVirq(kVecVirtioNet));
+  EXPECT_FALSE(engine().InjectVirq(kVecVirtioBlk));
+  EXPECT_EQ(engine().pending_virqs(), 2u);
+  EXPECT_EQ(engine().delivered_virqs(), 0u);
+  // Re-enabling drains the queue.
+  engine().GuestSetVirtualIf(true);
+  EXPECT_EQ(engine().pending_virqs(), 0u);
+  EXPECT_EQ(engine().delivered_virqs(), 2u);
+}
+
+TEST_F(VirtualIfTest, VirtualMaskDoesNotBlockHardwareInterrupts) {
+  // The whole point: the virtual IF is guest-local politeness; the host's
+  // timer still lands through the interrupt gate regardless.
+  engine().GuestSetVirtualIf(false);
+  Cpu& cpu = bed_.machine().cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  cpu.SetPkrsDirect(kPkrsGuest);
+  EXPECT_TRUE(engine().DeliverHardwareInterrupt(kVecTimer))
+      << "hardware interrupts must be unmaskable by the guest";
+  engine().GuestSetVirtualIf(true);
+}
+
+TEST_F(VirtualIfTest, MaskingCostsNoTrap) {
+  auto before = bed_.ctx().trace().Snapshot();
+  SimNanos t0 = bed_.ctx().clock().now();
+  engine().GuestSetVirtualIf(false);
+  engine().GuestSetVirtualIf(true);
+  EXPECT_LT(bed_.ctx().clock().now() - t0, 10u) << "in-memory bit: a couple of stores";
+  EXPECT_EQ(CountDelta(before, bed_.ctx().trace(), PathEvent::kHypercall), 0u);
+  EXPECT_EQ(CountDelta(before, bed_.ctx().trace(), PathEvent::kPrivInstrTrap), 0u);
+}
+
+TEST_F(VirtualIfTest, RealCliRemainsBlocked) {
+  Cpu& cpu = bed_.machine().cpu();
+  cpu.set_cpl(Cpl::kKernel);
+  cpu.SetPkrsDirect(kPkrsGuest);
+  EXPECT_EQ(cpu.ExecPriv(PrivInstr::kCli).type, FaultType::kPrivInstrBlocked)
+      << "the virtual flag replaces cli; the instruction itself stays blocked";
+}
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,156 @@
+// Workload-level assertions: the application models must produce the
+// paper's qualitative results (orderings, overhead bands, crossovers).
+// Scaled-down parameters keep the suite fast; the bench binaries run the
+// full sizes.
+#include <gtest/gtest.h>
+
+#include "src/runtime/runtime.h"
+#include "src/workloads/cve_data.h"
+#include "src/workloads/kv_store.h"
+#include "src/workloads/lmbench.h"
+#include "src/workloads/mem_apps.h"
+#include "src/workloads/sqlite_bench.h"
+#include "src/workloads/tlb_apps.h"
+
+namespace cki {
+namespace {
+
+double Normalized(RuntimeKind kind, Deployment dep, const MemAppSpec& spec, double runc) {
+  Testbed bed(kind, dep);
+  return static_cast<double>(RunMemApp(bed.engine(), spec)) / runc;
+}
+
+TEST(MemAppsTest, Figure12OverheadBands) {
+  // One representative fault-heavy app, full-size (xsbench).
+  const MemAppSpec& spec = MemoryAppSuite()[1];
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  double base = static_cast<double>(RunMemApp(runc.engine(), spec));
+
+  double cki = Normalized(RuntimeKind::kCki, Deployment::kBareMetal, spec, base);
+  double pvm = Normalized(RuntimeKind::kPvm, Deployment::kBareMetal, spec, base);
+  double hvm_bm = Normalized(RuntimeKind::kHvm, Deployment::kBareMetal, spec, base);
+  double hvm_nst = Normalized(RuntimeKind::kHvm, Deployment::kNested, spec, base);
+
+  EXPECT_LT(cki, 1.03) << "CKI must stay within 3% of RunC (sec 7.2)";
+  EXPECT_GT(pvm, 1.05);
+  EXPECT_GT(hvm_bm, 1.02);
+  EXPECT_LT(hvm_bm, 1.25);
+  EXPECT_GT(hvm_nst, 1.28) << "nested HVM: +28%..226% (sec 1)";
+  EXPECT_LT(hvm_nst, 3.5);
+  // Ordering: CKI < HVM-BM < PVM-or-HVM-NST.
+  EXPECT_LT(cki, hvm_bm);
+  EXPECT_LT(hvm_bm, hvm_nst);
+  EXPECT_LT(pvm, hvm_nst);
+}
+
+TEST(MemAppsTest, BtreeOverheadFallsWithLookupRatio) {
+  auto overhead = [](RuntimeKind kind, double ratio) {
+    Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+    double base = static_cast<double>(RunBtreeRatio(runc.engine(), ratio, 4000));
+    Testbed bed(kind, Deployment::kBareMetal);
+    return static_cast<double>(RunBtreeRatio(bed.engine(), ratio, 4000)) / base;
+  };
+  EXPECT_GT(overhead(RuntimeKind::kPvm, 0.5), overhead(RuntimeKind::kPvm, 8.0));
+  EXPECT_GT(overhead(RuntimeKind::kHvm, 0.5), overhead(RuntimeKind::kHvm, 8.0));
+}
+
+TEST(TlbAppsTest, GupsReproducesTable4Gap) {
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  Testbed hvm(RuntimeKind::kHvm, Deployment::kBareMetal);
+  Testbed cki(RuntimeKind::kCki, Deployment::kBareMetal);
+  TlbAppResult r_runc = RunGups(runc.engine(), 30000, 16384);
+  TlbAppResult r_hvm = RunGups(hvm.engine(), 30000, 16384);
+  TlbAppResult r_cki = RunGups(cki.engine(), 30000, 16384);
+  double gap = static_cast<double>(r_hvm.elapsed) / static_cast<double>(r_runc.elapsed);
+  EXPECT_GT(gap, 1.10) << "HVM must pay the 2-D walk (paper: ~1.24x)";
+  EXPECT_LT(gap, 1.35);
+  double cki_gap = static_cast<double>(r_cki.elapsed) / static_cast<double>(r_runc.elapsed);
+  EXPECT_NEAR(cki_gap, 1.0, 0.02) << "CKI has no second translation stage";
+  EXPECT_GT(r_runc.tlb_misses, r_runc.tlb_hits) << "GUPS must be TLB-miss bound";
+}
+
+TEST(SqliteTest, PvmLosesOnWritePatternsOnly) {
+  const SqlitePattern& fillseq = SqliteSuite()[0];
+  const SqlitePattern& readrandom = SqliteSuite()[6];
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  Testbed pvm(RuntimeKind::kPvm, Deployment::kBareMetal);
+  Testbed cki(RuntimeKind::kCki, Deployment::kBareMetal);
+
+  double runc_w = RunSqlitePattern(runc.engine(), fillseq).ops_per_sec;
+  double pvm_w = RunSqlitePattern(pvm.engine(), fillseq).ops_per_sec;
+  double cki_w = RunSqlitePattern(cki.engine(), fillseq).ops_per_sec;
+  EXPECT_LT(pvm_w, 0.85 * runc_w) << "PVM loses 19-24% on writes (C2)";
+  EXPECT_GT(pvm_w, 0.70 * runc_w);
+  EXPECT_GT(cki_w, 0.97 * runc_w) << "CKI matches RunC";
+  EXPECT_GT(cki_w / pvm_w, 1.15) << "C2: CKI up to ~24% over PVM";
+
+  double runc_r = RunSqlitePattern(runc.engine(), readrandom).ops_per_sec;
+  double pvm_r = RunSqlitePattern(pvm.engine(), readrandom).ops_per_sec;
+  EXPECT_GT(pvm_r, 0.95 * runc_r) << "reads show no significant gap";
+}
+
+TEST(KvStoreTest, Figure16Orderings) {
+  auto tput = [](RuntimeKind kind, Deployment dep, KvKind kv) {
+    Testbed bed(kind, dep);
+    KvConfig config{.kind = kv, .clients = 16, .total_requests = 800};
+    return RunKvBenchmark(bed.engine(), config).requests_per_sec;
+  };
+  double cki_nst = tput(RuntimeKind::kCki, Deployment::kNested, KvKind::kMemcached);
+  double hvm_nst = tput(RuntimeKind::kHvm, Deployment::kNested, KvKind::kMemcached);
+  double pvm_nst = tput(RuntimeKind::kPvm, Deployment::kNested, KvKind::kMemcached);
+  EXPECT_GT(cki_nst / hvm_nst, 4.0) << "C3: CKI-NST >> HVM-NST on memcached (paper 6.8x)";
+  EXPECT_GT(cki_nst / pvm_nst, 1.3) << "C3: CKI-NST > PVM-NST (paper 1.5x)";
+
+  double cki_r = tput(RuntimeKind::kCki, Deployment::kNested, KvKind::kRedis);
+  double hvm_r = tput(RuntimeKind::kHvm, Deployment::kNested, KvKind::kRedis);
+  double mem_ratio = cki_nst / hvm_nst;
+  double redis_ratio = cki_r / hvm_r;
+  EXPECT_GT(redis_ratio, 1.5) << "paper: 2.0x on redis";
+  EXPECT_LT(redis_ratio, mem_ratio)
+      << "redis's heavier per-request work dilutes the virtualization tax";
+}
+
+TEST(KvStoreTest, ThroughputGrowsWithClientsAndSaturates) {
+  Testbed bed(RuntimeKind::kHvm, Deployment::kNested);
+  KvConfig c1{.kind = KvKind::kMemcached, .clients = 1, .total_requests = 400};
+  double t1 = RunKvBenchmark(bed.engine(), c1).requests_per_sec;
+  Testbed bed2(RuntimeKind::kHvm, Deployment::kNested);
+  KvConfig c16{.kind = KvKind::kMemcached, .clients = 16, .total_requests = 400};
+  double t16 = RunKvBenchmark(bed2.engine(), c16).requests_per_sec;
+  EXPECT_GT(t16, t1) << "batching must lift throughput with more clients";
+}
+
+TEST(LmbenchTest, PvmShortSyscallsRoughlyDouble) {
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  Testbed pvm(RuntimeKind::kPvm, Deployment::kBareMetal);
+  double base = static_cast<double>(RunLmbenchOp(runc.engine(), LmbenchOp::kRead));
+  double redirected = static_cast<double>(RunLmbenchOp(pvm.engine(), LmbenchOp::kRead));
+  EXPECT_GT(redirected / base, 1.5) << "paper: ~2x on short syscalls";
+  EXPECT_LT(redirected / base, 2.5);
+}
+
+TEST(LmbenchTest, HvmMatchesRuncOffTheFaultPaths) {
+  Testbed runc(RuntimeKind::kRunc, Deployment::kBareMetal);
+  Testbed hvm(RuntimeKind::kHvm, Deployment::kBareMetal);
+  for (LmbenchOp op : {LmbenchOp::kRead, LmbenchOp::kStat, LmbenchOp::kCtxSwitch2p}) {
+    double base = static_cast<double>(RunLmbenchOp(runc.engine(), op));
+    double hvm_ns = static_cast<double>(RunLmbenchOp(hvm.engine(), op));
+    EXPECT_NEAR(hvm_ns / base, 1.0, 0.05) << LmbenchOpName(op);
+  }
+}
+
+TEST(CveDataTest, MatchesFigure2) {
+  int total = 0;
+  for (const CveClass& c : CveClasses()) {
+    total += c.count;
+  }
+  EXPECT_EQ(total, kCveTotal);
+  EXPECT_NEAR(DosShare(), 0.973, 0.005);
+  for (const CveClass& c : CveClasses()) {
+    EXPECT_TRUE(ContainedByKernelSeparation(c));
+    EXPECT_EQ(ContainedByKernelSharing(c), !c.dos_capable);
+  }
+}
+
+}  // namespace
+}  // namespace cki
