@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gates.dir/bench/bench_ablation_gates.cc.o"
+  "CMakeFiles/bench_ablation_gates.dir/bench/bench_ablation_gates.cc.o.d"
+  "bench/bench_ablation_gates"
+  "bench/bench_ablation_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

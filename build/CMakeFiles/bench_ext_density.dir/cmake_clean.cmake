@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_density.dir/bench/bench_ext_density.cc.o"
+  "CMakeFiles/bench_ext_density.dir/bench/bench_ext_density.cc.o.d"
+  "bench/bench_ext_density"
+  "bench/bench_ext_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

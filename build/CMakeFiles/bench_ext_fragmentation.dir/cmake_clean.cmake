@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fragmentation.dir/bench/bench_ext_fragmentation.cc.o"
+  "CMakeFiles/bench_ext_fragmentation.dir/bench/bench_ext_fragmentation.cc.o.d"
+  "bench/bench_ext_fragmentation"
+  "bench/bench_ext_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_futurework.dir/bench/bench_ext_futurework.cc.o"
+  "CMakeFiles/bench_ext_futurework.dir/bench/bench_ext_futurework.cc.o.d"
+  "bench/bench_ext_futurework"
+  "bench/bench_ext_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

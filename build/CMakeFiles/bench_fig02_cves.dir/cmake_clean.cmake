@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cves.dir/bench/bench_fig02_cves.cc.o"
+  "CMakeFiles/bench_fig02_cves.dir/bench/bench_fig02_cves.cc.o.d"
+  "bench/bench_fig02_cves"
+  "bench/bench_fig02_cves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_ioapps.dir/bench/bench_fig05_ioapps.cc.o"
+  "CMakeFiles/bench_fig05_ioapps.dir/bench/bench_fig05_ioapps.cc.o.d"
+  "bench/bench_fig05_ioapps"
+  "bench/bench_fig05_ioapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ioapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

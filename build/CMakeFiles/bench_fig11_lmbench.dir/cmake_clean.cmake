@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_lmbench.dir/bench/bench_fig11_lmbench.cc.o"
+  "CMakeFiles/bench_fig11_lmbench.dir/bench/bench_fig11_lmbench.cc.o.d"
+  "bench/bench_fig11_lmbench"
+  "bench/bench_fig11_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

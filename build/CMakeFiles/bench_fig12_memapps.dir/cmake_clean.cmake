@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_memapps.dir/bench/bench_fig12_memapps.cc.o"
+  "CMakeFiles/bench_fig12_memapps.dir/bench/bench_fig12_memapps.cc.o.d"
+  "bench/bench_fig12_memapps"
+  "bench/bench_fig12_memapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_memapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sweep.dir/bench/bench_fig13_sweep.cc.o"
+  "CMakeFiles/bench_fig13_sweep.dir/bench/bench_fig13_sweep.cc.o.d"
+  "bench/bench_fig13_sweep"
+  "bench/bench_fig13_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

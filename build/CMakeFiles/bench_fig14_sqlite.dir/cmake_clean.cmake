@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sqlite.dir/bench/bench_fig14_sqlite.cc.o"
+  "CMakeFiles/bench_fig14_sqlite.dir/bench/bench_fig14_sqlite.cc.o.d"
+  "bench/bench_fig14_sqlite"
+  "bench/bench_fig14_sqlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sqlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

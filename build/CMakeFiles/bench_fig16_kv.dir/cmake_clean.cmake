@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_kv.dir/bench/bench_fig16_kv.cc.o"
+  "CMakeFiles/bench_fig16_kv.dir/bench/bench_fig16_kv.cc.o.d"
+  "bench/bench_fig16_kv"
+  "bench/bench_fig16_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_designs.dir/bench/bench_table1_designs.cc.o"
+  "CMakeFiles/bench_table1_designs.dir/bench/bench_table1_designs.cc.o.d"
+  "bench/bench_table1_designs"
+  "bench/bench_table1_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_privpolicy.dir/bench/bench_table3_privpolicy.cc.o"
+  "CMakeFiles/bench_table3_privpolicy.dir/bench/bench_table3_privpolicy.cc.o.d"
+  "bench/bench_table3_privpolicy"
+  "bench/bench_table3_privpolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_privpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

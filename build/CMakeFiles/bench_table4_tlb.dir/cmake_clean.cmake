@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tlb.dir/bench/bench_table4_tlb.cc.o"
+  "CMakeFiles/bench_table4_tlb.dir/bench/bench_table4_tlb.cc.o.d"
+  "bench/bench_table4_tlb"
+  "bench/bench_table4_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_related.dir/bench/bench_table5_related.cc.o"
+  "CMakeFiles/bench_table5_related.dir/bench/bench_table5_related.cc.o.d"
+  "bench/bench_table5_related"
+  "bench/bench_table5_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

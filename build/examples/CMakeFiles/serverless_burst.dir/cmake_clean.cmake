@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_burst.dir/serverless_burst.cpp.o"
+  "CMakeFiles/serverless_burst.dir/serverless_burst.cpp.o.d"
+  "serverless_burst"
+  "serverless_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cki/binary_rewriter.cc" "src/CMakeFiles/ckisim.dir/cki/binary_rewriter.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/binary_rewriter.cc.o.d"
+  "/root/repo/src/cki/cki_engine.cc" "src/CMakeFiles/ckisim.dir/cki/cki_engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/cki_engine.cc.o.d"
+  "/root/repo/src/cki/driver_sandbox.cc" "src/CMakeFiles/ckisim.dir/cki/driver_sandbox.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/driver_sandbox.cc.o.d"
+  "/root/repo/src/cki/gates.cc" "src/CMakeFiles/ckisim.dir/cki/gates.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/gates.cc.o.d"
+  "/root/repo/src/cki/kernel_app.cc" "src/CMakeFiles/ckisim.dir/cki/kernel_app.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/kernel_app.cc.o.d"
+  "/root/repo/src/cki/ksm.cc" "src/CMakeFiles/ckisim.dir/cki/ksm.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/ksm.cc.o.d"
+  "/root/repo/src/cki/ksm_audit.cc" "src/CMakeFiles/ckisim.dir/cki/ksm_audit.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/ksm_audit.cc.o.d"
+  "/root/repo/src/cki/priv_policy.cc" "src/CMakeFiles/ckisim.dir/cki/priv_policy.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/priv_policy.cc.o.d"
+  "/root/repo/src/cki/ptp_monitor.cc" "src/CMakeFiles/ckisim.dir/cki/ptp_monitor.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/cki/ptp_monitor.cc.o.d"
+  "/root/repo/src/guest/guest_kernel.cc" "src/CMakeFiles/ckisim.dir/guest/guest_kernel.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/guest/guest_kernel.cc.o.d"
+  "/root/repo/src/guest/guest_kernel_mm.cc" "src/CMakeFiles/ckisim.dir/guest/guest_kernel_mm.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/guest/guest_kernel_mm.cc.o.d"
+  "/root/repo/src/guest/tmpfs.cc" "src/CMakeFiles/ckisim.dir/guest/tmpfs.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/guest/tmpfs.cc.o.d"
+  "/root/repo/src/guest/vma.cc" "src/CMakeFiles/ckisim.dir/guest/vma.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/guest/vma.cc.o.d"
+  "/root/repo/src/host/frame_allocator.cc" "src/CMakeFiles/ckisim.dir/host/frame_allocator.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/host/frame_allocator.cc.o.d"
+  "/root/repo/src/host/host_kernel.cc" "src/CMakeFiles/ckisim.dir/host/host_kernel.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/host/host_kernel.cc.o.d"
+  "/root/repo/src/host/vcpu_sched.cc" "src/CMakeFiles/ckisim.dir/host/vcpu_sched.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/host/vcpu_sched.cc.o.d"
+  "/root/repo/src/host/virtio.cc" "src/CMakeFiles/ckisim.dir/host/virtio.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/host/virtio.cc.o.d"
+  "/root/repo/src/host/virtio_blk.cc" "src/CMakeFiles/ckisim.dir/host/virtio_blk.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/host/virtio_blk.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/ckisim.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/cpu.cc.o.d"
+  "/root/repo/src/hw/ept.cc" "src/CMakeFiles/ckisim.dir/hw/ept.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/ept.cc.o.d"
+  "/root/repo/src/hw/fault.cc" "src/CMakeFiles/ckisim.dir/hw/fault.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/fault.cc.o.d"
+  "/root/repo/src/hw/instr.cc" "src/CMakeFiles/ckisim.dir/hw/instr.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/instr.cc.o.d"
+  "/root/repo/src/hw/page_table.cc" "src/CMakeFiles/ckisim.dir/hw/page_table.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/page_table.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/CMakeFiles/ckisim.dir/hw/phys_mem.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/phys_mem.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/CMakeFiles/ckisim.dir/hw/tlb.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/hw/tlb.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/ckisim.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/metrics/report.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/ckisim.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/native_engine.cc" "src/CMakeFiles/ckisim.dir/runtime/native_engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/runtime/native_engine.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/CMakeFiles/ckisim.dir/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/runtime/runtime.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/ckisim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/virt/gvisor_engine.cc" "src/CMakeFiles/ckisim.dir/virt/gvisor_engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/virt/gvisor_engine.cc.o.d"
+  "/root/repo/src/virt/hvm_engine.cc" "src/CMakeFiles/ckisim.dir/virt/hvm_engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/virt/hvm_engine.cc.o.d"
+  "/root/repo/src/virt/libos_engine.cc" "src/CMakeFiles/ckisim.dir/virt/libos_engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/virt/libos_engine.cc.o.d"
+  "/root/repo/src/virt/pvm_engine.cc" "src/CMakeFiles/ckisim.dir/virt/pvm_engine.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/virt/pvm_engine.cc.o.d"
+  "/root/repo/src/workloads/blk_workload.cc" "src/CMakeFiles/ckisim.dir/workloads/blk_workload.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/blk_workload.cc.o.d"
+  "/root/repo/src/workloads/cve_data.cc" "src/CMakeFiles/ckisim.dir/workloads/cve_data.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/cve_data.cc.o.d"
+  "/root/repo/src/workloads/io_apps.cc" "src/CMakeFiles/ckisim.dir/workloads/io_apps.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/io_apps.cc.o.d"
+  "/root/repo/src/workloads/kv_store.cc" "src/CMakeFiles/ckisim.dir/workloads/kv_store.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/kv_store.cc.o.d"
+  "/root/repo/src/workloads/lmbench.cc" "src/CMakeFiles/ckisim.dir/workloads/lmbench.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/lmbench.cc.o.d"
+  "/root/repo/src/workloads/mem_apps.cc" "src/CMakeFiles/ckisim.dir/workloads/mem_apps.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/mem_apps.cc.o.d"
+  "/root/repo/src/workloads/sqlite_bench.cc" "src/CMakeFiles/ckisim.dir/workloads/sqlite_bench.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/sqlite_bench.cc.o.d"
+  "/root/repo/src/workloads/tlb_apps.cc" "src/CMakeFiles/ckisim.dir/workloads/tlb_apps.cc.o" "gcc" "src/CMakeFiles/ckisim.dir/workloads/tlb_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

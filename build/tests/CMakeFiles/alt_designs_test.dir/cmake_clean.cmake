@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_designs_test.dir/alt_designs_test.cc.o"
+  "CMakeFiles/alt_designs_test.dir/alt_designs_test.cc.o.d"
+  "alt_designs_test"
+  "alt_designs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_designs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

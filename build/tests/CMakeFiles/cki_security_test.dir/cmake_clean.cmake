@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cki_security_test.dir/cki_security_test.cc.o"
+  "CMakeFiles/cki_security_test.dir/cki_security_test.cc.o.d"
+  "cki_security_test"
+  "cki_security_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cki_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compatibility_test.dir/compatibility_test.cc.o"
+  "CMakeFiles/compatibility_test.dir/compatibility_test.cc.o.d"
+  "compatibility_test"
+  "compatibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compatibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_mmap_test.dir/file_mmap_test.cc.o"
+  "CMakeFiles/file_mmap_test.dir/file_mmap_test.cc.o.d"
+  "file_mmap_test"
+  "file_mmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_mmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_ksm_test.dir/gates_ksm_test.cc.o"
+  "CMakeFiles/gates_ksm_test.dir/gates_ksm_test.cc.o.d"
+  "gates_ksm_test"
+  "gates_ksm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_ksm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_vma_test.dir/guest_vma_test.cc.o"
+  "CMakeFiles/guest_vma_test.dir/guest_vma_test.cc.o.d"
+  "guest_vma_test"
+  "guest_vma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_vma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_frame_allocator_test.dir/host_frame_allocator_test.cc.o"
+  "CMakeFiles/host_frame_allocator_test.dir/host_frame_allocator_test.cc.o.d"
+  "host_frame_allocator_test"
+  "host_frame_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_frame_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

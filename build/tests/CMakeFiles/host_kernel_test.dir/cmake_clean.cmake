@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_kernel_test.dir/host_kernel_test.cc.o"
+  "CMakeFiles/host_kernel_test.dir/host_kernel_test.cc.o.d"
+  "host_kernel_test"
+  "host_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

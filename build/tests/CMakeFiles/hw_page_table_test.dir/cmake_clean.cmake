@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_page_table_test.dir/hw_page_table_test.cc.o"
+  "CMakeFiles/hw_page_table_test.dir/hw_page_table_test.cc.o.d"
+  "hw_page_table_test"
+  "hw_page_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksm_audit_test.dir/ksm_audit_test.cc.o"
+  "CMakeFiles/ksm_audit_test.dir/ksm_audit_test.cc.o.d"
+  "ksm_audit_test"
+  "ksm_audit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksm_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vcpu_test.dir/multi_vcpu_test.cc.o"
+  "CMakeFiles/multi_vcpu_test.dir/multi_vcpu_test.cc.o.d"
+  "multi_vcpu_test"
+  "multi_vcpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vcpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

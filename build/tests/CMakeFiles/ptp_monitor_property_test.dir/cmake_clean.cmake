@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptp_monitor_property_test.dir/ptp_monitor_property_test.cc.o"
+  "CMakeFiles/ptp_monitor_property_test.dir/ptp_monitor_property_test.cc.o.d"
+  "ptp_monitor_property_test"
+  "ptp_monitor_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptp_monitor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_micro_test.dir/runtime_micro_test.cc.o"
+  "CMakeFiles/runtime_micro_test.dir/runtime_micro_test.cc.o.d"
+  "runtime_micro_test"
+  "runtime_micro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_micro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

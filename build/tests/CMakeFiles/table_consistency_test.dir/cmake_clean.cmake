@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_consistency_test.dir/table_consistency_test.cc.o"
+  "CMakeFiles/table_consistency_test.dir/table_consistency_test.cc.o.d"
+  "table_consistency_test"
+  "table_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_integration_test.dir/timer_integration_test.cc.o"
+  "CMakeFiles/timer_integration_test.dir/timer_integration_test.cc.o.d"
+  "timer_integration_test"
+  "timer_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_if_test.dir/virtual_if_test.cc.o"
+  "CMakeFiles/virtual_if_test.dir/virtual_if_test.cc.o.d"
+  "virtual_if_test"
+  "virtual_if_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_if_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
