@@ -17,13 +17,20 @@ struct FaultBreakdown {
   double mechanism = 0;  // exits, shadow emulation, EPT faults, KSM calls
 };
 
-FaultBreakdown MeasureFault(RuntimeKind kind, Deployment dep) {
+FaultBreakdown MeasureFault(RuntimeKind kind, Deployment dep, std::string_view label,
+                            BenchObsSink* sink) {
   Testbed bed(kind, dep);
   constexpr int kPages = 128;
   uint64_t base = bed.engine().MmapAnon(kPages * kPageSize, false);
   // Warm the intermediate tables with the first page (not measured).
   bed.engine().UserTouch(base, true);
 
+  // Observe only the measured region: boot and warmup stay out of the span
+  // tree, so the profiler's root total equals the measured latency.
+  if (sink != nullptr && sink->active()) {
+    bed.ctx().obs().Enable();
+    bed.ctx().obs().set_owner(bed.engine().id());
+  }
   // Measure total, then re-measure the pure handler share on a RunC bed
   // with identical kernel work. Mechanism = total - handler-equivalent.
   SimNanos total = bed.Measure([&] {
@@ -31,6 +38,10 @@ FaultBreakdown MeasureFault(RuntimeKind kind, Deployment dep) {
       bed.engine().UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
     }
   });
+  if (sink != nullptr && sink->active()) {
+    bed.ctx().obs().Disable();
+    sink->AddConfig(label, total, bed.ctx().obs());
+  }
   FaultBreakdown b;
   b.total = static_cast<double>(total) / (kPages - 1);
 
@@ -51,19 +62,27 @@ FaultBreakdown MeasureFault(RuntimeKind kind, Deployment dep) {
   return b;
 }
 
-SimNanos SyscallNs(RuntimeKind kind) {
+SimNanos SyscallNs(RuntimeKind kind, std::string_view label, BenchObsSink* sink) {
   Testbed bed(kind, Deployment::kBareMetal);
   bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
   constexpr int kIters = 128;
+  if (sink != nullptr && sink->active()) {
+    bed.ctx().obs().Enable();
+    bed.ctx().obs().set_owner(bed.engine().id());
+  }
   SimNanos total = bed.Measure([&] {
     for (int i = 0; i < kIters; ++i) {
       bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
     }
   });
+  if (sink != nullptr && sink->active()) {
+    bed.ctx().obs().Disable();
+    sink->AddConfig(label, total, bed.ctx().obs());
+  }
   return total / kIters;
 }
 
-void Run() {
+void Run(BenchObsSink* sink) {
   ReportTable fig10a("Figure 10a: page-fault latency breakdown (ns)", "config",
                      {"total", "pgfault handler", "mechanism (exits/SPT/EPT/KSM)"});
   struct Cfg {
@@ -80,7 +99,8 @@ void Run() {
       {"RunC", RuntimeKind::kRunc, Deployment::kBareMetal, "1000"},
   };
   for (const Cfg& cfg : cfgs) {
-    FaultBreakdown b = MeasureFault(cfg.kind, cfg.dep);
+    FaultBreakdown b =
+        MeasureFault(cfg.kind, cfg.dep, std::string("fault/") + cfg.label, sink);
     fig10a.AddRow(cfg.label, {b.total, b.handler, b.mechanism});
   }
   fig10a.Print(std::cout, 0);
@@ -88,12 +108,12 @@ void Run() {
                "PVM 4407 (1065+1532+1828), CKI 1067 (990+77), RunC ~1000.\n\n";
 
   ReportTable fig10b("Figure 10b: syscall latency (ns)", "config", {"latency"});
-  fig10b.AddRow("RunC", {static_cast<double>(SyscallNs(RuntimeKind::kRunc))});
-  fig10b.AddRow("HVM", {static_cast<double>(SyscallNs(RuntimeKind::kHvm))});
-  fig10b.AddRow("CKI", {static_cast<double>(SyscallNs(RuntimeKind::kCki))});
-  fig10b.AddRow("CKI-wo-OPT3", {static_cast<double>(SyscallNs(RuntimeKind::kCkiNoOpt3))});
-  fig10b.AddRow("CKI-wo-OPT2", {static_cast<double>(SyscallNs(RuntimeKind::kCkiNoOpt2))});
-  fig10b.AddRow("PVM", {static_cast<double>(SyscallNs(RuntimeKind::kPvm))});
+  fig10b.AddRow("RunC", {static_cast<double>(SyscallNs(RuntimeKind::kRunc, "syscall/RunC", sink))});
+  fig10b.AddRow("HVM", {static_cast<double>(SyscallNs(RuntimeKind::kHvm, "syscall/HVM", sink))});
+  fig10b.AddRow("CKI", {static_cast<double>(SyscallNs(RuntimeKind::kCki, "syscall/CKI", sink))});
+  fig10b.AddRow("CKI-wo-OPT3", {static_cast<double>(SyscallNs(RuntimeKind::kCkiNoOpt3, "syscall/CKI-wo-OPT3", sink))});
+  fig10b.AddRow("CKI-wo-OPT2", {static_cast<double>(SyscallNs(RuntimeKind::kCkiNoOpt2, "syscall/CKI-wo-OPT2", sink))});
+  fig10b.AddRow("PVM", {static_cast<double>(SyscallNs(RuntimeKind::kPvm, "syscall/PVM", sink))});
   fig10b.Print(std::cout, 0);
   std::cout << "Paper: RunC/HVM/CKI ~90, CKI-wo-OPT3 153, CKI-wo-OPT2 238, PVM 336.\n";
 }
@@ -101,7 +121,8 @@ void Run() {
 }  // namespace
 }  // namespace cki
 
-int main() {
-  cki::Run();
-  return 0;
+int main(int argc, char** argv) {
+  cki::BenchObsSink sink(cki::BenchIo::Parse(argc, argv));
+  cki::Run(&sink);
+  return sink.Write("fig10_breakdown") ? 0 : 1;
 }

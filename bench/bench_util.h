@@ -2,9 +2,15 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/obs/json_util.h"
+#include "src/obs/trace_export.h"
 #include "src/runtime/runtime.h"
 
 namespace cki {
@@ -58,6 +64,102 @@ inline std::vector<BenchConfig> Fig16Configs() {
       {"CKI-NST", RuntimeKind::kCki, Deployment::kNested},
   };
 }
+
+// Observability output options shared by all bench binaries:
+//   --json-out=<file>   machine-readable per-config metrics dump
+//   --trace-out=<file>  merged Chrome trace-event file (Perfetto-loadable)
+struct BenchIo {
+  std::string json_out;
+  std::string trace_out;
+
+  bool observing() const { return !json_out.empty() || !trace_out.empty(); }
+
+  static BenchIo Parse(int argc, char** argv) {
+    BenchIo io;
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--json-out=", 0) == 0) {
+        io.json_out = arg.substr(std::string_view("--json-out=").size());
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        io.trace_out = arg.substr(std::string_view("--trace-out=").size());
+      } else {
+        std::cerr << "unknown argument: " << arg
+                  << " (supported: --json-out=<file> --trace-out=<file>)\n";
+      }
+    }
+    return io;
+  }
+};
+
+// Accumulates the observability output of several measured configurations
+// (one Testbed each) and writes the merged files on Write(). Each config
+// becomes one JSON entry and one trace process track.
+class BenchObsSink {
+ public:
+  explicit BenchObsSink(BenchIo io) : io_(std::move(io)) {}
+
+  bool active() const { return io_.observing(); }
+
+  // Captures one configuration after its measured region: `total_ns` is the
+  // raw end-to-end simulated time of the measured region; `obs` holds the
+  // spans/metrics/records collected during it.
+  void AddConfig(std::string_view label, SimNanos total_ns, const Observability& obs) {
+    if (!active()) {
+      return;
+    }
+    std::ostringstream json;
+    json << "{\"label\":";
+    WriteJsonString(json, label);
+    json << ",\"total_ns\":" << total_ns << ",\"obs\":";
+    obs.WriteJson(json);
+    json << "}";
+    config_json_.push_back(json.str());
+    std::ostringstream trace;
+    WriteChromeTraceEvents(obs, static_cast<uint32_t>(config_json_.size()), label, &trace_first_,
+                           trace);
+    trace_events_ << trace.str();
+  }
+
+  // Writes the requested files; call once after all configs ran. Returns
+  // false (and reports on stderr) if any requested file could not be written.
+  bool Write(std::string_view bench_name) {
+    bool ok = true;
+    if (!io_.json_out.empty()) {
+      std::ofstream os(io_.json_out);
+      os << "{\"bench\":";
+      WriteJsonString(os, bench_name);
+      os << ",\"configs\":[";
+      for (size_t i = 0; i < config_json_.size(); ++i) {
+        os << (i > 0 ? ",\n" : "\n") << config_json_[i];
+      }
+      os << "\n]}\n";
+      ok &= ReportWrite(os, io_.json_out);
+    }
+    if (!io_.trace_out.empty()) {
+      std::ofstream os(io_.trace_out);
+      os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+         << trace_events_.str() << "\n]}\n";
+      ok &= ReportWrite(os, io_.trace_out);
+    }
+    return ok;
+  }
+
+ private:
+  static bool ReportWrite(std::ofstream& os, const std::string& path) {
+    os.flush();
+    if (!os) {
+      std::cerr << "error: could not write " << path << "\n";
+      return false;
+    }
+    std::cerr << "wrote " << path << "\n";
+    return true;
+  }
+
+  BenchIo io_;
+  std::vector<std::string> config_json_;
+  std::ostringstream trace_events_;
+  bool trace_first_ = true;
+};
 
 }  // namespace cki
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "src/hw/pks.h"
+#include "src/obs/trace_scope.h"
 
 namespace cki {
 
@@ -76,6 +77,7 @@ uint64_t CkiEngine::SegmentAlloc() {
 }
 
 void CkiEngine::ChargeKsmRoundtrip(SimNanos op_work) {
+  TraceScope obs_scope(ctx_, "ksm/roundtrip");
   gates_->EnterKsm();
   ctx_.ChargeWork(op_work);
   gates_->ExitKsm();
@@ -84,6 +86,7 @@ void CkiEngine::ChargeKsmRoundtrip(SimNanos op_work) {
 SyscallResult CkiEngine::UserSyscall(const SyscallRequest& req) {
   // Fast path: the guest kernel is reachable from user mode without host
   // intervention — same 90 ns as native (Fig 10b).
+  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
   const CostModel& c = ctx_.cost();
   ctx_.Charge(c.syscall_entry, PathEvent::kSyscallEntry);
@@ -115,6 +118,7 @@ SyscallResult CkiEngine::UserSyscall(const SyscallRequest& req) {
 }
 
 TouchResult CkiEngine::UserTouch(uint64_t va, bool write) {
+  TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
   AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
@@ -129,6 +133,7 @@ TouchResult CkiEngine::UserTouch(uint64_t va, bool write) {
     }
     // Direct delivery into the guest kernel (PKRS stays PKRS_GUEST; the
     // IDT entry for #PF needs no PKS switch).
+    TraceScope fault_scope(ctx_, "fault");
     ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
     cpu.set_cpl(Cpl::kKernel);
     if (ablation_ == CkiAblation::kNoOpt2) {
@@ -173,6 +178,7 @@ uint64_t CkiEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   // Hypercalls are issued by the guest kernel (ring 0, PKRS_GUEST); a user
   // process reaches this point only through a syscall into the guest
   // kernel first.
+  TraceScope obs_scope(ctx_, "hypercall");
   Cpu& cpu = machine_.cpu();
   Cpl saved_cpl = cpu.cpl();
   cpu.set_cpl(Cpl::kKernel);
@@ -252,6 +258,7 @@ uint64_t CkiEngine::ReadPte(uint64_t pte_pa) {
 }
 
 bool CkiEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  TraceScope obs_scope(ctx_, "ksm/store_pte");
   const CostModel& c = ctx_.cost();
   PtpVerdict verdict;
   if (in_batch_ || (in_fault_ && ksm_open_)) {

@@ -1,6 +1,7 @@
 #include "src/cki/gates.h"
 
 #include "src/hw/pks.h"
+#include "src/obs/trace_scope.h"
 
 namespace cki {
 
@@ -36,7 +37,8 @@ bool Gates::ExitKsm() { return SwitchPks(kPkrsGuest); }
 void Gates::HypercallRoundtrip() {
   SimContext& ctx = machine_.ctx();
   const CostModel& c = ctx.cost();
-  ctx.trace().Record(PathEvent::kHypercall);
+  TraceScope obs_scope(ctx, "gate/hypercall");
+  ctx.RecordEvent(PathEvent::kHypercall);
   // Entry: PKS to monitor rights, save guest context into the per-vCPU
   // area, switch to the host page table (with IBRS; PTI is unnecessary for
   // a dedicated host address space but the mitigated cost is charged as
@@ -57,6 +59,7 @@ bool Gates::HardwareInterruptToHost(uint8_t vector) {
   if (entry.fault) {
     return false;
   }
+  TraceScope obs_scope(ctx, "gate/hw_interrupt");
   ctx.Charge(ctx.cost().hw_interrupt_delivery, PathEvent::kHwInterrupt);
   // The IDT extension has zeroed PKRS; the gate saves the interrupt info
   // to the per-vCPU area and performs the full exit to the host kernel.
@@ -83,7 +86,7 @@ bool Gates::AttackRopWrpkrs(uint32_t desired_pkrs) {
   if (cpu.pkrs() != kPkrsMonitor || desired_pkrs != kPkrsMonitor) {
     // Mismatch with the gate constant: abort path taken, attack stopped.
     aborted_switches_++;
-    machine_.ctx().trace().Record(PathEvent::kSecurityViolation);
+    machine_.ctx().RecordEvent(PathEvent::kSecurityViolation);
     cpu.Wrpkrs(saved);  // abort handler restores a safe state
     return false;
   }
@@ -106,7 +109,7 @@ bool Gates::AttackForgeInterrupt(uint8_t vector) {
   if (!entry.pks_switched && cpu.pkrs() != kPkrsMonitor) {
     Fault f = cpu.Access(ksm_.per_vcpu_area_va(), AccessIntent::Write());
     if (f.type == FaultType::kPageKeyViolation) {
-      machine_.ctx().trace().Record(PathEvent::kSecurityViolation);
+      machine_.ctx().RecordEvent(PathEvent::kSecurityViolation);
       cpu.IretTrusted(Cpl::kKernel, std::nullopt);
       return false;  // forged interrupt never reaches the host
     }

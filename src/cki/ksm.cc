@@ -104,7 +104,7 @@ PtpVerdict Ksm::UpdatePte(uint64_t slot_pa, uint64_t value, int level, uint64_t 
   uint64_t sanitized = value;
   PtpVerdict v = monitor_.CheckStore(slot_pa, value, level, va, &sanitized);
   if (v != PtpVerdict::kOk) {
-    machine_.ctx().trace().Record(PathEvent::kSecurityViolation);
+    machine_.ctx().RecordEvent(PathEvent::kSecurityViolation, slot_pa);
     return v;
   }
   PhysMem& mem = machine_.mem();
@@ -120,7 +120,7 @@ PtpVerdict Ksm::UpdatePte(uint64_t slot_pa, uint64_t value, int level, uint64_t 
       }
     }
   }
-  machine_.ctx().trace().Record(PathEvent::kPteUpdate);
+  machine_.ctx().RecordEvent(PathEvent::kPteUpdate);
   return PtpVerdict::kOk;
 }
 
@@ -128,7 +128,7 @@ PtpVerdict Ksm::LoadGuestCr3(uint64_t root_pa, uint16_t pcid, int vcpu) {
   calls_++;
   PtpVerdict v = monitor_.CheckCr3(root_pa);
   if (v != PtpVerdict::kOk) {
-    machine_.ctx().trace().Record(PathEvent::kSecurityViolation);
+    machine_.ctx().RecordEvent(PathEvent::kSecurityViolation, root_pa);
     return v;
   }
   uint64_t copy = TopLevelCopy(root_pa, vcpu);

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/trace_scope.h"
+
 #include "src/hw/pte.h"
 
 namespace cki {
@@ -260,6 +262,7 @@ size_t GuestKernel::live_processes() const {
 }
 
 SyscallResult GuestKernel::HandleSyscall(const SyscallRequest& req) {
+  TraceScope obs_scope(ctx_, SysName(req.no));
   syscalls_++;
   ctx_.ChargeWork(HandlerCost(req.no));
   Process& proc = current();

@@ -5,6 +5,7 @@
 
 #include "src/guest/guest_kernel.h"
 #include "src/hw/pte.h"
+#include "src/obs/trace_scope.h"
 
 namespace cki {
 
@@ -103,6 +104,7 @@ uint64_t GuestKernel::FilePageFor(int ino, uint64_t block) {
 
 bool GuestKernel::FaultInPage(Process& proc, Vma& vma, uint64_t va, bool write) {
   (void)write;
+  TraceScope obs_scope(ctx_, "mm/fault_in");
   // Demand fill: VMA lookup, page allocation, zeroing/fill, and PTE
   // construction. The calibrated handler-core cost covers all of that
   // (Fig 10a: 840 ns of the 1,000 ns native fault).
@@ -163,6 +165,7 @@ void GuestKernel::UnmapRange(Process& proc, uint64_t start, uint64_t end) {
 }
 
 int GuestKernel::ClonePagesCow(Process& parent, Process& child) {
+  TraceScope obs_scope(ctx_, "mm/clone_cow");
   // Collect the parent's user-half leaves first (editing while iterating
   // the radix tree would invalidate the traversal).
   struct LeafInfo {
@@ -209,6 +212,7 @@ int GuestKernel::ClonePagesCow(Process& parent, Process& child) {
 }
 
 void GuestKernel::TeardownAddressSpace(Process& proc) {
+  TraceScope obs_scope(ctx_, "mm/teardown");
   // Free user data pages, then the page-table pages themselves
   // (post-order walk over the radix tree).
   struct LeafInfo {

@@ -1,11 +1,14 @@
 #include "src/host/virtio.h"
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 void VirtioNetAdapter::ClientSubmitBatch(int conn, int count, uint64_t bytes) {
   if (count <= 0) {
     return;
   }
+  TraceScope obs_scope(ctx_, engine_.id(), "virtio/deliver");
   Conn& c = conns_[conn];
   for (int i = 0; i < count; ++i) {
     c.rx.push_back(bytes);
@@ -28,6 +31,7 @@ uint64_t VirtioNetAdapter::ClientCollect(int conn) {
 }
 
 void VirtioNetAdapter::Kick() {
+  TraceScope obs_scope(ctx_, engine_.id(), "virtio/kick");
   ctx_.Charge(engine_.KickCost(), PathEvent::kVirtioKick);
   ctx_.ChargeWork(ctx_.cost().virtio_host_service);
   stats_.kicks++;

@@ -1,5 +1,7 @@
 #include "src/hw/cpu.h"
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 Cpu::Cpu(SimContext& ctx, PhysMem& mem, CkiHwExtensions ext)
@@ -97,7 +99,7 @@ Fault Cpu::Access(uint64_t va, AccessIntent intent) {
 Fault Cpu::AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa) {
   uint16_t pcid = Cr3Pcid(cr3_);
   if (std::optional<TlbEntry> hit = tlb_.Lookup(pcid, va); hit.has_value()) {
-    ctx_.trace().Record(PathEvent::kTlbHit);
+    ctx_.RecordEvent(PathEvent::kTlbHit, va);
     Fault f = CheckLeafPermissions(hit->flags, hit->pkey, va, intent, /*from_tlb=*/true);
     if (f) {
       return f;
@@ -112,7 +114,8 @@ Fault Cpu::AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa) {
   // TLB miss: walk, charging per-reference cost (two-dimensional when an
   // EPT is active).
   bool two_dim = (ept_ != nullptr);
-  ctx_.trace().Record(PathEvent::kTlbMiss);
+  TraceScope walk_scope(ctx_, "mmu/page_walk");
+  ctx_.RecordEvent(PathEvent::kTlbMiss, va);
   ctx_.Charge(ctx_.cost().WalkCost(two_dim),
               two_dim ? PathEvent::kPageWalk2D : PathEvent::kPageWalk1D);
   WalkResult walk = WalkCurrent(va);
@@ -145,7 +148,7 @@ Fault Cpu::ExecPriv(PrivInstr instr) {
     return Fault{.type = FaultType::kGeneralProtection, .was_user = true};
   }
   if (ext_.pks_priv_gating && pkrs_ != 0 && BlockedWhenPkrsNonzero(instr)) {
-    ctx_.trace().Record(PathEvent::kPrivInstrTrap);
+    ctx_.RecordEvent(PathEvent::kPrivInstrTrap);
     return Fault{.type = FaultType::kPrivInstrBlocked};
   }
   return Fault::None();

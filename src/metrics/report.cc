@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/obs/json_util.h"
+
 namespace cki {
 
 ReportTable::ReportTable(std::string title, std::string row_header,
@@ -99,6 +101,37 @@ void ReportTable::PrintCsv(std::ostream& os) const {
     }
     os << "\n";
   }
+}
+
+void ReportTable::PrintJson(std::ostream& os) const {
+  os << "{\"title\":";
+  WriteJsonString(os, title_);
+  os << ",\"row_header\":";
+  WriteJsonString(os, row_header_);
+  os << ",\"columns\":[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    WriteJsonString(os, columns_[i]);
+  }
+  os << "],\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) {
+      os << ",";
+    }
+    os << "{\"label\":";
+    WriteJsonString(os, rows_[r].label);
+    os << ",\"values\":[";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << (i < rows_[r].values.size() ? rows_[r].values[i] : 0.0);
+    }
+    os << "]}";
+  }
+  os << "]}";
 }
 
 }  // namespace cki

@@ -28,6 +28,11 @@ class ReportTable {
   // Emits `title.csv`-style lines (comma separated) for plotting.
   void PrintCsv(std::ostream& os) const;
 
+  // Emits the same row/column model as one JSON object:
+  //   {"title":..,"row_header":..,"columns":[..],
+  //    "rows":[{"label":..,"values":[..]},..]}
+  void PrintJson(std::ostream& os) const;
+
   const std::vector<std::string>& columns() const { return columns_; }
   double ValueAt(const std::string& row_label, size_t col) const;
   size_t row_count() const { return rows_.size(); }

@@ -1,0 +1,73 @@
+#include "src/obs/metrics_registry.h"
+
+#include "src/obs/json_util.h"
+
+namespace cki {
+
+Histogram& MetricsRegistry::Hist(std::string_view name) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::Hist(std::string_view family, std::string_view item) {
+  std::string name;
+  name.reserve(family.size() + 1 + item.size());
+  name.append(family);
+  name.push_back('/');
+  name.append(item);
+  return Hist(name);
+}
+
+void MetricsRegistry::Inc(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+const Histogram* MetricsRegistry::FindHist(std::string_view name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    WriteJsonString(os, name);
+    os << ":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : hists_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    WriteJsonString(os, name);
+    os << ":";
+    hist.WriteJson(os);
+  }
+  os << "}}";
+}
+
+void MetricsRegistry::Clear() {
+  hists_.clear();
+  counters_.clear();
+}
+
+}  // namespace cki

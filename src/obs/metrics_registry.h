@@ -1,0 +1,43 @@
+// Named counters and bounded histograms, dumpable as machine-readable
+// JSON. The registry is the always-on metrics side of the observability
+// subsystem: fixed memory per metric, stable (sorted) output order.
+#ifndef SRC_OBS_METRICS_REGISTRY_H_
+#define SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/obs/histogram.h"
+
+namespace cki {
+
+class MetricsRegistry {
+ public:
+  // Returns the named histogram, creating it on first use.
+  Histogram& Hist(std::string_view name);
+  // Convenience for hierarchical names: Hist("syscall", "getpid") is
+  // Hist("syscall/getpid").
+  Histogram& Hist(std::string_view family, std::string_view item);
+
+  void Inc(std::string_view name, uint64_t delta = 1);
+
+  const Histogram* FindHist(std::string_view name) const;
+  uint64_t CounterValue(std::string_view name) const;
+  size_t hist_count() const { return hists_.size(); }
+
+  // {"counters":{...},"histograms":{"name":{"count":..,"p50":..,...}}}
+  void WriteJson(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  std::map<std::string, Histogram, std::less<>> hists_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,28 @@
+#include "src/obs/observability.h"
+
+namespace cki {
+
+void Observability::Enable(size_t ring_capacity) {
+  if (recorder_ == nullptr) {
+    recorder_ = std::make_unique<FlightRecorder>(ring_capacity);
+    profiler_ = std::make_unique<SpanProfiler>();
+    metrics_ = std::make_unique<MetricsRegistry>();
+  }
+  enabled_ = true;
+}
+
+void Observability::WriteJson(std::ostream& os) const {
+  if (recorder_ == nullptr) {
+    os << "{\"enabled\":false}";
+    return;
+  }
+  os << "{\"enabled\":" << (enabled_ ? "true" : "false") << ",\"recorder\":{\"size\":"
+     << recorder_->size() << ",\"capacity\":" << recorder_->capacity()
+     << ",\"dropped\":" << recorder_->dropped() << "},\"spans\":";
+  profiler_->WriteJson(os);
+  os << ",\"metrics\":";
+  metrics_->WriteJson(os);
+  os << "}";
+}
+
+}  // namespace cki

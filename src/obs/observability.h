@@ -1,0 +1,72 @@
+// Observability hub attached to every SimContext: a flight recorder
+// (bounded event ring), a span profiler (simulated-time phase tree), and a
+// metrics registry (counters + bounded histograms).
+//
+// Disabled by default: the only cost on the simulation fast path is one
+// branch on `enabled()`. Enable() allocates the backing stores lazily, so
+// a SimContext that never observes pays nothing beyond a few pointers.
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include <memory>
+#include <ostream>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_profiler.h"
+#include "src/sim/trace.h"
+
+namespace cki {
+
+class Observability {
+ public:
+  bool enabled() const { return enabled_; }
+
+  // Turns recording on, allocating the stores on first use. Re-enabling
+  // keeps previously recorded data; `ring_capacity` applies only to the
+  // first Enable.
+  void Enable(size_t ring_capacity = FlightRecorder::kDefaultCapacity);
+  // Stops recording but keeps the data for export.
+  void Disable() { enabled_ = false; }
+  // Whether Enable() ever ran (the accessors below are valid only then).
+  bool has_data() const { return recorder_ != nullptr; }
+
+  // Current container attribution for recorded events (0: host kernel).
+  uint32_t owner() const { return owner_; }
+  void set_owner(uint32_t owner) { owner_ = owner; }
+
+  // Valid only after Enable() (checked in debug builds via the deref).
+  FlightRecorder& recorder() { return *recorder_; }
+  const FlightRecorder& recorder() const { return *recorder_; }
+  SpanProfiler& profiler() { return *profiler_; }
+  const SpanProfiler& profiler() const { return *profiler_; }
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+
+  // Fast-path hook called by SimContext for every architectural event.
+  void OnEvent(SimNanos now, PathEvent e, uint64_t arg = 0) {
+    if (!enabled_) {
+      return;
+    }
+    recorder_->Record(TraceRecord{.ts = now,
+                                  .arg = arg,
+                                  .owner = owner_,
+                                  .code = static_cast<uint16_t>(e),
+                                  .kind = TraceRecordKind::kInstant});
+  }
+
+  // Full machine-readable dump:
+  //   {"enabled":..,"recorder":{..},"spans":[..],"metrics":{..}}
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  uint32_t owner_ = 0;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<SpanProfiler> profiler_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

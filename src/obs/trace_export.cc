@@ -1,0 +1,79 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+
+#include "src/obs/json_util.h"
+
+namespace cki {
+
+namespace {
+
+// Chrome trace timestamps are microseconds; keep ns resolution as
+// fractional digits.
+void WriteTs(std::ostream& os, SimNanos ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+std::string_view RecordName(const Observability& obs, const TraceRecord& r) {
+  if (r.kind == TraceRecordKind::kInstant) {
+    return r.code < static_cast<uint16_t>(PathEvent::kCount)
+               ? PathEventName(static_cast<PathEvent>(r.code))
+               : std::string_view("unknown");
+  }
+  return obs.profiler().PhaseName(r.code);
+}
+
+}  // namespace
+
+void WriteChromeTraceEvents(const Observability& obs, uint32_t pid, std::string_view process_name,
+                            bool* first, std::ostream& os) {
+  auto emit_comma = [&] {
+    if (!*first) {
+      os << ",\n";
+    }
+    *first = false;
+  };
+  emit_comma();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0,\"args\":{\"name\":";
+  WriteJsonString(os, process_name);
+  os << "}}";
+  if (!obs.has_data()) {
+    return;
+  }
+  for (const TraceRecord& r : obs.recorder().Chronological()) {
+    emit_comma();
+    os << "{\"name\":";
+    WriteJsonString(os, RecordName(obs, r));
+    os << ",\"cat\":";
+    switch (r.kind) {
+      case TraceRecordKind::kInstant:
+        os << "\"event\",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TraceRecordKind::kSpanBegin:
+        os << "\"span\",\"ph\":\"B\"";
+        break;
+      case TraceRecordKind::kSpanEnd:
+        os << "\"span\",\"ph\":\"E\"";
+        break;
+    }
+    os << ",\"ts\":";
+    WriteTs(os, r.ts);
+    os << ",\"pid\":" << pid << ",\"tid\":" << r.owner;
+    if (r.arg != 0) {
+      os << ",\"args\":{\"arg\":" << r.arg << "}";
+    }
+    os << "}";
+  }
+}
+
+void WriteChromeTrace(const Observability& obs, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  WriteChromeTraceEvents(obs, 1, "cki-sim", &first, os);
+  os << "\n]}\n";
+}
+
+}  // namespace cki

@@ -1,0 +1,31 @@
+// Chrome trace-event JSON export of the flight recorder.
+//
+// The emitted file loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: spans become B/E duration events, architectural
+// events become thread-scoped instants, and the container/owner id maps
+// to the tid so per-container activity lands on its own track.
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "src/obs/observability.h"
+
+namespace cki {
+
+// Writes a complete {"traceEvents":[...]} document for one context.
+void WriteChromeTrace(const Observability& obs, std::ostream& os);
+
+// Appends one context's records to an already-open traceEvents array under
+// process id `pid` (named `process_name` via a metadata event). `first`
+// tracks comma placement across calls; the caller owns the surrounding
+// document. Lets benches merge several Testbeds into one trace, one
+// process track per configuration.
+void WriteChromeTraceEvents(const Observability& obs, uint32_t pid, std::string_view process_name,
+                            bool* first, std::ostream& os);
+
+}  // namespace cki
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

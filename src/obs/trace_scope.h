@@ -1,0 +1,103 @@
+// RAII span instrumentation over simulated time.
+//
+// TraceScope opens a named phase on the SimContext's span profiler and
+// mirrors begin/end markers into the flight recorder; nesting scopes
+// builds the phase tree (syscall -> getpid -> ksm/roundtrip -> ...).
+// Phase names are an API: exporters, tests, and the DESIGN.md taxonomy
+// all key on them, so treat renames as breaking changes.
+//
+// Both scopes are no-ops (one branch) when observability is disabled.
+#ifndef SRC_OBS_TRACE_SCOPE_H_
+#define SRC_OBS_TRACE_SCOPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/sim/context.h"
+
+namespace cki {
+
+class TraceScope {
+ public:
+  TraceScope(SimContext& ctx, std::string_view phase) : ctx_(ctx), active_(ctx.obs().enabled()) {
+    if (active_) {
+      Begin(phase);
+    }
+  }
+
+  // Also stamps `owner` as the current container attribution.
+  TraceScope(SimContext& ctx, uint32_t owner, std::string_view phase)
+      : ctx_(ctx), active_(ctx.obs().enabled()) {
+    if (active_) {
+      ctx_.obs().set_owner(owner);
+      Begin(phase);
+    }
+  }
+
+  ~TraceScope() {
+    if (active_) {
+      Observability& obs = ctx_.obs();
+      obs.recorder().Record(TraceRecord{.ts = ctx_.clock().now(),
+                                        .owner = obs.owner(),
+                                        .code = static_cast<uint16_t>(phase_),
+                                        .kind = TraceRecordKind::kSpanEnd});
+      obs.profiler().EndSpan(ctx_.clock().now());
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  void Begin(std::string_view phase) {
+    Observability& obs = ctx_.obs();
+    phase_ = obs.profiler().InternPhase(phase);
+    SimNanos now = ctx_.clock().now();
+    obs.profiler().BeginSpan(phase_, now);
+    obs.recorder().Record(TraceRecord{.ts = now,
+                                      .owner = obs.owner(),
+                                      .code = static_cast<uint16_t>(phase_),
+                                      .kind = TraceRecordKind::kSpanBegin});
+  }
+
+  SimContext& ctx_;
+  bool active_;
+  int phase_ = -1;
+};
+
+// TraceScope plus a latency sample: on exit, the elapsed simulated ns are
+// also recorded into the metrics histogram `family/item` (e.g. the
+// per-syscall-number latency distributions of the engines).
+class LatencyScope {
+ public:
+  LatencyScope(SimContext& ctx, uint32_t owner, std::string_view phase, std::string_view family,
+               std::string_view item)
+      : ctx_(ctx), scope_(ctx, owner, phase), active_(ctx.obs().enabled()) {
+    if (active_) {
+      start_ = ctx_.clock().now();
+      hist_family_ = family;
+      hist_item_ = item;
+    }
+  }
+
+  ~LatencyScope() {
+    if (active_) {
+      ctx_.obs().metrics().Hist(hist_family_, hist_item_).Add(ctx_.clock().now() - start_);
+    }
+  }
+
+  LatencyScope(const LatencyScope&) = delete;
+  LatencyScope& operator=(const LatencyScope&) = delete;
+
+ private:
+  SimContext& ctx_;
+  TraceScope scope_;
+  bool active_;
+  SimNanos start_ = 0;
+  std::string hist_family_;
+  std::string hist_item_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_OBS_TRACE_SCOPE_H_

@@ -1,5 +1,7 @@
 #include "src/runtime/native_engine.h"
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 NativeEngine::NativeEngine(Machine& machine)
@@ -7,6 +9,7 @@ NativeEngine::NativeEngine(Machine& machine)
 
 SyscallResult NativeEngine::UserSyscall(const SyscallRequest& req) {
   // Native path: syscall -> ring-0 handler -> sysret. 90 ns plus handler.
+  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();
@@ -18,6 +21,7 @@ SyscallResult NativeEngine::UserSyscall(const SyscallRequest& req) {
 }
 
 TouchResult NativeEngine::UserTouch(uint64_t va, bool write) {
+  TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
   AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
@@ -30,6 +34,7 @@ TouchResult NativeEngine::UserTouch(uint64_t va, bool write) {
       return TouchResult::kSegv;
     }
     // Native fault: delivery straight into the kernel handler, iret back.
+    TraceScope fault_scope(ctx_, "fault");
     ctx_.Charge(ctx_.cost().fault_delivery, PathEvent::kPageFault);
     cpu.set_cpl(Cpl::kKernel);
     bool resolved = kernel_->HandlePageFault(va, write);

@@ -38,8 +38,10 @@ class Stats {
     return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  // Exact percentile over the recorded samples, p in [0, 100].
-  double Percentile(double p) {
+  // Exact percentile over the recorded samples, p in [0, 100]. Const: the
+  // sample buffer doubles as a lazily sorted cache, which is not observable
+  // state.
+  double Percentile(double p) const {
     if (samples_.empty()) {
       return 0.0;
     }
@@ -69,15 +71,15 @@ class Stats {
   }
 
  private:
-  void EnsureSorted() {
+  void EnsureSorted() const {
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
   }
 
-  std::vector<double> samples_;
-  bool sorted_ = false;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
 };
 
 }  // namespace cki

@@ -3,59 +3,17 @@
 namespace cki {
 
 std::string_view PathEventName(PathEvent e) {
-  switch (e) {
-    case PathEvent::kSyscallEntry:
-      return "syscall_entry";
-    case PathEvent::kSyscallExit:
-      return "syscall_exit";
-    case PathEvent::kModeSwitch:
-      return "mode_switch";
-    case PathEvent::kCr3Switch:
-      return "cr3_switch";
-    case PathEvent::kPksSwitch:
-      return "pks_switch";
-    case PathEvent::kKsmCall:
-      return "ksm_call";
-    case PathEvent::kHypercall:
-      return "hypercall";
-    case PathEvent::kVmExit:
-      return "vm_exit";
-    case PathEvent::kNestedVmExit:
-      return "nested_vm_exit";
-    case PathEvent::kL0WorldSwitch:
-      return "l0_world_switch";
-    case PathEvent::kPageFault:
-      return "page_fault";
-    case PathEvent::kEptViolation:
-      return "ept_violation";
-    case PathEvent::kShadowPtUpdate:
-      return "shadow_pt_update";
-    case PathEvent::kPteUpdate:
-      return "pte_update";
-    case PathEvent::kTlbMiss:
-      return "tlb_miss";
-    case PathEvent::kTlbHit:
-      return "tlb_hit";
-    case PathEvent::kPageWalk1D:
-      return "page_walk_1d";
-    case PathEvent::kPageWalk2D:
-      return "page_walk_2d";
-    case PathEvent::kHwInterrupt:
-      return "hw_interrupt";
-    case PathEvent::kVirqInject:
-      return "virq_inject";
-    case PathEvent::kVirtioKick:
-      return "virtio_kick";
-    case PathEvent::kPrivInstrTrap:
-      return "priv_instr_trap";
-    case PathEvent::kSecurityViolation:
-      return "security_violation";
-    case PathEvent::kContextSwitch:
-      return "context_switch";
-    case PathEvent::kCount:
-      break;
+  size_t i = static_cast<size_t>(e);
+  return i < kPathEventNames.size() ? kPathEventNames[i] : std::string_view("unknown");
+}
+
+std::optional<PathEvent> PathEventFromName(std::string_view name) {
+  for (size_t i = 0; i < kPathEventNames.size(); ++i) {
+    if (kPathEventNames[i] == name) {
+      return static_cast<PathEvent>(i);
+    }
   }
-  return "unknown";
+  return std::nullopt;
 }
 
 }  // namespace cki

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -43,8 +44,43 @@ enum class PathEvent : uint8_t {
   kCount,             // sentinel
 };
 
+// Canonical event names, indexed by event value. Keeping this a constexpr
+// table (instead of a switch) lets the static_assert below prove at compile
+// time that adding a PathEvent without naming it is impossible.
+inline constexpr auto kPathEventNames = std::to_array<std::string_view>({
+    "syscall_entry",
+    "syscall_exit",
+    "mode_switch",
+    "cr3_switch",
+    "pks_switch",
+    "ksm_call",
+    "hypercall",
+    "vm_exit",
+    "nested_vm_exit",
+    "l0_world_switch",
+    "page_fault",
+    "ept_violation",
+    "shadow_pt_update",
+    "pte_update",
+    "tlb_miss",
+    "tlb_hit",
+    "page_walk_1d",
+    "page_walk_2d",
+    "hw_interrupt",
+    "virq_inject",
+    "virtio_kick",
+    "priv_instr_trap",
+    "security_violation",
+    "context_switch",
+});
+static_assert(kPathEventNames.size() == static_cast<size_t>(PathEvent::kCount),
+              "every PathEvent up to kCount must have a name in kPathEventNames");
+
 // Human-readable name for an event (for test failure messages and dumps).
 std::string_view PathEventName(PathEvent e);
+
+// Inverse of PathEventName; nullopt for unknown names.
+std::optional<PathEvent> PathEventFromName(std::string_view name);
 
 class TraceLog {
  public:

@@ -1,5 +1,7 @@
 #include "src/virt/gvisor_engine.h"
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 namespace {
@@ -24,6 +26,7 @@ SimNanos GvisorEngine::SystrapCost() const {
 }
 
 SyscallResult GvisorEngine::UserSyscall(const SyscallRequest& req) {
+  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();
@@ -41,6 +44,7 @@ SyscallResult GvisorEngine::UserSyscall(const SyscallRequest& req) {
 }
 
 TouchResult GvisorEngine::UserTouch(uint64_t va, bool write) {
+  TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
   AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
@@ -57,6 +61,7 @@ TouchResult GvisorEngine::UserTouch(uint64_t va, bool write) {
     // design's trick for avoiding shadow paging, sec 2.4.3); the Sentry
     // only sees faults for ranges it has not host-mmapped yet, which our
     // model folds into a small surcharge.
+    TraceScope fault_scope(ctx_, "fault");
     ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
     cpu.set_cpl(Cpl::kKernel);
     ctx_.ChargeWork(kSentryHandlerExtra / 2);
@@ -80,7 +85,8 @@ uint64_t GvisorEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   (void)a1;
   // Sentry -> host requests are ordinary host syscalls from the Sentry
   // process (one ring crossing, no address-space switch needed).
-  ctx_.trace().Record(PathEvent::kHypercall);
+  TraceScope obs_scope(ctx_, "hypercall");
+  ctx_.RecordEvent(PathEvent::kHypercall);
   ctx_.Charge(ctx_.cost().mode_switch, PathEvent::kModeSwitch);
   ctx_.ChargeWork(ctx_.cost().hypercall_dispatch);
   ctx_.Charge(ctx_.cost().mode_switch, PathEvent::kModeSwitch);

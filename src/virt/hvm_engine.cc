@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 HvmEngine::HvmEngine(Machine& machine)
@@ -62,8 +64,9 @@ void HvmEngine::ChargeVmExit() {
 }
 
 void HvmEngine::HandleEptViolation(uint64_t gpa) {
+  TraceScope obs_scope(ctx_, "ept/violation");
   const CostModel& c = ctx_.cost();
-  ctx_.trace().Record(PathEvent::kEptViolation);
+  ctx_.RecordEvent(PathEvent::kEptViolation, gpa);
   if (nested()) {
     // The violation exits to L0, which resumes L1; L1's shadow-EPT update
     // (vmread/vmwrite/INVEPT) traps back to L0 several times (sec 7.1:
@@ -99,6 +102,7 @@ void HvmEngine::HandleEptViolation(uint64_t gpa) {
 
 SyscallResult HvmEngine::UserSyscall(const SyscallRequest& req) {
   // Native-speed syscalls inside the guest: no VM exit involved.
+  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();
@@ -110,6 +114,7 @@ SyscallResult HvmEngine::UserSyscall(const SyscallRequest& req) {
 }
 
 TouchResult HvmEngine::UserTouch(uint64_t va, bool write) {
+  TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
   AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
@@ -126,6 +131,7 @@ TouchResult HvmEngine::UserTouch(uint64_t va, bool write) {
       case FaultType::kPageProtection: {
         // Guest-internal fault: delivered and handled entirely in the L2
         // guest kernel (slightly heavier than native, Fig 10a).
+        TraceScope fault_scope(ctx_, "fault");
         ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
         cpu.set_cpl(Cpl::kKernel);
         ctx_.ChargeWork(c.hvm_guest_handler_extra);
@@ -157,7 +163,8 @@ uint64_t HvmEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
 uint64_t HvmEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   (void)a0;
   (void)a1;
-  ctx_.trace().Record(PathEvent::kHypercall);
+  TraceScope obs_scope(ctx_, "hypercall");
+  ctx_.RecordEvent(PathEvent::kHypercall);
   ChargeVmExit();
   ctx_.ChargeWork(ctx_.cost().hypercall_dispatch);
   (void)op;

@@ -1,5 +1,7 @@
 #include "src/virt/libos_engine.h"
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 namespace {
@@ -33,12 +35,14 @@ SyscallResult LibOsEngine::UserSyscall(const SyscallRequest& req) {
     return {kEINVAL};
   }
   // No ring crossing at all: a function call into the linked libOS.
+  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   ctx_.ChargeWork(kFnCallOverhead);
   ctx_.ChargeWork(ctx_.cost().syscall_handler_min);
   return kernel_->HandleSyscall(req);
 }
 
 TouchResult LibOsEngine::UserTouch(uint64_t va, bool write) {
+  TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
   AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
@@ -52,6 +56,7 @@ TouchResult LibOsEngine::UserTouch(uint64_t va, bool write) {
       return TouchResult::kSegv;
     }
     // The unikernel process's faults are handled by the host kernel.
+    TraceScope fault_scope(ctx_, "fault");
     ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
     cpu.set_cpl(Cpl::kKernel);
     bool resolved = kernel_->HandlePageFault(va, write);
@@ -83,7 +88,8 @@ uint64_t LibOsEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   (void)a0;
   (void)a1;
   // LibOS -> host requests are host syscalls from the unikernel process.
-  ctx_.trace().Record(PathEvent::kHypercall);
+  TraceScope obs_scope(ctx_, "hypercall");
+  ctx_.RecordEvent(PathEvent::kHypercall);
   ctx_.Charge(ctx_.cost().mode_switch, PathEvent::kModeSwitch);
   ctx_.ChargeWork(ctx_.cost().hypercall_dispatch);
   ctx_.Charge(ctx_.cost().mode_switch, PathEvent::kModeSwitch);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
 PvmEngine::PvmEngine(Machine& machine)
@@ -58,7 +60,7 @@ void PvmEngine::ChargePvmExit() {
   if (nested()) {
     ctx_.ChargeWork(c.pvm_nested_delta);
   }
-  ctx_.trace().Record(PathEvent::kVmExit);
+  ctx_.RecordEvent(PathEvent::kVmExit);
 }
 
 void PvmEngine::ChargeSyscallRedirect() {
@@ -100,6 +102,7 @@ void PvmEngine::SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_
 SyscallResult PvmEngine::UserSyscall(const SyscallRequest& req) {
   // App -> host kernel -> (mode + page-table switch) -> user-mode guest
   // kernel -> handler -> (switch back) -> host -> app. Fig 10b: 336 ns.
+  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();
@@ -113,6 +116,7 @@ SyscallResult PvmEngine::UserSyscall(const SyscallRequest& req) {
 }
 
 TouchResult PvmEngine::UserTouch(uint64_t va, bool write) {
+  TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
   AccessIntent intent = write ? AccessIntent::Write() : AccessIntent::Read();
@@ -127,6 +131,7 @@ TouchResult PvmEngine::UserTouch(uint64_t va, bool write) {
     }
     // Every fault first traps to the host kernel, which walks the guest
     // page table to classify it (true guest fault vs stale shadow entry).
+    TraceScope fault_scope(ctx_, "fault");
     ctx_.Charge(c.fault_delivery, PathEvent::kPageFault);
     cpu.set_cpl(Cpl::kKernel);
     uint64_t guest_root = kernel_->current().pt_root;
@@ -134,6 +139,7 @@ TouchResult PvmEngine::UserTouch(uint64_t va, bool write) {
     bool stale_shadow = !guest_walk.fault && (!f.was_write || PteWritable(guest_walk.leaf_pte));
     if (stale_shadow) {
       // The guest mapping exists; only the shadow entry is missing.
+      TraceScope fill_scope(ctx_, "spt/fill");
       ctx_.Charge(c.spt_hidden_fill, PathEvent::kShadowPtUpdate);
       SyncShadowLeaf(guest_root, va & ~(kPageSize - 1), guest_walk.leaf_pte);
       cpu.set_cpl(Cpl::kUser);
@@ -162,7 +168,8 @@ uint64_t PvmEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   (void)op;
   (void)a0;
   (void)a1;
-  ctx_.trace().Record(PathEvent::kHypercall);
+  TraceScope obs_scope(ctx_, "hypercall");
+  ctx_.RecordEvent(PathEvent::kHypercall);
   ChargePvmExit();
   return 0;
 }
@@ -196,6 +203,7 @@ uint64_t PvmEngine::ReadPte(uint64_t pte_pa) {
 }
 
 bool PvmEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
+  TraceScope obs_scope(ctx_, "spt/emulate");
   const CostModel& c = ctx_.cost();
   if (in_batch_) {
     ctx_.Charge(c.spt_emulation_batched, PathEvent::kShadowPtUpdate);
@@ -211,7 +219,7 @@ bool PvmEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va
   }
   spt_emulations_++;
   machine_.mem().WriteU64(Backing(pte_pa, /*create=*/false), value);
-  ctx_.trace().Record(PathEvent::kPteUpdate);
+  ctx_.RecordEvent(PathEvent::kPteUpdate);
   // Eagerly mirror leaf updates that belong to a known address space.
   if (level == 1) {
     for (const auto& [guest_root, shadow_root] : shadow_roots_) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/metrics/report.h"
+#include "src/obs/json_util.h"
 
 namespace cki {
 namespace {
@@ -64,6 +65,42 @@ TEST(ReportTableTest, MissingValuesPrintAsZero) {
   std::ostringstream os;
   t.PrintCsv(os);
   EXPECT_EQ(os.str(), "row,x,y,z\nshort,1,0,0\n");
+}
+
+TEST(ReportTableTest, JsonOutputMirrorsRowColumnModel) {
+  ReportTable t = SampleTable();
+  std::ostringstream os;
+  t.PrintJson(os);
+  EXPECT_EQ(os.str(),
+            "{\"title\":\"sample\",\"row_header\":\"config\",\"columns\":[\"a\",\"b\"],"
+            "\"rows\":[{\"label\":\"base\",\"values\":[10,40]},"
+            "{\"label\":\"fast\",\"values\":[5,20]},"
+            "{\"label\":\"slow\",\"values\":[20,80]}]}");
+
+  // The emitted text is real JSON: parse it back and check the model.
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->kind, JsonValue::Kind::kObject);
+  const JsonValue* rows = parsed->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items.size(), 3u);
+  const JsonValue* label = rows->items[2].Find("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->string_value, "slow");
+}
+
+TEST(ReportTableTest, JsonEscapesSpecialCharacters) {
+  ReportTable t("ti\"tle\\", "row", {"c1"});
+  t.AddRow("a\nb", {1.5});
+  std::ostringstream os;
+  t.PrintJson(os);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* title = parsed->Find("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->string_value, "ti\"tle\\");
 }
 
 }  // namespace

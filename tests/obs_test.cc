@@ -1,0 +1,373 @@
+// Tests for the observability subsystem: histogram bucketing and
+// percentiles, flight-recorder overflow accounting, span nesting over a
+// real engine, PathEvent name round-trips, and the JSON/Chrome-trace
+// exporters (golden output + parse-back).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/histogram.h"
+#include "src/obs/json_util.h"
+#include "src/obs/trace_export.h"
+#include "src/obs/trace_scope.h"
+#include "src/runtime/runtime.h"
+#include "src/sim/stats.h"
+
+namespace cki {
+namespace {
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, SmallValuesAreExactBuckets) {
+  // Values below kSubCount each get their own unit-width bucket.
+  for (uint64_t v = 0; v < Histogram::kSubCount; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(v), v);
+    EXPECT_EQ(Histogram::BucketWidth(v), 1u);
+  }
+}
+
+TEST(HistogramTest, BucketBoundariesAreMonotoneAndCovering) {
+  // Every bucket's lower bound must map back to that bucket, and the
+  // value one below it to the previous bucket.
+  for (size_t idx = 1; idx < Histogram::kOverflowBucket; ++idx) {
+    uint64_t lo = Histogram::BucketLowerBound(idx);
+    EXPECT_EQ(Histogram::BucketIndex(lo), idx) << "lo=" << lo;
+    EXPECT_EQ(Histogram::BucketIndex(lo - 1), idx - 1) << "lo=" << lo;
+  }
+}
+
+TEST(HistogramTest, PowerOfTwoBoundaries) {
+  // 2^h starts a fresh octave: sub-bucket 0 of block h-kSubBits+1.
+  for (int h = Histogram::kSubBits; h <= Histogram::kMaxExp; ++h) {
+    uint64_t v = 1ULL << h;
+    size_t idx = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(idx), v);
+  }
+}
+
+TEST(HistogramTest, OverflowBucketCatchesHugeValues) {
+  Histogram h;
+  uint64_t huge = 1ULL << 45;  // beyond kMaxExp = 39
+  h.Add(huge);
+  h.Add(huge + 12345);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), huge + 12345);
+  // Percentiles of overflow-only data report the true max, not a bucket
+  // midpoint.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), static_cast<double>(huge + 12345));
+}
+
+TEST(HistogramTest, PercentilesOnKnownDistribution) {
+  // 1..1000: p50 ~ 500, p99 ~ 990, within the ~6% relative bucket error.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Percentile(50), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(h.Percentile(95), 950.0, 950.0 * 0.07);
+  EXPECT_NEAR(h.Percentile(99), 990.0, 990.0 * 0.07);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+}
+
+TEST(HistogramTest, ConstantDistributionIsExact) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(777);
+  }
+  // min == max == 777 clamps every percentile to the exact value.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 777.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 777.0);
+}
+
+TEST(HistogramTest, MergeAddsCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(5);
+  b.Add(40);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 40u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 75.0);
+}
+
+TEST(HistogramTest, JsonSummaryParses) {
+  Histogram h;
+  h.Add(100);
+  h.Add(200);
+  std::ostringstream os;
+  h.WriteJson(os);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* count = parsed->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number, 2.0);
+}
+
+// ---------------------------------------------------------- FlightRecorder
+
+TEST(FlightRecorderTest, OverflowKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    rec.Record(TraceRecord{.ts = i * 100, .arg = i});
+  }
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);  // never silent
+  std::vector<TraceRecord> chron = rec.Chronological();
+  ASSERT_EQ(chron.size(), 4u);
+  // The four newest records, oldest first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chron[i].arg, 6 + i);
+    EXPECT_EQ(chron[i].ts, (6 + i) * 100);
+  }
+}
+
+TEST(FlightRecorderTest, NoOverflowBeforeCapacity) {
+  FlightRecorder rec(8);
+  rec.Record(TraceRecord{.ts = 1});
+  rec.Record(TraceRecord{.ts = 2});
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  std::vector<TraceRecord> chron = rec.Chronological();
+  ASSERT_EQ(chron.size(), 2u);
+  EXPECT_EQ(chron[0].ts, 1u);
+  EXPECT_EQ(chron[1].ts, 2u);
+}
+
+// ------------------------------------------------------- PathEvent naming
+
+TEST(PathEventTest, EveryEventNameRoundTrips) {
+  for (size_t i = 0; i < static_cast<size_t>(PathEvent::kCount); ++i) {
+    PathEvent e = static_cast<PathEvent>(i);
+    std::string_view name = PathEventName(e);
+    EXPECT_NE(name, "unknown");
+    std::optional<PathEvent> back = PathEventFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, e) << name;
+  }
+  EXPECT_FALSE(PathEventFromName("not_an_event").has_value());
+  EXPECT_EQ(PathEventName(PathEvent::kCount), "unknown");
+}
+
+// ------------------------------------------------------------- Disabled path
+
+TEST(ObservabilityTest, DisabledContextRecordsNothing) {
+  SimContext ctx;
+  EXPECT_FALSE(ctx.obs().enabled());
+  ctx.Charge(100, PathEvent::kSyscallEntry);
+  ctx.RecordEvent(PathEvent::kTlbHit);
+  {
+    TraceScope scope(ctx, "never");
+    ctx.ChargeWork(50);
+  }
+  // The TraceLog still counts (it is always on); obs stores stay
+  // unallocated.
+  EXPECT_EQ(ctx.trace().Count(PathEvent::kSyscallEntry), 1u);
+  EXPECT_FALSE(ctx.obs().has_data());
+  std::ostringstream os;
+  ctx.obs().WriteJson(os);
+  EXPECT_EQ(os.str(), "{\"enabled\":false}");
+}
+
+// -------------------------------------------------- Span nesting on engines
+
+TEST(ObservabilityTest, SpanTreeCoversMeasuredTimeOnCki) {
+  Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  uint64_t base = bed.engine().MmapAnon(4 * kPageSize, false);
+  bed.engine().UserTouch(base, true);  // warm intermediate tables
+
+  bed.ctx().obs().Enable();
+  bed.ctx().obs().set_owner(bed.engine().id());
+  SimNanos total = bed.Measure([&] {
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+    bed.engine().UserTouch(base + kPageSize, true);
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+  });
+  bed.ctx().obs().Disable();
+
+  const SpanProfiler& prof = bed.ctx().obs().profiler();
+  // All spans closed, and the root spans account for exactly the measured
+  // simulated time: the breakdown sums to the end-to-end latency.
+  EXPECT_EQ(prof.depth(), 0u);
+  EXPECT_EQ(prof.RootTotal(), total);
+
+  int syscall_node = prof.FindChild(-1, "syscall");
+  int touch_node = prof.FindChild(-1, "touch");
+  ASSERT_NE(syscall_node, -1);
+  ASSERT_NE(touch_node, -1);
+  EXPECT_EQ(prof.nodes()[static_cast<size_t>(syscall_node)].count, 2u);
+  EXPECT_EQ(prof.nodes()[static_cast<size_t>(touch_node)].count, 1u);
+
+  // The guest kernel's handler span nests under the engine's root span.
+  int getpid_node = prof.FindChild(syscall_node, "getpid");
+  ASSERT_NE(getpid_node, -1);
+  EXPECT_EQ(prof.nodes()[static_cast<size_t>(getpid_node)].count, 2u);
+
+  // The touch path shows the CKI mechanism: fault -> mm/fault_in -> KSM
+  // PTE store, each nested inside its parent.
+  int fault_node = prof.FindChild(touch_node, "fault");
+  ASSERT_NE(fault_node, -1);
+  int fault_in_node = prof.FindChild(fault_node, "mm/fault_in");
+  ASSERT_NE(fault_in_node, -1);
+  EXPECT_NE(prof.FindChild(fault_in_node, "ksm/store_pte"), -1);
+
+  // total >= self everywhere; parent total covers child total.
+  const SpanProfiler::Node& touch = prof.nodes()[static_cast<size_t>(touch_node)];
+  const SpanProfiler::Node& fault = prof.nodes()[static_cast<size_t>(fault_node)];
+  EXPECT_GE(touch.total, touch.self);
+  EXPECT_GE(touch.total, fault.total);
+
+  // The per-syscall latency histogram recorded both getpid calls.
+  const Histogram* hist = bed.ctx().obs().metrics().FindHist("syscall/getpid");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 2u);
+}
+
+TEST(ObservabilityTest, RootTotalMatchesMeasureAcrossEngines) {
+  for (RuntimeKind kind :
+       {RuntimeKind::kRunc, RuntimeKind::kHvm, RuntimeKind::kPvm, RuntimeKind::kCki}) {
+    Testbed bed(kind, Deployment::kBareMetal);
+    uint64_t base = bed.engine().MmapAnon(8 * kPageSize, false);
+    bed.engine().UserTouch(base, true);
+    bed.ctx().obs().Enable();
+    SimNanos total = bed.Measure([&] {
+      for (int i = 1; i < 8; ++i) {
+        bed.engine().UserTouch(base + static_cast<uint64_t>(i) * kPageSize, true);
+      }
+      bed.engine().UserSyscall(SyscallRequest{.no = Sys::kWrite});
+    });
+    EXPECT_EQ(bed.ctx().obs().profiler().depth(), 0u);
+    EXPECT_EQ(bed.ctx().obs().profiler().RootTotal(), total)
+        << "engine " << static_cast<int>(kind);
+    EXPECT_GT(bed.ctx().obs().recorder().total_recorded(), 0u);
+  }
+}
+
+// ------------------------------------------------------------ JSON exports
+
+TEST(ObservabilityTest, WriteJsonParsesAndReportsRecorder) {
+  SimContext ctx;
+  ctx.obs().Enable(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    ctx.Charge(10, PathEvent::kTlbMiss);
+  }
+  {
+    TraceScope scope(ctx, "phase_a");
+    ctx.ChargeWork(100);
+  }
+  ctx.obs().metrics().Inc("boots");
+  std::ostringstream os;
+  ctx.obs().WriteJson(os);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* recorder = parsed->Find("recorder");
+  ASSERT_NE(recorder, nullptr);
+  const JsonValue* dropped = recorder->Find("dropped");
+  ASSERT_NE(dropped, nullptr);
+  // 10 instants + span begin/end = 12 records into a 4-slot ring.
+  EXPECT_DOUBLE_EQ(dropped->number, 8.0);
+  const JsonValue* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items.size(), 1u);
+  const JsonValue* name = spans->items[0].Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value, "phase_a");
+  const JsonValue* total_ns = spans->items[0].Find("total_ns");
+  ASSERT_NE(total_ns, nullptr);
+  EXPECT_DOUBLE_EQ(total_ns->number, 100.0);
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* boots = counters->Find("boots");
+  ASSERT_NE(boots, nullptr);
+  EXPECT_DOUBLE_EQ(boots->number, 1.0);
+}
+
+TEST(TraceExportTest, GoldenChromeTrace) {
+  SimContext ctx;
+  ctx.obs().Enable(/*ring_capacity=*/8);
+  ctx.obs().set_owner(3);
+  {
+    TraceScope span(ctx, "phase_a");
+    ctx.ChargeWork(1000);
+    ctx.RecordEvent(PathEvent::kSyscallEntry, 7);
+    ctx.ChargeWork(500);
+  }
+  std::ostringstream os;
+  WriteChromeTrace(ctx.obs(), os);
+  EXPECT_EQ(
+      os.str(),
+      "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"cki-sim\"}},\n"
+      "{\"name\":\"phase_a\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":0.000,\"pid\":1,\"tid\":3},\n"
+      "{\"name\":\"syscall_entry\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":1.000,"
+      "\"pid\":1,\"tid\":3,\"args\":{\"arg\":7}},\n"
+      "{\"name\":\"phase_a\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":1.500,\"pid\":1,\"tid\":3}\n"
+      "]}\n");
+
+  // And it is well-formed JSON with balanced B/E events.
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 4u);
+  int begins = 0;
+  int ends = 0;
+  for (const JsonValue& e : events->items) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    begins += (ph->string_value == "B");
+    ends += (ph->string_value == "E");
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST(TraceExportTest, TraceFromRealEngineParses) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  uint64_t base = bed.engine().MmapAnon(2 * kPageSize, false);
+  bed.ctx().obs().Enable();
+  bed.ctx().obs().set_owner(bed.engine().id());
+  bed.engine().UserTouch(base, true);
+  bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+  std::ostringstream os;
+  WriteChromeTrace(bed.ctx().obs(), os);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->items.size(), 4u);
+}
+
+// --------------------------------------------------------- Stats (const)
+
+TEST(StatsTest, PercentileIsConstCallable) {
+  Stats s;
+  s.Add(3.0);
+  s.Add(1.0);
+  s.Add(2.0);
+  const Stats& cs = s;  // Percentile must work through a const ref
+  EXPECT_DOUBLE_EQ(cs.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(cs.Percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(cs.Percentile(100), 3.0);
+}
+
+}  // namespace
+}  // namespace cki
