@@ -12,7 +12,7 @@
 namespace cki {
 namespace {
 
-void RunKind(KvKind kind, const char* title) {
+void RunKind(KvKind kind, const char* title, const char* tag, BenchObsSink* sink) {
   const int client_counts[] = {1, 2, 4, 8, 16, 32, 64};
   std::vector<std::string> cols;
   for (int c : client_counts) {
@@ -27,8 +27,21 @@ void RunKind(KvKind kind, const char* title) {
     std::vector<double> row;
     for (int clients : client_counts) {
       Testbed bed(config.kind, config.deployment);
+      if (sink != nullptr && sink->active()) {
+        bed.ctx().obs().Enable();
+        bed.ctx().obs().set_owner(bed.engine().id());
+      }
       KvConfig kv{.kind = kind, .clients = clients, .total_requests = 4000};
+      SimNanos t0 = bed.ctx().clock().now();
       row.push_back(RunKvBenchmark(bed.engine(), kv).requests_per_sec * 1e-3);
+      if (sink != nullptr && sink->active()) {
+        bed.ctx().obs().Disable();
+        // The workload exported its NIC/switch counters into the metrics
+        // registry before tearing the network down.
+        sink->AddConfig(std::string(tag) + "/" + config.label + "/c" +
+                            std::to_string(clients),
+                        bed.ctx().clock().now() - t0, bed.ctx().obs());
+      }
     }
     tput.AddRow(config.label, row);
   }
@@ -43,9 +56,10 @@ void RunKind(KvKind kind, const char* title) {
             << tput.ValueAt("CKI-NST", last) / tput.ValueAt("PVM-NST", last) << "x\n\n";
 }
 
-void Run() {
-  RunKind(KvKind::kMemcached, "Figure 16a: memcached throughput (kreq/s)");
-  RunKind(KvKind::kRedis, "Figure 16b: Redis throughput (kreq/s)");
+void Run(BenchObsSink* sink) {
+  RunKind(KvKind::kMemcached, "Figure 16a: memcached throughput (kreq/s)", "memcached",
+          sink);
+  RunKind(KvKind::kRedis, "Figure 16b: Redis throughput (kreq/s)", "redis", sink);
   std::cout << "Paper: memcached CKI-NST/HVM-NST 6.8x, CKI/PVM 1.8x (BM) 1.5x (NST);\n"
                "Redis CKI-NST/HVM-NST 2.0x, CKI/PVM 1.4x (BM) 1.3x (NST).\n";
 }
@@ -53,7 +67,8 @@ void Run() {
 }  // namespace
 }  // namespace cki
 
-int main() {
-  cki::Run();
-  return 0;
+int main(int argc, char** argv) {
+  cki::BenchObsSink sink(cki::BenchIo::Parse(argc, argv));
+  cki::Run(&sink);
+  return sink.Write("fig16_kv") ? 0 : 1;
 }

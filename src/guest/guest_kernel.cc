@@ -10,64 +10,6 @@
 
 namespace cki {
 
-std::string_view SysName(Sys s) {
-  switch (s) {
-    case Sys::kGetpid:
-      return "getpid";
-    case Sys::kRead:
-      return "read";
-    case Sys::kWrite:
-      return "write";
-    case Sys::kPread:
-      return "pread";
-    case Sys::kPwrite:
-      return "pwrite";
-    case Sys::kOpen:
-      return "open";
-    case Sys::kClose:
-      return "close";
-    case Sys::kStat:
-      return "stat";
-    case Sys::kFstat:
-      return "fstat";
-    case Sys::kFsync:
-      return "fsync";
-    case Sys::kMmap:
-      return "mmap";
-    case Sys::kMunmap:
-      return "munmap";
-    case Sys::kMprotect:
-      return "mprotect";
-    case Sys::kBrk:
-      return "brk";
-    case Sys::kFork:
-      return "fork";
-    case Sys::kExecve:
-      return "execve";
-    case Sys::kExit:
-      return "exit";
-    case Sys::kWaitpid:
-      return "waitpid";
-    case Sys::kPipe:
-      return "pipe";
-    case Sys::kSocketpair:
-      return "socketpair";
-    case Sys::kSchedYield:
-      return "sched_yield";
-    case Sys::kEpollWait:
-      return "epoll_wait";
-    case Sys::kSendto:
-      return "sendto";
-    case Sys::kRecvfrom:
-      return "recvfrom";
-    case Sys::kGettimeofday:
-      return "gettimeofday";
-    case Sys::kCount:
-      break;
-  }
-  return "unknown";
-}
-
 std::string_view HypercallOpName(HypercallOp op) {
   switch (op) {
     case HypercallOp::kNop:
@@ -151,6 +93,12 @@ SimNanos GuestKernel::HandlerCost(Sys s) const {
     case Sys::kSendto:
     case Sys::kRecvfrom:
       return c.net_stack_per_packet;
+    case Sys::kListen:
+      return 310;
+    case Sys::kAccept:
+      return 460;
+    case Sys::kConnect:
+      return c.net_stack_per_packet;  // handshake traverses the stack
     case Sys::kCount:
       break;
   }
@@ -318,6 +266,12 @@ SyscallResult GuestKernel::HandleSyscall(const SyscallRequest& req) {
       return SysSendRecv(proc, req, /*send=*/true);
     case Sys::kRecvfrom:
       return SysSendRecv(proc, req, /*send=*/false);
+    case Sys::kListen:
+      return SysListen(proc, req);
+    case Sys::kAccept:
+      return SysAccept(proc, req);
+    case Sys::kConnect:
+      return SysConnect(proc, req);
     case Sys::kCount:
       break;
   }
@@ -431,6 +385,8 @@ void GuestKernel::CloseFd(Process& proc, FileDesc& fd) {
     if (it != channels_.end() && it->second.Release()) {
       channels_.erase(it);
     }
+  } else if (fd.kind == FdKind::kNetSocket && net_ != nullptr) {
+    net_->CloseConn(fd.net_conn);
   }
   fd = FileDesc{};
 }
@@ -534,6 +490,49 @@ SyscallResult GuestKernel::SysSendRecv(Process& proc, const SyscallRequest& req,
     return {kEAGAIN};
   }
   return {static_cast<int64_t>(moved)};
+}
+
+// --- network connection syscalls ----------------------------------------
+
+SyscallResult GuestKernel::SysListen(Process& proc, const SyscallRequest& req) {
+  if (net_ == nullptr) {
+    return {kEINVAL};
+  }
+  int64_t handle = net_->Listen(static_cast<uint16_t>(req.arg0), static_cast<int>(req.arg1));
+  if (handle < 0) {
+    return {handle};
+  }
+  int fdn = proc.AllocFd();
+  proc.fds[static_cast<size_t>(fdn)] =
+      FileDesc{.kind = FdKind::kNetListen, .net_conn = static_cast<int>(handle)};
+  return {fdn};
+}
+
+SyscallResult GuestKernel::SysAccept(Process& proc, const SyscallRequest& req) {
+  FileDesc* fd = proc.fd(static_cast<int>(req.arg0));
+  if (fd == nullptr || fd->kind != FdKind::kNetListen) {
+    return {kEBADF};
+  }
+  if (net_ == nullptr) {
+    return {kEINVAL};
+  }
+  int64_t conn = net_->Accept(fd->net_conn);
+  if (conn < 0) {
+    return {conn};  // kEAGAIN when the backlog is empty
+  }
+  return {InstallNetSocket(static_cast<int>(conn))};
+}
+
+SyscallResult GuestKernel::SysConnect(Process& proc, const SyscallRequest& req) {
+  (void)proc;
+  if (net_ == nullptr) {
+    return {kEINVAL};
+  }
+  int64_t conn = net_->Connect(static_cast<int>(req.arg0), static_cast<uint16_t>(req.arg1));
+  if (conn < 0) {
+    return {conn};  // kECONNREFUSED on RST or dead port
+  }
+  return {InstallNetSocket(static_cast<int>(conn))};
 }
 
 // --- memory syscalls -----------------------------------------------------

@@ -39,6 +39,28 @@ class NetPort {
   virtual uint64_t Receive(int conn, uint64_t max_bytes) = 0;
   // True if any connection has pending data (epoll readiness).
   virtual bool HasPending() const = 0;
+
+  // --- connection layer (optional; defaults for ports without one) --------
+  // Binds `service`; returns a listener handle or negative errno.
+  virtual int64_t Listen(uint16_t service, int backlog) {
+    (void)service;
+    (void)backlog;
+    return kEINVAL;
+  }
+  // Pops one established connection off the listener's backlog; returns the
+  // connection id, kEAGAIN if none pending, or another negative errno.
+  virtual int64_t Accept(int64_t handle) {
+    (void)handle;
+    return kEINVAL;
+  }
+  // Connects to `service` on `dst_port`; returns the connection id or a
+  // negative errno (kECONNREFUSED if nothing accepts).
+  virtual int64_t Connect(int dst_port, uint16_t service) {
+    (void)dst_port;
+    (void)service;
+    return kEINVAL;
+  }
+  virtual void CloseConn(int conn) { (void)conn; }
 };
 
 class GuestKernel {
@@ -125,6 +147,9 @@ class GuestKernel {
   SyscallResult SysSocketpair(Process& proc);
   SyscallResult SysEpollWait(Process& proc, const SyscallRequest& req);
   SyscallResult SysSendRecv(Process& proc, const SyscallRequest& req, bool send);
+  SyscallResult SysListen(Process& proc, const SyscallRequest& req);
+  SyscallResult SysAccept(Process& proc, const SyscallRequest& req);
+  SyscallResult SysConnect(Process& proc, const SyscallRequest& req);
 
   void CloseFd(Process& proc, FileDesc& fd);
   int NewProcessSlot();

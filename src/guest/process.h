@@ -16,6 +16,7 @@ enum class FdKind : uint8_t {
   kChannelWrite,  // pipe write end
   kChannelBoth,   // socketpair end
   kNetSocket,     // virtio-net backed socket
+  kNetListen,     // listening socket (accept pops connections)
 };
 
 struct FileDesc {

@@ -8,6 +8,7 @@
 #ifndef SRC_GUEST_SYSCALL_H_
 #define SRC_GUEST_SYSCALL_H_
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -39,10 +40,52 @@ enum class Sys : uint8_t {
   kSendto,
   kRecvfrom,
   kGettimeofday,
+  kListen,
+  kAccept,
+  kConnect,
   kCount,
 };
 
-std::string_view SysName(Sys s);
+// Canonical syscall names, indexed by Sys value; the static_assert makes
+// adding a Sys entry without naming it a compile error (same pattern as
+// kPathEventNames).
+inline constexpr auto kSysNames = std::to_array<std::string_view>({
+    "getpid",
+    "read",
+    "write",
+    "pread",
+    "pwrite",
+    "open",
+    "close",
+    "stat",
+    "fstat",
+    "fsync",
+    "mmap",
+    "munmap",
+    "mprotect",
+    "brk",
+    "fork",
+    "execve",
+    "exit",
+    "waitpid",
+    "pipe",
+    "socketpair",
+    "sched_yield",
+    "epoll_wait",
+    "sendto",
+    "recvfrom",
+    "gettimeofday",
+    "listen",
+    "accept",
+    "connect",
+});
+static_assert(kSysNames.size() == static_cast<size_t>(Sys::kCount),
+              "every Sys up to kCount must have a name in kSysNames");
+
+inline std::string_view SysName(Sys s) {
+  size_t i = static_cast<size_t>(s);
+  return i < kSysNames.size() ? kSysNames[i] : std::string_view("unknown");
+}
 
 struct SyscallRequest {
   Sys no = Sys::kGetpid;
@@ -68,6 +111,8 @@ inline constexpr int64_t kENOENT = -2;
 inline constexpr int64_t kEAGAIN = -11;
 inline constexpr int64_t kECHILD = -10;
 inline constexpr int64_t kESRCH = -3;
+inline constexpr int64_t kEADDRINUSE = -98;
+inline constexpr int64_t kECONNREFUSED = -111;
 
 // mmap/mprotect protection bits.
 inline constexpr uint64_t kProtRead = 1;

@@ -2,8 +2,10 @@
 // "memtier" side, running outside the container) to the guest kernel's
 // network syscalls.
 //
-// The device charges the architectural costs where they occur in each
-// container design:
+// Since the src/net subsystem landed, this adapter is a thin point-to-point
+// facade over the real packet path: a private two-port VSwitch connects a
+// client port (the load generator side) to one VirtNic. The device charges
+// the architectural costs where they occur in each container design:
 //   * one device interrupt per delivered batch  (engine.DeviceInterruptCost)
 //   * one doorbell kick per transmitted batch   (engine.KickCost)
 //   * per-request frontend/backend service work and, for designs that kept
@@ -15,6 +17,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "src/net/load_gen.h"
+#include "src/net/virt_nic.h"
 #include "src/runtime/engine.h"
 
 namespace cki {
@@ -30,15 +34,16 @@ class VirtioNetAdapter : public NetPort {
  public:
   // `tx_batch` models interrupt coalescing / NAPI-style batching: with more
   // concurrent clients, more responses share one kick.
-  VirtioNetAdapter(ContainerEngine& engine, int tx_batch = 1)
-      : engine_(engine), ctx_(engine.machine().ctx()), tx_batch_(tx_batch < 1 ? 1 : tx_batch) {}
+  explicit VirtioNetAdapter(ContainerEngine& engine, int tx_batch = 1);
 
   // --- load-generator (host) side -----------------------------------------
   // Delivers `count` requests of `bytes` each into connection `conn` as one
   // batch: one backend service + one guest interrupt.
   void ClientSubmitBatch(int conn, int count, uint64_t bytes);
 
-  // Collects and discards buffered responses; returns how many.
+  // Collects and discards buffered responses; returns how many. Responses
+  // reach the client only after a kick — use Flush() for tails below the
+  // batch threshold.
   uint64_t ClientCollect(int conn);
 
   // --- guest (NetPort) side --------------------------------------------------
@@ -46,23 +51,42 @@ class VirtioNetAdapter : public NetPort {
   uint64_t Receive(int conn, uint64_t max_bytes) override;
   bool HasPending() const override;
 
-  const VirtioStats& stats() const { return stats_; }
-  void set_tx_batch(int tx_batch) { tx_batch_ = tx_batch < 1 ? 1 : tx_batch; }
+  // Kicks out any responses still buffered below the batch threshold.
+  void Flush() { nic_.Flush(); }
+
+  VirtioStats stats() const;
+  // Applies immediately: buffered responses already at or above the new
+  // threshold are kicked out, not stranded.
+  void set_tx_batch(int tx_batch) { nic_.set_tx_batch(tx_batch); }
+
+  VSwitch& vswitch() { return sw_; }
+  VirtNic& nic() { return nic_; }
+
+  // Dumps kick/interrupt/packet counters (NIC + switch ports).
+  void ExportMetrics(MetricsRegistry& metrics) const {
+    nic_.ExportMetrics(metrics);
+    sw_.ExportMetrics(metrics);
+  }
 
  private:
-  struct Conn {
-    std::deque<uint64_t> rx;     // pending request sizes (guest-bound)
-    std::deque<uint64_t> tx;     // buffered response sizes (client-bound)
+  // Collects client-bound frames per connection (the memtier process).
+  class ClientPort : public NetDevice {
+   public:
+    bool DeliverFrame(const Packet& p) override;
+    uint64_t Collect(int conn);
+
+   private:
+    std::unordered_map<int, uint64_t> responses_;
   };
 
-  void Kick();
+  void EnsureConn(int conn);
 
   ContainerEngine& engine_;
   SimContext& ctx_;
-  int tx_batch_;
-  int tx_pending_ = 0;  // responses since last kick
-  std::unordered_map<int, Conn> conns_;
-  VirtioStats stats_;
+  VSwitch sw_;
+  ClientPort client_;
+  int client_port_;
+  VirtNic nic_;
 };
 
 }  // namespace cki

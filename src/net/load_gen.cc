@@ -1,0 +1,92 @@
+#include "src/net/load_gen.h"
+
+#include "src/guest/syscall.h"
+#include "src/obs/trace_scope.h"
+
+namespace cki {
+
+LoadGenerator::LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name)
+    : ctx_(ctx), sw_(sw), name_(std::move(name)), port_(sw_.AttachPort(*this, name_)) {}
+
+int64_t LoadGenerator::Connect(int dst_port, uint16_t service) {
+  int flow = sw_.AllocFlow();
+  connect_results_[flow] = kEAGAIN;
+  sw_.Send(Packet{.src = port_, .dst = dst_port, .flow = flow, .service = service,
+                  .kind = PacketKind::kSyn});
+  int64_t result = connect_results_[flow];
+  connect_results_.erase(flow);
+  if (result == kEAGAIN) {
+    result = kECONNREFUSED;
+  }
+  if (result < 0) {
+    return result;
+  }
+  flows_[flow] = FlowState{.peer = dst_port};
+  return flow;
+}
+
+void LoadGenerator::SendRequests(int flow, int count, uint64_t bytes) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end() || count <= 0) {
+    return;
+  }
+  TraceScope obs_scope(ctx_, "loadgen/submit");
+  // Client-side batch assembly (request formatting, socket writes).
+  ctx_.ChargeWork(ctx_.cost().virtio_host_service);
+  for (int i = 0; i < count; ++i) {
+    sw_.Send(Packet{.src = port_, .dst = it->second.peer, .flow = flow,
+                    .kind = PacketKind::kData, .bytes = bytes});
+    requests_sent_++;
+  }
+}
+
+uint64_t LoadGenerator::TakeResponses(int flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return 0;
+  }
+  uint64_t n = it->second.responses;
+  it->second.responses = 0;
+  return n;
+}
+
+uint64_t LoadGenerator::response_bytes(int flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.response_bytes;
+}
+
+bool LoadGenerator::DeliverFrame(const Packet& p) {
+  switch (p.kind) {
+    case PacketKind::kSynAck: {
+      auto it = connect_results_.find(p.flow);
+      if (it != connect_results_.end()) {
+        it->second = 0;
+      }
+      return true;
+    }
+    case PacketKind::kRst: {
+      auto it = connect_results_.find(p.flow);
+      if (it != connect_results_.end()) {
+        it->second = kECONNREFUSED;
+      }
+      return true;
+    }
+    case PacketKind::kData: {
+      auto it = flows_.find(p.flow);
+      if (it == flows_.end()) {
+        return true;
+      }
+      it->second.responses++;
+      it->second.response_bytes += p.bytes;
+      total_responses_++;
+      return true;
+    }
+    case PacketKind::kSyn:
+    case PacketKind::kFin:
+    case PacketKind::kCount:
+      break;
+  }
+  return true;  // the client's user-space buffers never push back
+}
+
+}  // namespace cki

@@ -1,0 +1,61 @@
+// Closed-loop load generator (the memtier/wrk side) attached to the vswitch
+// as just another port. It speaks the same connection protocol as the NICs
+// but runs outside any container: it pays host-side client work only, never
+// an engine's kick/interrupt costs — so differences measured at the served
+// containers are attributable to the container designs.
+#ifndef SRC_NET_LOAD_GEN_H_
+#define SRC_NET_LOAD_GEN_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/net/vswitch.h"
+
+namespace cki {
+
+class LoadGenerator : public NetDevice {
+ public:
+  LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name);
+
+  int port() const { return port_; }
+
+  // Opens a connection to `service` on switch port `dst_port`. Returns the
+  // flow id, or a negative errno (kECONNREFUSED) if refused.
+  int64_t Connect(int dst_port, uint16_t service);
+
+  // Injects `count` request frames of `bytes` each into `flow` as one
+  // submission batch (one client-side service charge).
+  void SendRequests(int flow, int count, uint64_t bytes);
+
+  // Returns and resets the number of responses received on `flow` since the
+  // last call.
+  uint64_t TakeResponses(int flow);
+
+  uint64_t total_responses() const { return total_responses_; }
+  uint64_t response_bytes(int flow) const;
+  uint64_t requests_sent() const { return requests_sent_; }
+
+  // --- switch side (NetDevice) ---------------------------------------------
+  bool DeliverFrame(const Packet& p) override;
+
+ private:
+  struct FlowState {
+    int peer = -1;
+    uint64_t responses = 0;       // since last TakeResponses
+    uint64_t response_bytes = 0;  // lifetime byte accounting
+  };
+
+  SimContext& ctx_;
+  VSwitch& sw_;
+  std::string name_;
+  int port_;
+
+  std::unordered_map<int, FlowState> flows_;
+  std::unordered_map<int, int64_t> connect_results_;
+  uint64_t total_responses_ = 0;
+  uint64_t requests_sent_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_NET_LOAD_GEN_H_

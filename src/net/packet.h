@@ -1,0 +1,56 @@
+// Packet-level model of the cluster network.
+//
+// Frames carry no payload bytes, only lengths (like every other data path in
+// the simulator), but connection setup/teardown and flow identification are
+// real: a SYN names the destination service, the listener answers SYN-ACK or
+// RST, and data frames are routed by a switch-global flow id. This is enough
+// structure for backlog overflow, refused connections, per-flow byte
+// accounting, and deterministic packet traces.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cki {
+
+enum class PacketKind : uint8_t {
+  kSyn = 0,  // connection request (carries the destination service)
+  kSynAck,   // connection accepted by the listener
+  kRst,      // connection refused (no listener / backlog overflow)
+  kData,     // payload frame, length modeled by `bytes`
+  kFin,      // connection teardown
+  kCount,    // sentinel
+};
+
+// Canonical kind names, indexed by value; the static_assert makes adding a
+// PacketKind without naming it a compile error (PathEvent name-table
+// pattern).
+inline constexpr auto kPacketKindNames = std::to_array<std::string_view>({
+    "syn",
+    "syn_ack",
+    "rst",
+    "data",
+    "fin",
+});
+static_assert(kPacketKindNames.size() == static_cast<size_t>(PacketKind::kCount),
+              "every PacketKind up to kCount must have a name in kPacketKindNames");
+
+inline std::string_view PacketKindName(PacketKind k) {
+  size_t i = static_cast<size_t>(k);
+  return i < kPacketKindNames.size() ? kPacketKindNames[i] : std::string_view("unknown");
+}
+
+struct Packet {
+  int src = -1;          // source switch port
+  int dst = -1;          // destination switch port
+  int flow = 0;          // connection id, unique per switch
+  uint16_t service = 0;  // destination service (SYN only)
+  PacketKind kind = PacketKind::kData;
+  uint64_t bytes = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,286 @@
+#include "src/net/virt_nic.h"
+
+#include <algorithm>
+
+#include "src/obs/trace_scope.h"
+
+namespace cki {
+
+VirtNic::VirtNic(ContainerEngine& engine, VSwitch& sw, std::string name, NicConfig config)
+    : engine_(engine),
+      sw_(sw),
+      ctx_(engine.machine().ctx()),
+      name_(std::move(name)),
+      config_(config),
+      port_(sw_.AttachPort(*this, name_)) {
+  if (config_.tx_batch < 1) {
+    config_.tx_batch = 1;
+  }
+}
+
+// --- TX path ---------------------------------------------------------------
+
+uint64_t VirtNic::Transmit(int conn, uint64_t bytes) {
+  auto it = flows_.find(conn);
+  if (it == flows_.end()) {
+    return 0;
+  }
+  // Frontend: fill the descriptor, plus the MMIO-register extra of designs
+  // that kept an emulated virtio frontend.
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  ctx_.ChargeWork(engine_.VirtioEmulationExtra());
+  it->second.tx_flow_bytes += bytes;
+  stats_.tx_packets++;
+  stats_.tx_bytes += bytes;
+  tx_ring_.push_back(Packet{.src = port_,
+                            .dst = it->second.peer,
+                            .flow = conn,
+                            .kind = PacketKind::kData,
+                            .bytes = bytes});
+  if (static_cast<int>(tx_ring_.size()) >= config_.tx_batch) {
+    Kick();
+  }
+  return bytes;
+}
+
+void VirtNic::Kick() {
+  TraceScope obs_scope(ctx_, "nic/kick");
+  ctx_.Charge(engine_.KickCost(), PathEvent::kVirtioKick);
+  // Backend processes the whole available queue per notification.
+  ctx_.ChargeWork(ctx_.cost().virtio_host_service);
+  stats_.kicks++;
+  std::deque<Packet> out;
+  out.swap(tx_ring_);  // delivery can re-enter this NIC (e.g. SYN-ACK back)
+  for (const Packet& p : out) {
+    sw_.Send(p);
+  }
+}
+
+void VirtNic::Flush() {
+  if (tx_ring_.empty()) {
+    return;
+  }
+  TraceScope obs_scope(ctx_, "nic/flush");
+  Kick();
+}
+
+void VirtNic::set_tx_batch(int tx_batch) {
+  config_.tx_batch = tx_batch < 1 ? 1 : tx_batch;
+  if (static_cast<int>(tx_ring_.size()) >= config_.tx_batch) {
+    Kick();
+  }
+}
+
+// --- RX path ---------------------------------------------------------------
+
+uint64_t VirtNic::Receive(int conn, uint64_t max_bytes) {
+  auto it = flows_.find(conn);
+  if (it == flows_.end() || it->second.rx.empty()) {
+    return 0;
+  }
+  uint64_t bytes = it->second.rx.front();
+  it->second.rx.pop_front();
+  rx_buffered_--;
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  // The freed descriptor may let switch-queued frames in.
+  sw_.DrainPort(port_);
+  AckIrqIfDrained();
+  return std::min(bytes, max_bytes);
+}
+
+bool VirtNic::HasPending() const {
+  for (const auto& [flow, state] : flows_) {
+    (void)flow;
+    if (!state.rx.empty()) {
+      return true;
+    }
+  }
+  for (const auto& [service, listener] : listeners_) {
+    (void)service;
+    if (!listener.pending.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VirtNic::RaiseIrq() {
+  if (irq_pending_) {
+    stats_.coalesced_frames++;
+    return;
+  }
+  irq_pending_ = true;
+  stats_.interrupts++;
+  TraceScope obs_scope(ctx_, "nic/irq");
+  ctx_.Charge(engine_.DeviceInterruptCost(), PathEvent::kVirqInject);
+}
+
+void VirtNic::AckIrqIfDrained() {
+  if (config_.irq_per_batch || !irq_pending_ || rx_buffered_ > 0) {
+    return;
+  }
+  for (const auto& [service, listener] : listeners_) {
+    (void)service;
+    if (!listener.pending.empty()) {
+      return;  // accept readiness keeps the IRQ asserted
+    }
+  }
+  irq_pending_ = false;
+  stats_.irq_acks++;
+  // EOI / queue-unmask write re-arming the device.
+  ctx_.ChargeWork(engine_.InterruptAckCost());
+}
+
+void VirtNic::CompleteBatch() {
+  stats_.interrupts++;
+  TraceScope obs_scope(ctx_, "nic/irq");
+  ctx_.Charge(engine_.DeviceInterruptCost(), PathEvent::kVirqInject);
+}
+
+// --- connection layer ------------------------------------------------------
+
+int64_t VirtNic::Listen(uint16_t service, int backlog) {
+  if (listeners_.count(service) != 0) {
+    return kEADDRINUSE;
+  }
+  listeners_[service] = Listener{.backlog = backlog < 1 ? 1 : backlog};
+  return service;
+}
+
+int64_t VirtNic::Accept(int64_t handle) {
+  auto it = listeners_.find(static_cast<uint16_t>(handle));
+  if (it == listeners_.end()) {
+    return kEBADF;
+  }
+  if (it->second.pending.empty()) {
+    return kEAGAIN;
+  }
+  int flow = it->second.pending.front();
+  it->second.pending.pop_front();
+  stats_.accepted_conns++;
+  AckIrqIfDrained();
+  return flow;
+}
+
+int64_t VirtNic::Connect(int dst_port, uint16_t service) {
+  int flow = sw_.AllocFlow();
+  connect_results_[flow] = kEAGAIN;  // in progress
+  flows_[flow] = FlowState{.peer = dst_port};
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  tx_ring_.push_back(
+      Packet{.src = port_, .dst = dst_port, .flow = flow, .service = service,
+             .kind = PacketKind::kSyn});
+  // The SYN rides its own kick; the answer is back (frame delivery is
+  // synchronous on the shared clock) by the time Flush returns.
+  Flush();
+  int64_t result = connect_results_[flow];
+  connect_results_.erase(flow);
+  if (result == kEAGAIN) {
+    result = kECONNREFUSED;  // nothing answered (dead port)
+  }
+  if (result < 0) {
+    flows_.erase(flow);
+    return result;
+  }
+  return flow;
+}
+
+void VirtNic::CloseConn(int conn) {
+  auto it = flows_.find(conn);
+  if (it == flows_.end()) {
+    return;
+  }
+  ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  sw_.Send(Packet{.src = port_, .dst = it->second.peer, .flow = conn, .kind = PacketKind::kFin});
+  rx_buffered_ -= it->second.rx.size();
+  flows_.erase(it);
+  AckIrqIfDrained();
+}
+
+void VirtNic::OpenRawFlow(int flow, int peer_port) {
+  flows_.emplace(flow, FlowState{.peer = peer_port});
+}
+
+// --- switch side -----------------------------------------------------------
+
+bool VirtNic::DeliverFrame(const Packet& p) {
+  switch (p.kind) {
+    case PacketKind::kSyn: {
+      auto it = listeners_.find(p.service);
+      if (it == listeners_.end() ||
+          static_cast<int>(it->second.pending.size()) >= it->second.backlog) {
+        stats_.refused_conns++;
+        sw_.Send(Packet{.src = port_, .dst = p.src, .flow = p.flow, .kind = PacketKind::kRst});
+        return true;
+      }
+      flows_[p.flow] = FlowState{.peer = p.src};
+      it->second.pending.push_back(p.flow);
+      sw_.Send(Packet{.src = port_, .dst = p.src, .flow = p.flow, .kind = PacketKind::kSynAck});
+      if (!config_.irq_per_batch) {
+        RaiseIrq();  // accept readiness
+      }
+      return true;
+    }
+    case PacketKind::kSynAck: {
+      auto it = connect_results_.find(p.flow);
+      if (it != connect_results_.end()) {
+        it->second = 0;
+      }
+      return true;
+    }
+    case PacketKind::kRst: {
+      auto it = connect_results_.find(p.flow);
+      if (it != connect_results_.end()) {
+        it->second = kECONNREFUSED;
+      }
+      return true;
+    }
+    case PacketKind::kData: {
+      auto it = flows_.find(p.flow);
+      if (it == flows_.end()) {
+        stats_.rx_drops++;
+        return true;  // consumed and dropped, like a closed TCP port
+      }
+      if (rx_buffered_ >= config_.rx_ring) {
+        return false;  // ring full: the switch queues (or drops) the frame
+      }
+      it->second.rx.push_back(p.bytes);
+      it->second.rx_flow_bytes += p.bytes;
+      rx_buffered_++;
+      stats_.rx_packets++;
+      stats_.rx_bytes += p.bytes;
+      if (!config_.irq_per_batch) {
+        RaiseIrq();
+      }
+      return true;
+    }
+    case PacketKind::kFin: {
+      auto it = flows_.find(p.flow);
+      if (it != flows_.end()) {
+        rx_buffered_ -= it->second.rx.size();
+        flows_.erase(it);
+      }
+      return true;
+    }
+    case PacketKind::kCount:
+      break;
+  }
+  return true;
+}
+
+void VirtNic::ExportMetrics(MetricsRegistry& metrics) const {
+  std::string prefix = "net/nic/" + name_ + "/";
+  metrics.Inc(prefix + "kicks", stats_.kicks);
+  metrics.Inc(prefix + "interrupts", stats_.interrupts);
+  metrics.Inc(prefix + "coalesced", stats_.coalesced_frames);
+  metrics.Inc(prefix + "irq_acks", stats_.irq_acks);
+  metrics.Inc(prefix + "tx_pkts", stats_.tx_packets);
+  metrics.Inc(prefix + "rx_pkts", stats_.rx_packets);
+  metrics.Inc(prefix + "tx_bytes", stats_.tx_bytes);
+  metrics.Inc(prefix + "rx_bytes", stats_.rx_bytes);
+  metrics.Inc(prefix + "rx_drops", stats_.rx_drops);
+  metrics.Inc(prefix + "refused", stats_.refused_conns);
+  metrics.Inc(prefix + "accepted", stats_.accepted_conns);
+}
+
+}  // namespace cki

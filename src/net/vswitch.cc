@@ -1,0 +1,105 @@
+#include "src/net/vswitch.h"
+
+#include "src/obs/trace_scope.h"
+
+namespace cki {
+
+namespace {
+
+// Chains one forwarded frame into the running FNV-1a trace digest.
+uint64_t HashFrame(uint64_t h, const Packet& p) {
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(p.src));
+  mix(static_cast<uint64_t>(p.dst));
+  mix(static_cast<uint64_t>(p.flow));
+  mix((static_cast<uint64_t>(p.service) << 8) | static_cast<uint64_t>(p.kind));
+  mix(p.bytes);
+  return h;
+}
+
+}  // namespace
+
+int VSwitch::AttachPort(NetDevice& dev, std::string name) {
+  PortState port;
+  port.dev = &dev;
+  port.name = std::move(name);
+  ports_.push_back(std::move(port));
+  return static_cast<int>(ports_.size() - 1);
+}
+
+void VSwitch::Absorb(const Packet& p) {
+  forwarded_++;
+  trace_hash_ = HashFrame(trace_hash_, p);
+}
+
+bool VSwitch::Send(const Packet& p) {
+  TraceScope obs_scope(ctx_, "net/hop");
+  if (p.src >= 0 && static_cast<size_t>(p.src) < ports_.size()) {
+    PortState& src = ports_[static_cast<size_t>(p.src)];
+    src.stats.tx_packets++;
+    src.stats.tx_bytes += p.bytes;
+  }
+  // Store-and-forward: fixed fabric latency plus serialization time.
+  SimNanos hop = link_.hop_latency;
+  if (link_.bytes_per_ns > 0) {
+    hop += p.bytes / link_.bytes_per_ns;
+  }
+  ctx_.ChargeWork(hop);
+  if (p.dst < 0 || static_cast<size_t>(p.dst) >= ports_.size()) {
+    if (p.src >= 0 && static_cast<size_t>(p.src) < ports_.size()) {
+      ports_[static_cast<size_t>(p.src)].stats.drops++;
+    }
+    return false;
+  }
+  Absorb(p);
+  PortState& dst = ports_[static_cast<size_t>(p.dst)];
+  // Frames already waiting toward this port keep FIFO order.
+  if (dst.queue.empty() && dst.dev->DeliverFrame(p)) {
+    dst.stats.rx_packets++;
+    dst.stats.rx_bytes += p.bytes;
+    return true;
+  }
+  if (dst.queue.size() >= link_.port_queue_capacity) {
+    dst.stats.drops++;
+    return false;
+  }
+  dst.queue.push_back(p);
+  dst.stats.queued++;
+  return true;
+}
+
+void VSwitch::DrainPort(int port) {
+  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) {
+    return;
+  }
+  PortState& dst = ports_[static_cast<size_t>(port)];
+  while (!dst.queue.empty()) {
+    const Packet& p = dst.queue.front();
+    if (!dst.dev->DeliverFrame(p)) {
+      return;
+    }
+    dst.stats.rx_packets++;
+    dst.stats.rx_bytes += p.bytes;
+    dst.queue.pop_front();
+  }
+}
+
+void VSwitch::ExportMetrics(MetricsRegistry& metrics) const {
+  metrics.Inc("net/switch/packets", forwarded_);
+  for (const PortState& port : ports_) {
+    std::string prefix = "net/port/" + port.name + "/";
+    metrics.Inc(prefix + "tx_pkts", port.stats.tx_packets);
+    metrics.Inc(prefix + "tx_bytes", port.stats.tx_bytes);
+    metrics.Inc(prefix + "rx_pkts", port.stats.rx_packets);
+    metrics.Inc(prefix + "rx_bytes", port.stats.rx_bytes);
+    metrics.Inc(prefix + "queued", port.stats.queued);
+    metrics.Inc(prefix + "drops", port.stats.drops);
+  }
+}
+
+}  // namespace cki

@@ -1,6 +1,7 @@
 #include "src/obs/trace_export.h"
 
 #include <cstdio>
+#include <map>
 
 #include "src/obs/json_util.h"
 
@@ -43,7 +44,19 @@ void WriteChromeTraceEvents(const Observability& obs, uint32_t pid, std::string_
   if (!obs.has_data()) {
     return;
   }
+  // The recorder ring drops its oldest records on overflow, which can
+  // truncate a span's Begin marker while its End survives; emitting such an
+  // orphan End would unbalance the track, so track per-tid depth and skip.
+  std::map<uint32_t, uint64_t> open_spans;
   for (const TraceRecord& r : obs.recorder().Chronological()) {
+    if (r.kind == TraceRecordKind::kSpanBegin) {
+      open_spans[r.owner]++;
+    } else if (r.kind == TraceRecordKind::kSpanEnd) {
+      if (open_spans[r.owner] == 0) {
+        continue;
+      }
+      open_spans[r.owner]--;
+    }
     emit_comma();
     os << "{\"name\":";
     WriteJsonString(os, RecordName(obs, r));

@@ -54,6 +54,10 @@ class ContainerEngine : public EnginePort {
   virtual SimNanos KickCost() const = 0;
   // Cost of delivering one device interrupt to the guest (host -> guest).
   virtual SimNanos DeviceInterruptCost() const = 0;
+  // Cost of acknowledging a device interrupt (EOI / queue-unmask write)
+  // once the guest drains the RX ring. For virtualized designs the write
+  // traps like a doorbell; RunC overrides this to 0.
+  virtual SimNanos InterruptAckCost() const { return KickCost(); }
   // Extra per-request device-emulation work of this design's virtio stack.
   virtual SimNanos VirtioEmulationExtra() const { return 0; }
 

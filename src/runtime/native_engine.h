@@ -21,6 +21,7 @@ class NativeEngine : public ContainerEngine {
 
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
+  SimNanos InterruptAckCost() const override { return 0; }
 
   // --- EnginePort ------------------------------------------------------
   uint64_t ReadPte(uint64_t pte_pa) override;

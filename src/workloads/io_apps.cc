@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
-#include "src/host/virtio.h"
+#include "src/net/load_gen.h"
+#include "src/net/virt_nic.h"
+#include "src/net/vswitch.h"
 
 namespace cki {
 
@@ -38,10 +40,20 @@ double RunIoApp(ContainerEngine& engine, const IoAppSpec& spec) {
   GuestKernel& kernel = engine.kernel();
 
   int batch = std::max(1, std::min(spec.concurrency, 24));
-  VirtioNetAdapter adapter(engine, /*tx_batch=*/batch);
-  kernel.set_net(&adapter);
-  constexpr int kConn = 1;
-  int sockfd = kernel.InstallNetSocket(kConn);
+  // The served traffic flows through a real switch port now: the app
+  // listens, the load generator connects, the app accepts.
+  VSwitch sw(ctx);
+  VirtNic nic(engine, sw, "eth0", NicConfig{.tx_batch = batch});
+  LoadGenerator gen(ctx, sw, "client");
+  kernel.set_net(&nic);
+
+  constexpr uint16_t kService = 80;
+  SyscallResult lfd = engine.UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = kService, .arg1 = 128});
+  int64_t flow = gen.Connect(nic.port(), kService);
+  SyscallResult sock = engine.UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  uint64_t sockfd = static_cast<uint64_t>(sock.value);
   SyscallResult file = engine.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 555});
   uint64_t filefd = static_cast<uint64_t>(file.value);
   engine.UserSyscall(SyscallRequest{.no = Sys::kWrite, .arg0 = filefd, .arg1 = 16 * kPageSize});
@@ -50,11 +62,11 @@ double RunIoApp(ContainerEngine& engine, const IoAppSpec& spec) {
   if (spec.net_round_trips == 0 && spec.syscalls_per_req == 0) {
     // netperf TX: transmit-only streaming.
     for (int i = 0; i < spec.requests; ++i) {
-      engine.UserSyscall(SyscallRequest{.no = Sys::kSendto,
-                                        .arg0 = static_cast<uint64_t>(sockfd),
-                                        .arg1 = spec.bytes_per_req});
+      engine.UserSyscall(SyscallRequest{
+          .no = Sys::kSendto, .arg0 = sockfd, .arg1 = spec.bytes_per_req});
       ctx.ChargeWork(spec.compute_per_req);
     }
+    nic.Flush();
   } else if (spec.net_round_trips == 0) {
     // sqlite-style: syscalls only.
     for (int i = 0; i < spec.requests; ++i) {
@@ -70,11 +82,10 @@ double RunIoApp(ContainerEngine& engine, const IoAppSpec& spec) {
     int remaining = spec.requests;
     while (remaining > 0) {
       int in_flight = std::min(batch, remaining);
-      adapter.ClientSubmitBatch(kConn, in_flight, 256);
+      gen.SendRequests(static_cast<int>(flow), in_flight, 256);
       for (int r = 0; r < in_flight; ++r) {
         engine.UserSyscall(SyscallRequest{.no = Sys::kEpollWait});
-        engine.UserSyscall(SyscallRequest{
-            .no = Sys::kRecvfrom, .arg0 = static_cast<uint64_t>(sockfd), .arg1 = 256});
+        engine.UserSyscall(SyscallRequest{.no = Sys::kRecvfrom, .arg0 = sockfd, .arg1 = 256});
         // Application syscall chain (stat/open/read of the served file...).
         for (int s = 0; s < spec.syscalls_per_req; ++s) {
           engine.UserSyscall(SyscallRequest{.no = (s % 3 == 0) ? Sys::kStat : Sys::kPread,
@@ -82,26 +93,29 @@ double RunIoApp(ContainerEngine& engine, const IoAppSpec& spec) {
                                             .arg1 = 512,
                                             .arg2 = 0});
         }
-        // Upstream round trips beyond the first (proxying).
+        // Upstream round trips beyond the first (proxying): the upstream's
+        // response is injected by the generator, like the origin answering.
         for (int t = 1; t < spec.net_round_trips; ++t) {
-          engine.UserSyscall(SyscallRequest{.no = Sys::kSendto,
-                                            .arg0 = static_cast<uint64_t>(sockfd),
-                                            .arg1 = 256});
-          adapter.ClientSubmitBatch(kConn, 1, spec.bytes_per_req);
-          engine.UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
-                                            .arg0 = static_cast<uint64_t>(sockfd),
-                                            .arg1 = spec.bytes_per_req});
+          engine.UserSyscall(SyscallRequest{.no = Sys::kSendto, .arg0 = sockfd, .arg1 = 256});
+          gen.SendRequests(static_cast<int>(flow), 1, spec.bytes_per_req);
+          engine.UserSyscall(SyscallRequest{
+              .no = Sys::kRecvfrom, .arg0 = sockfd, .arg1 = spec.bytes_per_req});
         }
         ctx.ChargeWork(spec.compute_per_req);
-        engine.UserSyscall(SyscallRequest{.no = Sys::kSendto,
-                                          .arg0 = static_cast<uint64_t>(sockfd),
-                                          .arg1 = spec.bytes_per_req});
+        engine.UserSyscall(SyscallRequest{
+            .no = Sys::kSendto, .arg0 = sockfd, .arg1 = spec.bytes_per_req});
       }
-      adapter.ClientCollect(kConn);
+      // Round tail: responses below the batch threshold still go out.
+      nic.Flush();
+      gen.TakeResponses(static_cast<int>(flow));
       remaining -= in_flight;
     }
   }
   SimNanos elapsed = ctx.clock().now() - start;
+  if (ctx.obs().enabled()) {
+    nic.ExportMetrics(ctx.obs().metrics());
+    sw.ExportMetrics(ctx.obs().metrics());
+  }
   kernel.set_net(nullptr);
 
   double secs = static_cast<double>(elapsed) * 1e-9;

@@ -1,8 +1,8 @@
 // I/O-intensive server applications for Figure 5: nginx (static & proxy),
 // httpd, redis, memcached, netperf (TX & RR), sqlite on tmpfs. Each is
 // modeled by its per-request syscall mix, network round trips, payload and
-// compute; all traffic flows through the virtio-net model so the designs'
-// kick/interrupt costs apply.
+// compute; all traffic flows as real packets through a vswitch port and the
+// container's VirtNic, so the designs' kick/interrupt costs apply.
 #ifndef SRC_WORKLOADS_IO_APPS_H_
 #define SRC_WORKLOADS_IO_APPS_H_
 

@@ -2,15 +2,15 @@
 // memtier-style load generator for Figure 16 (and the redis/memcached
 // columns of Figure 5).
 //
-// The server runs inside the container: per request it epoll-waits, reads
-// the request from a virtio-net backed socket, executes the store logic,
-// and writes the response. The client side batches by concurrency: more
-// clients keep more requests in flight, so doorbells and interrupts are
-// amortized — this is what bends the throughput curves of Figure 16.
+// The server runs inside the container: it listens on the service port,
+// accepts one connection per client, and per request epoll-waits, reads the
+// request from its VirtNic-backed socket, executes the store logic, and
+// writes the response. More clients keep more requests in flight, so
+// doorbells and NAPI-coalesced interrupts are amortized — this is what
+// bends the throughput curves of Figure 16.
 #ifndef SRC_WORKLOADS_KV_STORE_H_
 #define SRC_WORKLOADS_KV_STORE_H_
 
-#include "src/host/virtio.h"
 #include "src/runtime/engine.h"
 
 namespace cki {

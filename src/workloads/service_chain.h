@@ -1,0 +1,48 @@
+// Multi-container service chain for the cluster benchmarks:
+//
+//   load generator -> nginx-style proxy container -> redis-style backend
+//
+// Both containers live on one simulated machine and talk through the shared
+// vswitch, so every request pays each container's kick/interrupt/syscall
+// costs twice (in and out) per hop — cross-container amplification of the
+// designs' overheads, measurable per hop via the obs spans
+// `chain/client`, `chain/proxy`, `chain/backend` (setup is under
+// `chain/setup`, outside the measured loop).
+#ifndef SRC_WORKLOADS_SERVICE_CHAIN_H_
+#define SRC_WORKLOADS_SERVICE_CHAIN_H_
+
+#include "src/net/virt_nic.h"
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+struct ChainConfig {
+  int concurrency = 16;        // in-flight requests (per-round batch)
+  int total_requests = 2000;
+  uint64_t request_bytes = 256;    // client -> proxy (plus seeded jitter)
+  uint64_t upstream_bytes = 500;   // proxy -> backend query
+  uint64_t response_bytes = 2048;  // backend -> proxy -> client
+  int proxy_syscalls = 4;          // per-request proxy syscall chain
+  SimNanos proxy_compute = 3000;
+  SimNanos backend_compute = 12000;
+  uint64_t seed = 1;  // jitters request sizes; same seed => same packet trace
+};
+
+struct ChainResult {
+  double requests_per_sec = 0;
+  double avg_latency_ns = 0;  // pipeline time per served request
+  SimNanos elapsed_ns = 0;
+  uint64_t served = 0;
+  NicStats proxy_nic;
+  NicStats backend_nic;
+  uint64_t switch_packets = 0;
+  uint64_t trace_hash = 0;  // deterministic packet-trace digest
+};
+
+// Both engines must be booted on the same Machine (shared clock/switch).
+ChainResult RunServiceChain(ContainerEngine& proxy, ContainerEngine& backend,
+                            const ChainConfig& config);
+
+}  // namespace cki
+
+#endif  // SRC_WORKLOADS_SERVICE_CHAIN_H_

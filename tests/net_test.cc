@@ -1,0 +1,324 @@
+// Tests for the packet-level network subsystem: vswitch forwarding and
+// backpressure, VirtNic connection handling (listen/accept/connect,
+// backlog, errno surface), NAPI interrupt coalescing, deterministic packet
+// traces, and the metrics export used by --json-out.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "src/net/load_gen.h"
+#include "src/net/virt_nic.h"
+#include "src/net/vswitch.h"
+#include "src/obs/metrics_registry.h"
+#include "src/runtime/runtime.h"
+#include "src/workloads/kv_store.h"
+#include "src/workloads/service_chain.h"
+
+namespace cki {
+namespace {
+
+// --- syscall name table ---------------------------------------------------
+
+TEST(NetTest, SysNameTableIsTotal) {
+  EXPECT_EQ(SysName(Sys::kListen), "listen");
+  EXPECT_EQ(SysName(Sys::kAccept), "accept");
+  EXPECT_EQ(SysName(Sys::kConnect), "connect");
+  EXPECT_EQ(SysName(Sys::kGetpid), "getpid");
+  for (size_t i = 0; i < static_cast<size_t>(Sys::kCount); ++i) {
+    EXPECT_FALSE(SysName(static_cast<Sys>(i)).empty());
+  }
+}
+
+// --- connection layer through the guest syscall surface -------------------
+
+TEST(NetTest, ListenRebindReturnsAddrInUse) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult first = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  EXPECT_TRUE(first.ok());
+  SyscallResult again = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  EXPECT_EQ(again.value, kEADDRINUSE);
+  bed.engine().kernel().set_net(nullptr);
+}
+
+TEST(NetTest, AcceptOnEmptyBacklogReturnsEagain) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  ASSERT_TRUE(lfd.ok());
+  SyscallResult conn = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  EXPECT_EQ(conn.value, kEAGAIN);
+  bed.engine().kernel().set_net(nullptr);
+}
+
+TEST(NetTest, ConnectToUnboundServiceIsRefused) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  // Nothing listens on service 443: the NIC answers the SYN with RST.
+  EXPECT_EQ(gen.Connect(nic.port(), 443), kECONNREFUSED);
+  EXPECT_EQ(nic.stats().refused_conns, 1u);
+}
+
+TEST(NetTest, BacklogOverflowRefusesUntilAcceptFreesASlot) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 1});
+  ASSERT_TRUE(lfd.ok());
+
+  EXPECT_GT(gen.Connect(nic.port(), 80), 0);                // fills the backlog
+  EXPECT_EQ(gen.Connect(nic.port(), 80), kECONNREFUSED);    // overflow -> RST
+  EXPECT_EQ(nic.stats().refused_conns, 1u);
+
+  SyscallResult sock = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  EXPECT_TRUE(sock.ok());
+  EXPECT_GT(gen.Connect(nic.port(), 80), 0);  // accept freed the slot
+  bed.engine().kernel().set_net(nullptr);
+}
+
+TEST(NetTest, RecvfromOnIdleSocketReturnsEagain) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  ASSERT_TRUE(lfd.ok());
+  ASSERT_GT(gen.Connect(nic.port(), 80), 0);
+  SyscallResult sock = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  ASSERT_TRUE(sock.ok());
+  SyscallResult got = bed.engine().UserSyscall(SyscallRequest{
+      .no = Sys::kRecvfrom, .arg0 = static_cast<uint64_t>(sock.value), .arg1 = 512});
+  EXPECT_EQ(got.value, kEAGAIN);
+  bed.engine().kernel().set_net(nullptr);
+}
+
+TEST(NetTest, EpollSeesReadinessAcrossConnections) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  ASSERT_TRUE(lfd.ok());
+  int64_t flows[2];
+  int64_t socks[2];
+  for (int i = 0; i < 2; ++i) {
+    flows[i] = gen.Connect(nic.port(), 80);
+    ASSERT_GT(flows[i], 0);
+    SyscallResult sock = bed.engine().UserSyscall(
+        SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+    ASSERT_TRUE(sock.ok());
+    socks[i] = sock.value;
+  }
+
+  // All connections accepted, no data in flight: nothing is ready.
+  EXPECT_EQ(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kEpollWait}).value, 0);
+
+  // Data on the second connection only: epoll reports readiness, the right
+  // socket has the bytes, and draining it returns the loop to quiescence.
+  gen.SendRequests(static_cast<int>(flows[1]), 1, 300);
+  EXPECT_EQ(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kEpollWait}).value, 1);
+  EXPECT_EQ(bed.engine()
+                .UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                            .arg0 = static_cast<uint64_t>(socks[0]),
+                                            .arg1 = 512})
+                .value,
+            kEAGAIN);
+  EXPECT_EQ(bed.engine()
+                .UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                            .arg0 = static_cast<uint64_t>(socks[1]),
+                                            .arg1 = 512})
+                .value,
+            300);
+  EXPECT_EQ(bed.engine().UserSyscall(SyscallRequest{.no = Sys::kEpollWait}).value, 0);
+  bed.engine().kernel().set_net(nullptr);
+}
+
+// --- guest-to-guest connections on one machine ----------------------------
+
+TEST(NetTest, GuestToGuestConnectionAccountsBytesPerDirection) {
+  Machine machine(MachineConfigFor(RuntimeKind::kRunc, Deployment::kBareMetal));
+  auto server = MakeEngine(machine, RuntimeKind::kRunc);
+  server->Boot();
+  auto client = MakeEngine(machine, RuntimeKind::kRunc);
+  client->Boot();
+
+  VSwitch sw(machine.ctx());
+  VirtNic server_nic(*server, sw, "srv0");
+  VirtNic client_nic(*client, sw, "cli0");
+  server->kernel().set_net(&server_nic);
+  client->kernel().set_net(&client_nic);
+
+  SyscallResult lfd = server->UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 6379, .arg1 = 4});
+  ASSERT_TRUE(lfd.ok());
+  SyscallResult cfd = client->UserSyscall(
+      SyscallRequest{.no = Sys::kConnect,
+                     .arg0 = static_cast<uint64_t>(server_nic.port()),
+                     .arg1 = 6379});
+  ASSERT_TRUE(cfd.ok());
+  SyscallResult sfd = server->UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  ASSERT_TRUE(sfd.ok());
+
+  // Request goes client -> server, a larger response comes back.
+  EXPECT_EQ(client
+                ->UserSyscall(SyscallRequest{.no = Sys::kSendto,
+                                             .arg0 = static_cast<uint64_t>(cfd.value),
+                                             .arg1 = 200})
+                .value,
+            200);
+  EXPECT_EQ(server->UserSyscall(SyscallRequest{.no = Sys::kEpollWait}).value, 1);
+  EXPECT_EQ(server
+                ->UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                             .arg0 = static_cast<uint64_t>(sfd.value),
+                                             .arg1 = 200})
+                .value,
+            200);
+  EXPECT_EQ(server
+                ->UserSyscall(SyscallRequest{.no = Sys::kSendto,
+                                             .arg0 = static_cast<uint64_t>(sfd.value),
+                                             .arg1 = 1000})
+                .value,
+            1000);
+  EXPECT_EQ(client
+                ->UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                             .arg0 = static_cast<uint64_t>(cfd.value),
+                                             .arg1 = 1000})
+                .value,
+            1000);
+
+  // Data-byte accounting per NIC and direction (SYN/SYN-ACK carry 0 bytes).
+  EXPECT_EQ(client_nic.stats().tx_bytes, 200u);
+  EXPECT_EQ(server_nic.stats().rx_bytes, 200u);
+  EXPECT_EQ(server_nic.stats().tx_bytes, 1000u);
+  EXPECT_EQ(client_nic.stats().rx_bytes, 1000u);
+  EXPECT_EQ(server_nic.stats().accepted_conns, 1u);
+
+  server->kernel().set_net(nullptr);
+  client->kernel().set_net(nullptr);
+}
+
+// --- switch backpressure --------------------------------------------------
+
+TEST(NetTest, FullRxRingQueuesThenDropsAtPortCapacity) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx(), LinkConfig{.port_queue_capacity = 2});
+  VirtNic nic(bed.engine(), sw, "eth0", NicConfig{.rx_ring = 1});
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  nic.OpenRawFlow(7, gen.port());
+
+  for (int i = 0; i < 5; ++i) {
+    sw.Send(Packet{.src = gen.port(), .dst = nic.port(), .flow = 7, .bytes = 100});
+  }
+  // One frame in the RX ring, two parked in the port FIFO, two dropped.
+  const SwitchPortStats& st = sw.port_stats(nic.port());
+  EXPECT_EQ(st.rx_packets, 1u);
+  EXPECT_EQ(sw.port_queue_depth(nic.port()), 2u);
+  EXPECT_EQ(st.drops, 2u);
+
+  // Draining the ring pulls the queued frames back in; drops stay lost.
+  uint64_t received = 0;
+  while (nic.Receive(7, 100) > 0) {
+    received++;
+  }
+  EXPECT_EQ(received, 3u);
+  EXPECT_EQ(sw.port_queue_depth(nic.port()), 0u);
+  EXPECT_EQ(nic.stats().rx_packets, 3u);
+}
+
+// --- NAPI coalescing ------------------------------------------------------
+
+TEST(NetTest, ConcurrencyCoalescesInterruptsPerRequest) {
+  auto interrupts_per_request = [](int clients) {
+    Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+    KvConfig kv{.kind = KvKind::kMemcached, .clients = clients, .total_requests = 1024};
+    KvResult r = RunKvBenchmark(bed.engine(), kv);
+    return static_cast<double>(r.interrupts) / 1024.0;
+  };
+  double solo = interrupts_per_request(1);
+  double packed = interrupts_per_request(16);
+  EXPECT_GT(solo, packed * 2);  // batches ride one pending IRQ
+}
+
+// --- deterministic replay -------------------------------------------------
+
+ChainResult RunChainWithSeed(uint64_t seed) {
+  Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+  auto proxy = MakeEngine(machine, RuntimeKind::kCki);
+  proxy->Boot();
+  auto backend = MakeEngine(machine, RuntimeKind::kCki);
+  backend->Boot();
+  ChainConfig config{.concurrency = 8, .total_requests = 256, .seed = seed};
+  return RunServiceChain(*proxy, *backend, config);
+}
+
+TEST(NetTest, SameSeedReplaysIdenticalPacketTrace) {
+  ChainResult a = RunChainWithSeed(42);
+  ChainResult b = RunChainWithSeed(42);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.switch_packets, b.switch_packets);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.served, b.served);
+
+  ChainResult c = RunChainWithSeed(43);
+  EXPECT_NE(a.trace_hash, c.trace_hash);  // jittered sizes change the trace
+  EXPECT_EQ(a.switch_packets, c.switch_packets);  // ... but not the schedule
+}
+
+// --- metrics export -------------------------------------------------------
+
+TEST(NetTest, ExportMetricsPublishesNicAndSwitchCounters) {
+  Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  ASSERT_TRUE(lfd.ok());
+  int64_t flow = gen.Connect(nic.port(), 80);
+  ASSERT_GT(flow, 0);
+  SyscallResult sock = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  ASSERT_TRUE(sock.ok());
+  gen.SendRequests(static_cast<int>(flow), 4, 256);
+  bed.engine().UserSyscall(SyscallRequest{
+      .no = Sys::kRecvfrom, .arg0 = static_cast<uint64_t>(sock.value), .arg1 = 256});
+  bed.engine().UserSyscall(SyscallRequest{
+      .no = Sys::kSendto, .arg0 = static_cast<uint64_t>(sock.value), .arg1 = 256});
+  nic.Flush();
+
+  MetricsRegistry metrics;
+  nic.ExportMetrics(metrics);
+  sw.ExportMetrics(metrics);
+  EXPECT_GT(metrics.CounterValue("net/nic/eth0/rx_pkts"), 0u);
+  EXPECT_GT(metrics.CounterValue("net/nic/eth0/kicks"), 0u);
+  EXPECT_GT(metrics.CounterValue("net/nic/eth0/interrupts"), 0u);
+  EXPECT_GT(metrics.CounterValue("net/switch/packets"), 0u);
+  EXPECT_GT(metrics.CounterValue("net/port/eth0/rx_pkts"), 0u);
+  EXPECT_EQ(metrics.CounterValue("net/port/eth0/drops"), 0u);
+  EXPECT_GT(gen.response_bytes(static_cast<int>(flow)), 0u);
+  bed.engine().kernel().set_net(nullptr);
+}
+
+}  // namespace
+}  // namespace cki

@@ -48,6 +48,34 @@ TEST(VirtioTest, ReceiveTruncatesToBuffer) {
   EXPECT_EQ(adapter.Receive(1, 400), 400u);
 }
 
+TEST(VirtioTest, FlushDeliversTailBelowBatch) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VirtioNetAdapter adapter(bed.engine(), /*tx_batch=*/4);
+  for (int i = 0; i < 3; ++i) {
+    adapter.Transmit(1, 100);
+  }
+  // Below the batch threshold: nothing reached the wire yet.
+  EXPECT_EQ(adapter.stats().kicks, 0u);
+  EXPECT_EQ(adapter.ClientCollect(1), 0u);
+  adapter.Flush();
+  EXPECT_EQ(adapter.stats().kicks, 1u);
+  EXPECT_EQ(adapter.ClientCollect(1), 3u);
+}
+
+TEST(VirtioTest, LoweringTxBatchFlushesStrandedFrames) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VirtioNetAdapter adapter(bed.engine(), /*tx_batch=*/8);
+  for (int i = 0; i < 5; ++i) {
+    adapter.Transmit(1, 100);
+  }
+  EXPECT_EQ(adapter.stats().kicks, 0u);
+  // Lowering the threshold below the buffered count must kick immediately
+  // instead of stranding the frames behind the new, already-passed mark.
+  adapter.set_tx_batch(2);
+  EXPECT_EQ(adapter.stats().kicks, 1u);
+  EXPECT_EQ(adapter.ClientCollect(1), 5u);
+}
+
 TEST(VirtioTest, KickCostOrderingMatchesDesigns) {
   // CKI's hypercall kick < PVM's host round trip < HVM-BM's VM exit <<
   // HVM-NST's L0-mediated exit.
