@@ -1,9 +1,9 @@
 #include "src/cki/cki_engine.h"
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include <string>
 
+#include "src/fault/fault_injector.h"
 #include "src/hw/pks.h"
 #include "src/obs/trace_scope.h"
 
@@ -14,11 +14,11 @@ CkiEngine::CkiEngine(Machine& machine, CkiAblation ablation, uint64_t segment_pa
     : ContainerEngine(machine),
       ablation_(ablation),
       segment_pages_(segment_pages),
-      n_vcpus_(n_vcpus < 1 ? 1 : n_vcpus),
-      pcid_base_(machine.AllocPcidRange(256)) {
+      n_vcpus_(n_vcpus < 1 ? 1 : n_vcpus) {
+  AllocPcids(256);
   if (!machine.cpu().extensions().pks_priv_gating) {
-    std::fprintf(stderr, "CkiEngine requires a machine with the CKI hardware extensions\n");
-    std::abort();
+    throw FatalHostError(
+        "CkiEngine requires a machine with the CKI hardware extensions");
   }
 }
 
@@ -64,14 +64,17 @@ void CkiEngine::Boot() {
 }
 
 uint64_t CkiEngine::SegmentAlloc() {
+  // Chaos mode: simulate premature exhaustion of the delegated segment.
+  if (injector_ != nullptr && injector_->InjectSegmentOom()) {
+    return kNoPage;
+  }
   if (!guest_free_list_.empty()) {
     uint64_t pa = guest_free_list_.back();
     guest_free_list_.pop_back();
     return pa;
   }
   if (segment_next_ >= segment_.pages) {
-    std::fprintf(stderr, "CkiEngine: delegated segment exhausted\n");
-    std::abort();
+    return kNoPage;  // the guest kernel turns this into ENOMEM
   }
   return segment_.base + (segment_next_++) * kPageSize;
 }
@@ -83,7 +86,7 @@ void CkiEngine::ChargeKsmRoundtrip(SimNanos op_work) {
   gates_->ExitKsm();
 }
 
-SyscallResult CkiEngine::UserSyscall(const SyscallRequest& req) {
+SyscallResult CkiEngine::DoUserSyscall(const SyscallRequest& req) {
   // Fast path: the guest kernel is reachable from user mode without host
   // intervention — same 90 ns as native (Fig 10b).
   LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
@@ -117,7 +120,7 @@ SyscallResult CkiEngine::UserSyscall(const SyscallRequest& req) {
   return result;
 }
 
-TouchResult CkiEngine::UserTouch(uint64_t va, bool write) {
+TouchResult CkiEngine::DoUserTouch(uint64_t va, bool write) {
   TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
@@ -127,6 +130,11 @@ TouchResult CkiEngine::UserTouch(uint64_t va, bool write) {
     Fault f = cpu.Access(va, intent);
     if (!f) {
       return TouchResult::kOk;
+    }
+    if (f.type == FaultType::kPageKeyViolation) {
+      // A PKS trap in a deprivileged guest means the guest kernel tried to
+      // cross its key boundary: container-fatal, host keeps running.
+      machine_.faults().Raise(FaultReport{FaultKind::kPksTrap, id_, va});
     }
     if (f.type != FaultType::kPageNotPresent && f.type != FaultType::kPageProtection) {
       return TouchResult::kSegv;
@@ -167,8 +175,20 @@ TouchResult CkiEngine::UserTouch(uint64_t va, bool write) {
   return TouchResult::kSegv;
 }
 
-uint64_t CkiEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+uint64_t CkiEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   return Hypercall(op, a0, a1);
+}
+
+void CkiEngine::OnKill() {
+  // A kill can arrive mid-operation (PTE batch, fault handler) with the
+  // KSM gate still open; reset the gate state so teardown never charges
+  // through guest paths.
+  in_fault_ = false;
+  ksm_open_ = false;
+  in_batch_ = false;
+  guest_free_list_.clear();
+  current_root_ = 0;
+  pending_virqs_.clear();
 }
 
 uint64_t CkiEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
@@ -260,6 +280,13 @@ uint64_t CkiEngine::ReadPte(uint64_t pte_pa) {
 bool CkiEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va) {
   TraceScope obs_scope(ctx_, "ksm/store_pte");
   const CostModel& c = ctx_.cost();
+  // Chaos mode: flip a physical-address bit in the guest's PTE store. The
+  // KSM monitor must catch the forged mapping; its rejection kills the
+  // container (the PTP invariant is unrecoverable from the guest's side).
+  bool flipped = injector_ != nullptr && injector_->InjectPteFlip();
+  if (flipped) {
+    value ^= 1ull << 50;
+  }
   PtpVerdict verdict;
   if (in_batch_ || (in_fault_ && ksm_open_)) {
     // Already inside the KSM: validate + store only.
@@ -278,6 +305,10 @@ bool CkiEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t va
     verdict = ksm_->UpdatePte(pte_pa, value, level, va);
     gates_->ExitKsm();
   }
+  if (flipped && verdict != PtpVerdict::kOk) {
+    machine_.faults().Raise(
+        FaultReport{FaultKind::kPtpVerdictRejected, id_, pte_pa});
+  }
   return verdict == PtpVerdict::kOk;
 }
 
@@ -295,12 +326,27 @@ void CkiEngine::EndPteBatch() {
   }
 }
 
-uint64_t CkiEngine::AllocDataPage() { return SegmentAlloc(); }
+uint64_t CkiEngine::AllocDataPage() {
+  uint64_t pa = SegmentAlloc();
+  if (pa == kNoPage) {
+    // Data-page exhaustion is survivable: the guest kernel fails the
+    // allocation with ENOMEM (counted on the fault bus, no kill).
+    machine_.faults().Note(
+        FaultReport{FaultKind::kSegmentExhausted, id_, segment_.pages});
+  }
+  return pa;
+}
 
 void CkiEngine::FreeDataPage(uint64_t pa) { guest_free_list_.push_back(pa); }
 
 uint64_t CkiEngine::AllocPtp(int level) {
   uint64_t pa = SegmentAlloc();
+  if (pa == kNoPage) {
+    // No segment page left for a page-table page: the address space under
+    // construction is unrecoverable — kill the container, not the host.
+    machine_.faults().Raise(
+        FaultReport{FaultKind::kSegmentExhausted, id_, segment_.pages});
+  }
   if (in_batch_ || (in_fault_ && ksm_open_)) {
     ctx_.ChargeWork(ctx_.cost().ksm_pte_validate);
     ksm_->DeclarePtp(pa, level);
@@ -335,9 +381,10 @@ void CkiEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
   gates_->ExitKsm();
   current_root_ = root_pa;
   if (v != PtpVerdict::kOk) {
-    std::fprintf(stderr, "CkiEngine: CR3 load rejected (%.*s)\n",
-                 static_cast<int>(PtpVerdictName(v).size()), PtpVerdictName(v).data());
-    std::abort();
+    // The monitor refused the root: the guest tried to load an undeclared
+    // or foreign top-level PTP. Kill the container, keep the machine.
+    machine_.faults().Raise(FaultReport{FaultKind::kPtpVerdictRejected, id_,
+                                        static_cast<uint64_t>(v)});
   }
 }
 

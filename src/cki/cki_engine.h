@@ -37,10 +37,6 @@ class CkiEngine : public ContainerEngine {
 
   void Boot() override;
 
-  SyscallResult UserSyscall(const SyscallRequest& req) override;
-  TouchResult UserTouch(uint64_t va, bool write) override;
-  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
-
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
 
@@ -87,6 +83,12 @@ class CkiEngine : public ContainerEngine {
   void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
   void InvalidatePage(uint64_t va) override;
 
+ protected:
+  SyscallResult DoUserSyscall(const SyscallRequest& req) override;
+  TouchResult DoUserTouch(uint64_t va, bool write) override;
+  uint64_t DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+  void OnKill() override;
+
  private:
   uint64_t SegmentAlloc();
   // Charges one standalone KSM call round trip (enter + op + exit).
@@ -109,7 +111,6 @@ class CkiEngine : public ContainerEngine {
   BinaryRewriter rewriter_;
   std::vector<uint8_t> guest_code_image_;
 
-  uint16_t pcid_base_;
   uint16_t current_pcid_ = 0;
 
   // Fault-path state: the PTE update and the final iret share one KSM gate

@@ -1,0 +1,98 @@
+// Seeded deterministic fault injector ("chaos mode").
+//
+// Armed per-run with per-site rates, the injector answers "should this
+// operation fail right now?" from a private xorshift64* stream — no
+// wall-clock, no global state — so the same seed and the same sequence of
+// queries produce the bit-identical decision sequence and an identical
+// FNV-1a trace hash (the vswitch.h determinism contract applied to
+// faults). Sites that are disarmed (rate <= 0) consume no draw, so arming
+// one site does not perturb the decision stream of another.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace cki {
+
+struct InjectorConfig {
+  uint64_t seed = 1;
+  // Per-site injection probabilities in [0, 1]; 0 disarms the site.
+  double pks_violation_rate = 0;    // spurious PKS trap on a user touch
+  double pte_flip_rate = 0;         // bit-flip in a guest PTE store
+  double segment_oom_rate = 0;      // premature delegated-segment exhaustion
+  double virtio_corrupt_rate = 0;   // malformed virtio RX descriptor
+  double packet_drop_rate = 0;      // vswitch drops a forwarded packet
+  double packet_dup_rate = 0;       // vswitch duplicates a forwarded packet
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const InjectorConfig& config) : config_(config) {
+    // xorshift64* rejects a zero state; fold the seed through a non-zero
+    // constant the same way for every run.
+    state_ = config.seed ^ 0x9e3779b97f4a7c15ULL;
+    if (state_ == 0) {
+      state_ = 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  const InjectorConfig& config() const { return config_; }
+
+  bool InjectPksViolation() { return Draw(config_.pks_violation_rate, 1); }
+  bool InjectPteFlip() { return Draw(config_.pte_flip_rate, 2); }
+  bool InjectSegmentOom() { return Draw(config_.segment_oom_rate, 3); }
+  bool InjectVirtioCorruption() { return Draw(config_.virtio_corrupt_rate, 4); }
+  bool InjectPacketDrop() { return Draw(config_.packet_drop_rate, 5); }
+  bool InjectPacketDup() { return Draw(config_.packet_dup_rate, 6); }
+
+  uint64_t draws() const { return draws_; }
+  uint64_t injected() const { return injected_; }
+
+  // FNV-1a digest over (site, draw index) of every injected fault, in
+  // order. Same seed + same query sequence => identical hash.
+  uint64_t trace_hash() const { return trace_hash_; }
+
+ private:
+  uint64_t Next() {
+    // xorshift64*: tiny, fast, fully reproducible across platforms.
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  bool Draw(double rate, uint8_t site) {
+    if (rate <= 0) {
+      return false;  // disarmed sites do not consume a draw
+    }
+    draws_++;
+    double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= rate) {
+      return false;
+    }
+    injected_++;
+    trace_hash_ = Mix(trace_hash_, site);
+    trace_hash_ = Mix(trace_hash_, draws_);
+    return true;
+  }
+
+  static uint64_t Mix(uint64_t hash, uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+    return hash;
+  }
+
+  InjectorConfig config_;
+  uint64_t state_;
+  uint64_t draws_ = 0;
+  uint64_t injected_ = 0;
+  uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+}  // namespace cki
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

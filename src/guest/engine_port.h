@@ -32,6 +32,11 @@ enum class HypercallOp : uint8_t {
 
 std::string_view HypercallOpName(HypercallOp op);
 
+// Returned by the page-allocation hooks when the engine's memory budget is
+// exhausted: the guest kernel propagates ENOMEM instead of the machine
+// aborting. 0 cannot serve as the sentinel — it is a valid guest PA.
+inline constexpr uint64_t kNoPage = ~0ull;
+
 class EnginePort {
  public:
   virtual ~EnginePort() = default;

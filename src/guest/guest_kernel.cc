@@ -187,6 +187,24 @@ int GuestKernel::Schedule() {
   return next;
 }
 
+void GuestKernel::KillAllProcesses() {
+  // Pure data-structure teardown; the frames themselves are swept by the
+  // engine's OwnerId reclaim, and the dying container's page tables are
+  // never walked again.
+  for (auto& [pid, proc] : procs_) {
+    (void)pid;
+    proc->fds.clear();
+    proc->vmas.Clear();
+    proc->pt_root = 0;
+    proc->state = ProcState::kZombie;
+  }
+  current_pid_ = -1;
+  channels_.clear();
+  page_refs_.clear();
+  file_pages_.clear();
+  kernel_image_pas_.clear();
+}
+
 std::vector<int> GuestKernel::LivePids() const {
   std::vector<int> pids;
   for (const auto& [pid, proc] : procs_) {
@@ -563,11 +581,23 @@ SyscallResult GuestKernel::SysMmap(Process& proc, const SyscallRequest& req) {
   proc.mmap_hint = start + length;
   if (populate) {
     Vma* vma = proc.vmas.Find(start);
+    bool oom = false;
     port_.BeginPteBatch();
     for (uint64_t va = start; va < start + length; va += kPageSize) {
-      FaultInPage(proc, *vma, va, /*write=*/true);
+      if (!FaultInPage(proc, *vma, va, /*write=*/true)) {
+        oom = true;
+        break;
+      }
     }
     port_.EndPteBatch();
+    if (oom) {
+      // Unwind the partial population and fail the mmap with ENOMEM —
+      // the container keeps running (blast-radius containment).
+      UnmapRange(proc, start, start + length);
+      proc.vmas.Remove(start, start + length);
+      ctx_.RecordEvent(PathEvent::kGuestOom);
+      return {kENOMEM};
+    }
   }
   return {static_cast<int64_t>(start)};
 }

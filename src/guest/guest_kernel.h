@@ -80,6 +80,12 @@ class GuestKernel {
   // Returns the pid switched to, or -1 if none.
   int Schedule();
 
+  // Fault-domain teardown: drops every process and all kernel bookkeeping
+  // WITHOUT touching the EnginePort. The engine's fault path bulk-reclaims
+  // the container's frames afterwards, so freeing pages one by one here
+  // would both double-free and re-enter the (possibly faulted) engine.
+  void KillAllProcesses();
+
   // --- entry points the engine drives ------------------------------------
   // Executes a syscall on behalf of the current process. The engine has
   // already charged the design-specific entry path; handler work and its

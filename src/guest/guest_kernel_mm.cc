@@ -35,14 +35,19 @@ void GuestKernel::MapKernelImage(uint64_t root) {
   if (kernel_image_pas_.empty()) {
     kernel_image_pas_.reserve(kKernelImagePages);
     for (int i = 0; i < kKernelImagePages; ++i) {
-      kernel_image_pas_.push_back(port_.AllocDataPage());
+      uint64_t pa = port_.AllocDataPage();
+      if (pa == kNoPage) {
+        ctx_.RecordEvent(PathEvent::kGuestOom);
+        break;  // map what we got; the image is shared, later roots reuse it
+      }
+      kernel_image_pas_.push_back(pa);
     }
   }
-  for (int i = 0; i < kKernelImagePages; ++i) {
+  for (size_t i = 0; i < kernel_image_pas_.size(); ++i) {
     uint64_t va = kKernelBase + static_cast<uint64_t>(i) * kPageSize;
     bool text = i < kKernelImagePages / 2;
     uint64_t flags = kPteP | (text ? 0 : (kPteW | kPteNx));
-    editor_.MapPage(root, va, kernel_image_pas_[static_cast<size_t>(i)], flags, /*pkey=*/0,
+    editor_.MapPage(root, va, kernel_image_pas_[i], flags, /*pkey=*/0,
                     PageSize::k4K);
   }
 }
@@ -97,6 +102,9 @@ uint64_t GuestKernel::FilePageFor(int ino, uint64_t block) {
     return it->second;
   }
   uint64_t pa = port_.AllocDataPage();
+  if (pa == kNoPage) {
+    return kNoPage;  // page-cache miss under OOM; caller fails the fault
+  }
   file_pages_[key] = pa;
   RefPage(pa);  // the cache's own pin
   return pa;
@@ -114,11 +122,19 @@ bool GuestKernel::FaultInPage(Process& proc, Vma& vma, uint64_t va, bool write) 
     // start read-only; the existing CoW path copies on the first write.
     uint64_t block = (va - vma.start + vma.file_offset) >> kPageShift;
     uint64_t pa = FilePageFor(vma.file_ino, block);
+    if (pa == kNoPage) {
+      ctx_.RecordEvent(PathEvent::kGuestOom);
+      return false;
+    }
     RefPage(pa);
     MapUserPage(proc, va, pa, vma.prot, /*cow_readonly=*/vma.cow);
     return true;
   }
   uint64_t pa = port_.AllocDataPage();
+  if (pa == kNoPage) {
+    ctx_.RecordEvent(PathEvent::kGuestOom);
+    return false;
+  }
   MapUserPage(proc, va, pa, vma.prot, /*cow_readonly=*/false);
   return true;
 }
@@ -135,6 +151,10 @@ bool GuestKernel::HandleCowFault(Process& proc, Vma& vma, uint64_t va) {
   if (refs > 1) {
     // Copy the page and remap writable.
     uint64_t new_pa = port_.AllocDataPage();
+    if (new_pa == kNoPage) {
+      ctx_.RecordEvent(PathEvent::kGuestOom);
+      return false;
+    }
     ctx_.ChargeWork(ctx_.cost().copy_per_4k);
     it->second = refs - 1;
     MapUserPage(proc, va, new_pa, vma.prot, /*cow_readonly=*/false);

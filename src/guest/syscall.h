@@ -113,6 +113,9 @@ inline constexpr int64_t kECHILD = -10;
 inline constexpr int64_t kESRCH = -3;
 inline constexpr int64_t kEADDRINUSE = -98;
 inline constexpr int64_t kECONNREFUSED = -111;
+// Private-range status (like ERESTARTSYS): the container was killed by its
+// fault domain; no guest code observes it because no guest code runs again.
+inline constexpr int64_t kEKILLED = -512;
 
 // mmap/mprotect protection bits.
 inline constexpr uint64_t kProtRead = 1;

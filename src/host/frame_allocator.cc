@@ -1,8 +1,10 @@
 #include "src/host/frame_allocator.h"
 
+#include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include <string>
+
+#include "src/fault/fault_domain.h"
 
 namespace cki {
 
@@ -19,9 +21,13 @@ uint64_t FrameAllocator::AllocFrame(OwnerId owner) {
     mem_.ZeroFrame(pa);
   } else {
     if (bump_ >= total_pages_) {
-      std::fprintf(stderr, "FrameAllocator: out of physical memory (%llu frames)\n",
-                   static_cast<unsigned long long>(total_pages_));
-      std::abort();
+      // Exhaustion is attributed to the requesting owner: the fault bus
+      // kills that container (or throws FatalHostError for the host).
+      if (bus_ != nullptr) {
+        bus_->Raise(FaultReport{FaultKind::kFrameExhausted, owner, total_pages_});
+      }
+      throw FatalHostError("FrameAllocator: out of physical memory (" +
+                           std::to_string(total_pages_) + " frames)");
     }
     pa = base_ + bump_ * kPageSize;
     bump_++;
@@ -32,25 +38,30 @@ uint64_t FrameAllocator::AllocFrame(OwnerId owner) {
   return pa;
 }
 
-void FrameAllocator::FreeFrame(uint64_t pa) {
+FreeResult FrameAllocator::FreeFrame(uint64_t pa) {
   auto it = owner_.find(pa >> kPageShift);
   if (it == owner_.end()) {
-    std::fprintf(stderr, "FrameAllocator: double free or foreign frame 0x%llx\n",
-                 static_cast<unsigned long long>(pa));
-    std::abort();
+    double_frees_++;
+    if (bus_ != nullptr) {
+      bus_->Note(FaultReport{FaultKind::kDoubleFree, kHostOwner, pa});
+    }
+    return FreeResult::kDoubleFree;
   }
   owner_.erase(it);
   free_list_.push_back(pa);
   allocated_--;
+  return FreeResult::kOk;
 }
 
 PhysSegment FrameAllocator::AllocSegment(uint64_t pages, OwnerId owner) {
   // Contiguity comes from the bump region; freed singleton frames are not
   // coalesced (mirrors the fragmentation limitation the paper notes).
   if (bump_ + pages > total_pages_) {
-    std::fprintf(stderr, "FrameAllocator: cannot carve contiguous segment of %llu pages\n",
-                 static_cast<unsigned long long>(pages));
-    std::abort();
+    if (bus_ != nullptr) {
+      bus_->Raise(FaultReport{FaultKind::kSegmentExhausted, owner, pages});
+    }
+    throw FatalHostError("FrameAllocator: cannot carve contiguous segment of " +
+                         std::to_string(pages) + " pages");
   }
   PhysSegment seg{.base = base_ + bump_ * kPageSize, .pages = pages};
   mem_.InstallRange(seg.base, pages);
@@ -58,6 +69,56 @@ PhysSegment FrameAllocator::AllocSegment(uint64_t pages, OwnerId owner) {
   bump_ += pages;
   allocated_ += pages;
   return seg;
+}
+
+uint64_t FrameAllocator::ReclaimOwner(OwnerId owner) {
+  // Singleton frames: collect, sort, then free. owner_ is an unordered
+  // map, so without the sort the free-list order (and thus every later
+  // allocation) would depend on hash-table iteration order.
+  std::vector<uint64_t> keys;
+  for (const auto& [key, frame_owner] : owner_) {
+    if (frame_owner == owner) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    owner_.erase(key);
+    free_list_.push_back(key << kPageShift);
+  }
+  uint64_t reclaimed = keys.size();
+
+  // Delegated segments: return every page, drop the ownership record.
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->second == owner) {
+      const PhysSegment& seg = it->first;
+      for (uint64_t i = 0; i < seg.pages; ++i) {
+        free_list_.push_back(seg.base + i * kPageSize);
+      }
+      reclaimed += seg.pages;
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  allocated_ -= reclaimed;
+  return reclaimed;
+}
+
+uint64_t FrameAllocator::OwnedFrames(OwnerId owner) const {
+  uint64_t n = 0;
+  for (const auto& [key, frame_owner] : owner_) {
+    (void)key;
+    if (frame_owner == owner) {
+      n++;
+    }
+  }
+  for (const auto& [seg, seg_owner] : segments_) {
+    if (seg_owner == owner) {
+      n += seg.pages;
+    }
+  }
+  return n;
 }
 
 OwnerId FrameAllocator::OwnerOf(uint64_t pa) const {

@@ -4,7 +4,8 @@
 // CKI delegates contiguous host-physical segments to each secure container
 // so the guest kernel can place host-physical addresses into PTEs directly
 // (section 4.3). The allocator tracks per-frame ownership so the page-table
-// monitor can verify that a guest maps only memory it owns.
+// monitor can verify that a guest maps only memory it owns — and so a
+// killed container's frames can be reclaimed in one owner sweep.
 #ifndef SRC_HOST_FRAME_ALLOCATOR_H_
 #define SRC_HOST_FRAME_ALLOCATOR_H_
 
@@ -16,9 +17,15 @@
 
 namespace cki {
 
+class FaultBus;
+
 // Identifies who owns a physical frame. 0 = host kernel.
 using OwnerId = uint32_t;
 inline constexpr OwnerId kHostOwner = 0;
+
+// Outcome of FreeFrame: a double free is counted and reported to the fault
+// bus instead of aborting the machine.
+enum class FreeResult : uint8_t { kOk, kDoubleFree };
 
 struct PhysSegment {
   uint64_t base = 0;
@@ -33,20 +40,36 @@ class FrameAllocator {
   // Manages physical range [base, base + pages * 4K).
   FrameAllocator(PhysMem& mem, uint64_t base, uint64_t pages);
 
-  // Allocates one zeroed frame for `owner`. Returns its PA.
+  // Routes exhaustion and double-free reports through the machine's fault
+  // bus (container-attributable faults kill the owner; host faults throw).
+  void set_fault_bus(FaultBus* bus) { bus_ = bus; }
+
+  // Allocates one zeroed frame for `owner`. Returns its PA. On exhaustion
+  // the fault bus kills `owner` (host owner => FatalHostError).
   uint64_t AllocFrame(OwnerId owner);
 
-  // Releases a frame back to the free list.
-  void FreeFrame(uint64_t pa);
+  // Releases a frame back to the free list. Freeing a frame that is not
+  // allocated is counted (and noted on the fault bus), not fatal.
+  FreeResult FreeFrame(uint64_t pa);
 
   // Allocates a contiguous segment of `pages` zeroed frames for `owner`.
   PhysSegment AllocSegment(uint64_t pages, OwnerId owner);
+
+  // Reclaims every frame and segment owned by `owner` (the kill sweep).
+  // Singleton frames return to the free list in ascending PA order so
+  // allocation order stays deterministic. Returns the frame count.
+  uint64_t ReclaimOwner(OwnerId owner);
+
+  // Frames (singletons + segment pages) currently owned by `owner` —
+  // the teardown leak check.
+  uint64_t OwnedFrames(OwnerId owner) const;
 
   // Owner of the frame containing `pa`; kHostOwner if never allocated.
   OwnerId OwnerOf(uint64_t pa) const;
 
   uint64_t allocated_frames() const { return allocated_; }
   uint64_t total_frames() const { return total_pages_; }
+  uint64_t double_frees() const { return double_frees_; }
 
  private:
   PhysMem& mem_;
@@ -57,6 +80,8 @@ class FrameAllocator {
   std::unordered_map<uint64_t, OwnerId> owner_;  // frame index -> owner
   std::vector<std::pair<PhysSegment, OwnerId>> segments_;
   uint64_t allocated_ = 0;
+  uint64_t double_frees_ = 0;
+  FaultBus* bus_ = nullptr;
 };
 
 }  // namespace cki

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "src/fault/fault_domain.h"
 #include "src/host/frame_allocator.h"
 #include "src/hw/cpu.h"
 #include "src/hw/instr.h"
@@ -38,7 +39,10 @@ class Machine {
       : config_(config),
         ctx_(config.cost),
         cpu_(ctx_, mem_, config.extensions),
-        frames_(mem_, config.phys_base, config.phys_pages) {}
+        frames_(mem_, config.phys_base, config.phys_pages),
+        faults_(ctx_) {
+    frames_.set_fault_bus(&faults_);
+  }
 
   SimContext& ctx() { return ctx_; }
   // Hands out hardware PCID ranges so each container gets its own context
@@ -54,6 +58,8 @@ class Machine {
   PhysMem& mem() { return mem_; }
   Cpu& cpu() { return cpu_; }
   FrameAllocator& frames() { return frames_; }
+  FaultBus& faults() { return faults_; }
+  const FaultBus& faults() const { return faults_; }
   Deployment deployment() const { return config_.deployment; }
   bool nested() const { return config_.deployment == Deployment::kNested; }
   const MachineConfig& config() const { return config_; }
@@ -64,6 +70,7 @@ class Machine {
   PhysMem mem_;
   Cpu cpu_;
   FrameAllocator frames_;
+  FaultBus faults_;
   uint16_t next_pcid_ = 1;  // PCID 0 belongs to the host kernel
   OwnerId next_owner_ = 1;
 };

@@ -17,6 +17,12 @@ uint64_t VcpuScheduler::Run(uint64_t max_slices) {
       if (task.done) {
         continue;
       }
+      if (!task.engine->alive()) {
+        // Killed by its fault domain since the last slice: retire the vCPU
+        // without entering the (torn-down) guest.
+        task.done = true;
+        continue;
+      }
       any_runnable = true;
       slices++;
       task.slices++;
@@ -27,8 +33,14 @@ uint64_t VcpuScheduler::Run(uint64_t max_slices) {
       ctx_.ChargeWork(ctx_.cost().virq_inject);
       SimNanos slice_start = ctx_.clock().now();
       bool wants_more = true;
-      while (wants_more && ctx_.clock().now() - slice_start < timeslice_) {
-        wants_more = task.step();
+      try {
+        while (wants_more && ctx_.clock().now() - slice_start < timeslice_) {
+          wants_more = task.step();
+        }
+      } catch (const ContainerKilled&) {
+        // The step tripped a container-fatal fault; the engine is already
+        // torn down. The scheduler (and every other vCPU) keeps running.
+        wants_more = false;
       }
       task.cpu_time += ctx_.clock().now() - slice_start;
       if (!wants_more) {

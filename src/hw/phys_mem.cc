@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+
+#include "src/fault/fault_domain.h"
 
 namespace cki {
 
@@ -31,9 +33,12 @@ bool PhysMem::HasFrame(uint64_t pa) const {
 
 void PhysMem::CheckInstalled(uint64_t pa) const {
   if (!HasFrame(pa)) {
-    std::fprintf(stderr, "PhysMem: access to uninstalled frame at pa=0x%llx\n",
-                 static_cast<unsigned long long>(pa));
-    std::abort();
+    // An access outside installed DRAM is a simulator-usage bug, not a
+    // guest fault: surface it as the host-fatal exception so the harness
+    // can report it instead of dying with the process.
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(pa));
+    throw FatalHostError(std::string("PhysMem: access to uninstalled frame at pa=") + buf);
   }
 }
 

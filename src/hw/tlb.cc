@@ -83,6 +83,15 @@ void Tlb::InvalidatePcid(uint16_t pcid) {
   }
 }
 
+void Tlb::InvalidatePcidRange(uint16_t base, uint16_t count) {
+  uint32_t end = static_cast<uint32_t>(base) + count;
+  for (TlbEntry& e : entries_) {
+    if (e.valid && e.pcid >= base && e.pcid < end) {
+      e.valid = false;
+    }
+  }
+}
+
 void Tlb::FlushAll() {
   for (TlbEntry& e : entries_) {
     e.valid = false;

@@ -41,6 +41,10 @@ class Tlb {
   // INVPCID (single-context): drops every entry of one PCID.
   void InvalidatePcid(uint16_t pcid);
 
+  // Drops every entry whose PCID falls in [base, base + count) — the
+  // whole PCID range of a killed container, in one pass.
+  void InvalidatePcidRange(uint16_t base, uint16_t count);
+
   // Full flush (CR3 write without CR4.PCIDE, or INVPCID all-context).
   void FlushAll();
 

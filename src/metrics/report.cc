@@ -24,7 +24,15 @@ double ReportTable::ValueAt(const std::string& row_label, size_t col) const {
       return col < row.values.size() ? row.values[col] : 0.0;
     }
   }
-  throw std::out_of_range("no such row: " + row_label);
+  std::string have;
+  for (const Row& row : rows_) {
+    if (!have.empty()) {
+      have += ", ";
+    }
+    have += row.label;
+  }
+  throw std::out_of_range("no such row: " + row_label + " (available rows: " +
+                          (have.empty() ? "<none>" : have) + ")");
 }
 
 ReportTable ReportTable::NormalizedTo(const std::string& baseline_label, bool invert) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/fault/fault_injector.h"
 #include "src/obs/trace_scope.h"
 
 namespace cki {
@@ -16,11 +17,33 @@ VirtNic::VirtNic(ContainerEngine& engine, VSwitch& sw, std::string name, NicConf
   if (config_.tx_batch < 1) {
     config_.tx_batch = 1;
   }
+  // Unplug automatically when the owning container's fault domain dies.
+  kill_hook_token_ =
+      engine_.machine().faults().AddKillHook(engine_.id(), [this] { Detach(); });
+}
+
+VirtNic::~VirtNic() { engine_.machine().faults().RemoveKillHook(kill_hook_token_); }
+
+void VirtNic::Detach() {
+  if (detached_) {
+    return;
+  }
+  detached_ = true;
+  sw_.DetachPort(port_);
+  tx_ring_.clear();
+  flows_.clear();
+  listeners_.clear();
+  connect_results_.clear();
+  rx_buffered_ = 0;
+  irq_pending_ = false;
 }
 
 // --- TX path ---------------------------------------------------------------
 
 uint64_t VirtNic::Transmit(int conn, uint64_t bytes) {
+  if (detached_) {
+    return 0;
+  }
   auto it = flows_.find(conn);
   if (it == flows_.end()) {
     return 0;
@@ -163,6 +186,9 @@ int64_t VirtNic::Accept(int64_t handle) {
 }
 
 int64_t VirtNic::Connect(int dst_port, uint16_t service) {
+  if (detached_) {
+    return kECONNREFUSED;
+  }
   int flow = sw_.AllocFlow();
   connect_results_[flow] = kEAGAIN;  // in progress
   flows_[flow] = FlowState{.peer = dst_port};
@@ -241,7 +267,19 @@ bool VirtNic::DeliverFrame(const Packet& p) {
         stats_.rx_drops++;
         return true;  // consumed and dropped, like a closed TCP port
       }
+      if (injector_ != nullptr && injector_->InjectVirtioCorruption()) {
+        // A corrupted RX descriptor is a container-fatal device error.
+        // Kill (not Raise): we are on the *sender's* stack here, and the
+        // sender must keep running — only this NIC's owner dies.
+        stats_.rx_drops++;
+        engine_.machine().faults().Kill({FaultKind::kVirtioRingCorruption, engine_.id(),
+                                         static_cast<uint64_t>(p.flow)});
+        return true;  // `it` is dead: Detach() cleared flows_ under us
+      }
       if (rx_buffered_ >= config_.rx_ring) {
+        // Overload is a pressure signal, not a kill: the switch queues.
+        engine_.machine().faults().Note(
+            {FaultKind::kNicOverload, engine_.id(), static_cast<uint64_t>(rx_buffered_)});
         return false;  // ring full: the switch queues (or drops) the frame
       }
       it->second.rx.push_back(p.bytes);

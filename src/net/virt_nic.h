@@ -54,10 +54,20 @@ struct NicStats {
 class VirtNic : public NetPort, public NetDevice {
  public:
   VirtNic(ContainerEngine& engine, VSwitch& sw, std::string name, NicConfig config = NicConfig{});
+  ~VirtNic() override;
 
   int port() const { return port_; }
   const NicStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
+  bool detached() const { return detached_; }
+
+  // Unplugs the NIC from the switch and drops all in-flight state. Runs
+  // automatically (via a FaultBus kill hook) when the owning container is
+  // killed; idempotent.
+  void Detach();
+
+  // Arms deterministic virtio descriptor corruption (chaos testing).
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
 
   // --- guest side (NetPort) ----------------------------------------------
   uint64_t Transmit(int conn, uint64_t bytes) override;
@@ -112,6 +122,9 @@ class VirtNic : public NetPort, public NetDevice {
   std::string name_;
   NicConfig config_;
   int port_;
+  FaultInjector* injector_ = nullptr;
+  uint64_t kill_hook_token_ = 0;
+  bool detached_ = false;
 
   std::deque<Packet> tx_ring_;  // frames buffered until the next kick
   size_t rx_buffered_ = 0;      // frames across all flow RX queues

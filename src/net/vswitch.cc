@@ -1,5 +1,6 @@
 #include "src/net/vswitch.h"
 
+#include "src/fault/fault_injector.h"
 #include "src/obs/trace_scope.h"
 
 namespace cki {
@@ -37,6 +38,16 @@ void VSwitch::Absorb(const Packet& p) {
   trace_hash_ = HashFrame(trace_hash_, p);
 }
 
+void VSwitch::DetachPort(int port) {
+  if (port < 0 || static_cast<size_t>(port) >= ports_.size()) {
+    return;
+  }
+  PortState& dst = ports_[static_cast<size_t>(port)];
+  dst.dev = nullptr;
+  dst.stats.drops += dst.queue.size();
+  dst.queue.clear();
+}
+
 bool VSwitch::Send(const Packet& p) {
   TraceScope obs_scope(ctx_, "net/hop");
   if (p.src >= 0 && static_cast<size_t>(p.src) < ports_.size()) {
@@ -56,8 +67,34 @@ bool VSwitch::Send(const Packet& p) {
     }
     return false;
   }
-  Absorb(p);
   PortState& dst = ports_[static_cast<size_t>(p.dst)];
+  if (dst.dev == nullptr) {
+    // Detached port (container killed): frames toward it black-hole.
+    dst.stats.drops++;
+    return false;
+  }
+  Absorb(p);
+  if (injector_ != nullptr && injector_->InjectPacketDrop()) {
+    injected_drops_++;
+    dst.stats.drops++;
+    return false;
+  }
+  bool delivered = Offer(dst, p);
+  if (delivered && injector_ != nullptr && injector_->InjectPacketDup()) {
+    injected_dups_++;
+    Absorb(p);  // the duplicate is part of the packet trace too
+    Offer(dst, p);
+  }
+  return delivered;
+}
+
+bool VSwitch::Offer(PortState& dst, const Packet& p) {
+  if (dst.dev == nullptr) {
+    // Delivery of the original frame can kill (and detach) the very port
+    // a duplicate is bound for.
+    dst.stats.drops++;
+    return false;
+  }
   // Frames already waiting toward this port keep FIFO order.
   if (dst.queue.empty() && dst.dev->DeliverFrame(p)) {
     dst.stats.rx_packets++;
@@ -78,19 +115,24 @@ void VSwitch::DrainPort(int port) {
     return;
   }
   PortState& dst = ports_[static_cast<size_t>(port)];
-  while (!dst.queue.empty()) {
-    const Packet& p = dst.queue.front();
+  while (dst.dev != nullptr && !dst.queue.empty()) {
+    Packet p = dst.queue.front();  // by value: delivery may detach the port
     if (!dst.dev->DeliverFrame(p)) {
       return;
     }
     dst.stats.rx_packets++;
     dst.stats.rx_bytes += p.bytes;
+    if (dst.queue.empty()) {
+      break;  // delivery killed the container and flushed the queue
+    }
     dst.queue.pop_front();
   }
 }
 
 void VSwitch::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Inc("net/switch/packets", forwarded_);
+  metrics.Inc("net/switch/injected_drops", injected_drops_);
+  metrics.Inc("net/switch/injected_dups", injected_dups_);
   for (const PortState& port : ports_) {
     std::string prefix = "net/port/" + port.name + "/";
     metrics.Inc(prefix + "tx_pkts", port.stats.tx_packets);

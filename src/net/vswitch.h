@@ -26,6 +26,8 @@
 
 namespace cki {
 
+class FaultInjector;
+
 // A device attached to one switch port (a VirtNic or a load generator).
 class NetDevice {
  public:
@@ -60,6 +62,14 @@ class VSwitch {
   // Attaches `dev` and returns its port number (also its network address).
   int AttachPort(NetDevice& dev, std::string name);
 
+  // Detaches the device behind `port` (its container was killed): queued
+  // frames are counted as drops, and future frames toward the port
+  // black-hole instead of reaching a dead device.
+  void DetachPort(int port);
+
+  // Arms deterministic packet drop/duplication (chaos testing).
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
+
   // Forwards `p` from p.src to p.dst, charging the hop. Returns false only
   // when the frame was dropped (destination busy and its FIFO full).
   bool Send(const Packet& p);
@@ -82,6 +92,8 @@ class VSwitch {
   const LinkConfig& link() const { return link_; }
 
   uint64_t packets_forwarded() const { return forwarded_; }
+  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_dups() const { return injected_dups_; }
   // Order-sensitive FNV-1a digest over every forwarded frame.
   uint64_t trace_hash() const { return trace_hash_; }
 
@@ -98,12 +110,17 @@ class VSwitch {
   };
 
   void Absorb(const Packet& p);  // hash + forwarded bookkeeping
+  // Deliver-or-queue toward `dst`; false only when the frame was dropped.
+  bool Offer(PortState& dst, const Packet& p);
 
   SimContext& ctx_;
   LinkConfig link_;
   std::vector<PortState> ports_;
+  FaultInjector* injector_ = nullptr;
   int next_flow_ = 1;
   uint64_t forwarded_ = 0;
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_dups_ = 0;
   uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
 };
 

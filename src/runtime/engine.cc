@@ -1,10 +1,94 @@
 #include "src/runtime/engine.h"
 
+#include <string>
+
+#include "src/fault/fault_injector.h"
+#include "src/obs/trace_scope.h"
+
 namespace cki {
 
+ContainerEngine::~ContainerEngine() {
+  machine_.faults().UnregisterDomain(id_);
+  // Teardown leak check: frames still owned at destruction are reported
+  // as a metric, never an abort (the machine reclaims them anyway).
+  uint64_t leaked = machine_.frames().OwnedFrames(id_);
+  if (leaked > 0) {
+    machine_.faults().NoteLeak(id_, leaked);
+  }
+}
+
 void ContainerEngine::Boot() {
+  machine_.faults().RegisterDomain(id_, std::string(name()),
+                                   [this] { KillFromFault(); });
   kernel_ = std::make_unique<GuestKernel>(ctx_, *this);
   kernel_->CreateInitProcess();
+}
+
+void ContainerEngine::KillFromFault() {
+  if (killed_) {
+    return;
+  }
+  killed_ = true;
+  {
+    TraceScope kill_scope(ctx_, id_, "fault/kill");
+    OnKill();
+    if (kernel_) {
+      kernel_->KillAllProcesses();
+    }
+    ctx_.ChargeWork(ctx_.cost().fault_kill_fixed);
+  }
+  TraceScope reclaim_scope(ctx_, id_, "fault/reclaim");
+  machine_.cpu().tlb().InvalidatePcidRange(pcid_base_, pcid_count_);
+  uint64_t reclaimed = machine_.frames().ReclaimOwner(id_);
+  machine_.faults().NoteReclaim(id_, reclaimed);
+  ctx_.ChargeWork(ctx_.cost().fault_reclaim_per_frame *
+                  static_cast<SimNanos>(reclaimed));
+}
+
+SyscallResult ContainerEngine::UserSyscall(const SyscallRequest& req) {
+  if (killed_) {
+    return SyscallResult{kEKILLED};
+  }
+  try {
+    return DoUserSyscall(req);
+  } catch (const ContainerKilled& killed) {
+    if (killed.owner() != id_) {
+      throw;  // mis-routed kill: a bug, not a guest fault
+    }
+    return SyscallResult{kEKILLED};
+  }
+}
+
+TouchResult ContainerEngine::UserTouch(uint64_t va, bool write) {
+  if (killed_) {
+    return TouchResult::kKilled;
+  }
+  try {
+    if (injector_ != nullptr && injector_->InjectPksViolation()) {
+      machine_.faults().Raise(
+          FaultReport{FaultKind::kPksTrap, id_, va});
+    }
+    return DoUserTouch(va, write);
+  } catch (const ContainerKilled& killed) {
+    if (killed.owner() != id_) {
+      throw;
+    }
+    return TouchResult::kKilled;
+  }
+}
+
+uint64_t ContainerEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+  if (killed_) {
+    return 0;
+  }
+  try {
+    return DoGuestHypercall(op, a0, a1);
+  } catch (const ContainerKilled& killed) {
+    if (killed.owner() != id_) {
+      throw;
+    }
+    return 0;
+  }
 }
 
 uint64_t ContainerEngine::MmapAnon(uint64_t bytes, bool populate) {

@@ -2,6 +2,12 @@
 // one of the four isolation mechanisms (RunC, HVM, PVM, CKI) on a shared
 // Machine, implements the EnginePort seam with that design's mechanism and
 // costs, and exposes the user-visible operations the workloads drive.
+//
+// Every engine is also a fault domain: the public entry points are
+// non-virtual wrappers that refuse work once the container has been killed
+// and convert the ContainerKilled unwind of this engine's own faults into
+// an error return — so a fault in one container can never take down the
+// caller, the Machine, or a neighbor engine.
 #ifndef SRC_RUNTIME_ENGINE_H_
 #define SRC_RUNTIME_ENGINE_H_
 
@@ -14,21 +20,23 @@
 
 namespace cki {
 
-enum class TouchResult : uint8_t { kOk, kSegv };
+class FaultInjector;
+
+enum class TouchResult : uint8_t { kOk, kSegv, kKilled };
 
 class ContainerEngine : public EnginePort {
  public:
   explicit ContainerEngine(Machine& machine)
       : machine_(machine), ctx_(machine.ctx()), id_(machine.AllocOwnerId()) {}
-  ~ContainerEngine() override = default;
+  ~ContainerEngine() override;
 
   ContainerEngine(const ContainerEngine&) = delete;
   ContainerEngine& operator=(const ContainerEngine&) = delete;
 
   virtual std::string_view name() const = 0;
 
-  // Boots the container: engine-specific setup, then the guest kernel and
-  // its init process.
+  // Boots the container: registers its fault domain, then engine-specific
+  // setup, then the guest kernel and its init process.
   virtual void Boot();
 
   GuestKernel& kernel() { return *kernel_; }
@@ -36,18 +44,32 @@ class ContainerEngine : public EnginePort {
   OwnerId id() const { return id_; }
   bool nested() const { return machine_.nested(); }
 
+  // False once this container's fault domain has killed it.
+  bool alive() const { return !killed_; }
+  // Base of this engine's hardware PCID range (for TLB-isolation tests).
+  uint16_t pcid_base() const { return pcid_base_; }
+
+  // Arms deterministic fault injection on this engine's guest-facing
+  // paths (PKS violations on touches; engines add their own sites).
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
+
+  // Kills this container in place: engine hook, guest process teardown,
+  // PCID-range TLB flush, frame reclamation. Idempotent; never throws.
+  // Invoked by the fault domain handler and directly by chaos drivers.
+  void KillFromFault();
+
   // --- user-visible operations (what workloads drive) -----------------------
   // A syscall from the current container process, through the design's full
-  // entry/exit path.
-  virtual SyscallResult UserSyscall(const SyscallRequest& req) = 0;
+  // entry/exit path. Returns kEKILLED once the container is dead.
+  SyscallResult UserSyscall(const SyscallRequest& req);
 
   // A user-mode memory access, through the MMU; faults are carried through
   // the design's full delivery/handling/return path.
-  virtual TouchResult UserTouch(uint64_t va, bool write) = 0;
+  TouchResult UserTouch(uint64_t va, bool write);
 
   // A guest-kernel-level request to the host (the "empty hypercall" of the
   // microbenchmarks). RunC has no hypervisor, so its engine returns 0 cost.
-  virtual uint64_t GuestHypercall(HypercallOp op, uint64_t a0 = 0, uint64_t a1 = 0) = 0;
+  uint64_t GuestHypercall(HypercallOp op, uint64_t a0 = 0, uint64_t a1 = 0);
 
   // --- virtio path primitives (I/O workloads) -------------------------------
   // Cost of one queue notification from guest to host (doorbell).
@@ -66,10 +88,32 @@ class ContainerEngine : public EnginePort {
   uint64_t MmapAnon(uint64_t bytes, bool populate);
 
  protected:
+  // Design-specific implementations behind the fault-domain wrappers.
+  virtual SyscallResult DoUserSyscall(const SyscallRequest& req) = 0;
+  virtual TouchResult DoUserTouch(uint64_t va, bool write) = 0;
+  virtual uint64_t DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) = 0;
+
+  // Engine-specific teardown run first on a kill (drop monitor state,
+  // shadow roots, ...). Must not call back into guest code.
+  virtual void OnKill() {}
+
+  // Claims this engine's hardware PCID range (recorded so the kill path
+  // can flush exactly this container's TLB contexts).
+  void AllocPcids(uint16_t count) {
+    pcid_base_ = machine_.AllocPcidRange(count);
+    pcid_count_ = count;
+  }
+
   Machine& machine_;
   SimContext& ctx_;
   OwnerId id_;
   std::unique_ptr<GuestKernel> kernel_;
+  uint16_t pcid_base_ = 0;
+  uint16_t pcid_count_ = 0;
+  FaultInjector* injector_ = nullptr;
+
+ private:
+  bool killed_ = false;
 };
 
 }  // namespace cki

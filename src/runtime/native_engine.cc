@@ -4,10 +4,11 @@
 
 namespace cki {
 
-NativeEngine::NativeEngine(Machine& machine)
-    : ContainerEngine(machine), pcid_base_(machine.AllocPcidRange(256)) {}
+NativeEngine::NativeEngine(Machine& machine) : ContainerEngine(machine) {
+  AllocPcids(256);
+}
 
-SyscallResult NativeEngine::UserSyscall(const SyscallRequest& req) {
+SyscallResult NativeEngine::DoUserSyscall(const SyscallRequest& req) {
   // Native path: syscall -> ring-0 handler -> sysret. 90 ns plus handler.
   LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
@@ -20,7 +21,7 @@ SyscallResult NativeEngine::UserSyscall(const SyscallRequest& req) {
   return result;
 }
 
-TouchResult NativeEngine::UserTouch(uint64_t va, bool write) {
+TouchResult NativeEngine::DoUserTouch(uint64_t va, bool write) {
   TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
@@ -47,7 +48,7 @@ TouchResult NativeEngine::UserTouch(uint64_t va, bool write) {
   return TouchResult::kSegv;
 }
 
-uint64_t NativeEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+uint64_t NativeEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   // No hypervisor below an OS-level container; the operation is a no-op.
   (void)op;
   (void)a0;
@@ -89,7 +90,11 @@ void NativeEngine::FreePtp(uint64_t pa, int level) {
 }
 
 uint64_t NativeEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
-  return GuestHypercall(op, a0, a1);
+  // No hypervisor: the guest-kernel-side request is a no-op too.
+  (void)op;
+  (void)a0;
+  (void)a1;
+  return 0;
 }
 
 void NativeEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {

@@ -151,6 +151,13 @@ struct CostModel {
   SimNanos context_switch_kernel = 990;   // native process switch (lmbench)
   SimNanos page_zero_4k = 250;            // clear_page() on first touch
 
+  // --- Fault domains -----------------------------------------------------------
+  // Killing a container: fixed host bookkeeping (deregistration, PCID-range
+  // flush, port detach) plus a per-frame sweep cost for returning its
+  // frames to the allocator (free-list push + owner-map erase).
+  SimNanos fault_kill_fixed = 15000;
+  SimNanos fault_reclaim_per_frame = 30;
+
   // Returns the model calibrated against the paper (the defaults above).
   static CostModel Calibrated() { return CostModel{}; }
 

@@ -41,6 +41,8 @@ enum class PathEvent : uint8_t {
   kPrivInstrTrap,     // blocked privileged instruction attempted
   kSecurityViolation, // isolation breach attempt detected & stopped
   kContextSwitch,     // guest process switch
+  kGuestOom,          // guest allocation failed; ENOMEM propagated
+  kContainerKill,     // fault domain killed a container
   kCount,             // sentinel
 };
 
@@ -72,6 +74,8 @@ inline constexpr auto kPathEventNames = std::to_array<std::string_view>({
     "priv_instr_trap",
     "security_violation",
     "context_switch",
+    "guest_oom",
+    "container_kill",
 });
 static_assert(kPathEventNames.size() == static_cast<size_t>(PathEvent::kCount),
               "every PathEvent up to kCount must have a name in kPathEventNames");

@@ -16,8 +16,9 @@ constexpr SimNanos kSentryHandlerExtra = 180;
 constexpr SimNanos kNetstackExtra = 2200;
 }  // namespace
 
-GvisorEngine::GvisorEngine(Machine& machine)
-    : ContainerEngine(machine), pcid_base_(machine.AllocPcidRange(256)) {}
+GvisorEngine::GvisorEngine(Machine& machine) : ContainerEngine(machine) {
+  AllocPcids(256);
+}
 
 SimNanos GvisorEngine::SystrapCost() const {
   const CostModel& c = ctx_.cost();
@@ -25,7 +26,7 @@ SimNanos GvisorEngine::SystrapCost() const {
   return 2 * c.mode_switch + 2 * c.Cr3SwitchMitigated() + kSystrapIpcWork;
 }
 
-SyscallResult GvisorEngine::UserSyscall(const SyscallRequest& req) {
+SyscallResult GvisorEngine::DoUserSyscall(const SyscallRequest& req) {
   LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
@@ -43,7 +44,7 @@ SyscallResult GvisorEngine::UserSyscall(const SyscallRequest& req) {
   return result;
 }
 
-TouchResult GvisorEngine::UserTouch(uint64_t va, bool write) {
+TouchResult GvisorEngine::DoUserTouch(uint64_t va, bool write) {
   TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
@@ -75,7 +76,7 @@ TouchResult GvisorEngine::UserTouch(uint64_t va, bool write) {
   return TouchResult::kSegv;
 }
 
-uint64_t GvisorEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+uint64_t GvisorEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   return Hypercall(op, a0, a1);
 }
 

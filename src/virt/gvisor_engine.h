@@ -20,10 +20,6 @@ class GvisorEngine : public ContainerEngine {
 
   std::string_view name() const override { return "gVisor"; }
 
-  SyscallResult UserSyscall(const SyscallRequest& req) override;
-  TouchResult UserTouch(uint64_t va, bool write) override;
-  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
-
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
   SimNanos VirtioEmulationExtra() const override;
@@ -42,8 +38,10 @@ class GvisorEngine : public ContainerEngine {
   void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
   void InvalidatePage(uint64_t va) override;
 
- private:
-  uint16_t pcid_base_;
+ protected:
+  SyscallResult DoUserSyscall(const SyscallRequest& req) override;
+  TouchResult DoUserTouch(uint64_t va, bool write) override;
+  uint64_t DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
 };
 
 }  // namespace cki

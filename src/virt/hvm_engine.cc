@@ -1,8 +1,5 @@
 #include "src/virt/hvm_engine.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "src/obs/trace_scope.h"
 
 namespace cki {
@@ -10,8 +7,9 @@ namespace cki {
 HvmEngine::HvmEngine(Machine& machine)
     : ContainerEngine(machine),
       ept_(machine.mem(),
-           [this](int /*level*/) { return machine_.frames().AllocFrame(kHostOwner); }),
-      pcid_base_(machine.AllocPcidRange(256)) {}
+           [this](int /*level*/) { return machine_.frames().AllocFrame(kHostOwner); }) {
+  AllocPcids(256);
+}
 
 void HvmEngine::Boot() {
   if (nested() && !machine_.config().nested_virt_available) {
@@ -40,9 +38,10 @@ uint64_t HvmEngine::Backing(uint64_t gpa, bool create) {
     return it->second | (gpa & (kPageSize - 1));
   }
   if (!create) {
-    std::fprintf(stderr, "HvmEngine: unbacked gPA 0x%llx\n",
-                 static_cast<unsigned long long>(gpa));
-    std::abort();
+    // An EPT reference to a gPA the host never assigned: protection
+    // violation, container-fatal only.
+    machine_.faults().Raise(
+        FaultReport{FaultKind::kProtectionViolation, id_, gpa});
   }
   uint64_t hpa = machine_.frames().AllocFrame(id_);
   backing_[gfn] = hpa;
@@ -100,7 +99,7 @@ void HvmEngine::HandleEptViolation(uint64_t gpa) {
   }
 }
 
-SyscallResult HvmEngine::UserSyscall(const SyscallRequest& req) {
+SyscallResult HvmEngine::DoUserSyscall(const SyscallRequest& req) {
   // Native-speed syscalls inside the guest: no VM exit involved.
   LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
   Cpu& cpu = machine_.cpu();
@@ -113,7 +112,7 @@ SyscallResult HvmEngine::UserSyscall(const SyscallRequest& req) {
   return result;
 }
 
-TouchResult HvmEngine::UserTouch(uint64_t va, bool write) {
+TouchResult HvmEngine::DoUserTouch(uint64_t va, bool write) {
   TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
@@ -156,8 +155,16 @@ TouchResult HvmEngine::UserTouch(uint64_t va, bool write) {
   return TouchResult::kSegv;
 }
 
-uint64_t HvmEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+uint64_t HvmEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   return Hypercall(op, a0, a1);
+}
+
+void HvmEngine::OnKill() {
+  // Drop gPA bookkeeping before the owner sweep reclaims the backing
+  // frames (the host-owned EPT table pages stay with the host allocator).
+  backing_.clear();
+  guest_free_list_.clear();
+  data_free_list_.clear();
 }
 
 uint64_t HvmEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {

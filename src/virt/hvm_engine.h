@@ -28,10 +28,6 @@ class HvmEngine : public ContainerEngine {
   // the IaaS VM has no nested virtualization). Boot() then does nothing.
   bool deployment_unavailable() const { return deployment_unavailable_; }
 
-  SyscallResult UserSyscall(const SyscallRequest& req) override;
-  TouchResult UserTouch(uint64_t va, bool write) override;
-  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
-
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
   SimNanos VirtioEmulationExtra() const override;
@@ -55,13 +51,19 @@ class HvmEngine : public ContainerEngine {
   void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
   void InvalidatePage(uint64_t va) override;
 
+ protected:
+  SyscallResult DoUserSyscall(const SyscallRequest& req) override;
+  TouchResult DoUserTouch(uint64_t va, bool write) override;
+  uint64_t DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+  void OnKill() override;
+
  private:
   // One VM exit round trip, bare-metal or nested as configured.
   void ChargeVmExit();
   // Handles an EPT violation at guest-physical address `gpa`.
   void HandleEptViolation(uint64_t gpa);
   // Host-physical address backing `gpa`; allocates (and EPT-maps) when
-  // `create` is set. Aborts if absent and !create.
+  // `create` is set. Absent and !create kills the container.
   uint64_t Backing(uint64_t gpa, bool create);
   uint64_t GuestPhysAlloc();
 
@@ -73,7 +75,6 @@ class HvmEngine : public ContainerEngine {
   // Data pages come from a separate gPA arena so 2 MiB EPT backing never
   // covers (and corrupts) page-table pages.
   uint64_t data_gpa_next_ = (1ull << 40) >> kPageShift;
-  uint16_t pcid_base_;
   bool cold_faults_ = false;
   bool ept_huge_pages_ = false;
   bool deployment_unavailable_ = false;

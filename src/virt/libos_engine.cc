@@ -9,8 +9,9 @@ namespace {
 constexpr SimNanos kFnCallOverhead = 8;
 }  // namespace
 
-LibOsEngine::LibOsEngine(Machine& machine)
-    : ContainerEngine(machine), pcid_base_(machine.AllocPcidRange(16)) {}
+LibOsEngine::LibOsEngine(Machine& machine) : ContainerEngine(machine) {
+  AllocPcids(16);
+}
 
 void LibOsEngine::MapLibOsState() {
   if (state_mapped_) {
@@ -29,7 +30,7 @@ void LibOsEngine::MapLibOsState() {
                        .kind = VmaKind::kAnon});
 }
 
-SyscallResult LibOsEngine::UserSyscall(const SyscallRequest& req) {
+SyscallResult LibOsEngine::DoUserSyscall(const SyscallRequest& req) {
   // Compatibility limit: a single-process container.
   if (req.no == Sys::kFork || req.no == Sys::kExecve) {
     return {kEINVAL};
@@ -41,7 +42,7 @@ SyscallResult LibOsEngine::UserSyscall(const SyscallRequest& req) {
   return kernel_->HandleSyscall(req);
 }
 
-TouchResult LibOsEngine::UserTouch(uint64_t va, bool write) {
+TouchResult LibOsEngine::DoUserTouch(uint64_t va, bool write) {
   TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
@@ -79,7 +80,7 @@ bool LibOsEngine::AppCanTouchLibOsState() {
   return f.ok();
 }
 
-uint64_t LibOsEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+uint64_t LibOsEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   return Hypercall(op, a0, a1);
 }
 

@@ -19,10 +19,6 @@ class LibOsEngine : public ContainerEngine {
 
   std::string_view name() const override { return "LibOS"; }
 
-  SyscallResult UserSyscall(const SyscallRequest& req) override;
-  TouchResult UserTouch(uint64_t va, bool write) override;
-  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
-
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
 
@@ -42,12 +38,16 @@ class LibOsEngine : public ContainerEngine {
   void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
   void InvalidatePage(uint64_t va) override;
 
+ protected:
+  SyscallResult DoUserSyscall(const SyscallRequest& req) override;
+  TouchResult DoUserTouch(uint64_t va, bool write) override;
+  uint64_t DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+
  private:
   // LibOS state page mapped user-accessible (the whole point of the test).
   static constexpr uint64_t kLibOsStateVa = 0x0000'6000'0000'0000;
   void MapLibOsState();
 
-  uint16_t pcid_base_;
   bool state_mapped_ = false;
 };
 

@@ -1,8 +1,5 @@
 #include "src/virt/pvm_engine.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "src/obs/trace_scope.h"
 
 namespace cki {
@@ -14,8 +11,9 @@ PvmEngine::PvmEngine(Machine& machine)
                      [&machine](uint64_t pte_pa, uint64_t value, int, uint64_t) {
                        machine.mem().WriteU64(pte_pa, value);
                        return true;
-                     }),
-      pcid_base_(machine.AllocPcidRange(256)) {}
+                     }) {
+  AllocPcids(256);
+}
 
 uint64_t PvmEngine::GuestPhysAlloc() {
   if (!guest_free_list_.empty()) {
@@ -33,9 +31,10 @@ uint64_t PvmEngine::Backing(uint64_t gpa, bool create) {
     return it->second | (gpa & (kPageSize - 1));
   }
   if (!create) {
-    std::fprintf(stderr, "PvmEngine: unbacked gPA 0x%llx\n",
-                 static_cast<unsigned long long>(gpa));
-    std::abort();
+    // The guest referenced a gPA the host never assigned it: a protection
+    // violation that kills this container, not the machine.
+    machine_.faults().Raise(
+        FaultReport{FaultKind::kProtectionViolation, id_, gpa});
   }
   if (cold_faults_) {
     // Fresh backing: the host resolves the gPA through the hypervisor
@@ -99,7 +98,7 @@ void PvmEngine::SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_
   shadow_fills_++;
 }
 
-SyscallResult PvmEngine::UserSyscall(const SyscallRequest& req) {
+SyscallResult PvmEngine::DoUserSyscall(const SyscallRequest& req) {
   // App -> host kernel -> (mode + page-table switch) -> user-mode guest
   // kernel -> handler -> (switch back) -> host -> app. Fig 10b: 336 ns.
   LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
@@ -115,7 +114,7 @@ SyscallResult PvmEngine::UserSyscall(const SyscallRequest& req) {
   return result;
 }
 
-TouchResult PvmEngine::UserTouch(uint64_t va, bool write) {
+TouchResult PvmEngine::DoUserTouch(uint64_t va, bool write) {
   TraceScope obs_scope(ctx_, id_, "touch");
   Cpu& cpu = machine_.cpu();
   cpu.set_cpl(Cpl::kUser);
@@ -160,8 +159,19 @@ TouchResult PvmEngine::UserTouch(uint64_t va, bool write) {
   return TouchResult::kSegv;
 }
 
-uint64_t PvmEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
+uint64_t PvmEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
   return Hypercall(op, a0, a1);
+}
+
+void PvmEngine::OnKill() {
+  // Drop the gPA->hPA and shadow maps before the owner sweep reclaims the
+  // backing frames (the host-owned shadow tables themselves stay with the
+  // host allocator; see DESIGN.md section 8).
+  backing_.clear();
+  shadow_roots_.clear();
+  guest_free_list_.clear();
+  in_batch_ = false;
+  batch_pending_ = 0;
 }
 
 uint64_t PvmEngine::Hypercall(HypercallOp op, uint64_t a0, uint64_t a1) {

@@ -24,10 +24,6 @@ class PvmEngine : public ContainerEngine {
 
   std::string_view name() const override { return nested() ? "PVM-NST" : "PVM-BM"; }
 
-  SyscallResult UserSyscall(const SyscallRequest& req) override;
-  TouchResult UserTouch(uint64_t va, bool write) override;
-  uint64_t GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
-
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
   SimNanos VirtioEmulationExtra() const override;
@@ -51,6 +47,12 @@ class PvmEngine : public ContainerEngine {
   void LoadAddressSpace(uint64_t root_pa, uint16_t asid) override;
   void InvalidatePage(uint64_t va) override;
 
+ protected:
+  SyscallResult DoUserSyscall(const SyscallRequest& req) override;
+  TouchResult DoUserTouch(uint64_t va, bool write) override;
+  uint64_t DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) override;
+  void OnKill() override;
+
  private:
   // One PVM "VM exit" round trip: host entry/exit without virtualization
   // hardware (2 mode switches + 2 mitigated CR3 switches + save/restore).
@@ -71,7 +73,6 @@ class PvmEngine : public ContainerEngine {
   std::unordered_map<uint64_t, uint64_t> shadow_roots_;  // guest root -> shadow root (hPA)
   std::vector<uint64_t> guest_free_list_;
   uint64_t guest_ram_next_ = 0;
-  uint16_t pcid_base_;
   bool cold_faults_ = false;
   bool in_batch_ = false;
   int batch_pending_ = 0;

@@ -1,0 +1,335 @@
+// Fault-domain and fault-injection tests: blast-radius containment (one
+// container's death leaves neighbors untouched), deterministic chaos
+// replay, and the counted-not-fatal failure paths.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/cki/cki_engine.h"
+#include "src/fault/fault_domain.h"
+#include "src/fault/fault_injector.h"
+#include "src/net/virt_nic.h"
+#include "src/net/vswitch.h"
+#include "src/runtime/runtime.h"
+#include "src/sim/rng.h"
+
+namespace cki {
+namespace {
+
+// --- FaultBus unit ----------------------------------------------------------
+
+TEST(FaultBusTest, NoteRecordsWithoutKilling) {
+  SimContext ctx{CostModel::Calibrated()};
+  FaultBus bus(ctx);
+  bool killed = false;
+  bus.RegisterDomain(1, "c1", [&] { killed = true; });
+  bus.Note(FaultReport{FaultKind::kNicOverload, 1, 42});
+  EXPECT_FALSE(killed);
+  EXPECT_TRUE(bus.alive(1));
+  EXPECT_EQ(bus.faults_reported(), 1u);
+  EXPECT_EQ(bus.CountForKind(FaultKind::kNicOverload), 1u);
+  EXPECT_EQ(bus.containers_killed(), 0u);
+}
+
+TEST(FaultBusTest, KillRunsHooksThenHandlerOnceAndIsIdempotent) {
+  SimContext ctx{CostModel::Calibrated()};
+  FaultBus bus(ctx);
+  std::vector<std::string> order;
+  bus.RegisterDomain(1, "c1", [&] { order.push_back("handler"); });
+  bus.AddKillHook(1, [&] { order.push_back("hook"); });
+  bus.Kill(FaultReport{FaultKind::kProtectionViolation, 1, 0});
+  EXPECT_FALSE(bus.alive(1));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "hook");  // devices detach before the engine tears down
+  EXPECT_EQ(order[1], "handler");
+  // A second kill of a dead container is already contained: recorded, no
+  // second teardown, no host-fatal escalation.
+  bus.Kill(FaultReport{FaultKind::kPksTrap, 1, 0});
+  EXPECT_EQ(order.size(), 2u);
+  EXPECT_EQ(bus.containers_killed(), 1u);
+}
+
+TEST(FaultBusTest, RaiseThrowsContainerKilledWithReport) {
+  SimContext ctx{CostModel::Calibrated()};
+  FaultBus bus(ctx);
+  bus.RegisterDomain(7, "c7", [] {});
+  try {
+    bus.Raise(FaultReport{FaultKind::kPtpVerdictRejected, 7, 0xABC});
+    FAIL() << "Raise must not return";
+  } catch (const ContainerKilled& killed) {
+    EXPECT_EQ(killed.owner(), 7u);
+    EXPECT_EQ(killed.report().kind, FaultKind::kPtpVerdictRejected);
+    EXPECT_EQ(killed.report().detail, 0xABCu);
+  }
+  EXPECT_FALSE(bus.alive(7));
+}
+
+TEST(FaultBusTest, UnregisteredOwnerIsHostFatal) {
+  SimContext ctx{CostModel::Calibrated()};
+  FaultBus bus(ctx);
+  EXPECT_THROW(bus.Kill(FaultReport{FaultKind::kFrameExhausted, 99, 0}),
+               FatalHostError);
+  EXPECT_THROW(bus.Kill(FaultReport{FaultKind::kFrameExhausted, kHostOwner, 0}),
+               FatalHostError);
+}
+
+TEST(FaultBusTest, RemovedHookDoesNotRun) {
+  SimContext ctx{CostModel::Calibrated()};
+  FaultBus bus(ctx);
+  bool hook_ran = false;
+  bus.RegisterDomain(1, "c1", [] {});
+  uint64_t token = bus.AddKillHook(1, [&] { hook_ran = true; });
+  bus.RemoveKillHook(token);
+  bus.Kill(FaultReport{FaultKind::kProtectionViolation, 1, 0});
+  EXPECT_FALSE(hook_ran);
+}
+
+// --- FaultInjector unit -----------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameDecisionStreamAndHash) {
+  InjectorConfig config;
+  config.seed = 1234;
+  config.pks_violation_rate = 0.3;
+  config.virtio_corrupt_rate = 0.1;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.InjectPksViolation(), b.InjectPksViolation());
+    EXPECT_EQ(a.InjectVirtioCorruption(), b.InjectVirtioCorruption());
+  }
+  EXPECT_GT(a.injected(), 0u);
+  EXPECT_EQ(a.draws(), 1000u);
+  EXPECT_EQ(a.trace_hash(), b.trace_hash());
+
+  config.seed = 1235;
+  FaultInjector c(config);
+  for (int i = 0; i < 500; ++i) {
+    c.InjectPksViolation();
+    c.InjectVirtioCorruption();
+  }
+  EXPECT_NE(a.trace_hash(), c.trace_hash()) << "different seed, same trace";
+}
+
+TEST(FaultInjectorTest, DisarmedSiteConsumesNoDraw) {
+  InjectorConfig config;
+  config.seed = 5;
+  config.pks_violation_rate = 0.5;  // armed
+  FaultInjector with_noise(config);
+  FaultInjector without_noise(config);
+  // Interleave disarmed queries on one stream only: the armed site's
+  // decisions must be unaffected (disarmed sites draw nothing).
+  for (int i = 0; i < 200; ++i) {
+    with_noise.InjectVirtioCorruption();  // rate 0: disarmed
+    with_noise.InjectPacketDrop();        // rate 0: disarmed
+    EXPECT_EQ(with_noise.InjectPksViolation(), without_noise.InjectPksViolation());
+  }
+  EXPECT_EQ(with_noise.draws(), without_noise.draws());
+}
+
+// --- FrameAllocator reclaim sweep ------------------------------------------
+
+TEST(ReclaimTest, OwnerSweepReclaimsFramesAndSegmentsOfThatOwnerOnly) {
+  PhysMem mem;
+  FrameAllocator alloc(mem, 0x10'0000, 64);
+  std::vector<uint64_t> mine;
+  for (int i = 0; i < 5; ++i) {
+    mine.push_back(alloc.AllocFrame(1));
+  }
+  uint64_t theirs = alloc.AllocFrame(2);
+  PhysSegment seg = alloc.AllocSegment(8, 1);
+  ASSERT_EQ(seg.pages, 8u);
+  EXPECT_EQ(alloc.OwnedFrames(1), 13u);
+  EXPECT_EQ(alloc.OwnedFrames(2), 1u);
+
+  EXPECT_EQ(alloc.ReclaimOwner(1), 13u);
+  EXPECT_EQ(alloc.OwnedFrames(1), 0u);
+  EXPECT_EQ(alloc.OwnedFrames(2), 1u);
+  EXPECT_EQ(alloc.OwnerOf(theirs), 2u);
+  // The reclaimed frames are reusable.
+  for (int i = 0; i < 13; ++i) {
+    EXPECT_NE(alloc.AllocFrame(3), 0u);
+  }
+  // A second sweep of the same owner is a no-op.
+  EXPECT_EQ(alloc.ReclaimOwner(1), 0u);
+}
+
+// --- blast radius: kill one of two CKI containers ---------------------------
+
+size_t TlbEntriesForEngine(Machine& machine, const ContainerEngine& engine,
+                           uint16_t pcid_span) {
+  size_t n = 0;
+  for (uint16_t i = 0; i < pcid_span; ++i) {
+    n += machine.cpu().tlb().ValidCountForPcid(
+        static_cast<uint16_t>(engine.pcid_base() + i));
+  }
+  return n;
+}
+
+TEST(BlastRadiusTest, KillReclaimsVictimAndSparesNeighbor) {
+  Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+  std::unique_ptr<ContainerEngine> victim = MakeEngine(machine, RuntimeKind::kCki);
+  victim->Boot();
+  // Touch while the victim's address space is loaded so its PCIDs hold
+  // live TLB entries.
+  uint64_t victim_heap = victim->MmapAnon(4 * kPageSize, /*populate=*/false);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(victim->UserTouch(victim_heap + static_cast<uint64_t>(i) * kPageSize, true),
+              TouchResult::kOk);
+  }
+  std::unique_ptr<ContainerEngine> neighbor = MakeEngine(machine, RuntimeKind::kCki);
+  neighbor->Boot();  // loads the neighbor's CR3
+  uint64_t neighbor_heap = neighbor->MmapAnon(4 * kPageSize, /*populate=*/false);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(neighbor->UserTouch(neighbor_heap + static_cast<uint64_t>(i) * kPageSize, true),
+              TouchResult::kOk);
+  }
+
+  uint64_t victim_frames = machine.frames().OwnedFrames(victim->id());
+  uint64_t neighbor_frames = machine.frames().OwnedFrames(neighbor->id());
+  ASSERT_GT(victim_frames, 0u);
+  ASSERT_GT(neighbor_frames, 0u);
+  ASSERT_GT(TlbEntriesForEngine(machine, *victim, 256), 0u);
+  size_t neighbor_tlb = TlbEntriesForEngine(machine, *neighbor, 256);
+  ASSERT_GT(neighbor_tlb, 0u);
+
+  machine.faults().Kill(
+      FaultReport{FaultKind::kProtectionViolation, victim->id(), 0xBAD});
+
+  // Victim: dead, zero frames, zero TLB contexts, error returns.
+  EXPECT_FALSE(victim->alive());
+  EXPECT_EQ(machine.frames().OwnedFrames(victim->id()), 0u);
+  EXPECT_EQ(TlbEntriesForEngine(machine, *victim, 256), 0u);
+  EXPECT_EQ(victim->UserSyscall(SyscallRequest{.no = Sys::kGetpid}).value, kEKILLED);
+  EXPECT_EQ(victim->UserTouch(victim_heap, true), TouchResult::kKilled);
+  EXPECT_EQ(victim->GuestHypercall(HypercallOp::kNop), 0u);
+
+  // Neighbor: alive, frames intact, TLB contexts intact, fully functional.
+  EXPECT_TRUE(neighbor->alive());
+  EXPECT_EQ(machine.frames().OwnedFrames(neighbor->id()), neighbor_frames);
+  EXPECT_EQ(TlbEntriesForEngine(machine, *neighbor, 256), neighbor_tlb);
+  EXPECT_TRUE(neighbor->UserSyscall(SyscallRequest{.no = Sys::kGetpid}).ok());
+  EXPECT_NE(neighbor->MmapAnon(2 * kPageSize, /*populate=*/true), 0u);
+
+  EXPECT_EQ(machine.faults().containers_killed(), 1u);
+  EXPECT_EQ(machine.faults().frames_reclaimed(), victim_frames);
+}
+
+// --- segment exhaustion: ENOMEM, not a kill ---------------------------------
+
+TEST(BlastRadiusTest, SegmentExhaustionPropagatesEnomemAndContainerSurvives) {
+  Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+  CkiEngine engine(machine, CkiAblation::kNone, /*segment_pages=*/64);
+  engine.Boot();
+  SimContext& ctx = machine.ctx();
+  bool saw_enomem = false;
+  for (int i = 0; i < 64; ++i) {
+    SyscallResult r = engine.UserSyscall(SyscallRequest{
+        .no = Sys::kMmap,
+        .arg0 = 8 * kPageSize,
+        .arg1 = kProtRead | kProtWrite,
+        .arg2 = kMapPopulate});
+    if (r.value == kENOMEM) {
+      saw_enomem = true;
+      break;
+    }
+    ASSERT_TRUE(r.ok()) << "mmap failed with " << r.value << " (want ENOMEM)";
+  }
+  EXPECT_TRUE(saw_enomem) << "a 64-page segment must exhaust within 64 mmaps";
+  EXPECT_TRUE(engine.alive()) << "guest OOM is the guest's problem, not a kill";
+  EXPECT_TRUE(engine.UserSyscall(SyscallRequest{.no = Sys::kGetpid}).ok());
+  EXPECT_GT(ctx.trace().Count(PathEvent::kGuestOom), 0u);
+  EXPECT_GT(machine.faults().CountForKind(FaultKind::kSegmentExhausted), 0u);
+}
+
+// --- NIC detach on kill -----------------------------------------------------
+
+TEST(BlastRadiusTest, VirtioCorruptionKillsReceiverOnlyAndDetachesItsPort) {
+  Machine machine(MachineConfigFor(RuntimeKind::kRunc, Deployment::kBareMetal));
+  std::unique_ptr<ContainerEngine> sender = MakeEngine(machine, RuntimeKind::kRunc);
+  sender->Boot();
+  std::unique_ptr<ContainerEngine> receiver = MakeEngine(machine, RuntimeKind::kRunc);
+  receiver->Boot();
+  VSwitch vswitch(machine.ctx());
+  VirtNic tx(*sender, vswitch, "tx");
+  VirtNic rx(*receiver, vswitch, "rx");
+  int flow = vswitch.AllocFlow();
+  tx.OpenRawFlow(flow, rx.port());
+  rx.OpenRawFlow(flow, tx.port());
+
+  ASSERT_EQ(tx.Transmit(flow, 100), 100u);
+  tx.Flush();
+  ASSERT_EQ(rx.stats().rx_packets, 1u);
+
+  InjectorConfig config;
+  config.seed = 3;
+  config.virtio_corrupt_rate = 1.0;  // next delivered frame is corrupt
+  FaultInjector injector(config);
+  rx.set_injector(&injector);
+  tx.Transmit(flow, 100);
+  tx.Flush();
+
+  EXPECT_TRUE(sender->alive()) << "the sender of a corrupt frame is innocent";
+  EXPECT_FALSE(receiver->alive());
+  EXPECT_TRUE(rx.detached());
+  EXPECT_EQ(machine.faults().CountForKind(FaultKind::kVirtioRingCorruption), 1u);
+  EXPECT_EQ(machine.frames().OwnedFrames(receiver->id()), 0u);
+
+  // Frames toward the dead port now black-hole; the sender keeps working.
+  uint64_t drops_before = vswitch.port_stats(rx.port()).drops;
+  tx.Transmit(flow, 100);
+  tx.Flush();
+  EXPECT_GT(vswitch.port_stats(rx.port()).drops, drops_before);
+}
+
+// --- integration determinism: same seed => identical fault traces -----------
+
+std::pair<uint64_t, uint64_t> ChaosRun(uint64_t seed) {
+  Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+  std::unique_ptr<ContainerEngine> engine = MakeEngine(machine, RuntimeKind::kCki);
+  engine->Boot();
+  InjectorConfig config;
+  config.seed = seed;
+  config.pks_violation_rate = 0.01;
+  config.pte_flip_rate = 0.005;
+  config.segment_oom_rate = 0.01;
+  FaultInjector injector(config);
+  engine->set_injector(&injector);
+  uint64_t arena = engine->MmapAnon(16 * kPageSize, /*populate=*/false);
+  Rng rng(7);  // op mix is seed-independent; only fault decisions vary
+  for (int i = 0; i < 800; ++i) {
+    switch (rng.NextBelow(3)) {
+      case 0:
+        engine->UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+        break;
+      case 1:
+        engine->UserTouch(arena + rng.NextBelow(16) * kPageSize, true);
+        break;
+      case 2:
+        engine->MmapAnon(2 * kPageSize, /*populate=*/true);
+        break;
+    }
+    if (!engine->alive()) {
+      break;
+    }
+  }
+  return {injector.trace_hash(), machine.faults().trace_hash()};
+}
+
+TEST(BlastRadiusTest, SameSeedProducesIdenticalFaultTraceHashes) {
+  auto run1 = ChaosRun(21);
+  auto run2 = ChaosRun(21);
+  EXPECT_EQ(run1.first, run2.first) << "injector trace diverged";
+  EXPECT_EQ(run1.second, run2.second) << "fault-bus trace diverged";
+  auto run3 = ChaosRun(22);
+  EXPECT_NE(run1.first, run3.first) << "different seed, identical injections";
+}
+
+// --- host-fatal construction ------------------------------------------------
+
+TEST(BlastRadiusTest, CkiEngineWithoutExtensionsIsHostFatalNotAbort) {
+  Machine machine;  // no CKI hardware extensions
+  EXPECT_THROW(CkiEngine{machine}, FatalHostError);
+}
+
+}  // namespace
+}  // namespace cki

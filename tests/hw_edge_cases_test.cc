@@ -1,8 +1,10 @@
 // Edge-case and failure-injection tests for the hardware layer: huge-page
 // conflicts, walk reference counting, EPT unmap, and contract violations
-// that must abort loudly rather than corrupt state silently.
+// that must fail loudly (counted results or typed host-fatal exceptions)
+// rather than corrupt state silently.
 #include <gtest/gtest.h>
 
+#include "src/fault/fault_domain.h"
 #include "src/hw/ept.h"
 #include "src/hw/page_table.h"
 #include "src/hw/phys_mem.h"
@@ -104,31 +106,32 @@ TEST_F(HwEdgeTest, PteOffsetArithmetic) {
   EXPECT_EQ(walk.pa, 0x800'0000u + 0x1F'FFF8u);
 }
 
-// --- contract violations abort (failure injection) ---------------------------
+// --- contract violations fail loudly (failure injection) ---------------------
 
-TEST(HwDeathTest, UninstalledFrameAccessAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(HwContractTest, UninstalledFrameAccessThrowsHostFatal) {
   PhysMem mem;
-  EXPECT_DEATH(mem.WriteU64(0xDEAD'B000, 1), "uninstalled frame");
-  EXPECT_DEATH((void)mem.ReadU64(0xDEAD'B000), "uninstalled frame");
+  EXPECT_THROW(mem.WriteU64(0xDEAD'B000, 1), FatalHostError);
+  EXPECT_THROW((void)mem.ReadU64(0xDEAD'B000), FatalHostError);
 }
 
-TEST(HwDeathTest, DoubleFreeAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(HwContractTest, DoubleFreeIsCountedNotFatal) {
   PhysMem mem;
   FrameAllocator alloc(mem, 0x10'0000, 16);
   uint64_t pa = alloc.AllocFrame(1);
-  alloc.FreeFrame(pa);
-  EXPECT_DEATH(alloc.FreeFrame(pa), "double free");
+  EXPECT_EQ(alloc.FreeFrame(pa), FreeResult::kOk);
+  EXPECT_EQ(alloc.FreeFrame(pa), FreeResult::kDoubleFree);
+  EXPECT_EQ(alloc.double_frees(), 1u);
+  // The frame stays on the free list exactly once: both of the next two
+  // allocations must succeed (capacity was not corrupted).
+  EXPECT_NE(alloc.AllocFrame(1), 0u);
 }
 
-TEST(HwDeathTest, PhysicalExhaustionAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(HwContractTest, PhysicalExhaustionThrowsHostFatalWithoutBus) {
   PhysMem mem;
   FrameAllocator alloc(mem, 0x10'0000, 2);
   alloc.AllocFrame(1);
   alloc.AllocFrame(1);
-  EXPECT_DEATH(alloc.AllocFrame(1), "out of physical memory");
+  EXPECT_THROW(alloc.AllocFrame(1), FatalHostError);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "src/cki/cki_engine.h"
 #include "src/cki/ksm_audit.h"
+#include "src/fault/fault_injector.h"
 #include "src/runtime/runtime.h"
 #include "src/sim/rng.h"
 
@@ -114,6 +115,50 @@ TEST_P(SoakTest, RandomOpSoakStaysFunctional) {
     }
   }
   EXPECT_EQ(failures, 0);
+}
+
+TEST_P(SoakTest, ChaosInjectionNeverAborts) {
+  // Chaos soak: run the mixed workload with the deterministic fault
+  // injector armed. Individual ops may fail (that is the point) and the
+  // container may even be killed, but the process must never abort and
+  // every failure must surface as a typed error return.
+  Testbed bed(GetParam(), Deployment::kBareMetal);
+  ContainerEngine& engine = bed.engine();
+  InjectorConfig config;
+  config.seed = 7;
+  config.pks_violation_rate = 0.01;
+  config.pte_flip_rate = 0.005;
+  config.segment_oom_rate = 0.01;
+  FaultInjector injector(config);
+  engine.set_injector(&injector);
+
+  uint64_t arena = engine.MmapAnon(32 * kPageSize, /*populate=*/false);
+  Rng rng(11);
+  int completed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    switch (rng.NextBelow(3)) {
+      case 0:
+        engine.UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+        break;
+      case 1:
+        engine.UserTouch(arena + rng.NextBelow(32) * kPageSize, true);
+        break;
+      case 2:
+        engine.MmapAnon(4 * kPageSize, /*populate=*/true);
+        break;
+    }
+    completed++;
+    if (!engine.alive()) {
+      break;  // killed by its own fault domain — contained, not fatal
+    }
+  }
+  EXPECT_GT(completed, 0);
+  EXPECT_GE(injector.draws(), 1u) << "the injector must actually be armed";
+  if (!engine.alive()) {
+    // A killed container's resources are swept; errors stay typed.
+    EXPECT_EQ(bed.machine().frames().OwnedFrames(engine.id()), 0u);
+    EXPECT_EQ(engine.UserSyscall(SyscallRequest{.no = Sys::kGetpid}).value, kEKILLED);
+  }
 }
 
 TEST(SoakTestCki, MonitorStateStaysExactAcrossChurn) {
