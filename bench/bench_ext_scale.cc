@@ -1,0 +1,103 @@
+// Extension bench: multi-machine scale-out of the simulator itself.
+//
+// Fixed total work — `--shards` independent simulated machines, each
+// booting a container per design and running a page-fault-heavy workload
+// — executed repeatedly under a growing worker-thread count (1 → 16,
+// capped by `--threads`). Reports wall-clock speedup at fixed work and,
+// more importantly, proves the SimCluster determinism contract: the
+// merged cluster hash must be bit-identical for every thread count
+// (DESIGN.md §9). The process exits non-zero on any hash mismatch, so CI
+// can smoke this directly.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/sim_cluster.h"
+#include "src/metrics/report.h"
+#include "src/runtime/runtime.h"
+#include "src/workloads/mem_apps.h"
+
+namespace cki {
+namespace {
+
+constexpr uint32_t kDefaultShards = 24;
+
+// One shard = one machine, one container per paper design, a btree slice
+// each. The per-shard seed varies the workload stream so shards are not
+// clones (and the hash actually exercises the seed split).
+ShardResult RunShard(const ShardTask& task) {
+  ShardResult r;
+  for (RuntimeKind kind :
+       {RuntimeKind::kRunc, RuntimeKind::kHvm, RuntimeKind::kPvm, RuntimeKind::kCki}) {
+    Testbed bed(kind, Deployment::kBareMetal);
+    SimNanos ns = RunBtreeRatio(bed.engine(), /*lookup_per_insert=*/4, /*total_ops=*/6000,
+                                /*seed=*/task.seed ^ static_cast<uint64_t>(kind));
+    r.metrics.Hist("scale/btree_ns").Add(ns);
+    r.HashMix(static_cast<uint64_t>(kind));
+    r.HashMix(ns);
+    r.sim_ns += bed.ctx().clock().now();
+  }
+  r.values["machines"] = 1;
+  return r;
+}
+
+int Run(const BenchIo& io) {
+  const uint32_t shards = io.ShardsOr(kDefaultShards);
+  const uint32_t max_threads = io.ThreadsOr(16);
+  std::vector<uint32_t> sweep;
+  for (uint32_t t = 1; t <= 16 && t <= max_threads; t *= 2) {
+    sweep.push_back(t);
+  }
+
+  ReportTable table("Cluster scale-out: fixed work, growing thread pool", "threads",
+                    {"wall ms", "speedup", "efficiency %", "sim ms total"});
+  std::vector<uint64_t> hashes;
+  double base_ms = 0;
+
+  for (uint32_t threads : sweep) {
+    ClusterConfig cc;
+    cc.shards = shards;
+    cc.threads = threads;
+    cc.root_seed = io.root_seed;
+    SimCluster cluster(cc);
+    auto t0 = std::chrono::steady_clock::now();
+    ClusterResult result = cluster.Run(RunShard);
+    auto t1 = std::chrono::steady_clock::now();
+    double wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (threads == 1) {
+      base_ms = wall_ms;
+    }
+    double speedup = wall_ms > 0 ? base_ms / wall_ms : 0;
+    table.AddRow(std::to_string(threads),
+                 {wall_ms, speedup, 100.0 * speedup / threads,
+                  static_cast<double>(result.TotalSimNs()) * 1e-6});
+    hashes.push_back(result.trace_hash());
+  }
+
+  table.Print(std::cout, 2);
+  std::cout << "work: " << shards << " shards x 4 designs, root-seed=" << io.root_seed
+            << "; host has " << std::thread::hardware_concurrency()
+            << " hardware threads (speedup caps at min(threads, cores))\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::cout << "determinism-hash[" << sweep[i] << " threads]: 0x" << std::hex << hashes[i]
+              << std::dec << "\n";
+  }
+  for (uint64_t h : hashes) {
+    if (h != hashes.front()) {
+      std::cout << "FAIL: determinism hash differs across thread counts\n";
+      return 1;
+    }
+  }
+  std::cout << "determinism: OK (identical merged hash at every thread count)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cki
+
+int main(int argc, char** argv) {
+  return cki::Run(cki::BenchIo::Parse(argc, argv));
+}

@@ -2,74 +2,130 @@
 // shift the page-fault intensity: (a) BTree lookup/insert ratio — overhead
 // falls as lookups dominate; (b) XSBench particle count — overhead falls as
 // the calculation phase grows relative to fault-heavy initialization.
+//
+// Scale-out: every (config, parameter) cell is an independent simulated
+// machine, so the whole sweep runs as one SimCluster over `--threads`
+// workers (DESIGN.md §9). Cell results are merged in cell order, so the
+// tables and the determinism hash are identical at any thread count.
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/cluster/sim_cluster.h"
 #include "src/metrics/report.h"
 #include "src/workloads/mem_apps.h"
 
 namespace cki {
 namespace {
 
-double OverheadPct(RuntimeKind kind, Deployment dep, double runc_ns, double measured_ns) {
-  (void)kind;
-  (void)dep;
+enum class SweepApp : uint8_t { kBtree, kXsbench };
+
+// One independent simulated machine of the sweep.
+struct Cell {
+  std::string label;  // config label ("RunC" rows are the baselines)
+  RuntimeKind kind;
+  Deployment deployment;
+  SweepApp app;
+  double param;  // lookup/insert ratio or particle count
+};
+
+double OverheadPct(double runc_ns, double measured_ns) {
   return (measured_ns / runc_ns - 1.0) * 100.0;
 }
 
-void Run() {
+void Run(const BenchIo& io) {
   const std::vector<BenchConfig> configs = {
       {"HVM-NST", RuntimeKind::kHvm, Deployment::kNested},
       {"HVM-BM", RuntimeKind::kHvm, Deployment::kBareMetal},
       {"PVM", RuntimeKind::kPvm, Deployment::kBareMetal},
       {"CKI", RuntimeKind::kCki, Deployment::kBareMetal},
   };
-
-  // (a) BTree: lookup:insert ratio sweep.
   const double ratios[] = {0.5, 1, 2, 4, 8, 16};
+  const int particles[] = {2000, 5000, 10000, 20000, 40000};
+
+  // Build the cell list: RunC baselines first, then every config, for
+  // both sweeps. Cell order is the merge order and never depends on the
+  // thread count.
+  std::vector<Cell> cells;
+  auto add_sweep = [&cells, &configs](SweepApp app, const double* params, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      cells.push_back({"RunC", RuntimeKind::kRunc, Deployment::kBareMetal, app, params[i]});
+    }
+    for (const BenchConfig& config : configs) {
+      for (size_t i = 0; i < n; ++i) {
+        cells.push_back({config.label, config.kind, config.deployment, app, params[i]});
+      }
+    }
+  };
+  add_sweep(SweepApp::kBtree, ratios, std::size(ratios));
+  std::vector<double> particle_params(std::begin(particles), std::end(particles));
+  add_sweep(SweepApp::kXsbench, particle_params.data(), particle_params.size());
+
+  ClusterConfig cc;
+  cc.shards = static_cast<uint32_t>(cells.size());
+  cc.threads = io.ThreadsOr(1);
+  cc.root_seed = io.root_seed;
+  SimCluster cluster(cc);
+
+  ClusterResult result = cluster.Run([&cells](const ShardTask& task) {
+    const Cell& cell = cells[task.index];
+    ShardResult r;
+    Testbed bed(cell.kind, cell.deployment);
+    SimNanos ns = cell.app == SweepApp::kBtree
+                      ? RunBtreeRatio(bed.engine(), cell.param)
+                      : RunXsbenchParticles(bed.engine(), static_cast<int>(cell.param));
+    r.sim_ns = bed.ctx().clock().now();
+    r.values["ns"] = static_cast<double>(ns);
+    r.HashMix(ns);
+    return r;
+  });
+
+  // Reassemble the tables from the flat cell results.
+  auto cell_ns = [&](const std::string& label, SweepApp app, double param) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& cell = cells[i];
+      if (cell.label == label && cell.app == app && cell.param == param) {
+        return result.shards()[i].values.at("ns");
+      }
+    }
+    return 0.0;
+  };
+
   std::vector<std::string> ratio_labels;
   for (double r : ratios) {
     ratio_labels.push_back("L/I=" + std::to_string(r).substr(0, 4));
   }
   ReportTable btree("Figure 13a: BTree overhead vs RunC (%)", "config", ratio_labels);
-  std::vector<double> runc_base;
-  for (double r : ratios) {
-    Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
-    runc_base.push_back(static_cast<double>(RunBtreeRatio(bed.engine(), r)));
-  }
   for (const BenchConfig& config : configs) {
     std::vector<double> row;
-    for (size_t i = 0; i < std::size(ratios); ++i) {
-      Testbed bed(config.kind, config.deployment);
-      double ns = static_cast<double>(RunBtreeRatio(bed.engine(), ratios[i]));
-      row.push_back(OverheadPct(config.kind, config.deployment, runc_base[i], ns));
+    for (double ratio : ratios) {
+      row.push_back(OverheadPct(cell_ns("RunC", SweepApp::kBtree, ratio),
+                                cell_ns(config.label, SweepApp::kBtree, ratio)));
     }
     btree.AddRow(config.label, row);
   }
   btree.Print(std::cout, 1);
 
-  // (b) XSBench: particle-count sweep.
-  const int particles[] = {2000, 5000, 10000, 20000, 40000};
   std::vector<std::string> particle_labels;
   for (int p : particles) {
     particle_labels.push_back(std::to_string(p) + "p");
   }
   ReportTable xs("Figure 13b: XSBench overhead vs RunC (%)", "config", particle_labels);
-  std::vector<double> runc_xs;
-  for (int p : particles) {
-    Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
-    runc_xs.push_back(static_cast<double>(RunXsbenchParticles(bed.engine(), p)));
-  }
   for (const BenchConfig& config : configs) {
     std::vector<double> row;
-    for (size_t i = 0; i < std::size(particles); ++i) {
-      Testbed bed(config.kind, config.deployment);
-      double ns = static_cast<double>(RunXsbenchParticles(bed.engine(), particles[i]));
-      row.push_back(OverheadPct(config.kind, config.deployment, runc_xs[i], ns));
+    for (double p : particle_params) {
+      row.push_back(OverheadPct(cell_ns("RunC", SweepApp::kXsbench, p),
+                                cell_ns(config.label, SweepApp::kXsbench, p)));
     }
     xs.AddRow(config.label, row);
   }
   xs.Print(std::cout, 1);
+
+  std::cout << "cluster: " << cells.size() << " cells, " << cluster.config().threads
+            << " threads, root-seed=" << cc.root_seed << "\n";
+  std::cout << "determinism-hash: 0x" << std::hex << result.trace_hash() << std::dec << "\n";
   std::cout << "Expected: overhead decreases left to right for every secure container;\n"
                "CKI stays low and flat across parameters (sec 7.2).\n";
 }
@@ -77,7 +133,7 @@ void Run() {
 }  // namespace
 }  // namespace cki
 
-int main() {
-  cki::Run();
+int main(int argc, char** argv) {
+  cki::Run(cki::BenchIo::Parse(argc, argv));
   return 0;
 }

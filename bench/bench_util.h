@@ -2,6 +2,7 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -65,14 +66,30 @@ inline std::vector<BenchConfig> Fig16Configs() {
   };
 }
 
-// Observability output options shared by all bench binaries:
+// Options shared by all bench binaries.
+//
+// Observability output:
 //   --json-out=<file>   machine-readable per-config metrics dump
 //   --trace-out=<file>  merged Chrome trace-event file (Perfetto-loadable)
+//
+// Cluster scale-out (benches built on SimCluster, DESIGN.md §9):
+//   --shards=<n>        independent simulated machines (0: bench default)
+//   --threads=<n>       worker OS threads (0: bench default; results are
+//                       identical at any value — threads change wall-clock
+//                       time only)
+//   --root-seed=<n>     root of the deterministic per-shard seed split
 struct BenchIo {
   std::string json_out;
   std::string trace_out;
+  uint32_t shards = 0;    // 0: bench-specific default
+  uint32_t threads = 0;   // 0: bench-specific default
+  uint64_t root_seed = 1;
 
   bool observing() const { return !json_out.empty() || !trace_out.empty(); }
+
+  // The shard/thread counts to actually run with, given bench defaults.
+  uint32_t ShardsOr(uint32_t fallback) const { return shards != 0 ? shards : fallback; }
+  uint32_t ThreadsOr(uint32_t fallback) const { return threads != 0 ? threads : fallback; }
 
   static BenchIo Parse(int argc, char** argv) {
     BenchIo io;
@@ -82,13 +99,34 @@ struct BenchIo {
         io.json_out = arg.substr(std::string_view("--json-out=").size());
       } else if (arg.rfind("--trace-out=", 0) == 0) {
         io.trace_out = arg.substr(std::string_view("--trace-out=").size());
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        io.shards = ParseUint(arg.substr(std::string_view("--shards=").size()));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        io.threads = ParseUint(arg.substr(std::string_view("--threads=").size()));
+      } else if (arg.rfind("--root-seed=", 0) == 0) {
+        io.root_seed = ParseUint64(arg.substr(std::string_view("--root-seed=").size()));
       } else {
         std::cerr << "unknown argument: " << arg
-                  << " (supported: --json-out=<file> --trace-out=<file>)\n";
+                  << " (supported: --json-out=<file> --trace-out=<file>"
+                     " --shards=<n> --threads=<n> --root-seed=<n>)\n";
       }
     }
     return io;
   }
+
+ private:
+  static uint64_t ParseUint64(std::string_view s) {
+    uint64_t v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') {
+        std::cerr << "bad numeric argument value: " << s << "\n";
+        return 0;
+      }
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+  }
+  static uint32_t ParseUint(std::string_view s) { return static_cast<uint32_t>(ParseUint64(s)); }
 };
 
 // Accumulates the observability output of several measured configurations

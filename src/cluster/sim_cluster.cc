@@ -1,0 +1,150 @@
+#include "src/cluster/sim_cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace cki {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Byte-wise FNV-1a over one 64-bit value (the vswitch/fault-bus mixer).
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void ShardResult::HashMix(uint64_t v) { trace_hash_ = FnvMix(trace_hash_, v); }
+
+size_t ClusterResult::failed_count() const {
+  size_t n = 0;
+  for (const ShardResult& s : shards_) {
+    n += s.ok ? 0 : 1;
+  }
+  return n;
+}
+
+SimNanos ClusterResult::TotalSimNs() const {
+  SimNanos total = 0;
+  for (const ShardResult& s : shards_) {
+    total += s.sim_ns;
+  }
+  return total;
+}
+
+double ClusterResult::SumValue(const std::string& name) const {
+  double sum = 0;
+  for (const ShardResult& s : shards_) {
+    if (!s.ok) {
+      continue;
+    }
+    auto it = s.values.find(name);
+    if (it != s.values.end()) {
+      sum += it->second;
+    }
+  }
+  return sum;
+}
+
+MetricsRegistry ClusterResult::MergedMetrics() const {
+  MetricsRegistry merged;
+  for (const ShardResult& s : shards_) {
+    if (s.ok) {
+      merged.Merge(s.metrics);
+    }
+  }
+  return merged;
+}
+
+uint64_t ClusterResult::trace_hash() const {
+  uint64_t hash = kFnvOffset;
+  for (const ShardResult& s : shards_) {
+    hash = FnvMix(hash, s.index);
+    hash = FnvMix(hash, s.ok ? 1 : 0);
+    hash = FnvMix(hash, s.sim_ns);
+    hash = FnvMix(hash, s.trace_hash());
+  }
+  return hash;
+}
+
+SimCluster::SimCluster(const ClusterConfig& config) : config_(config) {
+  if (config_.shards == 0) {
+    config_.shards = 1;
+  }
+  config_.threads = std::clamp(config_.threads, 1u, config_.shards);
+}
+
+uint64_t SimCluster::ShardSeed(uint64_t root_seed, uint32_t shard_index) {
+  // Fold the root like FaultInjector folds its seed, then advance the
+  // xorshift64* state shard_index+1 steps; the star-multiplied output of
+  // the final step is the shard's seed.
+  uint64_t x = root_seed ^ 0x9e3779b97f4a7c15ULL;
+  if (x == 0) {
+    x = 0x9e3779b97f4a7c15ULL;
+  }
+  for (uint32_t i = 0; i <= shard_index; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+  }
+  uint64_t seed = x * 0x2545F4914F6CDD1DULL;
+  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+ClusterResult SimCluster::Run(const ShardBody& body) const {
+  const uint32_t n = config_.shards;
+  // One pre-sized slot per shard: each is written by exactly one worker
+  // and read only after every worker joined, so no lock is needed.
+  std::vector<ShardResult> slots(n);
+  std::atomic<uint32_t> next{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      ShardTask task{i, n, ShardSeed(config_.root_seed, i)};
+      ShardResult result;
+      try {
+        result = body(task);
+      } catch (const std::exception& e) {
+        result = ShardResult{};
+        result.ok = false;
+        result.error = e.what();
+      } catch (...) {
+        result = ShardResult{};
+        result.ok = false;
+        result.error = "unknown exception";
+      }
+      result.index = i;  // the slot is authoritative even if the body forgot
+      slots[i] = std::move(result);
+    }
+  };
+
+  const uint32_t workers = std::min(config_.threads, n);
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t t = 0; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return ClusterResult(std::move(slots));
+}
+
+}  // namespace cki

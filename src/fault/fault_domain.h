@@ -15,6 +15,16 @@
 // Determinism contract (mirrors vswitch.h): every recorded fault is mixed
 // into an FNV-1a trace hash in arrival order; two runs that experience the
 // same fault sequence produce bit-identical hashes.
+//
+// Thread-safety: none — a FaultBus belongs to one Machine and both are
+// driven from that machine's single simulation thread. Scale-out happens
+// one bus per shard (SimCluster): a kill, or even a FatalHostError, in
+// one shard can never reach a sibling shard's bus. Fold each shard's
+// trace_hash() into its ShardResult to carry the contract fleet-wide.
+// Ownership: the bus borrows its SimContext (outlived by the Machine)
+// and owns the registered domains/hooks; handlers and hooks are
+// std::functions whose captures must outlive the registration
+// (engines/devices unregister in their destructors).
 #ifndef SRC_FAULT_FAULT_DOMAIN_H_
 #define SRC_FAULT_FAULT_DOMAIN_H_
 

@@ -7,6 +7,16 @@
 // FNV-1a trace hash (the vswitch.h determinism contract applied to
 // faults). Sites that are disarmed (rate <= 0) consume no draw, so arming
 // one site does not perturb the decision stream of another.
+//
+// Thread-safety: none — an injector's decision stream is serial by
+// definition, so each injector belongs to one shard/machine and is only
+// queried from that shard's thread. For cluster runs, derive one
+// injector per shard from SimCluster::ShardSeed(root_seed, shard_index)
+// (the same split scheme this class's xorshift64* stream uses): shard
+// streams are decorrelated, and the whole fleet's chaos schedule is a
+// pure function of the root seed.
+// Ownership: self-contained value type; engines hold a non-owning
+// pointer via set_injector, so the injector must outlive the run.
 #ifndef SRC_FAULT_FAULT_INJECTOR_H_
 #define SRC_FAULT_FAULT_INJECTOR_H_
 

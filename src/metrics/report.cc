@@ -18,6 +18,41 @@ void ReportTable::AddRow(const std::string& label, std::vector<double> values) {
   rows_.push_back(Row{label, std::move(values)});
 }
 
+void ReportTable::MergeRows(const ReportTable& other, MergeOp op) {
+  if (other.columns_.size() != columns_.size()) {
+    throw std::invalid_argument("MergeRows: column count mismatch (" +
+                                std::to_string(columns_.size()) + " vs " +
+                                std::to_string(other.columns_.size()) + ")");
+  }
+  for (const Row& incoming : other.rows_) {
+    Row* mine = nullptr;
+    for (Row& row : rows_) {
+      if (row.label == incoming.label) {
+        mine = &row;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      rows_.push_back(incoming);
+      continue;
+    }
+    mine->values.resize(std::max(mine->values.size(), incoming.values.size()), 0.0);
+    for (size_t i = 0; i < incoming.values.size(); ++i) {
+      switch (op) {
+        case MergeOp::kSum:
+          mine->values[i] += incoming.values[i];
+          break;
+        case MergeOp::kMin:
+          mine->values[i] = std::min(mine->values[i], incoming.values[i]);
+          break;
+        case MergeOp::kMax:
+          mine->values[i] = std::max(mine->values[i], incoming.values[i]);
+          break;
+      }
+    }
+  }
+}
+
 double ReportTable::ValueAt(const std::string& row_label, size_t col) const {
   for (const Row& row : rows_) {
     if (row.label == row_label) {

@@ -11,11 +11,21 @@
 
 namespace cki {
 
+// How MergeRows combines two cells that share a row label.
+enum class MergeOp : uint8_t { kSum, kMin, kMax };
+
 class ReportTable {
  public:
   ReportTable(std::string title, std::string row_header, std::vector<std::string> columns);
 
   void AddRow(const std::string& label, std::vector<double> values);
+
+  // Folds `other` into this table cell-wise: rows whose label already
+  // exists are combined value-by-value with `op`; new labels are appended
+  // in `other`'s row order. Tables must share the column layout (checked
+  // by count). Cluster runs call this once per shard in shard-index
+  // order, so the merged table is bit-identical at any thread count.
+  void MergeRows(const ReportTable& other, MergeOp op = MergeOp::kSum);
 
   // Returns a copy whose values are divided column-wise by the values of
   // row `baseline_label`. With `invert`, the ratio is baseline/value

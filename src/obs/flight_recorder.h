@@ -5,6 +5,15 @@
 // wraps, the oldest records are overwritten and counted — overflow is
 // never silent. Records carry the owning container id so multi-tenant
 // traces attribute each event to the container that caused it.
+//
+// Thread-safety: none — one recorder belongs to one machine's
+// observability hub and is only touched from that shard's thread. Under
+// SimCluster each shard keeps its own recorder and hands it across the
+// thread join by value (Observability::Detach); recorders are never
+// merged — each shard exports as its own trace process track, which is
+// how --trace-out stays exact under parallelism.
+// Ownership: owned by its Observability hub; Chronological() returns an
+// independent copy the caller owns.
 #ifndef SRC_OBS_FLIGHT_RECORDER_H_
 #define SRC_OBS_FLIGHT_RECORDER_H_
 
@@ -36,6 +45,7 @@ class FlightRecorder {
   explicit FlightRecorder(size_t capacity = kDefaultCapacity)
       : ring_(capacity == 0 ? 1 : capacity) {}
 
+  // Appends one record, overwriting the oldest when full. O(1).
   void Record(const TraceRecord& r) {
     ring_[next_] = r;
     next_ = (next_ + 1) % ring_.size();

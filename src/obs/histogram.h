@@ -5,6 +5,15 @@
 // many samples are recorded. Unlike Stats (which stores raw samples), a
 // Histogram occupies fixed memory, making it safe for always-on recording
 // in soak runs and million-op workloads.
+//
+// Thread-safety: none — a histogram is written by exactly one shard's
+// thread. Cross-thread aggregation is merge-by-value after the writers
+// stop: Merge() is bucket-wise addition, so merging per-shard histograms
+// (in any order) is exactly equivalent to having recorded every sample
+// into one histogram — counts, min/max, sum, and every quantile agree
+// (tested in tests/cluster_test.cc). This is what makes per-shard
+// recording under SimCluster lossless.
+// Ownership: plain value type; copy/move freely.
 #ifndef SRC_OBS_HISTOGRAM_H_
 #define SRC_OBS_HISTOGRAM_H_
 
@@ -61,6 +70,7 @@ class Histogram {
     return idx < kSubCount ? 1 : BucketLowerBound(idx + 1) - BucketLowerBound(idx);
   }
 
+  // Records one sample. O(1), no allocation.
   void Add(uint64_t v) {
     buckets_[BucketIndex(v)]++;
     count_++;
@@ -69,6 +79,8 @@ class Histogram {
     max_ = std::max(max_, v);
   }
 
+  // Folds `other` into this histogram bucket-wise; `other` is untouched.
+  // Equivalent to replaying every sample of `other` into this histogram.
   void Merge(const Histogram& other) {
     if (other.count_ == 0) {
       return;

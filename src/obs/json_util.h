@@ -3,6 +3,10 @@
 // validate that emitted documents (metrics dumps, Chrome traces) are
 // well-formed and to read values back in golden tests. Not a general JSON
 // library — no external dependencies is the point.
+//
+// Thread-safety: all functions are pure/re-entrant (no shared state); a
+// JsonValue is a plain value type owned by whoever parsed it and safe to
+// share read-only across threads.
 #ifndef SRC_OBS_JSON_UTIL_H_
 #define SRC_OBS_JSON_UTIL_H_
 

@@ -40,6 +40,15 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    Inc(name, value);
+  }
+  for (const auto& [name, hist] : other.hists_) {
+    Hist(name).Merge(hist);
+  }
+}
+
 void MetricsRegistry::WriteJson(std::ostream& os) const {
   os << "{\"counters\":{";
   bool first = true;

@@ -1,6 +1,15 @@
 // Named counters and bounded histograms, dumpable as machine-readable
 // JSON. The registry is the always-on metrics side of the observability
 // subsystem: fixed memory per metric, stable (sorted) output order.
+//
+// Thread-safety: none — a registry belongs to exactly one shard/machine
+// and must only be touched from that shard's thread. Cross-thread
+// aggregation happens by value: each shard fills its own registry, and
+// after the shard threads join, one thread folds them together with
+// Merge() in shard-index order (SimCluster does exactly this), which
+// keeps merged output bit-identical regardless of thread count.
+// Ownership: the registry owns its metrics; Hist() references are
+// invalidated only by Clear()/destruction, never by adding other metrics.
 #ifndef SRC_OBS_METRICS_REGISTRY_H_
 #define SRC_OBS_METRICS_REGISTRY_H_
 
@@ -16,17 +25,28 @@ namespace cki {
 
 class MetricsRegistry {
  public:
-  // Returns the named histogram, creating it on first use.
+  // Returns the named histogram, creating it on first use. The reference
+  // stays valid until Clear() (node-based map: later insertions never
+  // move it).
   Histogram& Hist(std::string_view name);
   // Convenience for hierarchical names: Hist("syscall", "getpid") is
   // Hist("syscall/getpid").
   Histogram& Hist(std::string_view family, std::string_view item);
 
+  // Adds `delta` to the named counter, creating it at 0 on first use.
   void Inc(std::string_view name, uint64_t delta = 1);
 
+  // Lookup without creation; nullptr / 0 for unknown names.
   const Histogram* FindHist(std::string_view name) const;
   uint64_t CounterValue(std::string_view name) const;
   size_t hist_count() const { return hists_.size(); }
+
+  // Folds `other` into this registry: counters add, histograms merge
+  // bucket-wise (Histogram::Merge). `other` is untouched. Merging the
+  // per-shard registries of a cluster run in shard-index order yields the
+  // same registry a single-machine run over the union of samples would
+  // have produced.
+  void Merge(const MetricsRegistry& other);
 
   // {"counters":{...},"histograms":{"name":{"count":..,"p50":..,...}}}
   void WriteJson(std::ostream& os) const;

@@ -11,6 +11,20 @@ void Observability::Enable(size_t ring_capacity) {
   enabled_ = true;
 }
 
+Observability Observability::Detach() {
+  Observability out;
+  out.owner_ = owner_;
+  out.recorder_ = std::move(recorder_);
+  out.profiler_ = std::move(profiler_);
+  out.metrics_ = std::move(metrics_);
+  enabled_ = false;
+  owner_ = 0;
+  recorder_.reset();
+  profiler_.reset();
+  metrics_.reset();
+  return out;
+}
+
 void Observability::WriteJson(std::ostream& os) const {
   if (recorder_ == nullptr) {
     os << "{\"enabled\":false}";

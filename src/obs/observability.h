@@ -5,6 +5,15 @@
 // Disabled by default: the only cost on the simulation fast path is one
 // branch on `enabled()`. Enable() allocates the backing stores lazily, so
 // a SimContext that never observes pays nothing beyond a few pointers.
+//
+// Thread-safety: none — the hub lives inside one SimContext and is only
+// ever touched by that machine's (single) simulation thread. Under
+// SimCluster each shard has its own hub; a shard hands its recorded data
+// to the merging thread by value via Detach(), after which the context's
+// hub is back to the never-enabled state and the detached copy is owned
+// exclusively by the caller.
+// Ownership: the hub owns recorder/profiler/metrics; references returned
+// by the accessors are valid until Detach() or destruction.
 #ifndef SRC_OBS_OBSERVABILITY_H_
 #define SRC_OBS_OBSERVABILITY_H_
 
@@ -54,6 +63,15 @@ class Observability {
                                   .code = static_cast<uint16_t>(e),
                                   .kind = TraceRecordKind::kInstant});
   }
+
+  // Moves the recorded data (recorder, profiler, metrics, owner stamp)
+  // into a standalone hub and resets this one to the never-enabled state
+  // (enabled() false, has_data() false). Used by cluster shard bodies to
+  // hand their machine's observations across the thread join without
+  // leaving the live context with dangling enabled-but-empty state. The
+  // returned hub is disabled (export-only): WriteJson and the accessors
+  // work, OnEvent is a no-op.
+  Observability Detach();
 
   // Full machine-readable dump:
   //   {"enabled":..,"recorder":{..},"spans":[..],"metrics":{..}}

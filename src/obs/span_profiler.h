@@ -6,6 +6,14 @@
 // node: `total` includes children, `self` excludes them. The tree makes
 // latency breakdowns like the paper's Fig. 10 an output of instrumentation
 // instead of hand-wired cost arithmetic.
+//
+// Thread-safety: none — the open-span stack is inherently per-execution-
+// thread state, so a profiler belongs to exactly one machine's hub and is
+// only driven from that shard's thread. Cluster runs keep one profiler
+// per shard (Observability::Detach moves it out with the hub) and export
+// them side by side rather than merging trees.
+// Ownership: the profiler owns its nodes; node/phase indices and the
+// references returned by nodes()/PhaseName stay valid until Clear().
 #ifndef SRC_OBS_SPAN_PROFILER_H_
 #define SRC_OBS_SPAN_PROFILER_H_
 

@@ -4,6 +4,12 @@
 // chrome://tracing: spans become B/E duration events, architectural
 // events become thread-scoped instants, and the container/owner id maps
 // to the tid so per-container activity lands on its own track.
+//
+// Thread-safety: pure readers — they take the hub and stream by reference
+// and touch no global state, so exporting is safe from any single thread
+// once recording has stopped (e.g. after a cluster's shard threads have
+// joined and handed their hubs over via Observability::Detach).
+// Ownership: the caller owns both the hub and the output stream.
 #ifndef SRC_OBS_TRACE_EXPORT_H_
 #define SRC_OBS_TRACE_EXPORT_H_
 

@@ -7,6 +7,12 @@
 // all key on them, so treat renames as breaking changes.
 //
 // Both scopes are no-ops (one branch) when observability is disabled.
+//
+// Thread-safety: a scope borrows its SimContext for the enclosing block
+// and must open and close on that context's (single) simulation thread —
+// spans nest by construction order, which only makes sense within one
+// thread. Never hold a scope across an Observability::Detach.
+// Ownership: scopes own nothing; they write into the context's hub.
 #ifndef SRC_OBS_TRACE_SCOPE_H_
 #define SRC_OBS_TRACE_SCOPE_H_
 

@@ -1,0 +1,309 @@
+// SimCluster: the parallel multi-machine scale-out runner (DESIGN.md §9).
+//
+// The invariants under test are the determinism contract — same root seed
+// => bit-identical merged results at any thread count — and per-shard
+// blast-radius containment: one shard dying never poisons its siblings.
+#include "src/cluster/sim_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_domain.h"
+#include "src/fault/fault_injector.h"
+#include "src/metrics/report.h"
+#include "src/obs/histogram.h"
+#include "src/obs/metrics_registry.h"
+#include "src/runtime/runtime.h"
+#include "src/workloads/mem_apps.h"
+
+namespace cki {
+namespace {
+
+// --- seed splitting ---------------------------------------------------------
+
+TEST(ShardSeedTest, PureFunctionOfRootAndIndex) {
+  EXPECT_EQ(SimCluster::ShardSeed(1, 0), SimCluster::ShardSeed(1, 0));
+  EXPECT_EQ(SimCluster::ShardSeed(42, 7), SimCluster::ShardSeed(42, 7));
+  EXPECT_NE(SimCluster::ShardSeed(1, 0), SimCluster::ShardSeed(2, 0));
+}
+
+TEST(ShardSeedTest, DistinctAcrossShardsAndNeverZero) {
+  std::set<uint64_t> seeds;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint64_t seed = SimCluster::ShardSeed(12345, i);
+    EXPECT_NE(seed, 0u);
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 256u);  // no collisions in a fleet-sized split
+}
+
+TEST(ShardSeedTest, ZeroRootSeedIsValid) {
+  EXPECT_NE(SimCluster::ShardSeed(0, 0), 0u);
+  EXPECT_NE(SimCluster::ShardSeed(0, 0), SimCluster::ShardSeed(0, 1));
+}
+
+// --- runner mechanics -------------------------------------------------------
+
+TEST(SimClusterTest, ResultsOrderedByShardIndexAtAnyThreadCount) {
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    SimCluster cluster(ClusterConfig{.shards = 16, .threads = threads, .root_seed = 9});
+    ClusterResult result = cluster.Run([](const ShardTask& task) {
+      ShardResult r;
+      r.values["index"] = task.index;
+      r.values["seed_lo"] = static_cast<double>(task.seed & 0xFFFF);
+      return r;
+    });
+    ASSERT_EQ(result.shard_count(), 16u);
+    for (uint32_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(result.shards()[i].index, i);
+      EXPECT_EQ(result.shards()[i].values.at("index"), i);
+      EXPECT_EQ(result.shards()[i].values.at("seed_lo"),
+                static_cast<double>(SimCluster::ShardSeed(9, i) & 0xFFFF));
+    }
+  }
+}
+
+TEST(SimClusterTest, ThreadCountClampedToShards) {
+  SimCluster cluster(ClusterConfig{.shards = 2, .threads = 64, .root_seed = 1});
+  EXPECT_EQ(cluster.config().threads, 2u);
+  ClusterResult result = cluster.Run([](const ShardTask&) { return ShardResult{}; });
+  EXPECT_EQ(result.shard_count(), 2u);
+  EXPECT_TRUE(result.all_ok());
+}
+
+// --- the determinism contract ----------------------------------------------
+
+// A real mini-workload: one machine per shard, a container engine, a
+// btree slice driven by the shard seed, plus a seeded fault injector so
+// the injector's own hash feeds the shard digest.
+ShardResult RealShardBody(const ShardTask& task) {
+  ShardResult r;
+  Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  // Armed injector: its decision stream (and so its hash) is a pure
+  // function of the shard seed, which makes the digest seed-sensitive.
+  FaultInjector injector(InjectorConfig{.seed = task.seed, .pks_violation_rate = 0.25});
+  for (int i = 0; i < 64; ++i) {
+    injector.InjectPksViolation();
+  }
+  SimNanos ns = RunBtreeRatio(bed.engine(), /*lookup_per_insert=*/2, /*total_ops=*/400,
+                              /*seed=*/task.seed);
+  r.metrics.Hist("test/btree_ns").Add(ns);
+  r.metrics.Inc("test/machines");
+  r.sim_ns = bed.ctx().clock().now();
+  r.HashMix(ns);
+  r.HashMix(injector.trace_hash());
+  return r;
+}
+
+TEST(SimClusterTest, SameSeedSameMergedReportAtOneTwoEightThreads) {
+  std::vector<uint64_t> hashes;
+  std::vector<std::string> merged_json;
+  std::vector<SimNanos> totals;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    SimCluster cluster(ClusterConfig{.shards = 8, .threads = threads, .root_seed = 77});
+    ClusterResult result = cluster.Run(RealShardBody);
+    ASSERT_TRUE(result.all_ok());
+    hashes.push_back(result.trace_hash());
+    totals.push_back(result.TotalSimNs());
+    std::ostringstream os;
+    result.MergedMetrics().WriteJson(os);
+    merged_json.push_back(os.str());
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0], totals[2]);
+  EXPECT_EQ(merged_json[0], merged_json[1]);
+  EXPECT_EQ(merged_json[0], merged_json[2]);
+  EXPECT_GT(totals[0], 0u);
+}
+
+TEST(SimClusterTest, DifferentRootSeedChangesTheHash) {
+  SimCluster a(ClusterConfig{.shards = 4, .threads = 2, .root_seed = 1});
+  SimCluster b(ClusterConfig{.shards = 4, .threads = 2, .root_seed = 2});
+  EXPECT_NE(a.Run(RealShardBody).trace_hash(), b.Run(RealShardBody).trace_hash());
+}
+
+// --- merge semantics --------------------------------------------------------
+
+TEST(HistogramMergeTest, MergeEqualsSingleShotOnSameSamples) {
+  // The same sample stream, recorded whole vs. split across 4 shards and
+  // merged, must produce identical buckets and summary stats.
+  std::vector<uint64_t> samples;
+  uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    samples.push_back(x % 2'000'000);  // spread over many octaves
+  }
+  Histogram whole;
+  for (uint64_t s : samples) {
+    whole.Add(s);
+  }
+  Histogram parts[4];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    parts[i % 4].Add(samples[i]);
+  }
+  Histogram merged;
+  for (const Histogram& p : parts) {
+    merged.Merge(p);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.Sum(), whole.Sum());
+  for (size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    ASSERT_EQ(merged.bucket(b), whole.bucket(b)) << "bucket " << b;
+  }
+  for (double p : {1.0, 50.0, 95.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), whole.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(MetricsRegistryMergeTest, CountersAddAndHistogramsMerge) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.Inc("shared", 3);
+  b.Inc("shared", 4);
+  b.Inc("only_b", 5);
+  a.Hist("lat").Add(100);
+  b.Hist("lat").Add(300);
+  b.Hist("only_b_hist").Add(7);
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("shared"), 7u);
+  EXPECT_EQ(a.CounterValue("only_b"), 5u);
+  EXPECT_EQ(a.FindHist("lat")->count(), 2u);
+  EXPECT_EQ(a.FindHist("lat")->min(), 100u);
+  EXPECT_EQ(a.FindHist("lat")->max(), 300u);
+  ASSERT_NE(a.FindHist("only_b_hist"), nullptr);
+  EXPECT_EQ(a.FindHist("only_b_hist")->count(), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.CounterValue("shared"), 4u);
+}
+
+TEST(ReportTableMergeTest, MergeRowsFoldsMatchingLabelsAndAppendsNew) {
+  ReportTable a("t", "row", {"c1", "c2"});
+  a.AddRow("x", {1, 10});
+  ReportTable b("t", "row", {"c1", "c2"});
+  b.AddRow("x", {2, 20});
+  b.AddRow("y", {5, 50});
+  a.MergeRows(b, MergeOp::kSum);
+  EXPECT_DOUBLE_EQ(a.ValueAt("x", 0), 3);
+  EXPECT_DOUBLE_EQ(a.ValueAt("x", 1), 30);
+  EXPECT_DOUBLE_EQ(a.ValueAt("y", 0), 5);
+  EXPECT_EQ(a.row_count(), 2u);
+
+  ReportTable c("t", "row", {"c1", "c2"});
+  c.AddRow("x", {0.5, 40});
+  a.MergeRows(c, MergeOp::kMax);
+  EXPECT_DOUBLE_EQ(a.ValueAt("x", 0), 3);   // max(3, 0.5)
+  EXPECT_DOUBLE_EQ(a.ValueAt("x", 1), 40);  // max(30, 40)
+
+  ReportTable wrong("t", "row", {"c1"});
+  EXPECT_THROW(a.MergeRows(wrong), std::invalid_argument);
+}
+
+// --- blast radius across shards --------------------------------------------
+
+TEST(SimClusterTest, ShardThrowingFatalHostErrorDoesNotPoisonSiblings) {
+  SimCluster cluster(ClusterConfig{.shards = 6, .threads = 2, .root_seed = 5});
+  ClusterResult result = cluster.Run([](const ShardTask& task) -> ShardResult {
+    if (task.index == 3) {
+      throw FatalHostError("shard 3 machine died");
+    }
+    ShardResult r;
+    r.values["ok"] = 1;
+    r.HashMix(task.seed);
+    return r;
+  });
+  EXPECT_EQ(result.failed_count(), 1u);
+  EXPECT_FALSE(result.shards()[3].ok);
+  EXPECT_NE(result.shards()[3].error.find("shard 3"), std::string::npos);
+  for (uint32_t i = 0; i < 6; ++i) {
+    if (i != 3) {
+      EXPECT_TRUE(result.shards()[i].ok) << "sibling " << i << " poisoned";
+      EXPECT_EQ(result.shards()[i].values.at("ok"), 1);
+    }
+  }
+  // Failed shards are part of the digest (a death is not silently equal
+  // to a success), and the digest is still deterministic.
+  ClusterResult again = cluster.Run([](const ShardTask& task) -> ShardResult {
+    if (task.index == 3) {
+      throw FatalHostError("shard 3 machine died");
+    }
+    ShardResult r;
+    r.values["ok"] = 1;
+    r.HashMix(task.seed);
+    return r;
+  });
+  EXPECT_EQ(result.trace_hash(), again.trace_hash());
+}
+
+TEST(SimClusterTest, FaultBusKillInsideAShardStaysInsideIt) {
+  // A container killed through the machine's FaultBus inside one shard:
+  // the shard completes normally (the kill is contained by the machine's
+  // own fault domain), and siblings never notice.
+  SimCluster cluster(ClusterConfig{.shards = 4, .threads = 2, .root_seed = 11});
+  ClusterResult result = cluster.Run([](const ShardTask& task) {
+    ShardResult r;
+    Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+    uint64_t heap = bed.engine().MmapAnon(4 * kPageSize, true);
+    if (task.index == 1) {
+      bed.machine().faults().Kill(
+          FaultReport{FaultKind::kProtectionViolation, bed.engine().id(), 0xBAD});
+      // The victim is dead but the shard (and its machine) is fine.
+      EXPECT_EQ(bed.engine().UserTouch(heap, true), TouchResult::kKilled);
+      r.values["killed"] = 1;
+    } else {
+      EXPECT_EQ(bed.engine().UserTouch(heap, true), TouchResult::kOk);
+      r.values["killed"] = 0;
+    }
+    r.values["containers_killed"] =
+        static_cast<double>(bed.machine().faults().containers_killed());
+    r.sim_ns = bed.ctx().clock().now();
+    r.HashMix(bed.machine().faults().trace_hash());
+    return r;
+  });
+  ASSERT_TRUE(result.all_ok());
+  EXPECT_EQ(result.SumValue("killed"), 1);
+  EXPECT_EQ(result.SumValue("containers_killed"), 1);  // exactly the one shard's kill
+}
+
+// --- per-shard observability capture ----------------------------------------
+
+TEST(SimClusterTest, DetachedObservabilityTravelsWithTheShard) {
+  SimCluster cluster(ClusterConfig{.shards = 3, .threads = 3, .root_seed = 21});
+  ClusterResult result = cluster.Run([](const ShardTask& task) {
+    ShardResult r;
+    Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+    bed.ctx().obs().Enable();
+    for (uint32_t i = 0; i <= task.index; ++i) {
+      bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+    }
+    r.sim_ns = bed.ctx().clock().now();
+    r.obs = bed.ctx().obs().Detach();
+    // After Detach the live context is back to the never-enabled state.
+    EXPECT_FALSE(bed.ctx().obs().enabled());
+    EXPECT_FALSE(bed.ctx().obs().has_data());
+    return r;
+  });
+  ASSERT_TRUE(result.all_ok());
+  for (uint32_t i = 0; i < 3; ++i) {
+    const ShardResult& shard = result.shards()[i];
+    ASSERT_TRUE(shard.obs.has_data()) << "shard " << i;
+    // Each shard recorded its own syscalls: strictly more records per index.
+    EXPECT_GT(shard.obs.recorder().total_recorded(), 0u);
+    if (i > 0) {
+      EXPECT_GT(shard.obs.recorder().total_recorded(),
+                result.shards()[i - 1].obs.recorder().total_recorded());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cki

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Markdown hygiene checker for the repo docs (CI: docs-hygiene job).
+
+Checks, per file:
+  * every relative link target ([text](path), not http(s)/mailto/#anchor)
+    resolves to an existing file or directory relative to the repo root or
+    to the linking file's directory;
+  * every fenced code block opened with ``` declares a language
+    (```sh, ```cpp, ```text, ...), so rendered docs always highlight;
+  * fenced code blocks are balanced (no unterminated fence).
+
+Usage: python3 tools/check_markdown.py FILE.md [FILE.md ...]
+Exits non-zero listing every violation; prints a summary when clean.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) but not ![image](...) nested-paren safe enough for docs;
+# reference-style links are rare here and skipped on purpose.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(`{3,})(.*)$")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path, repo_root):
+    problems = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    in_fence = False
+    fence_marker = ""
+    fence_open_line = 0
+    for lineno, line in enumerate(lines, 1):
+        fence = FENCE_RE.match(line.strip())
+        if fence:
+            if not in_fence:
+                in_fence = True
+                fence_marker = fence.group(1)
+                fence_open_line = lineno
+                lang = fence.group(2).strip()
+                if not lang:
+                    problems.append(
+                        f"{path}:{lineno}: fenced code block has no language "
+                        "(use ```text for plain output)"
+                    )
+            elif fence.group(1)[: len(fence_marker)] == fence_marker and not fence.group(2).strip():
+                in_fence = False
+            continue
+        if in_fence:
+            continue  # links inside code blocks are not links
+
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]  # strip in-doc anchors
+            if not target_path:
+                continue
+            candidates = [
+                os.path.join(repo_root, target_path),
+                os.path.join(os.path.dirname(path) or ".", target_path),
+            ]
+            if not any(os.path.exists(c) for c in candidates):
+                problems.append(f"{path}:{lineno}: dead relative link -> {target}")
+
+    if in_fence:
+        problems.append(f"{path}:{fence_open_line}: unterminated fenced code block")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    all_problems = []
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            all_problems.append(f"{path}: file not found")
+            continue
+        all_problems.extend(check_file(path, repo_root))
+    if all_problems:
+        print("\n".join(all_problems))
+        print(f"\nmarkdown hygiene: {len(all_problems)} problem(s)")
+        return 1
+    print(f"markdown hygiene: {len(argv) - 1} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
