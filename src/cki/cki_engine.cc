@@ -6,6 +6,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/hw/pks.h"
 #include "src/obs/trace_scope.h"
+#include "src/snap/snap_stream.h"
 
 namespace cki {
 
@@ -337,7 +338,15 @@ uint64_t CkiEngine::AllocDataPage() {
   return pa;
 }
 
-void CkiEngine::FreeDataPage(uint64_t pa) { guest_free_list_.push_back(pa); }
+void CkiEngine::FreeDataPage(uint64_t pa) {
+  if (ReleaseSharedDataFrame(pa)) {
+    // A frame shared with (or adopted from) a clone sibling must never
+    // re-enter this container's segment free list: after the release this
+    // engine no longer holds it, and the monitor would reject a remap.
+    return;
+  }
+  guest_free_list_.push_back(pa);
+}
 
 uint64_t CkiEngine::AllocPtp(int level) {
   uint64_t pa = SegmentAlloc();
@@ -389,5 +398,48 @@ void CkiEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
 }
 
 void CkiEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+void CkiEngine::SnapCaptureConfig(SnapWriter& w) const {
+  w.PutU64(segment_pages_);
+  w.PutU32(static_cast<uint32_t>(n_vcpus_));
+}
+
+void CkiEngine::SnapApplyConfig(SnapReader& r) {
+  // Applied before Boot(): the fresh engine carves a segment of the same
+  // size, so restored containers have the template's memory budget.
+  segment_pages_ = r.GetU64();
+  n_vcpus_ = static_cast<int>(r.GetU32());
+  if (segment_pages_ == 0 || n_vcpus_ <= 0) {
+    r.MarkCorrupt();
+    segment_pages_ = 1;
+    n_vcpus_ = 1;
+  }
+}
+
+void CkiEngine::SnapCaptureState(SnapWriter& w) const {
+  w.PutBool(virtual_if_);
+  w.PutU32(static_cast<uint32_t>(current_vcpu_));
+  w.PutU64(delivered_virqs_);
+  w.PutU32(static_cast<uint32_t>(pending_virqs_.size()));
+  for (uint8_t vector : pending_virqs_) {
+    w.PutU8(vector);
+  }
+}
+
+void CkiEngine::SnapApplyState(SnapReader& r) {
+  virtual_if_ = r.GetBool();
+  int vcpu = static_cast<int>(r.GetU32());
+  if (vcpu >= 0 && vcpu < n_vcpus_ && vcpu != current_vcpu_) {
+    // Through the real migration path so the KSM loads that vCPU's copy
+    // of the (already restored) top-level PTP.
+    SelectVcpu(vcpu);
+  }
+  delivered_virqs_ = r.GetU64();
+  pending_virqs_.clear();
+  uint64_t n = r.GetCount(1);
+  for (uint64_t i = 0; i < n; ++i) {
+    pending_virqs_.push_back(r.GetU8());
+  }
+}
 
 }  // namespace cki

@@ -34,8 +34,27 @@ class CkiEngine : public ContainerEngine {
                      int n_vcpus = 1);
 
   std::string_view name() const override;
+  RuntimeKind kind() const override {
+    switch (ablation_) {
+      case CkiAblation::kNoOpt2:
+        return RuntimeKind::kCkiNoOpt2;
+      case CkiAblation::kNoOpt3:
+        return RuntimeKind::kCkiNoOpt3;
+      case CkiAblation::kNone:
+        break;
+    }
+    return RuntimeKind::kCki;
+  }
 
   void Boot() override;
+
+  // --- snapshot hooks --------------------------------------------------
+  // Config: segment size + vCPU count (the ablation is the kind itself).
+  // State: virtual-IF latch, deferred virq queue, selected vCPU.
+  void SnapCaptureConfig(SnapWriter& w) const override;
+  void SnapApplyConfig(SnapReader& r) override;
+  void SnapCaptureState(SnapWriter& w) const override;
+  void SnapApplyState(SnapReader& r) override;
 
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;

@@ -127,7 +127,9 @@ PtpVerdict PtpMonitor::CheckStore(uint64_t slot_pa, uint64_t value, int slot_lev
       return PtpVerdict::kBadPkey;
     }
     uint64_t target = PteAddr(value);
-    if (frames_.OwnerOf(target) != owner_) {
+    // Shares-aware: a CoW clone legitimately maps frames whose primary
+    // owner is its template; everything else stays foreign.
+    if (!frames_.OwnedOrSharedBy(target, owner_)) {
       rejected_++;
       return PtpVerdict::kForeignFrame;
     }

@@ -53,6 +53,7 @@ enum class FaultKind : uint8_t {
   kDoubleFree,               // frame freed twice (allocator corruption)
   kVirtioRingCorruption,     // malformed descriptor in a virtio ring
   kNicOverload,              // sustained RX-ring overrun (advisory)
+  kSnapshotCorrupt,          // snapshot stream failed its content hash
   kCount,
 };
 
@@ -65,6 +66,7 @@ inline constexpr auto kFaultKindNames = std::to_array<std::string_view>({
     "double_free",
     "virtio_ring_corruption",
     "nic_overload",
+    "snapshot_corrupt",
 });
 static_assert(kFaultKindNames.size() == static_cast<size_t>(FaultKind::kCount),
               "kFaultKindNames must cover every FaultKind");

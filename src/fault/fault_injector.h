@@ -33,6 +33,7 @@ struct InjectorConfig {
   double virtio_corrupt_rate = 0;   // malformed virtio RX descriptor
   double packet_drop_rate = 0;      // vswitch drops a forwarded packet
   double packet_dup_rate = 0;       // vswitch duplicates a forwarded packet
+  double snapshot_corrupt_rate = 0; // bit-flip in a serialized snapshot
 };
 
 class FaultInjector {
@@ -54,6 +55,7 @@ class FaultInjector {
   bool InjectVirtioCorruption() { return Draw(config_.virtio_corrupt_rate, 4); }
   bool InjectPacketDrop() { return Draw(config_.packet_drop_rate, 5); }
   bool InjectPacketDup() { return Draw(config_.packet_dup_rate, 6); }
+  bool InjectSnapshotCorruption() { return Draw(config_.snapshot_corrupt_rate, 7); }
 
   uint64_t draws() const { return draws_; }
   uint64_t injected() const { return injected_; }

@@ -81,6 +81,20 @@ class EnginePort {
   // Flushes one page translation after an unmap/protect (invlpg — directly
   // executable in every design; PCID confines it to the container).
   virtual void InvalidatePage(uint64_t va) = 0;
+
+  // --- copy-on-write clones (src/snap) ---------------------------------
+  // True when the frame at guest-visible `pa` is shared with another
+  // container (a CoW clone sibling). The kernel's CoW fault path must
+  // then copy even if its own refcount says "sole owner".
+  virtual bool FrameShared(uint64_t pa) const {
+    (void)pa;
+    return false;
+  }
+
+  // Shootdown after breaking cross-container sharing at `va`: flushes the
+  // page across the whole container's PCID range (engines charge the IPI
+  // cost). Defaults to a plain single-PCID invalidation.
+  virtual void CowBreakShootdown(uint64_t va) { InvalidatePage(va); }
 };
 
 }  // namespace cki

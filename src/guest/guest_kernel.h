@@ -10,6 +10,7 @@
 #define SRC_GUEST_GUEST_KERNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,6 +27,9 @@
 #include "src/sim/context.h"
 
 namespace cki {
+
+class SnapReader;
+class SnapWriter;
 
 // Interface the kernel's network syscalls (sendto/recvfrom/epoll) delegate
 // to; wired to a virtio-net frontend by the container runtime, or to a
@@ -116,7 +120,34 @@ class GuestKernel {
   // Per-syscall handler body cost (beyond the generic entry/exit path).
   SimNanos HandlerCost(Sys s) const;
 
+  // --- snapshot / clone (guest_snapshot.cc) -------------------------------
+  // Serializes all kernel state in a deterministic, PA-independent order.
+  // Physical frames are renumbered with logical ids; `frame_writer` emits
+  // the content of one frame (zero flag + words) given its physical address.
+  void SnapshotTo(SnapWriter& w,
+                  const std::function<void(uint64_t pa, SnapWriter& w)>& frame_writer);
+
+  // Rebuilds the kernel from a snapshot stream: tears down the boot-time
+  // init process, recreates processes/VMAs/page tables through the engine
+  // port, and calls `frame_filler` to materialize each frame's content
+  // (returns false on corrupt frame records). Returns false if the stream
+  // is corrupt (the reader's sticky flag is also set).
+  bool RestoreFrom(SnapReader& r,
+                   const std::function<bool(uint64_t pa, SnapReader& r)>& frame_filler);
+
+  // Copy-on-write fork of an entire container: copies kernel bookkeeping
+  // from `parent`, maps every parent user page read-only in this kernel via
+  // `adopt` (parent PA -> this-engine PA, sharing the host frame), and
+  // write-protects the parent's own writable mappings.
+  void CloneFrom(GuestKernel& parent,
+                 const std::function<uint64_t(uint64_t parent_pa)>& adopt);
+
  private:
+  // Drops every process, channel, tmpfs file and refcount (through the
+  // port, unlike KillAllProcesses) so Restore/Clone start from a blank
+  // kernel while keeping the booted kernel image mapped.
+  void ResetForImage();
+
   // --- memory management (guest_kernel_mm.cc) -----------------------------
   uint64_t NewAddressSpace();
   void MapKernelImage(uint64_t root);

@@ -146,9 +146,13 @@ bool GuestKernel::HandleCowFault(Process& proc, Vma& vma, uint64_t va) {
     return false;
   }
   uint64_t shared_pa = PteAddr(walk.leaf_pte);
+  // A frame can be shared intra-kernel (page_refs_, after fork) or across
+  // containers (host-level refcount, after a CoW clone) — the engine knows
+  // about the latter, the kernel only about the former.
+  bool external = port_.FrameShared(shared_pa);
   auto it = page_refs_.find(shared_pa);
   int refs = (it == page_refs_.end()) ? 1 : it->second;
-  if (refs > 1) {
+  if (refs > 1 || external) {
     // Copy the page and remap writable.
     uint64_t new_pa = port_.AllocDataPage();
     if (new_pa == kNoPage) {
@@ -156,7 +160,16 @@ bool GuestKernel::HandleCowFault(Process& proc, Vma& vma, uint64_t va) {
       return false;
     }
     ctx_.ChargeWork(ctx_.cost().copy_per_4k);
-    it->second = refs - 1;
+    if (refs > 1) {
+      it->second = refs - 1;
+    } else {
+      // Last local mapping of an externally shared frame: drop our share
+      // (the engine's FreeDataPage guard keeps siblings' frames alive).
+      if (it != page_refs_.end()) {
+        page_refs_.erase(it);
+      }
+      port_.FreeDataPage(shared_pa);
+    }
     MapUserPage(proc, va, new_pa, vma.prot, /*cow_readonly=*/false);
   } else {
     // Sole owner: just restore write permission.
@@ -165,7 +178,11 @@ bool GuestKernel::HandleCowFault(Process& proc, Vma& vma, uint64_t va) {
     }
     editor_.ProtectPage(proc.pt_root, va, PteFlagsFor(vma.prot, false), /*pkey=*/0);
   }
-  port_.InvalidatePage(va);
+  if (external) {
+    port_.CowBreakShootdown(va);  // siblings may cache the old mapping
+  } else {
+    port_.InvalidatePage(va);
+  }
   return true;
 }
 

@@ -1,0 +1,520 @@
+// Snapshot / restore / copy-on-write clone of the model guest kernel
+// (DESIGN.md §10). The serialized form is PA-independent: physical frames
+// are renumbered with logical ids in a deterministic traversal order, so
+// checkpoint -> restore -> checkpoint reproduces a byte-identical stream
+// even though the restored container lives in different host frames.
+#include <algorithm>
+#include <cassert>
+
+#include "src/guest/guest_kernel.h"
+#include "src/hw/pte.h"
+#include "src/snap/snap_stream.h"
+
+namespace cki {
+
+namespace {
+
+struct SnapLeaf {
+  uint64_t va = 0;
+  uint64_t pte = 0;
+};
+
+// User-half 4K leaves of one address space, ascending VA: the canonical
+// per-process page order. Kernel-half leaves are skipped — MapKernelImage
+// rebuilds the (container-local) kernel image on restore.
+std::vector<SnapLeaf> UserLeaves(PageTableEditor& editor, uint64_t root) {
+  std::vector<SnapLeaf> leaves;
+  editor.ForEachLeaf(root, [&](uint64_t va, uint64_t pte, uint64_t, int level) {
+    if (va < kKernelBase && level == 1) {
+      leaves.push_back({va, pte});
+    }
+  });
+  std::sort(leaves.begin(), leaves.end(),
+            [](const SnapLeaf& a, const SnapLeaf& b) { return a.va < b.va; });
+  return leaves;
+}
+
+std::vector<int> SortedKeys(const std::unordered_map<int, std::unique_ptr<Process>>& m) {
+  std::vector<int> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) {
+    (void)v;
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+void GuestKernel::SnapshotTo(SnapWriter& w,
+                             const std::function<void(uint64_t pa, SnapWriter& w)>& frame_writer) {
+  // --- kernel scalars ----------------------------------------------------
+  w.PutI64(next_pid_);
+  w.PutI64(current_pid_);
+  w.PutU16(next_asid_);
+  w.PutI64(next_channel_);
+  w.PutU64(page_faults_);
+  w.PutU64(syscalls_);
+
+  // --- tmpfs -------------------------------------------------------------
+  w.PutI64(tmpfs_.next_ino());
+  std::vector<TmpfsInode> nodes = tmpfs_.SortedInodes();
+  w.PutU32(static_cast<uint32_t>(nodes.size()));
+  for (const TmpfsInode& node : nodes) {
+    w.PutI64(node.ino);
+    std::vector<uint8_t> name(node.name.begin(), node.name.end());
+    w.PutBlob(name);
+    w.PutU64(node.size);
+    w.PutU64(node.blocks);
+    w.PutU64(node.mtime_ns);
+  }
+
+  // --- IPC channels ------------------------------------------------------
+  std::vector<int> channel_ids;
+  channel_ids.reserve(channels_.size());
+  for (const auto& [id, ch] : channels_) {
+    (void)ch;
+    channel_ids.push_back(id);
+  }
+  std::sort(channel_ids.begin(), channel_ids.end());
+  w.PutU32(static_cast<uint32_t>(channel_ids.size()));
+  for (int id : channel_ids) {
+    const IpcChannel& ch = channels_.at(id);
+    w.PutI64(id);
+    w.PutU8(static_cast<uint8_t>(ch.kind()));
+    w.PutU64(ch.capacity());
+    w.PutI64(ch.refs());
+    w.PutU32(static_cast<uint32_t>(ch.messages().size()));
+    for (uint64_t m : ch.messages()) {
+      w.PutU64(m);
+    }
+  }
+
+  // --- logical frame numbering -------------------------------------------
+  // Page-cache pages first (file_pages_ is a std::map, so (ino, block)
+  // order), then each process's user leaves ascending VA — dedup by PA so
+  // a shared frame gets exactly one id and one content record.
+  std::unordered_map<uint64_t, uint64_t> frame_id;
+  std::vector<uint64_t> frame_pas;
+  auto assign = [&](uint64_t pa) {
+    if (frame_id.find(pa) == frame_id.end()) {
+      frame_id[pa] = frame_pas.size();
+      frame_pas.push_back(pa);
+    }
+  };
+  for (const auto& [key, pa] : file_pages_) {
+    (void)key;
+    assign(pa);
+  }
+  std::vector<int> pids = SortedKeys(procs_);
+  std::unordered_map<int, std::vector<SnapLeaf>> proc_leaves;
+  for (int pid : pids) {
+    Process& proc = *procs_.at(pid);
+    if (proc.pt_root == 0) {
+      proc_leaves[pid] = {};
+      continue;
+    }
+    proc_leaves[pid] = UserLeaves(editor_, proc.pt_root);
+    for (const SnapLeaf& leaf : proc_leaves[pid]) {
+      assign(PteAddr(leaf.pte));
+    }
+  }
+
+  // --- page cache map ----------------------------------------------------
+  w.PutU32(static_cast<uint32_t>(file_pages_.size()));
+  for (const auto& [key, pa] : file_pages_) {
+    w.PutI64(key.first);
+    w.PutU64(key.second);
+    w.PutU64(frame_id.at(pa));
+  }
+
+  // --- frame contents -----------------------------------------------------
+  w.PutU32(static_cast<uint32_t>(frame_pas.size()));
+  for (uint64_t pa : frame_pas) {
+    frame_writer(pa, w);
+  }
+
+  // --- processes ----------------------------------------------------------
+  w.PutU32(static_cast<uint32_t>(pids.size()));
+  for (int pid : pids) {
+    const Process& proc = *procs_.at(pid);
+    w.PutI64(proc.pid);
+    w.PutI64(proc.parent);
+    w.PutU8(static_cast<uint8_t>(proc.state));
+    w.PutI64(proc.exit_code);
+    w.PutU16(proc.asid);
+    w.PutU64(proc.brk);
+    w.PutU64(proc.mmap_hint);
+    w.PutBool(proc.pt_root != 0);
+    w.PutU32(static_cast<uint32_t>(proc.fds.size()));
+    for (const FileDesc& fd : proc.fds) {
+      w.PutU8(static_cast<uint8_t>(fd.kind));
+      w.PutI64(fd.ino);
+      w.PutU64(fd.offset);
+      w.PutI64(fd.channel);
+      w.PutI64(fd.net_conn);
+    }
+    w.PutU32(static_cast<uint32_t>(proc.vmas.areas().size()));
+    for (const auto& [start, vma] : proc.vmas.areas()) {
+      (void)start;
+      w.PutU64(vma.start);
+      w.PutU64(vma.end);
+      w.PutU64(vma.prot);
+      w.PutU8(static_cast<uint8_t>(vma.kind));
+      w.PutBool(vma.cow);
+      w.PutI64(vma.file_ino);
+      w.PutU64(vma.file_offset);
+    }
+    const std::vector<SnapLeaf>& leaves = proc_leaves.at(pid);
+    w.PutU32(static_cast<uint32_t>(leaves.size()));
+    for (const SnapLeaf& leaf : leaves) {
+      w.PutU64(leaf.va);
+      w.PutU64(frame_id.at(PteAddr(leaf.pte)));
+      w.PutBool(PteWritable(leaf.pte));
+      w.PutBool(PteUser(leaf.pte));
+      w.PutBool(PteNoExec(leaf.pte));
+    }
+  }
+
+  // --- shared-page refcounts ----------------------------------------------
+  std::vector<std::pair<uint64_t, int64_t>> refs;
+  refs.reserve(page_refs_.size());
+  for (const auto& [pa, n] : page_refs_) {
+    auto it = frame_id.find(pa);
+    if (it != frame_id.end()) {
+      refs.push_back({it->second, n});
+    }
+  }
+  std::sort(refs.begin(), refs.end());
+  w.PutU32(static_cast<uint32_t>(refs.size()));
+  for (const auto& [fid, n] : refs) {
+    w.PutU64(fid);
+    w.PutI64(n);
+  }
+}
+
+void GuestKernel::ResetForImage() {
+  // Teardown through the port (unlike KillAllProcesses): the engine stays
+  // healthy, so every user page and PTP must be returned one by one.
+  std::vector<int> pids = SortedKeys(procs_);
+  for (int pid : pids) {
+    Process& proc = *procs_.at(pid);
+    if (proc.pt_root != 0) {
+      TeardownAddressSpace(proc);
+    }
+  }
+  procs_.clear();
+  current_pid_ = -1;
+  // Release the page cache's own pins last (mapped file pages survive
+  // process teardown exactly because of these).
+  for (const auto& [key, pa] : file_pages_) {
+    (void)key;
+    UnrefPage(pa);
+  }
+  file_pages_.clear();
+  page_refs_.clear();
+  channels_.clear();
+  tmpfs_ = Tmpfs{};
+  next_pid_ = 1;
+  next_asid_ = 1;
+  next_channel_ = 1;
+}
+
+bool GuestKernel::RestoreFrom(SnapReader& r,
+                              const std::function<bool(uint64_t pa, SnapReader& r)>& frame_filler) {
+  ResetForImage();
+
+  // --- kernel scalars ----------------------------------------------------
+  int64_t next_pid = r.GetI64();
+  int64_t current_pid = r.GetI64();
+  uint16_t next_asid = r.GetU16();
+  int64_t next_channel = r.GetI64();
+  page_faults_ = r.GetU64();
+  syscalls_ = r.GetU64();
+
+  // --- tmpfs -------------------------------------------------------------
+  int64_t next_ino = r.GetI64();
+  uint64_t n_inodes = r.GetCount(8 + 4 + 8 + 8 + 8);
+  std::vector<TmpfsInode> nodes;
+  nodes.reserve(n_inodes);
+  for (uint64_t i = 0; i < n_inodes && r.ok(); ++i) {
+    TmpfsInode node;
+    node.ino = static_cast<int>(r.GetI64());
+    std::vector<uint8_t> name = r.GetBlob();
+    node.name.assign(name.begin(), name.end());
+    node.size = r.GetU64();
+    node.blocks = r.GetU64();
+    node.mtime_ns = r.GetU64();
+    nodes.push_back(std::move(node));
+  }
+  if (!r.ok()) {
+    return false;
+  }
+  tmpfs_.Restore(std::move(nodes), static_cast<int>(next_ino));
+
+  // --- IPC channels ------------------------------------------------------
+  uint64_t n_channels = r.GetCount(8 + 1 + 8 + 8 + 4);
+  for (uint64_t i = 0; i < n_channels && r.ok(); ++i) {
+    int id = static_cast<int>(r.GetI64());
+    ChannelKind kind = static_cast<ChannelKind>(r.GetU8());
+    uint64_t capacity = r.GetU64();
+    int chan_refs = static_cast<int>(r.GetI64());
+    uint64_t n_msgs = r.GetCount(8);
+    std::deque<uint64_t> messages;
+    for (uint64_t m = 0; m < n_msgs && r.ok(); ++m) {
+      messages.push_back(r.GetU64());
+    }
+    channels_.emplace(id, IpcChannel(kind, capacity, chan_refs, std::move(messages)));
+  }
+  if (!r.ok()) {
+    return false;
+  }
+
+  // --- page cache map ----------------------------------------------------
+  uint64_t n_files = r.GetCount(8 + 8 + 8);
+  std::vector<std::tuple<int, uint64_t, uint64_t>> file_entries;
+  file_entries.reserve(n_files);
+  for (uint64_t i = 0; i < n_files && r.ok(); ++i) {
+    int ino = static_cast<int>(r.GetI64());
+    uint64_t block = r.GetU64();
+    uint64_t fid = r.GetU64();
+    file_entries.push_back({ino, block, fid});
+  }
+
+  // --- frame contents -----------------------------------------------------
+  // Allocate a fresh data page per logical frame through the port, then let
+  // the engine-specific filler materialize the content. An OOM here fails
+  // the restore (the caller reports it; nothing crashes).
+  uint64_t n_frames = r.GetCount(1);
+  std::vector<uint64_t> frame_pa(n_frames, kNoPage);
+  for (uint64_t i = 0; i < n_frames && r.ok(); ++i) {
+    uint64_t pa = port_.AllocDataPage();
+    if (pa == kNoPage) {
+      ctx_.RecordEvent(PathEvent::kGuestOom);
+      r.MarkCorrupt();
+      break;
+    }
+    frame_pa[i] = pa;
+    if (!frame_filler(pa, r)) {
+      r.MarkCorrupt();
+      break;
+    }
+  }
+  if (!r.ok()) {
+    return false;
+  }
+
+  auto resolve = [&](uint64_t fid) -> uint64_t {
+    if (fid >= frame_pa.size()) {
+      r.MarkCorrupt();
+      return kNoPage;
+    }
+    return frame_pa[fid];
+  };
+  for (const auto& [ino, block, fid] : file_entries) {
+    uint64_t pa = resolve(fid);
+    if (pa == kNoPage) {
+      return false;
+    }
+    file_pages_[{ino, block}] = pa;
+  }
+
+  // --- processes ----------------------------------------------------------
+  uint64_t n_procs = r.GetCount(8 * 5 + 2 + 1 + 4 * 3);
+  for (uint64_t i = 0; i < n_procs && r.ok(); ++i) {
+    auto proc = std::make_unique<Process>();
+    proc->pid = static_cast<int>(r.GetI64());
+    proc->parent = static_cast<int>(r.GetI64());
+    proc->state = static_cast<ProcState>(r.GetU8());
+    proc->exit_code = static_cast<int>(r.GetI64());
+    proc->asid = r.GetU16();
+    proc->brk = r.GetU64();
+    proc->mmap_hint = r.GetU64();
+    bool has_root = r.GetBool();
+    uint64_t n_fds = r.GetCount(1 + 8 + 8 + 8 + 8);
+    for (uint64_t f = 0; f < n_fds && r.ok(); ++f) {
+      FileDesc fd;
+      fd.kind = static_cast<FdKind>(r.GetU8());
+      fd.ino = static_cast<int>(r.GetI64());
+      fd.offset = r.GetU64();
+      fd.channel = static_cast<int>(r.GetI64());
+      fd.net_conn = static_cast<int>(r.GetI64());
+      proc->fds.push_back(fd);
+    }
+    uint64_t n_vmas = r.GetCount(8 * 3 + 1 + 1 + 8 + 8);
+    for (uint64_t v = 0; v < n_vmas && r.ok(); ++v) {
+      Vma vma;
+      vma.start = r.GetU64();
+      vma.end = r.GetU64();
+      vma.prot = r.GetU64();
+      vma.kind = static_cast<VmaKind>(r.GetU8());
+      vma.cow = r.GetBool();
+      vma.file_ino = static_cast<int>(r.GetI64());
+      vma.file_offset = r.GetU64();
+      proc->vmas.Insert(vma);
+    }
+    uint64_t n_leaves = r.GetCount(8 + 8 + 3);
+    if (!r.ok()) {
+      return false;
+    }
+    // Torn-down address spaces (zombies) stay torn down; everyone else
+    // gets a fresh radix tree with the kernel image, then the leaves.
+    if (has_root) {
+      proc->pt_root = NewAddressSpace();
+    } else if (n_leaves > 0) {
+      r.MarkCorrupt();  // leaves without an address space cannot be honest
+      return false;
+    }
+    port_.BeginPteBatch();
+    for (uint64_t l = 0; l < n_leaves && r.ok(); ++l) {
+      uint64_t va = r.GetU64();
+      uint64_t fid = r.GetU64();
+      bool writable = r.GetBool();
+      bool user = r.GetBool();
+      bool nx = r.GetBool();
+      uint64_t pa = resolve(fid);
+      if (pa == kNoPage) {
+        break;
+      }
+      uint64_t flags = kPteP | (writable ? kPteW : 0) | (user ? kPteU : 0) | (nx ? kPteNx : 0);
+      editor_.MapPage(proc->pt_root, va, pa, flags, /*pkey=*/0, PageSize::k4K);
+      ctx_.ChargeWork(ctx_.cost().snap_page_restore);
+    }
+    port_.EndPteBatch();
+    if (!r.ok()) {
+      // Half-built address space: tear it down so the engine's frame
+      // accounting stays exact even on a rejected stream.
+      if (proc->pt_root != 0) {
+        int pid = proc->pid;
+        procs_[pid] = std::move(proc);
+        TeardownAddressSpace(*procs_[pid]);
+        procs_.erase(pid);
+      }
+      return false;
+    }
+    procs_[proc->pid] = std::move(proc);
+  }
+
+  // --- shared-page refcounts ----------------------------------------------
+  uint64_t n_refs = r.GetCount(8 + 8);
+  for (uint64_t i = 0; i < n_refs && r.ok(); ++i) {
+    uint64_t fid = r.GetU64();
+    int64_t count = r.GetI64();
+    uint64_t pa = resolve(fid);
+    if (pa == kNoPage) {
+      return false;
+    }
+    page_refs_[pa] = static_cast<int>(count);
+  }
+  if (!r.ok()) {
+    return false;
+  }
+
+  next_pid_ = static_cast<int>(next_pid);
+  next_asid_ = next_asid;
+  next_channel_ = static_cast<int>(next_channel);
+  current_pid_ = static_cast<int>(current_pid);
+  Process* cur = process(current_pid_);
+  if (cur != nullptr && cur->pt_root != 0) {
+    port_.LoadAddressSpace(cur->pt_root, cur->asid);
+  } else {
+    current_pid_ = -1;
+  }
+  return true;
+}
+
+void GuestKernel::CloneFrom(GuestKernel& parent,
+                            const std::function<uint64_t(uint64_t parent_pa)>& adopt) {
+  ResetForImage();
+
+  // --- copyable kernel state ---------------------------------------------
+  next_pid_ = parent.next_pid_;
+  next_asid_ = parent.next_asid_;
+  next_channel_ = parent.next_channel_;
+  page_faults_ = parent.page_faults_;
+  syscalls_ = parent.syscalls_;
+  tmpfs_ = parent.tmpfs_;
+  channels_ = parent.channels_;
+
+  // --- frame adoption (dedup: one shared frame -> one clone PA) ----------
+  std::unordered_map<uint64_t, uint64_t> xlate;
+  auto translate = [&](uint64_t parent_pa) {
+    auto it = xlate.find(parent_pa);
+    if (it != xlate.end()) {
+      return it->second;
+    }
+    uint64_t pa = adopt(parent_pa);
+    xlate[parent_pa] = pa;
+    return pa;
+  };
+
+  for (const auto& [key, pa] : parent.file_pages_) {
+    file_pages_[key] = translate(pa);
+  }
+
+  // --- processes: map every parent user page read-only in the clone and
+  // demote the parent's writable mappings, so the first write on either
+  // side takes a CoW fault that breaks the cross-container sharing.
+  std::vector<int> pids = SortedKeys(parent.procs_);
+  for (int pid : pids) {
+    Process& src = *parent.procs_.at(pid);
+    auto proc = std::make_unique<Process>();
+    proc->pid = src.pid;
+    proc->parent = src.parent;
+    proc->state = src.state;
+    proc->exit_code = src.exit_code;
+    proc->asid = src.asid;
+    proc->brk = src.brk;
+    proc->mmap_hint = src.mmap_hint;
+    proc->fds = src.fds;
+    proc->vmas = src.vmas;
+    if (src.pt_root != 0) {
+      proc->pt_root = NewAddressSpace();
+      std::vector<SnapLeaf> leaves = UserLeaves(parent.editor_, src.pt_root);
+      port_.BeginPteBatch();
+      parent.port_.BeginPteBatch();
+      for (const SnapLeaf& leaf : leaves) {
+        uint64_t parent_pa = PteAddr(leaf.pte);
+        uint64_t clone_pa = translate(parent_pa);
+        uint64_t ro_flags = (leaf.pte & ~(kPteW | kPteAddrMask | kPtePkeyMask)) | kPteP;
+        if (PteWritable(leaf.pte)) {
+          parent.editor_.ProtectPage(src.pt_root, leaf.va, ro_flags, /*pkey=*/0);
+          parent.port_.InvalidatePage(leaf.va);
+        }
+        editor_.MapPage(proc->pt_root, leaf.va, clone_pa, ro_flags, /*pkey=*/0, PageSize::k4K);
+        ctx_.ChargeWork(ctx_.cost().snap_clone_page);
+      }
+      parent.port_.EndPteBatch();
+      port_.EndPteBatch();
+    }
+    // Writable VMAs become copy-on-write in both containers.
+    for (VmaList* list : {&proc->vmas, &src.vmas}) {
+      for (auto& [start, vma] : list->mutable_areas()) {
+        (void)start;
+        if ((vma.prot & kProtWrite) != 0) {
+          vma.cow = true;
+        }
+      }
+    }
+    procs_[proc->pid] = std::move(proc);
+  }
+
+  // --- refcounts mirror the parent's, translated --------------------------
+  for (const auto& [pa, n] : parent.page_refs_) {
+    auto it = xlate.find(pa);
+    if (it != xlate.end()) {
+      page_refs_[it->second] = n;
+    }
+  }
+
+  current_pid_ = parent.current_pid_;
+  Process* cur = process(current_pid_);
+  if (cur != nullptr && cur->pt_root != 0) {
+    port_.LoadAddressSpace(cur->pt_root, cur->asid);
+  } else {
+    current_pid_ = -1;
+  }
+}
+
+}  // namespace cki

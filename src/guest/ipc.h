@@ -17,6 +17,15 @@ class IpcChannel {
   explicit IpcChannel(ChannelKind kind, uint64_t capacity = 65536)
       : kind_(kind), capacity_(capacity) {}
 
+  // Restore constructor (src/snap): rebuilds a channel from serialized
+  // state; buffered_ is recomputed from the message list.
+  IpcChannel(ChannelKind kind, uint64_t capacity, int refs, std::deque<uint64_t> messages)
+      : kind_(kind), capacity_(capacity), refs_(refs), messages_(std::move(messages)) {
+    for (uint64_t m : messages_) {
+      buffered_ += m;
+    }
+  }
+
   ChannelKind kind() const { return kind_; }
 
   // Returns bytes accepted (0 if the buffer is full -> writer must block).
@@ -55,6 +64,11 @@ class IpcChannel {
   void AddRef() { refs_++; }
   // Returns true when the channel should be destroyed.
   bool Release() { return --refs_ == 0; }
+
+  // --- snapshot support (src/snap) --------------------------------------
+  uint64_t capacity() const { return capacity_; }
+  int refs() const { return refs_; }
+  const std::deque<uint64_t>& messages() const { return messages_; }
 
  private:
   ChannelKind kind_;

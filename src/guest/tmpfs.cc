@@ -1,5 +1,7 @@
 #include "src/guest/tmpfs.h"
 
+#include <algorithm>
+
 #include "src/hw/phys_mem.h"
 
 namespace cki {
@@ -49,6 +51,28 @@ bool Tmpfs::Unlink(const std::string& path) {
   inodes_.erase(it->second);
   by_path_.erase(it);
   return true;
+}
+
+std::vector<TmpfsInode> Tmpfs::SortedInodes() const {
+  std::vector<TmpfsInode> nodes;
+  nodes.reserve(inodes_.size());
+  for (const auto& [ino, node] : inodes_) {
+    (void)ino;
+    nodes.push_back(node);
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const TmpfsInode& a, const TmpfsInode& b) { return a.ino < b.ino; });
+  return nodes;
+}
+
+void Tmpfs::Restore(std::vector<TmpfsInode> nodes, int next_ino) {
+  by_path_.clear();
+  inodes_.clear();
+  next_ino_ = next_ino;
+  for (TmpfsInode& node : nodes) {
+    by_path_[node.name] = node.ino;
+    inodes_[node.ino] = std::move(node);
+  }
 }
 
 }  // namespace cki

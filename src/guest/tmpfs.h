@@ -41,6 +41,14 @@ class Tmpfs {
 
   size_t file_count() const { return by_path_.size(); }
 
+  // --- snapshot support (src/snap) --------------------------------------
+  // Inodes sorted by number: the canonical serialization order.
+  std::vector<TmpfsInode> SortedInodes() const;
+  int next_ino() const { return next_ino_; }
+  // Rebuilds the filesystem from a deserialized inode list (paths are
+  // re-indexed from the inode names).
+  void Restore(std::vector<TmpfsInode> nodes, int next_ino);
+
  private:
   std::unordered_map<std::string, int> by_path_;
   std::unordered_map<int, TmpfsInode> inodes_;

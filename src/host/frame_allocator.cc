@@ -47,7 +47,14 @@ FreeResult FrameAllocator::FreeFrame(uint64_t pa) {
     }
     return FreeResult::kDoubleFree;
   }
+  if (shares_.count(pa >> kPageShift) != 0) {
+    // Sharers still map this frame: transfer primacy instead of freeing
+    // (the safety net behind ReleaseShare-aware engine free paths).
+    TransferPrimary(pa >> kPageShift);
+    return FreeResult::kOk;
+  }
   owner_.erase(it);
+  carved_.erase(pa >> kPageShift);
   free_list_.push_back(pa);
   allocated_--;
   return FreeResult::kOk;
@@ -72,9 +79,27 @@ PhysSegment FrameAllocator::AllocSegment(uint64_t pages, OwnerId owner) {
 }
 
 uint64_t FrameAllocator::ReclaimOwner(OwnerId owner) {
+  // Drop the dying holder's *shares* first, so primacy transfers below
+  // never hand a frame to the owner being reclaimed.
+  std::vector<uint64_t> share_keys;
+  for (const auto& [idx, holders] : shares_) {
+    (void)holders;
+    share_keys.push_back(idx);
+  }
+  std::sort(share_keys.begin(), share_keys.end());
+  for (uint64_t idx : share_keys) {
+    auto it = shares_.find(idx);
+    auto& holders = it->second;
+    holders.erase(std::remove(holders.begin(), holders.end(), owner), holders.end());
+    if (holders.empty()) {
+      shares_.erase(it);
+    }
+  }
+
   // Singleton frames: collect, sort, then free. owner_ is an unordered
   // map, so without the sort the free-list order (and thus every later
-  // allocation) would depend on hash-table iteration order.
+  // allocation) would depend on hash-table iteration order. Frames a
+  // sibling clone still shares are transferred, not freed.
   std::vector<uint64_t> keys;
   for (const auto& [key, frame_owner] : owner_) {
     if (frame_owner == owner) {
@@ -82,27 +107,48 @@ uint64_t FrameAllocator::ReclaimOwner(OwnerId owner) {
     }
   }
   std::sort(keys.begin(), keys.end());
+  uint64_t freed = 0;
   for (uint64_t key : keys) {
+    if (shares_.count(key) != 0) {
+      TransferPrimary(key);
+      continue;
+    }
     owner_.erase(key);
+    carved_.erase(key);
     free_list_.push_back(key << kPageShift);
+    freed++;
   }
-  uint64_t reclaimed = keys.size();
 
   // Delegated segments: return every page, drop the ownership record.
+  // Pages carved out by an earlier transfer belong to another container
+  // now; pages with live sharers transfer instead of freeing.
   for (auto it = segments_.begin(); it != segments_.end();) {
     if (it->second == owner) {
       const PhysSegment& seg = it->first;
       for (uint64_t i = 0; i < seg.pages; ++i) {
-        free_list_.push_back(seg.base + i * kPageSize);
+        uint64_t idx = (seg.base + i * kPageSize) >> kPageShift;
+        if (owner_.count(idx) != 0) {
+          carved_.erase(idx);  // segment record goes away; owner_ rules now
+          continue;
+        }
+        if (auto sh = shares_.find(idx); sh != shares_.end()) {
+          owner_[idx] = sh->second.front();
+          sh->second.erase(sh->second.begin());
+          if (sh->second.empty()) {
+            shares_.erase(sh);
+          }
+          continue;
+        }
+        free_list_.push_back(idx << kPageShift);
+        freed++;
       }
-      reclaimed += seg.pages;
       it = segments_.erase(it);
     } else {
       ++it;
     }
   }
-  allocated_ -= reclaimed;
-  return reclaimed;
+  allocated_ -= freed;
+  return freed;
 }
 
 uint64_t FrameAllocator::OwnedFrames(OwnerId owner) const {
@@ -116,6 +162,14 @@ uint64_t FrameAllocator::OwnedFrames(OwnerId owner) const {
   for (const auto& [seg, seg_owner] : segments_) {
     if (seg_owner == owner) {
       n += seg.pages;
+      // Carved pages were transferred to another container; they are
+      // counted through their owner_ entry instead.
+      for (const auto& [idx, carved] : carved_) {
+        (void)carved;
+        if (seg.Contains(idx << kPageShift)) {
+          n--;
+        }
+      }
     }
   }
   return n;
@@ -132,6 +186,74 @@ OwnerId FrameAllocator::OwnerOf(uint64_t pa) const {
     }
   }
   return kHostOwner;
+}
+
+void FrameAllocator::ShareFrame(uint64_t pa, OwnerId sharer) {
+  shares_[pa >> kPageShift].push_back(sharer);
+}
+
+void FrameAllocator::TransferPrimary(uint64_t idx) {
+  auto sh = shares_.find(idx);
+  assert(sh != shares_.end() && !sh->second.empty());
+  OwnerId next = sh->second.front();
+  sh->second.erase(sh->second.begin());
+  if (sh->second.empty()) {
+    shares_.erase(sh);
+  }
+  if (owner_.count(idx) == 0) {
+    // The primary held this page through a delegated segment: carve it out
+    // so the segment's sweep and leak count skip it from now on.
+    carved_[idx] = true;
+  }
+  owner_[idx] = next;
+}
+
+bool FrameAllocator::ReleaseShare(uint64_t pa, OwnerId holder) {
+  uint64_t idx = pa >> kPageShift;
+  auto sh = shares_.find(idx);
+  bool is_primary = OwnerOf(pa) == holder;
+  if (sh != shares_.end() && !is_primary) {
+    auto& holders = sh->second;
+    auto it = std::find(holders.begin(), holders.end(), holder);
+    if (it != holders.end()) {
+      holders.erase(it);
+      if (holders.empty()) {
+        shares_.erase(sh);
+      }
+      return true;
+    }
+    return false;  // shared, but not by this holder: normal-free path
+  }
+  if (!is_primary || sh == shares_.end()) {
+    return false;
+  }
+  TransferPrimary(idx);
+  return true;
+}
+
+bool FrameAllocator::IsShared(uint64_t pa) const {
+  return shares_.count(pa >> kPageShift) != 0;
+}
+
+bool FrameAllocator::OwnedOrSharedBy(uint64_t pa, OwnerId holder) const {
+  if (OwnerOf(pa) == holder) {
+    return true;
+  }
+  auto sh = shares_.find(pa >> kPageShift);
+  if (sh == shares_.end()) {
+    return false;
+  }
+  return std::find(sh->second.begin(), sh->second.end(), holder) != sh->second.end();
+}
+
+uint64_t FrameAllocator::SharedFrames(OwnerId holder) const {
+  uint64_t n = 0;
+  for (const auto& [idx, holders] : shares_) {
+    (void)idx;
+    n += static_cast<uint64_t>(
+        std::count(holders.begin(), holders.end(), holder));
+  }
+  return n;
 }
 
 }  // namespace cki

@@ -6,6 +6,13 @@
 // (section 4.3). The allocator tracks per-frame ownership so the page-table
 // monitor can verify that a guest maps only memory it owns — and so a
 // killed container's frames can be reclaimed in one owner sweep.
+//
+// Copy-on-write clones (src/snap) add *shared* frames: a frame keeps one
+// primary owner plus a list of sharer containers (ShareFrame). Releasing
+// or reclaiming a sharer only drops its share; releasing/reclaiming the
+// primary while sharers remain transfers primacy to the first sharer
+// instead of freeing — so killing one clone never frees frames a sibling
+// still maps. Invariants in DESIGN.md §10.
 #ifndef SRC_HOST_FRAME_ALLOCATOR_H_
 #define SRC_HOST_FRAME_ALLOCATOR_H_
 
@@ -57,21 +64,50 @@ class FrameAllocator {
 
   // Reclaims every frame and segment owned by `owner` (the kill sweep).
   // Singleton frames return to the free list in ascending PA order so
-  // allocation order stays deterministic. Returns the frame count.
+  // allocation order stays deterministic. Frames with live sharers are
+  // transferred to their first sharer instead of freed, and the dying
+  // owner's own shares are dropped everywhere. Returns the freed count.
   uint64_t ReclaimOwner(OwnerId owner);
 
   // Frames (singletons + segment pages) currently owned by `owner` —
-  // the teardown leak check.
+  // the teardown leak check. Segment pages carved out by a CoW transfer
+  // count toward their new owner, not the segment's.
   uint64_t OwnedFrames(OwnerId owner) const;
 
   // Owner of the frame containing `pa`; kHostOwner if never allocated.
   OwnerId OwnerOf(uint64_t pa) const;
+
+  // --- copy-on-write sharing (src/snap clones) --------------------------
+  // Registers `sharer` as an additional holder of the (allocated) frame.
+  // One share per (frame, clone) — the clone's guest-side refcounts cover
+  // multiple mappings inside the clone.
+  void ShareFrame(uint64_t pa, OwnerId sharer);
+
+  // Drops `holder`'s interest in a shared frame. Returns true when the
+  // call handled the release (a share was dropped, or primacy transferred
+  // to a remaining sharer); false means the frame is not shared and the
+  // caller should free it through the normal path.
+  bool ReleaseShare(uint64_t pa, OwnerId holder);
+
+  // True while at least one sharer (beyond the primary owner) holds `pa`.
+  bool IsShared(uint64_t pa) const;
+
+  // True when `holder` is the primary owner of `pa` or one of its sharers
+  // (the PTP monitor's mapping check for clones).
+  bool OwnedOrSharedBy(uint64_t pa, OwnerId holder) const;
+
+  // Number of frames `holder` holds only as a sharer (leak audit).
+  uint64_t SharedFrames(OwnerId holder) const;
 
   uint64_t allocated_frames() const { return allocated_; }
   uint64_t total_frames() const { return total_pages_; }
   uint64_t double_frees() const { return double_frees_; }
 
  private:
+  // Moves primacy of frame `idx` to the first sharer, carving the page
+  // out of its segment when the primary was a segment owner.
+  void TransferPrimary(uint64_t idx);
+
   PhysMem& mem_;
   uint64_t base_;
   uint64_t total_pages_;
@@ -79,6 +115,12 @@ class FrameAllocator {
   std::vector<uint64_t> free_list_;
   std::unordered_map<uint64_t, OwnerId> owner_;  // frame index -> owner
   std::vector<std::pair<PhysSegment, OwnerId>> segments_;
+  // frame index -> sharers beyond the primary owner (insertion order; the
+  // first entry inherits primacy on transfer).
+  std::unordered_map<uint64_t, std::vector<OwnerId>> shares_;
+  // Segment-page frame indices whose primacy was transferred away from
+  // the segment owner (excluded from the segment's sweep and leak count).
+  std::unordered_map<uint64_t, bool> carved_;
   uint64_t allocated_ = 0;
   uint64_t double_frees_ = 0;
   FaultBus* bus_ = nullptr;

@@ -92,6 +92,22 @@ void Tlb::InvalidatePcidRange(uint16_t base, uint16_t count) {
   }
 }
 
+void Tlb::InvalidatePagePcidRange(uint16_t base, uint16_t count, uint64_t va) {
+  uint32_t end = static_cast<uint32_t>(base) + count;
+  uint64_t vpn4k = va >> kPageShift;
+  uint64_t vpn2m = va >> kHugePageShift;
+  for (bool huge : {false, true}) {
+    uint64_t vpn = huge ? vpn2m : vpn4k;
+    size_t set_base = SetIndex(vpn) * static_cast<size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+      TlbEntry& e = entries_[set_base + static_cast<size_t>(w)];
+      if (e.valid && e.pcid >= base && e.pcid < end && e.huge == huge && e.vpn == vpn) {
+        e.valid = false;
+      }
+    }
+  }
+}
+
 void Tlb::FlushAll() {
   for (TlbEntry& e : entries_) {
     e.valid = false;

@@ -45,6 +45,11 @@ class Tlb {
   // whole PCID range of a killed container, in one pass.
   void InvalidatePcidRange(uint16_t base, uint16_t count);
 
+  // Drops the translation of one page in every PCID of [base, base +
+  // count): the cross-address-space shootdown when a copy-on-write break
+  // rewrites a PTE that sibling processes of one container may cache.
+  void InvalidatePagePcidRange(uint16_t base, uint16_t count, uint64_t va);
+
   // Full flush (CR3 write without CR4.PCIDE, or INVPCID all-context).
   void FlushAll();
 

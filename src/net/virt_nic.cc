@@ -4,6 +4,7 @@
 
 #include "src/fault/fault_injector.h"
 #include "src/obs/trace_scope.h"
+#include "src/snap/snap_stream.h"
 
 namespace cki {
 
@@ -319,6 +320,43 @@ void VirtNic::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Inc(prefix + "rx_drops", stats_.rx_drops);
   metrics.Inc(prefix + "refused", stats_.refused_conns);
   metrics.Inc(prefix + "accepted", stats_.accepted_conns);
+}
+
+void VirtNic::SnapCapture(SnapWriter& w) const {
+  w.PutI64(config_.tx_batch);
+  w.PutU64(config_.rx_ring);
+  w.PutBool(config_.irq_per_batch);
+  w.PutU64(stats_.kicks);
+  w.PutU64(stats_.interrupts);
+  w.PutU64(stats_.coalesced_frames);
+  w.PutU64(stats_.irq_acks);
+  w.PutU64(stats_.tx_packets);
+  w.PutU64(stats_.rx_packets);
+  w.PutU64(stats_.tx_bytes);
+  w.PutU64(stats_.rx_bytes);
+  w.PutU64(stats_.rx_drops);
+  w.PutU64(stats_.refused_conns);
+  w.PutU64(stats_.accepted_conns);
+}
+
+void VirtNic::SnapApply(SnapReader& r) {
+  config_.tx_batch = static_cast<int>(r.GetI64());
+  config_.rx_ring = static_cast<size_t>(r.GetU64());
+  config_.irq_per_batch = r.GetBool();
+  if (config_.tx_batch < 1) {
+    config_.tx_batch = 1;
+  }
+  stats_.kicks = r.GetU64();
+  stats_.interrupts = r.GetU64();
+  stats_.coalesced_frames = r.GetU64();
+  stats_.irq_acks = r.GetU64();
+  stats_.tx_packets = r.GetU64();
+  stats_.rx_packets = r.GetU64();
+  stats_.tx_bytes = r.GetU64();
+  stats_.rx_bytes = r.GetU64();
+  stats_.rx_drops = r.GetU64();
+  stats_.refused_conns = r.GetU64();
+  stats_.accepted_conns = r.GetU64();
 }
 
 }  // namespace cki

@@ -99,6 +99,13 @@ class VirtNic : public NetPort, public NetDevice {
   // Dumps counters as `net/nic/<name>/<counter>`.
   void ExportMetrics(MetricsRegistry& metrics) const;
 
+  // --- snapshot (src/snap; DESIGN.md §10) ----------------------------------
+  // Captures/applies NIC config + traffic counters. Live flows, listeners
+  // and ring contents are NOT migrated — like a live migration dropping
+  // established TCP state, a restored container re-listens/re-connects.
+  void SnapCapture(SnapWriter& w) const;
+  void SnapApply(SnapReader& r);
+
  private:
   struct FlowState {
     int peer = -1;                // switch port of the other end

@@ -11,7 +11,10 @@ ContainerEngine::~ContainerEngine() {
   machine_.faults().UnregisterDomain(id_);
   // Teardown leak check: frames still owned at destruction are reported
   // as a metric, never an abort (the machine reclaims them anyway).
-  uint64_t leaked = machine_.frames().OwnedFrames(id_);
+  // Shared (clone) holdings count too — a destroyed clone that never ran
+  // its kill sweep would otherwise pin siblings' frames invisibly.
+  uint64_t leaked =
+      machine_.frames().OwnedFrames(id_) + machine_.frames().SharedFrames(id_);
   if (leaked > 0) {
     machine_.faults().NoteLeak(id_, leaked);
   }
@@ -89,6 +92,36 @@ uint64_t ContainerEngine::GuestHypercall(HypercallOp op, uint64_t a0, uint64_t a
     }
     return 0;
   }
+}
+
+uint64_t ContainerEngine::AdoptSharedFrame(uint64_t host_pa) {
+  // Identity-mapped designs map the shared host frame directly; the share
+  // record is what keeps sibling kills from freeing it underneath us.
+  machine_.frames().ShareFrame(host_pa, id_);
+  return host_pa;
+}
+
+bool ContainerEngine::FrameShared(uint64_t pa) const {
+  uint64_t hpa = HostFrameFor(pa);
+  if (hpa == kNoPage) {
+    return false;
+  }
+  return machine_.frames().IsShared(hpa);
+}
+
+void ContainerEngine::CowBreakShootdown(uint64_t va) {
+  // Breaking cross-container sharing rewrites a PTE that any PCID of this
+  // container may have cached: IPI-priced shootdown over the whole range.
+  ctx_.ChargeWork(ctx_.cost().cow_break_ipi);
+  machine_.cpu().tlb().InvalidatePagePcidRange(pcid_base_, pcid_count_, va);
+}
+
+bool ContainerEngine::ReleaseSharedDataFrame(uint64_t pa) {
+  uint64_t hpa = HostFrameFor(pa);
+  if (hpa == kNoPage) {
+    return false;
+  }
+  return machine_.frames().ReleaseShare(hpa, id_);
 }
 
 uint64_t ContainerEngine::MmapAnon(uint64_t bytes, bool populate) {

@@ -21,8 +21,23 @@
 namespace cki {
 
 class FaultInjector;
+class SnapReader;
+class SnapWriter;
 
 enum class TouchResult : uint8_t { kOk, kSegv, kKilled };
+
+// The evaluated container designs (lives here so engines can name their
+// own kind; runtime.h builds its factory over the same enum).
+enum class RuntimeKind : uint8_t {
+  kRunc = 0,    // OS-level container
+  kHvm,         // Kata-style, hardware virtualization
+  kPvm,         // software virtualization (shadow paging)
+  kCki,         // this paper
+  kCkiNoOpt2,   // ablation: + page-table switches on syscalls
+  kCkiNoOpt3,   // ablation: sysret/swapgs blocked
+  kGvisor,      // userspace kernel (Systrap redirection)
+  kLibOs,       // process-like library OS (no U/K isolation)
+};
 
 class ContainerEngine : public EnginePort {
  public:
@@ -35,6 +50,10 @@ class ContainerEngine : public EnginePort {
 
   virtual std::string_view name() const = 0;
 
+  // Which evaluated design this engine implements (checkpoint streams
+  // record it so Restore can rebuild the right engine anywhere).
+  virtual RuntimeKind kind() const = 0;
+
   // Boots the container: registers its fault domain, then engine-specific
   // setup, then the guest kernel and its init process.
   virtual void Boot();
@@ -46,8 +65,10 @@ class ContainerEngine : public EnginePort {
 
   // False once this container's fault domain has killed it.
   bool alive() const { return !killed_; }
-  // Base of this engine's hardware PCID range (for TLB-isolation tests).
+  // Base/size of this engine's hardware PCID range (TLB-isolation tests
+  // and the clone path's cross-address-space shootdowns).
   uint16_t pcid_base() const { return pcid_base_; }
+  uint16_t pcid_count() const { return pcid_count_; }
 
   // Arms deterministic fault injection on this engine's guest-facing
   // paths (PKS violations on touches; engines add their own sites).
@@ -87,7 +108,39 @@ class ContainerEngine : public EnginePort {
   // its base VA (drives mmap through the syscall path).
   uint64_t MmapAnon(uint64_t bytes, bool populate);
 
+  // --- snapshot hooks (src/snap; DESIGN.md §10) -------------------------
+  // Engine construction parameters, captured into / applied from the
+  // stream's config blob. Apply runs on a fresh engine BEFORE Boot().
+  virtual void SnapCaptureConfig(SnapWriter& w) const { (void)w; }
+  virtual void SnapApplyConfig(SnapReader& r) { (void)r; }
+  // Mutable engine state (virtual IF, pending virqs, ...), captured after
+  // the kernel section and applied after the kernel has been rebuilt.
+  virtual void SnapCaptureState(SnapWriter& w) const { (void)w; }
+  virtual void SnapApplyState(SnapReader& r) { (void)r; }
+
+  // Host PA backing the guest-visible `pa`; identity for designs without
+  // a second translation stage. kNoPage when no backing exists yet (lazy
+  // HVM/PVM pages — their content is all-zero by construction).
+  virtual uint64_t HostFrameFor(uint64_t pa) const { return pa; }
+  // Like HostFrameFor but materializes missing backing (restore fill-in).
+  virtual uint64_t EnsureHostFrame(uint64_t pa) { return pa; }
+
+  // Clone support: registers this engine as a sharer of `host_pa` and
+  // returns the guest-visible PA it must be mapped under. HVM/PVM mint a
+  // fresh gPA wired to the shared host frame.
+  virtual uint64_t AdoptSharedFrame(uint64_t host_pa);
+
+  // --- EnginePort (CoW sharing; see engine_port.h) ----------------------
+  bool FrameShared(uint64_t pa) const override;
+  void CowBreakShootdown(uint64_t va) override;
+
  protected:
+  // First line of every engine's FreeDataPage: true when `pa` was a
+  // cross-container shared frame whose release the allocator handled
+  // (share dropped or primacy transferred) — the engine must NOT recycle
+  // it into any free list.
+  bool ReleaseSharedDataFrame(uint64_t pa);
+
   // Design-specific implementations behind the fault-domain wrappers.
   virtual SyscallResult DoUserSyscall(const SyscallRequest& req) = 0;
   virtual TouchResult DoUserTouch(uint64_t va, bool write) = 0;

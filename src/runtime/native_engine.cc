@@ -77,7 +77,12 @@ bool NativeEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t
 
 uint64_t NativeEngine::AllocDataPage() { return machine_.frames().AllocFrame(id_); }
 
-void NativeEngine::FreeDataPage(uint64_t pa) { machine_.frames().FreeFrame(pa); }
+void NativeEngine::FreeDataPage(uint64_t pa) {
+  if (ReleaseSharedDataFrame(pa)) {
+    return;  // clone-shared frame: the allocator kept it for siblings
+  }
+  machine_.frames().FreeFrame(pa);
+}
 
 uint64_t NativeEngine::AllocPtp(int level) {
   (void)level;

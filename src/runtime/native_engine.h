@@ -14,6 +14,7 @@ class NativeEngine : public ContainerEngine {
   explicit NativeEngine(Machine& machine);
 
   std::string_view name() const override { return "RunC"; }
+  RuntimeKind kind() const override { return RuntimeKind::kRunc; }
 
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;

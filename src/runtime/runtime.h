@@ -12,17 +12,8 @@
 
 namespace cki {
 
-enum class RuntimeKind : uint8_t {
-  kRunc = 0,    // OS-level container
-  kHvm,         // Kata-style, hardware virtualization
-  kPvm,         // software virtualization (shadow paging)
-  kCki,         // this paper
-  kCkiNoOpt2,   // ablation: + page-table switches on syscalls
-  kCkiNoOpt3,   // ablation: sysret/swapgs blocked
-  kGvisor,      // userspace kernel (Systrap redirection)
-  kLibOs,       // process-like library OS (no U/K isolation)
-};
-
+// RuntimeKind itself lives in engine.h (engines name their own kind;
+// snapshot streams record it).
 std::string_view RuntimeKindName(RuntimeKind kind);
 
 // A booted single-container testbed: machine + engine, ready for workloads.

@@ -158,6 +158,18 @@ struct CostModel {
   SimNanos fault_kill_fixed = 15000;
   SimNanos fault_reclaim_per_frame = 30;
 
+  // --- Snapshot / clone (src/snap) ---------------------------------------------
+  // Checkpoint/restore move page-sized records through a serializer
+  // (bounds checks + hash folding dominate; Quark reports ~100-200 ns/4K
+  // for its snapshot streams). Clones only install a write-protected PTE
+  // per shared page; the CoW break pays an IPI-priced shootdown across
+  // the container's PCID range.
+  SimNanos snap_fixed = 2000;             // per checkpoint/restore/clone op
+  SimNanos snap_page_capture = 120;       // serialize one 4 KiB frame record
+  SimNanos snap_page_restore = 150;       // deserialize + install one frame
+  SimNanos snap_clone_page = 40;          // share + write-protect one page
+  SimNanos cow_break_ipi = 700;           // cross-PCID shootdown on CoW break
+
   // Returns the model calibrated against the paper (the defaults above).
   static CostModel Calibrated() { return CostModel{}; }
 

@@ -1,0 +1,83 @@
+// Container checkpoint/restore and copy-on-write clone (DESIGN.md §10).
+//
+// Three operations on a live container engine:
+//   * CheckpointContainer — serializes the whole container (guest kernel,
+//     processes/VMAs, tmpfs, page tables, dirty frame contents, engine
+//     config/state, optional NIC device state) into a versioned,
+//     PA-independent byte stream ending in an FNV-1a content hash.
+//   * RestoreContainer — rebuilds the container from a stream under a
+//     fresh engine of the recorded kind, on the same or any other Machine
+//     (cross-shard migration), remapping every frame. A corrupt stream is
+//     rejected with a typed FaultReport{kSnapshotCorrupt}; it never
+//     aborts the host, and a half-built engine is killed and reclaimed.
+//   * CloneContainer — CoW fork on the same Machine: the clone adopts the
+//     template's frames read-only via FrameAllocator share records, so N
+//     warm clones cost O(dirty pages), not O(container size). The first
+//     write on either side breaks the sharing (guest_kernel_mm.cc).
+//
+// Determinism contract: checkpoint -> restore -> checkpoint reproduces a
+// bit-identical stream with an equal content hash, across all engines.
+#ifndef SRC_SNAP_SNAPSHOT_H_
+#define SRC_SNAP_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fault/fault_domain.h"
+#include "src/runtime/engine.h"
+
+namespace cki {
+
+class FaultInjector;
+class VirtNic;
+
+// Stream header constants (little-endian on the wire).
+inline constexpr uint64_t kSnapMagic = 0x3150414E53494B43ULL;  // "CKISNAP1"
+inline constexpr uint32_t kSnapVersion = 1;
+
+// A serialized container. Self-contained value type: copy it, ship it to
+// another shard, keep it as a warm-start template.
+struct SnapshotImage {
+  std::vector<uint8_t> bytes;
+
+  // Peeks the recorded engine kind (valid only if the header is intact).
+  RuntimeKind kind() const;
+  // The trailing FNV-1a digest over the rest of the stream.
+  uint64_t content_hash() const;
+  // Magic, version, and content hash all check out.
+  bool Valid() const;
+};
+
+// Result of RestoreContainer. On failure `engine` is null and `fault`
+// says why (kSnapshotCorrupt for any stream damage).
+struct RestoreOutcome {
+  bool ok = false;
+  FaultReport fault;
+  std::unique_ptr<ContainerEngine> engine;
+  // Opaque NIC device blob carried by the stream; apply it to a NIC
+  // attached to the restored engine with ApplySnapshotDeviceState (a NIC
+  // can only be constructed after the engine exists, hence two steps).
+  std::vector<uint8_t> device_state;
+};
+
+// Serializes `engine`'s full container state. `nic` adds the device blob;
+// `injector` arms the snapshot-corruption chaos site (a deterministic
+// bit-flip in the finished stream).
+SnapshotImage CheckpointContainer(ContainerEngine& engine, FaultInjector* injector = nullptr,
+                                  const VirtNic* nic = nullptr);
+
+// Rebuilds the container on `machine` (same or different shard).
+RestoreOutcome RestoreContainer(Machine& machine, const SnapshotImage& image);
+
+// Applies a restored stream's NIC blob; false if the blob carries no
+// device section or is corrupt.
+bool ApplySnapshotDeviceState(VirtNic& nic, const std::vector<uint8_t>& blob);
+
+// CoW fork of `parent` on its own Machine. Returns the booted clone;
+// throws FatalHostError only for host-fatal conditions (as Boot would).
+std::unique_ptr<ContainerEngine> CloneContainer(ContainerEngine& parent);
+
+}  // namespace cki
+
+#endif  // SRC_SNAP_SNAPSHOT_H_

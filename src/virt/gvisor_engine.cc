@@ -124,7 +124,12 @@ bool GvisorEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t
 
 uint64_t GvisorEngine::AllocDataPage() { return machine_.frames().AllocFrame(id_); }
 
-void GvisorEngine::FreeDataPage(uint64_t pa) { machine_.frames().FreeFrame(pa); }
+void GvisorEngine::FreeDataPage(uint64_t pa) {
+  if (ReleaseSharedDataFrame(pa)) {
+    return;  // clone-shared frame: the allocator kept it for siblings
+  }
+  machine_.frames().FreeFrame(pa);
+}
 
 uint64_t GvisorEngine::AllocPtp(int level) {
   (void)level;

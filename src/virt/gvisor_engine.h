@@ -19,6 +19,7 @@ class GvisorEngine : public ContainerEngine {
   explicit GvisorEngine(Machine& machine);
 
   std::string_view name() const override { return "gVisor"; }
+  RuntimeKind kind() const override { return RuntimeKind::kGvisor; }
 
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;

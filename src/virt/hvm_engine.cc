@@ -1,6 +1,7 @@
 #include "src/virt/hvm_engine.h"
 
 #include "src/obs/trace_scope.h"
+#include "src/snap/snap_stream.h"
 
 namespace cki {
 
@@ -230,7 +231,18 @@ uint64_t HvmEngine::AllocDataPage() {
   return (data_gpa_next_++) * kPageSize;
 }
 
-void HvmEngine::FreeDataPage(uint64_t pa) { data_free_list_.push_back(pa); }
+void HvmEngine::FreeDataPage(uint64_t pa) {
+  if (ReleaseSharedDataFrame(pa)) {
+    // The shared host frame stays with its remaining holders; the gPA is
+    // ours alone, so unbind it and recycle (backing re-materializes
+    // lazily if the gPA is reused).
+    backing_.erase(pa >> kPageShift);
+    ept_.Unmap(pa & ~(kPageSize - 1));
+    data_free_list_.push_back(pa);
+    return;
+  }
+  data_free_list_.push_back(pa);
+}
 
 uint64_t HvmEngine::AllocPtp(int level) {
   (void)level;
@@ -253,5 +265,35 @@ void HvmEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
 }
 
 void HvmEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+void HvmEngine::SnapCaptureConfig(SnapWriter& w) const {
+  w.PutBool(cold_faults_);
+  w.PutBool(ept_huge_pages_);
+}
+
+void HvmEngine::SnapApplyConfig(SnapReader& r) {
+  cold_faults_ = r.GetBool();
+  ept_huge_pages_ = r.GetBool();
+}
+
+uint64_t HvmEngine::HostFrameFor(uint64_t pa) const {
+  auto it = backing_.find(pa >> kPageShift);
+  if (it == backing_.end()) {
+    return kNoPage;  // lazily backed gPA: all-zero by construction
+  }
+  return it->second | (pa & (kPageSize - 1));
+}
+
+uint64_t HvmEngine::EnsureHostFrame(uint64_t pa) { return Backing(pa, /*create=*/true); }
+
+uint64_t HvmEngine::AdoptSharedFrame(uint64_t host_pa) {
+  machine_.frames().ShareFrame(host_pa, id_);
+  uint64_t gpa = AllocDataPage();
+  backing_[gpa >> kPageShift] = host_pa;
+  // Map eagerly: Backing() short-circuits on an existing entry, so a later
+  // EPT violation would spin instead of installing this mapping.
+  ept_.Map(gpa & ~(kPageSize - 1), host_pa, PageSize::k4K);
+  return gpa;
+}
 
 }  // namespace cki

@@ -21,8 +21,16 @@ class HvmEngine : public ContainerEngine {
   explicit HvmEngine(Machine& machine);
 
   std::string_view name() const override { return nested() ? "HVM-NST" : "HVM-BM"; }
+  RuntimeKind kind() const override { return RuntimeKind::kHvm; }
 
   void Boot() override;
+
+  // --- snapshot hooks --------------------------------------------------
+  void SnapCaptureConfig(SnapWriter& w) const override;
+  void SnapApplyConfig(SnapReader& r) override;
+  uint64_t HostFrameFor(uint64_t pa) const override;
+  uint64_t EnsureHostFrame(uint64_t pa) override;
+  uint64_t AdoptSharedFrame(uint64_t host_pa) override;
 
   // True when the deployment is impossible (nested container requested but
   // the IaaS VM has no nested virtualization). Boot() then does nothing.
@@ -71,7 +79,10 @@ class HvmEngine : public ContainerEngine {
   std::unordered_map<uint64_t, uint64_t> backing_;  // gPA page -> hPA page
   std::vector<uint64_t> guest_free_list_;
   std::vector<uint64_t> data_free_list_;
-  uint64_t guest_ram_next_ = 0;  // bump pointer in gPA space (page index)
+  // Bump pointer in gPA space (page index). gPA page 0 is never handed
+  // out: the first allocation is the init PML4, and pt_root == 0 is the
+  // guest kernel's "no address space" sentinel.
+  uint64_t guest_ram_next_ = 1;
   // Data pages come from a separate gPA arena so 2 MiB EPT backing never
   // covers (and corrupts) page-table pages.
   uint64_t data_gpa_next_ = (1ull << 40) >> kPageShift;

@@ -1,6 +1,7 @@
 #include "src/virt/libos_engine.h"
 
 #include "src/obs/trace_scope.h"
+#include "src/snap/snap_stream.h"
 
 namespace cki {
 
@@ -117,7 +118,12 @@ bool LibOsEngine::StorePte(uint64_t pte_pa, uint64_t value, int level, uint64_t 
 
 uint64_t LibOsEngine::AllocDataPage() { return machine_.frames().AllocFrame(id_); }
 
-void LibOsEngine::FreeDataPage(uint64_t pa) { machine_.frames().FreeFrame(pa); }
+void LibOsEngine::FreeDataPage(uint64_t pa) {
+  if (ReleaseSharedDataFrame(pa)) {
+    return;  // clone-shared frame: the allocator kept it for siblings
+  }
+  machine_.frames().FreeFrame(pa);
+}
 
 uint64_t LibOsEngine::AllocPtp(int level) {
   (void)level;
@@ -139,6 +145,14 @@ void LibOsEngine::InvalidatePage(uint64_t va) {
   // operations are host syscalls underneath (mmap/mprotect), and the host
   // kernel performs the TLB maintenance.
   machine_.cpu().tlb().InvalidatePage(Cr3Pcid(machine_.cpu().cr3()), va);
+}
+
+void LibOsEngine::SnapCaptureState(SnapWriter& w) const { w.PutBool(state_mapped_); }
+
+void LibOsEngine::SnapApplyState(SnapReader& r) {
+  // The state page travels as an ordinary VMA + leaf in the kernel
+  // section; only the "already mapped" latch is engine-side.
+  state_mapped_ = r.GetBool();
 }
 
 }  // namespace cki

@@ -18,6 +18,10 @@ class LibOsEngine : public ContainerEngine {
   explicit LibOsEngine(Machine& machine);
 
   std::string_view name() const override { return "LibOS"; }
+  RuntimeKind kind() const override { return RuntimeKind::kLibOs; }
+
+  void SnapCaptureState(SnapWriter& w) const override;
+  void SnapApplyState(SnapReader& r) override;
 
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;

@@ -1,6 +1,7 @@
 #include "src/virt/pvm_engine.h"
 
 #include "src/obs/trace_scope.h"
+#include "src/snap/snap_stream.h"
 
 namespace cki {
 
@@ -259,7 +260,14 @@ void PvmEngine::EndPteBatch() {
 
 uint64_t PvmEngine::AllocDataPage() { return GuestPhysAlloc(); }
 
-void PvmEngine::FreeDataPage(uint64_t pa) { guest_free_list_.push_back(pa); }
+void PvmEngine::FreeDataPage(uint64_t pa) {
+  if (ReleaseSharedDataFrame(pa)) {
+    // Shared host frame stays with its remaining holders; unbind our gPA
+    // (shadow leaves were already cleared by the preceding unmap).
+    backing_.erase(pa >> kPageShift);
+  }
+  guest_free_list_.push_back(pa);
+}
 
 uint64_t PvmEngine::AllocPtp(int level) {
   (void)level;
@@ -285,5 +293,28 @@ void PvmEngine::LoadAddressSpace(uint64_t root_pa, uint16_t asid) {
 }
 
 void PvmEngine::InvalidatePage(uint64_t va) { machine_.cpu().Invlpg(va); }
+
+void PvmEngine::SnapCaptureConfig(SnapWriter& w) const { w.PutBool(cold_faults_); }
+
+void PvmEngine::SnapApplyConfig(SnapReader& r) { cold_faults_ = r.GetBool(); }
+
+uint64_t PvmEngine::HostFrameFor(uint64_t pa) const {
+  auto it = backing_.find(pa >> kPageShift);
+  if (it == backing_.end()) {
+    return kNoPage;  // never-touched gPA: all-zero by construction
+  }
+  return it->second | (pa & (kPageSize - 1));
+}
+
+uint64_t PvmEngine::EnsureHostFrame(uint64_t pa) { return Backing(pa, /*create=*/true); }
+
+uint64_t PvmEngine::AdoptSharedFrame(uint64_t host_pa) {
+  machine_.frames().ShareFrame(host_pa, id_);
+  uint64_t gpa = GuestPhysAlloc();
+  // Shadow leaves resolve gPA -> hPA through backing_, so wiring the map
+  // entry is all the adoption the shadow stage needs.
+  backing_[gpa >> kPageShift] = host_pa;
+  return gpa;
+}
 
 }  // namespace cki

@@ -23,6 +23,14 @@ class PvmEngine : public ContainerEngine {
   explicit PvmEngine(Machine& machine);
 
   std::string_view name() const override { return nested() ? "PVM-NST" : "PVM-BM"; }
+  RuntimeKind kind() const override { return RuntimeKind::kPvm; }
+
+  // --- snapshot hooks --------------------------------------------------
+  void SnapCaptureConfig(SnapWriter& w) const override;
+  void SnapApplyConfig(SnapReader& r) override;
+  uint64_t HostFrameFor(uint64_t pa) const override;
+  uint64_t EnsureHostFrame(uint64_t pa) override;
+  uint64_t AdoptSharedFrame(uint64_t host_pa) override;
 
   SimNanos KickCost() const override;
   SimNanos DeviceInterruptCost() const override;
@@ -72,7 +80,9 @@ class PvmEngine : public ContainerEngine {
   std::unordered_map<uint64_t, uint64_t> backing_;       // gPA page -> hPA page
   std::unordered_map<uint64_t, uint64_t> shadow_roots_;  // guest root -> shadow root (hPA)
   std::vector<uint64_t> guest_free_list_;
-  uint64_t guest_ram_next_ = 0;
+  // gPA page 0 is reserved: the first allocation is the init PML4, and
+  // pt_root == 0 is the guest kernel's "no address space" sentinel.
+  uint64_t guest_ram_next_ = 1;
   bool cold_faults_ = false;
   bool in_batch_ = false;
   int batch_pending_ = 0;

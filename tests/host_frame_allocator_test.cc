@@ -62,5 +62,93 @@ TEST_F(FrameAllocatorTest, SegmentContains) {
   EXPECT_FALSE(seg.Contains(0x1FFF));
 }
 
+// --- copy-on-write sharing (src/snap clones) -------------------------------
+
+TEST_F(FrameAllocatorTest, ShareAndReleaseBySharer) {
+  uint64_t a = alloc_.AllocFrame(1);
+  EXPECT_FALSE(alloc_.IsShared(a));
+  alloc_.ShareFrame(a, 2);
+  EXPECT_TRUE(alloc_.IsShared(a));
+  EXPECT_TRUE(alloc_.OwnedOrSharedBy(a, 1));
+  EXPECT_TRUE(alloc_.OwnedOrSharedBy(a, 2));
+  EXPECT_FALSE(alloc_.OwnedOrSharedBy(a, 3));
+  EXPECT_EQ(alloc_.SharedFrames(2), 1u);
+
+  // The sharer drops its share: frame stays allocated, owned by 1.
+  EXPECT_TRUE(alloc_.ReleaseShare(a, 2));
+  EXPECT_FALSE(alloc_.IsShared(a));
+  EXPECT_EQ(alloc_.OwnerOf(a), 1u);
+  EXPECT_EQ(alloc_.SharedFrames(2), 0u);
+  // An unshared frame is the caller's to free normally.
+  EXPECT_FALSE(alloc_.ReleaseShare(a, 1));
+}
+
+TEST_F(FrameAllocatorTest, ReleaseByPrimaryTransfersPrimacy) {
+  uint64_t a = alloc_.AllocFrame(1);
+  alloc_.ShareFrame(a, 2);
+  alloc_.ShareFrame(a, 3);
+  EXPECT_TRUE(alloc_.ReleaseShare(a, 1));
+  EXPECT_EQ(alloc_.OwnerOf(a), 2u) << "first sharer inherits primacy";
+  EXPECT_TRUE(alloc_.IsShared(a)) << "sharer 3 still holds a share";
+  EXPECT_FALSE(alloc_.OwnedOrSharedBy(a, 1));
+}
+
+TEST_F(FrameAllocatorTest, FreeFrameOnSharedTransfersInsteadOfFreeing) {
+  uint64_t a = alloc_.AllocFrame(1);
+  alloc_.ShareFrame(a, 2);
+  uint64_t before = alloc_.allocated_frames();
+  EXPECT_EQ(alloc_.FreeFrame(a), FreeResult::kOk);
+  EXPECT_EQ(alloc_.allocated_frames(), before) << "shared frame must not hit the free list";
+  EXPECT_EQ(alloc_.OwnerOf(a), 2u);
+}
+
+TEST_F(FrameAllocatorTest, ReclaimOwnerSpareSharedSingletons) {
+  // Owner 1 holds two frames; frame `a` is shared with clone 2.
+  uint64_t a = alloc_.AllocFrame(1);
+  uint64_t b = alloc_.AllocFrame(1);
+  alloc_.ShareFrame(a, 2);
+  uint64_t freed = alloc_.ReclaimOwner(1);
+  EXPECT_EQ(freed, 1u) << "only the unshared frame is freed";
+  EXPECT_EQ(alloc_.OwnerOf(a), 2u) << "shared frame transfers to the clone";
+  EXPECT_EQ(alloc_.OwnerOf(b), kHostOwner);
+  EXPECT_FALSE(alloc_.IsShared(a));
+}
+
+TEST_F(FrameAllocatorTest, ReclaimDyingSharerDropsItsShares) {
+  uint64_t a = alloc_.AllocFrame(1);
+  alloc_.ShareFrame(a, 2);
+  // Clone 2 dies: its share evaporates; owner 1 keeps the frame.
+  uint64_t freed = alloc_.ReclaimOwner(2);
+  EXPECT_EQ(freed, 0u);
+  EXPECT_EQ(alloc_.OwnerOf(a), 1u);
+  EXPECT_FALSE(alloc_.IsShared(a));
+  EXPECT_EQ(alloc_.SharedFrames(2), 0u);
+}
+
+TEST_F(FrameAllocatorTest, ReclaimSegmentOwnerCarvesSharedPages) {
+  PhysSegment seg = alloc_.AllocSegment(8, 9);
+  uint64_t shared_pa = seg.base + 3 * kPageSize;
+  alloc_.ShareFrame(shared_pa, 2);
+  uint64_t freed = alloc_.ReclaimOwner(9);
+  EXPECT_EQ(freed, 7u) << "segment sweep skips the page a clone still shares";
+  EXPECT_EQ(alloc_.OwnerOf(shared_pa), 2u) << "carved page transfers to the sharer";
+  EXPECT_EQ(alloc_.OwnedFrames(9), 0u);
+  EXPECT_EQ(alloc_.OwnedFrames(2), 1u);
+  // The clone's later death frees the carved page for good.
+  EXPECT_EQ(alloc_.ReclaimOwner(2), 1u);
+  EXPECT_EQ(alloc_.OwnerOf(shared_pa), kHostOwner);
+}
+
+TEST_F(FrameAllocatorTest, OwnedFramesExcludesCarvedSegmentPages) {
+  PhysSegment seg = alloc_.AllocSegment(4, 9);
+  EXPECT_EQ(alloc_.OwnedFrames(9), 4u);
+  alloc_.ShareFrame(seg.base, 2);
+  // Primary releases one page to the sharer; the carved page moves owners.
+  EXPECT_TRUE(alloc_.ReleaseShare(seg.base, 9));
+  EXPECT_EQ(alloc_.OwnerOf(seg.base), 2u);
+  EXPECT_EQ(alloc_.OwnedFrames(9), 3u);
+  EXPECT_EQ(alloc_.OwnedFrames(2), 1u);
+}
+
 }  // namespace
 }  // namespace cki
