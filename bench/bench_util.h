@@ -66,26 +66,41 @@ inline std::vector<BenchConfig> Fig16Configs() {
   };
 }
 
-// Options shared by all bench binaries.
+// Options shared by all bench binaries — the one consolidated usage block
+// (every IO flag every bench accepts lives here; keep it in sync with
+// Parse below and the error message it prints).
 //
 // Observability output:
-//   --json-out=<file>   machine-readable per-config metrics dump
-//   --trace-out=<file>  merged Chrome trace-event file (Perfetto-loadable)
+//   --json-out=<file>     machine-readable per-config metrics dump
+//   --trace-out=<file>    merged Chrome trace-event file (Perfetto-loadable;
+//                         includes causal request flows, DESIGN.md §11)
+//   --metrics-csv=<file>  flat CSV of every counter/histogram per config
+//                         (spreadsheet-ready companion of --json-out)
+//
+// Telemetry cost control (DESIGN.md §11):
+//   --sample-every=<n>    keep recorder/span/histogram writes for 1 in n
+//                         root operations (default 1 = full rate; SLO
+//                         windows and self-accounting stay always-on).
+//                         Never changes simulated time or trace hashes.
 //
 // Cluster scale-out (benches built on SimCluster, DESIGN.md §9):
-//   --shards=<n>        independent simulated machines (0: bench default)
-//   --threads=<n>       worker OS threads (0: bench default; results are
-//                       identical at any value — threads change wall-clock
-//                       time only)
-//   --root-seed=<n>     root of the deterministic per-shard seed split
+//   --shards=<n>          independent simulated machines (0: bench default)
+//   --threads=<n>         worker OS threads (0: bench default; results are
+//                         identical at any value — threads change
+//                         wall-clock time only)
+//   --root-seed=<n>       root of the deterministic per-shard seed split
 struct BenchIo {
   std::string json_out;
   std::string trace_out;
-  uint32_t shards = 0;    // 0: bench-specific default
-  uint32_t threads = 0;   // 0: bench-specific default
+  std::string metrics_csv;
+  uint32_t sample_every = 1;  // 1: full rate
+  uint32_t shards = 0;        // 0: bench-specific default
+  uint32_t threads = 0;       // 0: bench-specific default
   uint64_t root_seed = 1;
 
-  bool observing() const { return !json_out.empty() || !trace_out.empty(); }
+  bool observing() const {
+    return !json_out.empty() || !trace_out.empty() || !metrics_csv.empty();
+  }
 
   // The shard/thread counts to actually run with, given bench defaults.
   uint32_t ShardsOr(uint32_t fallback) const { return shards != 0 ? shards : fallback; }
@@ -99,6 +114,13 @@ struct BenchIo {
         io.json_out = arg.substr(std::string_view("--json-out=").size());
       } else if (arg.rfind("--trace-out=", 0) == 0) {
         io.trace_out = arg.substr(std::string_view("--trace-out=").size());
+      } else if (arg.rfind("--metrics-csv=", 0) == 0) {
+        io.metrics_csv = arg.substr(std::string_view("--metrics-csv=").size());
+      } else if (arg.rfind("--sample-every=", 0) == 0) {
+        io.sample_every = ParseUint(arg.substr(std::string_view("--sample-every=").size()));
+        if (io.sample_every == 0) {
+          io.sample_every = 1;
+        }
       } else if (arg.rfind("--shards=", 0) == 0) {
         io.shards = ParseUint(arg.substr(std::string_view("--shards=").size()));
       } else if (arg.rfind("--threads=", 0) == 0) {
@@ -108,6 +130,7 @@ struct BenchIo {
       } else {
         std::cerr << "unknown argument: " << arg
                   << " (supported: --json-out=<file> --trace-out=<file>"
+                     " --metrics-csv=<file> --sample-every=<n>"
                      " --shards=<n> --threads=<n> --root-seed=<n>)\n";
       }
     }
@@ -137,6 +160,7 @@ class BenchObsSink {
   explicit BenchObsSink(BenchIo io) : io_(std::move(io)) {}
 
   bool active() const { return io_.observing(); }
+  const BenchIo& io() const { return io_; }
 
   // Captures one configuration after its measured region: `total_ns` is the
   // raw end-to-end simulated time of the measured region; `obs` holds the
@@ -156,6 +180,9 @@ class BenchObsSink {
     WriteChromeTraceEvents(obs, static_cast<uint32_t>(config_json_.size()), label, &trace_first_,
                            trace);
     trace_events_ << trace.str();
+    if (obs.has_data()) {
+      obs.metrics().WriteCsvRows(csv_rows_, label);
+    }
   }
 
   // Writes the requested files; call once after all configs ran. Returns
@@ -179,6 +206,12 @@ class BenchObsSink {
          << trace_events_.str() << "\n]}\n";
       ok &= ReportWrite(os, io_.trace_out);
     }
+    if (!io_.metrics_csv.empty()) {
+      std::ofstream os(io_.metrics_csv);
+      MetricsRegistry::WriteCsvHeader(os);
+      os << csv_rows_.str();
+      ok &= ReportWrite(os, io_.metrics_csv);
+    }
     return ok;
   }
 
@@ -196,6 +229,7 @@ class BenchObsSink {
   BenchIo io_;
   std::vector<std::string> config_json_;
   std::ostringstream trace_events_;
+  std::ostringstream csv_rows_;
   bool trace_first_ = true;
 };
 

@@ -90,7 +90,7 @@ void CkiEngine::ChargeKsmRoundtrip(SimNanos op_work) {
 SyscallResult CkiEngine::DoUserSyscall(const SyscallRequest& req) {
   // Fast path: the guest kernel is reachable from user mode without host
   // intervention — same 90 ns as native (Fig 10b).
-  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
+  SyscallScope obs_scope(ctx_, id_, SysName(req.no));
   Cpu& cpu = machine_.cpu();
   const CostModel& c = ctx_.cost();
   ctx_.Charge(c.syscall_entry, PathEvent::kSyscallEntry);

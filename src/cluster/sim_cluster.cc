@@ -127,6 +127,13 @@ ClusterResult SimCluster::Run(const ShardBody& body) const {
         result.error = "unknown exception";
       }
       result.index = i;  // the slot is authoritative even if the body forgot
+      // Obs self-accounting rides the shard's metrics (obs/self/*), so the
+      // merged cluster report states what observing the fleet cost.
+      // Shard-local and deterministic: merged counters stay bit-identical
+      // at any thread count.
+      if (result.obs.has_data()) {
+        result.obs.ExportSelfMetrics(result.metrics);
+      }
       slots[i] = std::move(result);
     }
   };

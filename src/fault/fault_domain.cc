@@ -52,6 +52,9 @@ void FaultBus::Record(const FaultReport& report) {
   trace_hash_ = Fnv1aMix(trace_hash_, static_cast<uint64_t>(report.kind));
   trace_hash_ = Fnv1aMix(trace_hash_, report.owner);
   trace_hash_ = Fnv1aMix(trace_hash_, report.detail);
+  // Rolling per-container fault count for the SLO window (always-on
+  // telemetry; no-op while observability is disabled).
+  ctx_.obs().SloIncFault(report.owner, ctx_.clock().now());
 }
 
 bool FaultBus::KillOwner(const FaultReport& report) {

@@ -20,6 +20,7 @@
 
 #include "src/guest/engine_port.h"
 #include "src/guest/ipc.h"
+#include "src/obs/trace_context.h"
 #include "src/guest/process.h"
 #include "src/guest/syscall.h"
 #include "src/guest/tmpfs.h"
@@ -108,6 +109,12 @@ class GuestKernel {
   // Installs an accepted network connection as a socket fd of the current
   // process (models accept() on a listening virtio-net backed socket).
   int InstallNetSocket(int conn_id);
+
+  // Ambient causal request identity (DESIGN.md §11): adopted by the NIC on
+  // receive, stamped onto every transmit, carried through snapshot/
+  // restore/clone — a migrated container keeps the request it was serving.
+  const TraceContext& net_trace() const { return net_trace_; }
+  void set_net_trace(const TraceContext& tc) { net_trace_ = tc; }
 
   // --- introspection ------------------------------------------------------
   // Pids of all processes that still own an address space.
@@ -215,6 +222,7 @@ class GuestKernel {
 
   uint64_t page_faults_ = 0;
   uint64_t syscalls_ = 0;
+  TraceContext net_trace_;
 };
 
 }  // namespace cki

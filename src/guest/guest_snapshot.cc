@@ -56,6 +56,8 @@ void GuestKernel::SnapshotTo(SnapWriter& w,
   w.PutI64(next_channel_);
   w.PutU64(page_faults_);
   w.PutU64(syscalls_);
+  w.PutU64(net_trace_.trace_id);
+  w.PutU64(net_trace_.span_id);
 
   // --- tmpfs -------------------------------------------------------------
   w.PutI64(tmpfs_.next_ino());
@@ -232,6 +234,8 @@ bool GuestKernel::RestoreFrom(SnapReader& r,
   int64_t next_channel = r.GetI64();
   page_faults_ = r.GetU64();
   syscalls_ = r.GetU64();
+  net_trace_.trace_id = r.GetU64();
+  net_trace_.span_id = r.GetU64();
 
   // --- tmpfs -------------------------------------------------------------
   int64_t next_ino = r.GetI64();
@@ -434,6 +438,7 @@ void GuestKernel::CloneFrom(GuestKernel& parent,
   next_channel_ = parent.next_channel_;
   page_faults_ = parent.page_faults_;
   syscalls_ = parent.syscalls_;
+  net_trace_ = parent.net_trace_;
   tmpfs_ = parent.tmpfs_;
   channels_ = parent.channels_;
 

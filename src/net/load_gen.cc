@@ -5,8 +5,12 @@
 
 namespace cki {
 
-LoadGenerator::LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name)
-    : ctx_(ctx), sw_(sw), name_(std::move(name)), port_(sw_.AttachPort(*this, name_)) {}
+LoadGenerator::LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name, uint64_t trace_seed)
+    : ctx_(ctx),
+      sw_(sw),
+      name_(std::move(name)),
+      port_(sw_.AttachPort(*this, name_)),
+      trace_seed_(trace_seed) {}
 
 int64_t LoadGenerator::Connect(int dst_port, uint16_t service) {
   int flow = sw_.AllocFlow();
@@ -34,8 +38,13 @@ void LoadGenerator::SendRequests(int flow, int count, uint64_t bytes) {
   // Client-side batch assembly (request formatting, socket writes).
   ctx_.ChargeWork(ctx_.cost().virtio_host_service);
   for (int i = 0; i < count; ++i) {
+    TraceContext tc = MakeTraceContext(trace_seed_, ++trace_sequence_);
+    outstanding_traces_.insert(tc.trace_id);
+    last_request_trace_ = tc.trace_id;
+    ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowStart, tc.trace_id);
     sw_.Send(Packet{.src = port_, .dst = it->second.peer, .flow = flow,
-                    .kind = PacketKind::kData, .bytes = bytes});
+                    .kind = PacketKind::kData, .bytes = bytes, .trace_id = tc.trace_id,
+                    .span_id = tc.span_id});
     requests_sent_++;
   }
 }
@@ -79,6 +88,15 @@ bool LoadGenerator::DeliverFrame(const Packet& p) {
       it->second.responses++;
       it->second.response_bytes += p.bytes;
       total_responses_++;
+      // The response closes the request's causal chain iff it still
+      // carries the identity this generator minted.
+      if (p.trace_id != 0) {
+        last_response_trace_ = p.trace_id;
+        ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowEnd, p.trace_id);
+        if (outstanding_traces_.erase(p.trace_id) != 0) {
+          matched_responses_++;
+        }
+      }
       return true;
     }
     case PacketKind::kSyn:

@@ -3,19 +3,27 @@
 // but runs outside any container: it pays host-side client work only, never
 // an engine's kick/interrupt costs — so differences measured at the served
 // containers are attributable to the container designs.
+//
+// The generator is also the causal-trace boundary: it mints one
+// TraceContext per request frame (pure function of `trace_seed` and a
+// sequence counter — deterministic, never wall clock) and checks responses
+// against the outstanding set, so "did request identity survive the whole
+// chain" is a measurable property (matched_responses()).
 #ifndef SRC_NET_LOAD_GEN_H_
 #define SRC_NET_LOAD_GEN_H_
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/net/vswitch.h"
+#include "src/obs/trace_context.h"
 
 namespace cki {
 
 class LoadGenerator : public NetDevice {
  public:
-  LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name);
+  LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name, uint64_t trace_seed = 0x6c67656e);
 
   int port() const { return port_; }
 
@@ -24,7 +32,8 @@ class LoadGenerator : public NetDevice {
   int64_t Connect(int dst_port, uint16_t service);
 
   // Injects `count` request frames of `bytes` each into `flow` as one
-  // submission batch (one client-side service charge).
+  // submission batch (one client-side service charge). Every frame gets a
+  // freshly minted TraceContext.
   void SendRequests(int flow, int count, uint64_t bytes);
 
   // Returns and resets the number of responses received on `flow` since the
@@ -34,6 +43,14 @@ class LoadGenerator : public NetDevice {
   uint64_t total_responses() const { return total_responses_; }
   uint64_t response_bytes(int flow) const;
   uint64_t requests_sent() const { return requests_sent_; }
+
+  // --- causal-trace accounting ---------------------------------------------
+  // Responses whose trace id matched an outstanding request of this
+  // generator — equals requests served iff identity survived every hop.
+  uint64_t matched_responses() const { return matched_responses_; }
+  // Trace id of the most recently minted request / received response.
+  uint64_t last_request_trace() const { return last_request_trace_; }
+  uint64_t last_response_trace() const { return last_response_trace_; }
 
   // --- switch side (NetDevice) ---------------------------------------------
   bool DeliverFrame(const Packet& p) override;
@@ -49,11 +66,17 @@ class LoadGenerator : public NetDevice {
   VSwitch& sw_;
   std::string name_;
   int port_;
+  uint64_t trace_seed_;
 
   std::unordered_map<int, FlowState> flows_;
   std::unordered_map<int, int64_t> connect_results_;
+  std::unordered_set<uint64_t> outstanding_traces_;  // bounded by in-flight
   uint64_t total_responses_ = 0;
   uint64_t requests_sent_ = 0;
+  uint64_t trace_sequence_ = 0;
+  uint64_t matched_responses_ = 0;
+  uint64_t last_request_trace_ = 0;
+  uint64_t last_response_trace_ = 0;
 };
 
 }  // namespace cki

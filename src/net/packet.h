@@ -49,6 +49,14 @@ struct Packet {
   uint16_t service = 0;  // destination service (SYN only)
   PacketKind kind = PacketKind::kData;
   uint64_t bytes = 0;
+  // Causal request identity (src/obs/trace_context.h): minted by the load
+  // generator, adopted by the receiving guest kernel, re-stamped on every
+  // TX hop. 0 = untraced; the defaults keep every existing aggregate-init
+  // site valid and cost nothing. Deliberately NOT part of the switch's
+  // packet-trace digest (vswitch.cc HashFrame): identities annotate the
+  // trace, they must never change it.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 }  // namespace cki

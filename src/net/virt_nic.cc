@@ -56,11 +56,17 @@ uint64_t VirtNic::Transmit(int conn, uint64_t bytes) {
   it->second.tx_flow_bytes += bytes;
   stats_.tx_packets++;
   stats_.tx_bytes += bytes;
+  // Stamp the guest's ambient request trace onto the frame, with a fresh
+  // span id derived from (port, tx sequence) — deterministic, no clock.
+  TraceContext tc = engine_.kernel().net_trace();
   tx_ring_.push_back(Packet{.src = port_,
                             .dst = it->second.peer,
                             .flow = conn,
                             .kind = PacketKind::kData,
-                            .bytes = bytes});
+                            .bytes = bytes,
+                            .trace_id = tc.trace_id,
+                            .span_id = DeriveSpanId(
+                                tc, (static_cast<uint64_t>(port_) << 32) ^ stats_.tx_packets)});
   if (static_cast<int>(tx_ring_.size()) >= config_.tx_batch) {
     Kick();
   }
@@ -102,14 +108,21 @@ uint64_t VirtNic::Receive(int conn, uint64_t max_bytes) {
   if (it == flows_.end() || it->second.rx.empty()) {
     return 0;
   }
-  uint64_t bytes = it->second.rx.front();
+  RxFrame frame = it->second.rx.front();
   it->second.rx.pop_front();
   rx_buffered_--;
   ctx_.ChargeWork(ctx_.cost().virtio_guest_service);
+  // The guest adopts the frame's causal identity: every syscall and TX
+  // from here on belongs to this request, until the next receive.
+  if (frame.trace.active()) {
+    engine_.kernel().set_net_trace(frame.trace);
+    ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowStep,
+                               frame.trace.trace_id);
+  }
   // The freed descriptor may let switch-queued frames in.
   sw_.DrainPort(port_);
   AckIrqIfDrained();
-  return std::min(bytes, max_bytes);
+  return std::min(frame.bytes, max_bytes);
 }
 
 bool VirtNic::HasPending() const {
@@ -283,7 +296,8 @@ bool VirtNic::DeliverFrame(const Packet& p) {
             {FaultKind::kNicOverload, engine_.id(), static_cast<uint64_t>(rx_buffered_)});
         return false;  // ring full: the switch queues (or drops) the frame
       }
-      it->second.rx.push_back(p.bytes);
+      it->second.rx.push_back(
+          RxFrame{.bytes = p.bytes, .trace = TraceContext{p.trace_id, p.span_id}});
       it->second.rx_flow_bytes += p.bytes;
       rx_buffered_++;
       stats_.rx_packets++;

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "src/net/vswitch.h"
+#include "src/obs/trace_context.h"
 #include "src/runtime/engine.h"
 
 namespace cki {
@@ -107,9 +108,17 @@ class VirtNic : public NetPort, public NetDevice {
   void SnapApply(SnapReader& r);
 
  private:
+  // One guest-bound frame parked in the RX ring: its size plus the causal
+  // identity it carries, so the guest adopts the request's trace when it
+  // actually receives the frame (not when the switch delivered it).
+  struct RxFrame {
+    uint64_t bytes = 0;
+    TraceContext trace;
+  };
+
   struct FlowState {
     int peer = -1;                // switch port of the other end
-    std::deque<uint64_t> rx;      // pending frame sizes, guest-bound
+    std::deque<RxFrame> rx;       // pending frames, guest-bound
     uint64_t rx_flow_bytes = 0;   // per-flow byte accounting
     uint64_t tx_flow_bytes = 0;
   };

@@ -7,7 +7,10 @@ namespace cki {
 
 namespace {
 
-// Chains one forwarded frame into the running FNV-1a trace digest.
+// Chains one forwarded frame into the running FNV-1a trace digest. The
+// trace_id/span_id fields are deliberately excluded: causal identities
+// annotate the packet trace but must never perturb it (the sampling
+// determinism invariant of DESIGN.md §11 depends on this).
 uint64_t HashFrame(uint64_t h, const Packet& p) {
   auto mix = [&h](uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -74,6 +77,11 @@ bool VSwitch::Send(const Packet& p) {
     return false;
   }
   Absorb(p);
+  // Forwarded traced frame: one causal flow step on this hop, inside the
+  // net/hop span so the exporter can bind the arrow to the slice.
+  if (p.trace_id != 0) {
+    ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowStep, p.trace_id);
+  }
   if (injector_ != nullptr && injector_->InjectPacketDrop()) {
     injected_drops_++;
     dst.stats.drops++;

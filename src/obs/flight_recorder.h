@@ -28,6 +28,12 @@ enum class TraceRecordKind : uint8_t {
   kInstant = 0,  // architectural event; code is a PathEvent
   kSpanBegin,    // TraceScope entry; code is a SpanProfiler phase id
   kSpanEnd,      // TraceScope exit; code is a SpanProfiler phase id
+  // Causal flow points: `arg` is the request trace_id (trace_context.h);
+  // the exporter turns these into Perfetto flow events, which render one
+  // request as a single arrow chain across containers and shards.
+  kFlowStart,  // request minted (load generator)
+  kFlowStep,   // request crossed a hop (switch forward / NIC receive)
+  kFlowEnd,    // response arrived back at the generator
 };
 
 struct TraceRecord {

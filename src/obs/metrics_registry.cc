@@ -74,6 +74,21 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
   os << "}}";
 }
 
+void MetricsRegistry::WriteCsvHeader(std::ostream& os) {
+  os << "config,type,name,value,count,min,max,mean,p50,p95,p99\n";
+}
+
+void MetricsRegistry::WriteCsvRows(std::ostream& os, std::string_view config) const {
+  for (const auto& [name, value] : counters_) {
+    os << config << ",counter," << name << "," << value << ",,,,,,,\n";
+  }
+  for (const auto& [name, hist] : hists_) {
+    os << config << ",hist," << name << ",," << hist.count() << "," << hist.min() << ","
+       << hist.max() << "," << hist.Mean() << "," << hist.Percentile(50) << ","
+       << hist.Percentile(95) << "," << hist.Percentile(99) << "\n";
+  }
+}
+
 void MetricsRegistry::Clear() {
   hists_.clear();
   counters_.clear();

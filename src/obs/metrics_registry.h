@@ -51,6 +51,14 @@ class MetricsRegistry {
   // {"counters":{...},"histograms":{"name":{"count":..,"p50":..,...}}}
   void WriteJson(std::ostream& os) const;
 
+  // Spreadsheet export (bench_util.h --metrics-csv). One row per metric,
+  // sorted name order:
+  //   <config>,counter,<name>,<value>,,,,,,
+  //   <config>,hist,<name>,,<count>,<min>,<max>,<mean>,<p50>,<p95>,<p99>
+  // `config` must not contain commas or quotes (bench labels never do).
+  static void WriteCsvHeader(std::ostream& os);
+  void WriteCsvRows(std::ostream& os, std::string_view config) const;
+
   void Clear();
 
  private:

@@ -7,21 +7,56 @@ void Observability::Enable(size_t ring_capacity) {
     recorder_ = std::make_unique<FlightRecorder>(ring_capacity);
     profiler_ = std::make_unique<SpanProfiler>();
     metrics_ = std::make_unique<MetricsRegistry>();
+    slos_ = std::make_unique<std::map<uint32_t, SloWindow>>();
   }
   enabled_ = true;
+}
+
+SloWindow& Observability::Slo(uint32_t owner) {
+  auto it = slos_->find(owner);
+  if (it == slos_->end()) {
+    it = slos_->emplace(owner, SloWindow(slo_config_)).first;
+  }
+  return it->second;
+}
+
+const SloWindow* Observability::FindSlo(uint32_t owner) const {
+  if (slos_ == nullptr) {
+    return nullptr;
+  }
+  auto it = slos_->find(owner);
+  return it == slos_->end() ? nullptr : &it->second;
+}
+
+void Observability::ExportSelfMetrics(MetricsRegistry& metrics) const {
+  metrics.Inc("obs/self/root_ops", self_.root_ops);
+  metrics.Inc("obs/self/sampled_ops", self_.sampled_ops);
+  metrics.Inc("obs/self/ring_writes", self_.ring_writes);
+  metrics.Inc("obs/self/suppressed_writes", self_.suppressed_writes);
+  metrics.Inc("obs/self/hist_samples", self_.hist_samples);
+  metrics.Inc("obs/self/flow_points", self_.flow_points);
+  metrics.Inc("obs/self/slo_samples", self_.slo_samples);
 }
 
 Observability Observability::Detach() {
   Observability out;
   out.owner_ = owner_;
+  out.sample_every_ = sample_every_;
+  out.self_ = self_;
+  out.slo_config_ = slo_config_;
   out.recorder_ = std::move(recorder_);
   out.profiler_ = std::move(profiler_);
   out.metrics_ = std::move(metrics_);
+  out.slos_ = std::move(slos_);
   enabled_ = false;
   owner_ = 0;
+  scope_depth_ = 0;
+  current_sampled_ = true;
+  self_ = ObsSelfStats{};
   recorder_.reset();
   profiler_.reset();
   metrics_.reset();
+  slos_.reset();
   return out;
 }
 
@@ -36,7 +71,18 @@ void Observability::WriteJson(std::ostream& os) const {
   profiler_->WriteJson(os);
   os << ",\"metrics\":";
   metrics_->WriteJson(os);
-  os << "}";
+  os << ",\"sample_every\":" << sample_every_ << ",\"slo\":{";
+  bool first = true;
+  for (const auto& [owner, window] : *slos_) {
+    os << (first ? "" : ",") << "\"" << owner << "\":";
+    window.WriteJson(os);
+    first = false;
+  }
+  os << "},\"self\":{\"root_ops\":" << self_.root_ops << ",\"sampled_ops\":" << self_.sampled_ops
+     << ",\"ring_writes\":" << self_.ring_writes
+     << ",\"suppressed_writes\":" << self_.suppressed_writes
+     << ",\"hist_samples\":" << self_.hist_samples << ",\"flow_points\":" << self_.flow_points
+     << ",\"slo_samples\":" << self_.slo_samples << "}}";
 }
 
 }  // namespace cki

@@ -49,6 +49,28 @@ void WriteChromeTraceEvents(const Observability& obs, uint32_t pid, std::string_
   // orphan End would unbalance the track, so track per-tid depth and skip.
   std::map<uint32_t, uint64_t> open_spans;
   for (const TraceRecord& r : obs.recorder().Chronological()) {
+    if (r.kind == TraceRecordKind::kFlowStart || r.kind == TraceRecordKind::kFlowStep ||
+        r.kind == TraceRecordKind::kFlowEnd) {
+      // Causal flow point: `arg` is the request trace_id. Same name/cat/id
+      // across all points of one request lets Perfetto draw the arrow
+      // chain between the slices the points land on — across containers
+      // (tids) and across shards (pids).
+      emit_comma();
+      char id[32];
+      std::snprintf(id, sizeof(id), "0x%016llx", static_cast<unsigned long long>(r.arg));
+      os << "{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\""
+         << (r.kind == TraceRecordKind::kFlowStart
+                 ? 's'
+                 : r.kind == TraceRecordKind::kFlowStep ? 't' : 'f')
+         << "\"";
+      if (r.kind == TraceRecordKind::kFlowEnd) {
+        os << ",\"bp\":\"e\"";
+      }
+      os << ",\"ts\":";
+      WriteTs(os, r.ts);
+      os << ",\"pid\":" << pid << ",\"tid\":" << r.owner << ",\"id\":\"" << id << "\"}";
+      continue;
+    }
     if (r.kind == TraceRecordKind::kSpanBegin) {
       open_spans[r.owner]++;
     } else if (r.kind == TraceRecordKind::kSpanEnd) {
@@ -71,6 +93,10 @@ void WriteChromeTraceEvents(const Observability& obs, uint32_t pid, std::string_
       case TraceRecordKind::kSpanEnd:
         os << "\"span\",\"ph\":\"E\"";
         break;
+      case TraceRecordKind::kFlowStart:
+      case TraceRecordKind::kFlowStep:
+      case TraceRecordKind::kFlowEnd:
+        break;  // handled (and `continue`d) above
     }
     os << ",\"ts\":";
     WriteTs(os, r.ts);

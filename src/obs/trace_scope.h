@@ -6,7 +6,14 @@
 // Phase names are an API: exporters, tests, and the DESIGN.md taxonomy
 // all key on them, so treat renames as breaking changes.
 //
-// Both scopes are no-ops (one branch) when observability is disabled.
+// Sampling (DESIGN.md §11): every scope reports to the hub's gate
+// (EnterScope/ExitScope). The outermost scope latches the keep/suppress
+// decision for the whole operation, so a sampled op records its full
+// span subtree and an unsampled one records nothing — begin/end markers
+// always stay paired. SyscallScope additionally feeds the per-container
+// SLO window at full rate regardless of the gate.
+//
+// All scopes are no-ops (one branch) when observability is disabled.
 //
 // Thread-safety: a scope borrows its SimContext for the enclosing block
 // and must open and close on that context's (single) simulation thread —
@@ -16,7 +23,6 @@
 #ifndef SRC_OBS_TRACE_SCOPE_H_
 #define SRC_OBS_TRACE_SCOPE_H_
 
-#include <string>
 #include <string_view>
 
 #include "src/sim/context.h"
@@ -25,70 +31,81 @@ namespace cki {
 
 class TraceScope {
  public:
-  TraceScope(SimContext& ctx, std::string_view phase) : ctx_(ctx), active_(ctx.obs().enabled()) {
-    if (active_) {
-      Begin(phase);
-    }
-  }
+  TraceScope(SimContext& ctx, std::string_view phase) : ctx_(ctx) { Enter(phase); }
 
   // Also stamps `owner` as the current container attribution.
-  TraceScope(SimContext& ctx, uint32_t owner, std::string_view phase)
-      : ctx_(ctx), active_(ctx.obs().enabled()) {
-    if (active_) {
-      ctx_.obs().set_owner(owner);
-      Begin(phase);
+  TraceScope(SimContext& ctx, uint32_t owner, std::string_view phase) : ctx_(ctx) {
+    if (ctx.obs().enabled()) {
+      ctx.obs().set_owner(owner);
     }
+    Enter(phase);
   }
 
   ~TraceScope() {
-    if (active_) {
-      Observability& obs = ctx_.obs();
-      obs.recorder().Record(TraceRecord{.ts = ctx_.clock().now(),
-                                        .owner = obs.owner(),
-                                        .code = static_cast<uint16_t>(phase_),
-                                        .kind = TraceRecordKind::kSpanEnd});
-      obs.profiler().EndSpan(ctx_.clock().now());
+    if (!entered_) {
+      return;
     }
+    Observability& obs = ctx_.obs();
+    if (recording_) {
+      SimNanos now = ctx_.clock().now();
+      obs.RecordRing(TraceRecord{.ts = now,
+                                 .owner = obs.owner(),
+                                 .code = static_cast<uint16_t>(phase_),
+                                 .kind = TraceRecordKind::kSpanEnd});
+      obs.profiler().EndSpan(now);
+    }
+    obs.ExitScope();
   }
+
+  // Whether this operation won the sampling gate (always true at full
+  // rate). False also when observability is disabled.
+  bool recording() const { return recording_; }
 
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
-  void Begin(std::string_view phase) {
+  void Enter(std::string_view phase) {
     Observability& obs = ctx_.obs();
+    if (!obs.enabled()) {
+      return;
+    }
+    entered_ = true;
+    recording_ = obs.EnterScope();
+    if (!recording_) {
+      return;
+    }
     phase_ = obs.profiler().InternPhase(phase);
     SimNanos now = ctx_.clock().now();
     obs.profiler().BeginSpan(phase_, now);
-    obs.recorder().Record(TraceRecord{.ts = now,
-                                      .owner = obs.owner(),
-                                      .code = static_cast<uint16_t>(phase_),
-                                      .kind = TraceRecordKind::kSpanBegin});
+    obs.RecordRing(TraceRecord{.ts = now,
+                               .owner = obs.owner(),
+                               .code = static_cast<uint16_t>(phase_),
+                               .kind = TraceRecordKind::kSpanBegin});
   }
 
   SimContext& ctx_;
-  bool active_;
+  bool entered_ = false;
+  bool recording_ = false;
   int phase_ = -1;
 };
 
 // TraceScope plus a latency sample: on exit, the elapsed simulated ns are
-// also recorded into the metrics histogram `family/item` (e.g. the
-// per-syscall-number latency distributions of the engines).
+// also recorded into the metrics histogram `family/item`. The histogram
+// write follows the scope's sampling decision.
 class LatencyScope {
  public:
   LatencyScope(SimContext& ctx, uint32_t owner, std::string_view phase, std::string_view family,
                std::string_view item)
-      : ctx_(ctx), scope_(ctx, owner, phase), active_(ctx.obs().enabled()) {
-    if (active_) {
+      : ctx_(ctx), scope_(ctx, owner, phase), family_(family), item_(item) {
+    if (scope_.recording()) {
       start_ = ctx_.clock().now();
-      hist_family_ = family;
-      hist_item_ = item;
     }
   }
 
   ~LatencyScope() {
-    if (active_) {
-      ctx_.obs().metrics().Hist(hist_family_, hist_item_).Add(ctx_.clock().now() - start_);
+    if (scope_.recording()) {
+      ctx_.obs().AddHistSample(family_, item_, ctx_.clock().now() - start_);
     }
   }
 
@@ -98,10 +115,49 @@ class LatencyScope {
  private:
   SimContext& ctx_;
   TraceScope scope_;
+  std::string_view family_;
+  std::string_view item_;
+  SimNanos start_ = 0;
+};
+
+// The engines' per-syscall instrumentation: a "syscall" span plus the
+// per-syscall latency histogram (both behind the sampling gate) plus the
+// owning container's SLO window (always on — the rolling window is the
+// telemetry that must survive sampling). `sys_name` must outlive the
+// scope; the engines pass entries of the static kSysNames table.
+class SyscallScope {
+ public:
+  SyscallScope(SimContext& ctx, uint32_t owner, std::string_view sys_name)
+      : ctx_(ctx), scope_(ctx, owner, "syscall"), owner_(owner), sys_name_(sys_name),
+        active_(ctx.obs().enabled()) {
+    if (active_) {
+      start_ = ctx_.clock().now();
+    }
+  }
+
+  ~SyscallScope() {
+    if (!active_) {
+      return;
+    }
+    Observability& obs = ctx_.obs();
+    SimNanos now = ctx_.clock().now();
+    SimNanos latency = now - start_;
+    if (scope_.recording()) {
+      obs.AddHistSample("syscall", sys_name_, latency);
+    }
+    obs.SloObserveSyscall(owner_, now, latency);
+  }
+
+  SyscallScope(const SyscallScope&) = delete;
+  SyscallScope& operator=(const SyscallScope&) = delete;
+
+ private:
+  SimContext& ctx_;
+  TraceScope scope_;
+  uint32_t owner_;
+  std::string_view sys_name_;
   bool active_;
   SimNanos start_ = 0;
-  std::string hist_family_;
-  std::string hist_item_;
 };
 
 }  // namespace cki

@@ -27,7 +27,7 @@ SimNanos GvisorEngine::SystrapCost() const {
 }
 
 SyscallResult GvisorEngine::DoUserSyscall(const SyscallRequest& req) {
-  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
+  SyscallScope obs_scope(ctx_, id_, SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();

@@ -102,7 +102,7 @@ void HvmEngine::HandleEptViolation(uint64_t gpa) {
 
 SyscallResult HvmEngine::DoUserSyscall(const SyscallRequest& req) {
   // Native-speed syscalls inside the guest: no VM exit involved.
-  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
+  SyscallScope obs_scope(ctx_, id_, SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();

@@ -37,7 +37,7 @@ SyscallResult LibOsEngine::DoUserSyscall(const SyscallRequest& req) {
     return {kEINVAL};
   }
   // No ring crossing at all: a function call into the linked libOS.
-  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
+  SyscallScope obs_scope(ctx_, id_, SysName(req.no));
   ctx_.ChargeWork(kFnCallOverhead);
   ctx_.ChargeWork(ctx_.cost().syscall_handler_min);
   return kernel_->HandleSyscall(req);

@@ -102,7 +102,7 @@ void PvmEngine::SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_
 SyscallResult PvmEngine::DoUserSyscall(const SyscallRequest& req) {
   // App -> host kernel -> (mode + page-table switch) -> user-mode guest
   // kernel -> handler -> (switch back) -> host -> app. Fig 10b: 336 ns.
-  LatencyScope obs_scope(ctx_, id_, "syscall", "syscall", SysName(req.no));
+  SyscallScope obs_scope(ctx_, id_, SysName(req.no));
   Cpu& cpu = machine_.cpu();
   ctx_.Charge(ctx_.cost().syscall_entry, PathEvent::kSyscallEntry);
   cpu.SyscallEntry();

@@ -114,6 +114,14 @@ ChainResult RunServiceChain(ContainerEngine& proxy, ContainerEngine& backend,
         served += gen.TakeResponses(flows[static_cast<size_t>(c)]);
       }
     }
+    if (ctx.obs().enabled()) {
+      // Round-boundary SLO gauges: resident frames per container. Fed here
+      // (not per op) because OwnedFrames walks the frame table.
+      SimNanos now = ctx.clock().now();
+      FrameAllocator& frames = proxy.machine().frames();
+      ctx.obs().SloSetGauge(proxy.id(), now, frames.OwnedFrames(proxy.id()));
+      ctx.obs().SloSetGauge(backend.id(), now, frames.OwnedFrames(backend.id()));
+    }
     remaining -= n;
   }
   SimNanos elapsed = ctx.clock().now() - start;
@@ -136,6 +144,8 @@ ChainResult RunServiceChain(ContainerEngine& proxy, ContainerEngine& backend,
   result.backend_nic = backend_nic.stats();
   result.switch_packets = sw.packets_forwarded();
   result.trace_hash = sw.trace_hash();
+  result.matched_traces = gen.matched_responses();
+  result.last_trace_id = gen.last_request_trace();
   return result;
 }
 

@@ -37,6 +37,12 @@ struct ChainResult {
   NicStats backend_nic;
   uint64_t switch_packets = 0;
   uint64_t trace_hash = 0;  // deterministic packet-trace digest
+
+  // Causal-trace integrity: responses whose trace id matched a request the
+  // generator minted. Equal to `served` iff every request kept its
+  // identity across loadgen -> proxy -> backend -> proxy -> loadgen.
+  uint64_t matched_traces = 0;
+  uint64_t last_trace_id = 0;  // identity of the last request minted
 };
 
 // Both engines must be booted on the same Machine (shared clock/switch).

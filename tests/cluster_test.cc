@@ -19,6 +19,7 @@
 #include "src/obs/metrics_registry.h"
 #include "src/runtime/runtime.h"
 #include "src/workloads/mem_apps.h"
+#include "src/workloads/service_chain.h"
 
 namespace cki {
 namespace {
@@ -303,6 +304,50 @@ TEST(SimClusterTest, DetachedObservabilityTravelsWithTheShard) {
                 result.shards()[i - 1].obs.recorder().total_recorded());
     }
   }
+}
+
+TEST(SimClusterTest, SamplingNeverChangesTheMergedTraceHash) {
+  // The sampling gate (DESIGN.md §11) drops recorder/span/histogram
+  // writes, never simulated behavior: the cluster digest of a service
+  // chain must be bit-identical across sampling rates and thread counts.
+  auto run = [](uint32_t threads, uint32_t sample_every) {
+    SimCluster cluster(ClusterConfig{.shards = 4, .threads = threads, .root_seed = 33});
+    return cluster.Run([sample_every](const ShardTask& task) {
+      ShardResult r;
+      Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+      machine.ctx().obs().Enable();
+      machine.ctx().obs().set_sample_every(sample_every);
+      auto proxy = MakeEngine(machine, RuntimeKind::kCki);
+      proxy->Boot();
+      auto backend = MakeEngine(machine, RuntimeKind::kCki);
+      backend->Boot();
+      ChainConfig config{.concurrency = 4, .total_requests = 64, .seed = task.seed};
+      ChainResult chain = RunServiceChain(*proxy, *backend, config);
+      r.sim_ns = machine.ctx().clock().now();
+      r.HashMix(chain.trace_hash);
+      r.HashMix(chain.matched_traces);
+      r.HashMix(chain.last_trace_id);
+      r.obs = machine.ctx().obs().Detach();
+      return r;
+    });
+  };
+
+  std::vector<uint64_t> hashes;
+  for (uint32_t threads : {1u, 2u}) {
+    for (uint32_t sample_every : {1u, 8u}) {
+      ClusterResult result = run(threads, sample_every);
+      ASSERT_TRUE(result.all_ok())
+          << "threads=" << threads << " sample_every=" << sample_every;
+      // The shard obs handoff also folds the self-accounting into the
+      // merged metrics (sim_cluster.cc), deterministically per shard.
+      EXPECT_GT(result.MergedMetrics().CounterValue("obs/self/root_ops"), 0u);
+      hashes.push_back(result.trace_hash());
+    }
+  }
+  ASSERT_EQ(hashes.size(), 4u);
+  EXPECT_EQ(hashes[0], hashes[1]) << "sampling changed the digest";
+  EXPECT_EQ(hashes[0], hashes[2]) << "thread count changed the digest";
+  EXPECT_EQ(hashes[0], hashes[3]);
 }
 
 }  // namespace

@@ -284,6 +284,60 @@ TEST(NetTest, SameSeedReplaysIdenticalPacketTrace) {
   EXPECT_EQ(a.switch_packets, c.switch_packets);  // ... but not the schedule
 }
 
+// --- causal request tracing (DESIGN.md §11) -------------------------------
+
+TEST(NetTest, PacketTraceFieldsDefaultToZero) {
+  // Every existing brace-init site builds an inactive trace for free.
+  Packet p{.src = 1, .dst = 2, .flow = 3, .bytes = 100};
+  EXPECT_EQ(p.trace_id, 0u);
+  EXPECT_EQ(p.span_id, 0u);
+}
+
+TEST(NetTest, NicAdoptsRequestTraceOnReceiveAndStampsResponses) {
+  Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  ASSERT_TRUE(lfd.ok());
+  int64_t flow = gen.Connect(nic.port(), 80);
+  ASSERT_GT(flow, 0);
+  SyscallResult sock = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  ASSERT_TRUE(sock.ok());
+
+  // Mint: the generator gives the request frame a fresh identity.
+  gen.SendRequests(static_cast<int>(flow), 1, 256);
+  uint64_t minted = gen.last_request_trace();
+  EXPECT_NE(minted, 0u);
+
+  // Adopt: receiving the frame makes its trace the guest's ambient one.
+  EXPECT_EQ(bed.engine().kernel().net_trace().trace_id, 0u);
+  bed.engine().UserSyscall(SyscallRequest{
+      .no = Sys::kRecvfrom, .arg0 = static_cast<uint64_t>(sock.value), .arg1 = 256});
+  EXPECT_EQ(bed.engine().kernel().net_trace().trace_id, minted);
+
+  // Stamp: the response carries it back, and the generator matches it.
+  bed.engine().UserSyscall(SyscallRequest{
+      .no = Sys::kSendto, .arg0 = static_cast<uint64_t>(sock.value), .arg1 = 256});
+  nic.Flush();
+  EXPECT_EQ(gen.last_response_trace(), minted);
+  EXPECT_EQ(gen.matched_responses(), 1u);
+  bed.engine().kernel().set_net(nullptr);
+}
+
+TEST(NetTest, ServiceChainPreservesTraceIdentityForEveryRequest) {
+  // Two containers, two hops each way: identity must survive all of them,
+  // for every one of the 256 requests — no observability needed (trace
+  // propagation is plain u64 copies, recording is what obs gates).
+  ChainResult r = RunChainWithSeed(42);
+  EXPECT_EQ(r.served, 256u);
+  EXPECT_EQ(r.matched_traces, r.served);
+  EXPECT_NE(r.last_trace_id, 0u);
+}
+
 // --- metrics export -------------------------------------------------------
 
 TEST(NetTest, ExportMetricsPublishesNicAndSwitchCounters) {

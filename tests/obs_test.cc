@@ -8,6 +8,8 @@
 
 #include "src/obs/histogram.h"
 #include "src/obs/json_util.h"
+#include "src/obs/slo_window.h"
+#include "src/obs/trace_context.h"
 #include "src/obs/trace_export.h"
 #include "src/obs/trace_scope.h"
 #include "src/runtime/runtime.h"
@@ -354,6 +356,321 @@ TEST(TraceExportTest, TraceFromRealEngineParses) {
   const JsonValue* events = parsed->Find("traceEvents");
   ASSERT_NE(events, nullptr);
   EXPECT_GT(events->items.size(), 4u);
+}
+
+// ------------------------------------------------------------ TraceContext
+
+TEST(TraceContextTest, MintIsDeterministicNonZeroAndDistinct) {
+  TraceContext a = MakeTraceContext(42, 1);
+  TraceContext b = MakeTraceContext(42, 1);
+  EXPECT_TRUE(a.active());
+  EXPECT_EQ(a.trace_id, b.trace_id);  // pure function of (seed, sequence)
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_NE(MakeTraceContext(42, 2).trace_id, a.trace_id);
+  EXPECT_NE(MakeTraceContext(43, 1).trace_id, a.trace_id);
+}
+
+TEST(TraceContextTest, DeriveSpanIdSaltsAndRespectsInactive) {
+  TraceContext tc = MakeTraceContext(7, 7);
+  EXPECT_NE(DeriveSpanId(tc, 1), DeriveSpanId(tc, 2));
+  EXPECT_NE(DeriveSpanId(tc, 1), 0u);
+  EXPECT_EQ(DeriveSpanId(TraceContext{}, 1), 0u);  // inactive stays inactive
+}
+
+// ----------------------------------------------------------- Sampling gate
+
+TEST(ObservabilityTest, SamplingGateKeepsOneInNRootsWithPairedMarkers) {
+  SimContext ctx;
+  ctx.obs().Enable();
+  ctx.obs().set_sample_every(4);
+  for (int i = 0; i < 8; ++i) {
+    TraceScope scope(ctx, "op");
+    ctx.RecordEvent(PathEvent::kTlbHit);
+    ctx.ChargeWork(10);
+  }
+  const ObsSelfStats& self = ctx.obs().self_stats();
+  EXPECT_EQ(self.root_ops, 8u);
+  EXPECT_EQ(self.sampled_ops, 2u);  // roots 0 and 4
+  EXPECT_GT(self.suppressed_writes, 0u);
+
+  // A sampled root records its whole subtree, an unsampled one records
+  // nothing — begin/end markers stay paired either way.
+  size_t begins = 0;
+  size_t ends = 0;
+  for (const TraceRecord& r : ctx.obs().recorder().Chronological()) {
+    begins += r.kind == TraceRecordKind::kSpanBegin;
+    ends += r.kind == TraceRecordKind::kSpanEnd;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+
+  // The span tree only saw the sampled roots, and every span is closed.
+  const SpanProfiler& prof = ctx.obs().profiler();
+  EXPECT_EQ(prof.depth(), 0u);
+  int op_node = prof.FindChild(-1, "op");
+  ASSERT_NE(op_node, -1);
+  EXPECT_EQ(prof.nodes()[static_cast<size_t>(op_node)].count, 2u);
+}
+
+TEST(ObservabilityTest, WritesOutsideAnyScopeBypassTheGate) {
+  SimContext ctx;
+  ctx.obs().Enable();
+  ctx.obs().set_sample_every(1000);
+  ctx.RecordEvent(PathEvent::kTlbHit);  // setup/teardown writes always keep
+  EXPECT_EQ(ctx.obs().self_stats().ring_writes, 1u);
+  EXPECT_EQ(ctx.obs().self_stats().suppressed_writes, 0u);
+}
+
+TEST(ObservabilityTest, SloWindowsAndSelfStatsStayFullRateUnderSampling) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  bed.ctx().obs().Enable();
+  bed.ctx().obs().set_sample_every(1u << 30);  // effectively sample nothing
+  for (int i = 0; i < 10; ++i) {
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+  }
+  // Only the first root op recorded spans/histograms...
+  const Histogram* hist = bed.ctx().obs().metrics().FindHist("syscall/getpid");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);
+  // ...but the SLO window saw every syscall (always-on telemetry).
+  EXPECT_EQ(bed.ctx().obs().self_stats().slo_samples, 10u);
+  const SloWindow* slo = bed.ctx().obs().FindSlo(bed.engine().id());
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(slo->total_ops(), 10u);
+  EXPECT_GT(slo->Percentile(99), 0u);
+
+  // Self-accounting exports as obs/self/* counters.
+  MetricsRegistry out;
+  bed.ctx().obs().ExportSelfMetrics(out);
+  EXPECT_EQ(out.CounterValue("obs/self/root_ops"),
+            bed.ctx().obs().self_stats().root_ops);
+  EXPECT_EQ(out.CounterValue("obs/self/slo_samples"), 10u);
+}
+
+// -------------------------------------------------------------- SloWindow
+
+TEST(SloWindowTest, BucketsExpireByEpoch) {
+  SloWindow w(SloWindow::Config{.bucket_ns = 100, .buckets = 4});
+  EXPECT_EQ(w.window_ns(), 400u);
+  w.ObserveLatency(50, 10);    // epoch 0
+  w.ObserveLatency(150, 20);   // epoch 1
+  w.ObserveLatency(250, 30);   // epoch 2
+  EXPECT_EQ(w.WindowOps(), 3u);
+  EXPECT_EQ(w.Percentile(100), 30u);
+  // Epoch 4 reuses epoch 0's slot; epoch 0 also falls out of the window.
+  w.ObserveLatency(450, 40);
+  EXPECT_EQ(w.WindowOps(), 3u);     // epochs 1, 2, 4
+  EXPECT_EQ(w.total_ops(), 4u);     // lifetime counter never expires
+  // A long quiet gap: only the newest bucket is live afterwards.
+  w.ObserveLatency(10'000, 99);
+  EXPECT_EQ(w.WindowOps(), 1u);
+  EXPECT_EQ(w.Percentile(99), 99u);
+  EXPECT_EQ(w.last_ns(), 10'000u);
+}
+
+TEST(SloWindowTest, FaultsGaugeAndRate) {
+  SloWindow w(SloWindow::Config{.bucket_ns = 100, .buckets = 2});
+  w.IncFaults(10);    // epoch 0
+  w.IncFaults(110);   // epoch 1
+  EXPECT_EQ(w.WindowFaults(), 2u);
+  w.SetGauge(120, 77);
+  EXPECT_EQ(w.gauge(), 77u);
+  w.IncFaults(350);   // epoch 3 evicts epoch 1's slot; epoch 0 expires too
+  EXPECT_EQ(w.WindowFaults(), 1u);
+  EXPECT_EQ(w.total_faults(), 3u);
+
+  SloWindow rate;  // default geometry: 8 x 1ms
+  for (int i = 0; i < 8; ++i) {
+    rate.ObserveLatency(static_cast<SimNanos>(i) * 1'000'000, 5);
+  }
+  EXPECT_DOUBLE_EQ(rate.OpsPerSec(), 1000.0);  // 8 ops over 8 simulated ms
+}
+
+TEST(SloWindowTest, JsonParses) {
+  SloWindow w;
+  w.ObserveLatency(10, 123);
+  w.SetGauge(20, 4);
+  std::ostringstream os;
+  w.WriteJson(os);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_DOUBLE_EQ(parsed->Find("ops")->number, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("gauge")->number, 4.0);
+}
+
+// ------------------------------------------------------------ Flow export
+
+TEST(TraceExportTest, FlowPointsRenderAsPerfettoFlowEvents) {
+  SimContext ctx;
+  ctx.obs().Enable();
+  ctx.obs().RecordFlowPoint(10, TraceRecordKind::kFlowStart, 0xABCD);
+  ctx.obs().RecordFlowPoint(20, TraceRecordKind::kFlowStep, 0xABCD);
+  ctx.obs().RecordFlowPoint(30, TraceRecordKind::kFlowEnd, 0xABCD);
+  ctx.obs().RecordFlowPoint(40, TraceRecordKind::kFlowStart, 0);  // inactive: dropped
+  EXPECT_EQ(ctx.obs().self_stats().flow_points, 3u);
+
+  std::ostringstream os;
+  WriteChromeTrace(ctx.obs(), os);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::vector<std::string> phases;
+  std::string id;
+  bool binding_on_end = false;
+  for (const JsonValue& e : events->items) {
+    const JsonValue* cat = e.Find("cat");
+    if (cat == nullptr || cat->string_value != "flow") {
+      continue;
+    }
+    phases.push_back(e.Find("ph")->string_value);
+    const JsonValue* ev_id = e.Find("id");
+    ASSERT_NE(ev_id, nullptr);
+    if (id.empty()) {
+      id = ev_id->string_value;
+    }
+    EXPECT_EQ(ev_id->string_value, id);  // one request = one flow id
+    if (phases.back() == "f") {
+      const JsonValue* bp = e.Find("bp");
+      binding_on_end = bp != nullptr && bp->string_value == "e";
+    }
+  }
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0], "s");
+  EXPECT_EQ(phases[1], "t");
+  EXPECT_EQ(phases[2], "f");
+  EXPECT_TRUE(binding_on_end);
+}
+
+// -------------------------------------------------- Merge edge cases
+
+TEST(HistogramTest, MergeEmptyIntoEmptyStaysEmptyAndUsable) {
+  Histogram a;
+  Histogram b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_DOUBLE_EQ(a.Percentile(99), 0.0);
+  a.Add(5);  // still usable after the no-op merge
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+}
+
+TEST(HistogramTest, MergeEmptyIntoFilledLeavesItUntouched) {
+  Histogram a;
+  a.Add(10);
+  a.Add(30);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 40.0);
+}
+
+TEST(HistogramTest, MergeCombinesSaturatedOverflowBuckets) {
+  Histogram a;
+  Histogram b;
+  uint64_t huge = 1ULL << 44;  // beyond kMaxExp: overflow bucket
+  a.Add(huge);
+  b.Add(huge + 5);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.overflow_count(), 2u);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), huge + 5);  // true max survives, not a bucket bound
+  EXPECT_DOUBLE_EQ(a.Percentile(100), static_cast<double>(huge + 5));
+}
+
+TEST(HistogramTest, MergeOrderInvariance) {
+  Histogram parts[3];
+  Histogram replay;  // every sample recorded directly
+  uint64_t v = 1;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 50; ++i) {
+      v = v * 2862933555777941757ULL + 3037000493ULL;  // fixed LCG
+      uint64_t sample = v % 100000;
+      parts[p].Add(sample);
+      replay.Add(sample);
+    }
+  }
+  Histogram ab;
+  ab.Merge(parts[0]);
+  ab.Merge(parts[1]);
+  ab.Merge(parts[2]);
+  Histogram cb;
+  cb.Merge(parts[2]);
+  cb.Merge(parts[1]);
+  cb.Merge(parts[0]);
+  for (const Histogram* m : {&ab, &cb}) {
+    EXPECT_EQ(m->count(), replay.count());
+    EXPECT_EQ(m->min(), replay.min());
+    EXPECT_EQ(m->max(), replay.max());
+    EXPECT_DOUBLE_EQ(m->Sum(), replay.Sum());
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      ASSERT_EQ(m->bucket(i), replay.bucket(i)) << "bucket " << i;
+    }
+    EXPECT_DOUBLE_EQ(m->Percentile(50), replay.Percentile(50));
+    EXPECT_DOUBLE_EQ(m->Percentile(99), replay.Percentile(99));
+  }
+}
+
+TEST(MetricsRegistryTest, MergeEdgeCases) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.Merge(b);  // empty into empty
+  EXPECT_EQ(a.CounterValue("x"), 0u);
+  EXPECT_EQ(a.hist_count(), 0u);
+  b.Inc("x", 3);
+  b.Hist("lat").Add(10);
+  a.Merge(b);  // creates missing entries
+  EXPECT_EQ(a.CounterValue("x"), 3u);
+  ASSERT_NE(a.FindHist("lat"), nullptr);
+  EXPECT_EQ(a.FindHist("lat")->count(), 1u);
+  a.Merge(b);  // accumulates into existing ones
+  EXPECT_EQ(a.CounterValue("x"), 6u);
+  EXPECT_EQ(a.FindHist("lat")->count(), 2u);
+  MetricsRegistry empty;
+  a.Merge(empty);  // no-op
+  EXPECT_EQ(a.CounterValue("x"), 6u);
+  EXPECT_EQ(a.FindHist("lat")->count(), 2u);
+}
+
+TEST(MetricsRegistryTest, MergeOrderInvariance) {
+  MetricsRegistry b;
+  b.Inc("x", 1);
+  b.Hist("lat").Add(5);
+  MetricsRegistry c;
+  c.Inc("x", 2);
+  c.Inc("y", 7);
+  c.Hist("lat").Add(500);
+  MetricsRegistry bc;
+  bc.Merge(b);
+  bc.Merge(c);
+  MetricsRegistry cb;
+  cb.Merge(c);
+  cb.Merge(b);
+  std::ostringstream os_bc;
+  bc.WriteJson(os_bc);
+  std::ostringstream os_cb;
+  cb.WriteJson(os_cb);
+  EXPECT_EQ(os_bc.str(), os_cb.str());
+}
+
+TEST(MetricsRegistryTest, CsvCounterRowsMatchGolden) {
+  MetricsRegistry m;
+  m.Inc("boots", 2);
+  std::ostringstream os;
+  MetricsRegistry::WriteCsvHeader(os);
+  m.WriteCsvRows(os, "cfg");
+  EXPECT_EQ(os.str(),
+            "config,type,name,value,count,min,max,mean,p50,p95,p99\n"
+            "cfg,counter,boots,2,,,,,,,\n");
 }
 
 // --------------------------------------------------------- Stats (const)

@@ -245,6 +245,28 @@ TEST(Clone, KillingCloneLeavesParentFramesIntact) {
   EXPECT_TRUE(parent->UserSyscall(SyscallRequest{.no = Sys::kGetpid}).ok());
 }
 
+TEST(Snapshot, NetTraceContextSurvivesCheckpointRestoreAndClone) {
+  // The ambient net trace (the causal identity of the request currently in
+  // service, DESIGN.md §11) is kernel state: it must ride the CKISNAP1
+  // stream so a migrated container's next response still carries it.
+  Testbed bed(RuntimeKind::kCki, Deployment::kBareMetal);
+  Warm(bed.engine(), bed.machine(), /*with_fork=*/true);
+  bed.engine().kernel().set_net_trace(TraceContext{0xABCD, 0x1234});
+
+  SnapshotImage img = CheckpointContainer(bed.engine());
+  ASSERT_TRUE(img.Valid());
+  Machine other(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+  RestoreOutcome out = RestoreContainer(other, img);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.engine->kernel().net_trace().trace_id, 0xABCDu);
+  EXPECT_EQ(out.engine->kernel().net_trace().span_id, 0x1234u);
+
+  // A CoW clone adopts its template's in-service identity as well.
+  std::unique_ptr<ContainerEngine> clone = CloneContainer(*out.engine);
+  EXPECT_EQ(clone->kernel().net_trace().trace_id, 0xABCDu);
+  EXPECT_EQ(clone->kernel().net_trace().span_id, 0x1234u);
+}
+
 // --- cross-shard migration ---------------------------------------------------
 
 TEST(Snapshot, CrossShardMigrationReproducesWorkloadExactly) {
