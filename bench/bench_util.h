@@ -181,7 +181,11 @@ class BenchObsSink {
                            trace);
     trace_events_ << trace.str();
     if (obs.has_data()) {
-      obs.metrics().WriteCsvRows(csv_rows_, label);
+      // The CSV gets the registry plus the per-container SLO gauges, so
+      // rolling p99/rate/fault columns land next to the raw counters.
+      MetricsRegistry with_slo = obs.metrics();
+      obs.ExportSloMetrics(with_slo);
+      with_slo.WriteCsvRows(csv_rows_, label);
     }
   }
 

@@ -13,11 +13,13 @@ Ksm::Ksm(Machine& machine, OwnerId owner, int n_vcpus)
   // KSM private memory + one per-vCPU area page per vCPU, all host frames:
   // the guest cannot even name them through its delegated segments.
   ksm_region_pa_ = AllocKsmFrame();
+  static_frames_.push_back(ksm_region_pa_);
   ksm_region_pdpt_ = BuildSubtree(kKsmRegionVa, ksm_region_pa_);
   area_pas_.reserve(static_cast<size_t>(n_vcpus));
   area_pdpts_.reserve(static_cast<size_t>(n_vcpus));
   for (int v = 0; v < n_vcpus; ++v) {
     uint64_t area = AllocKsmFrame();
+    static_frames_.push_back(area);
     area_pas_.push_back(area);
     area_pdpts_.push_back(BuildSubtree(kPerVcpuAreaVa, area));
   }
@@ -38,6 +40,19 @@ Ksm::Ksm(Machine& machine, OwnerId owner, int n_vcpus)
   idt_.SetIstStack(1, kPerVcpuAreaVa + 0xF00);  // secure stack top
 }
 
+Ksm::~Ksm() {
+  // Per-vCPU top-level copies the guest never undeclared, then the
+  // construction-time frames (region, areas, subtrees).
+  for (const auto& [root, copies] : top_copies_) {
+    for (uint64_t copy : copies) {
+      machine_.frames().FreeFrame(copy);
+    }
+  }
+  for (auto it = static_frames_.rbegin(); it != static_frames_.rend(); ++it) {
+    machine_.frames().FreeFrame(*it);
+  }
+}
+
 uint64_t Ksm::AllocKsmFrame() { return machine_.frames().AllocFrame(kHostOwner); }
 
 uint64_t Ksm::BuildSubtree(uint64_t va, uint64_t pa) {
@@ -45,6 +60,9 @@ uint64_t Ksm::BuildSubtree(uint64_t va, uint64_t pa) {
   uint64_t pdpt = AllocKsmFrame();
   uint64_t pd = AllocKsmFrame();
   uint64_t pt = AllocKsmFrame();
+  static_frames_.push_back(pdpt);
+  static_frames_.push_back(pd);
+  static_frames_.push_back(pt);
   mem.WriteU64(pdpt + static_cast<uint64_t>(PtIndex(va, 3)) * 8, MakePte(pd, kPteP | kPteW));
   mem.WriteU64(pd + static_cast<uint64_t>(PtIndex(va, 2)) * 8, MakePte(pt, kPteP | kPteW));
   mem.WriteU64(pt + static_cast<uint64_t>(PtIndex(va, 1)) * 8,

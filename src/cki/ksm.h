@@ -38,6 +38,13 @@ inline constexpr uint32_t kHandlerHostInterrupt = 2;   // interrupt gate -> host
 class Ksm {
  public:
   Ksm(Machine& machine, OwnerId owner, int n_vcpus);
+  // Returns every host frame the KSM holds (region, per-vCPU areas, their
+  // subtrees, remaining top-level copies) to the allocator, so a reaped
+  // container's whole footprint — host side included — is reusable.
+  ~Ksm();
+
+  Ksm(const Ksm&) = delete;
+  Ksm& operator=(const Ksm&) = delete;
 
   PtpMonitor& monitor() { return monitor_; }
   const Idt& idt() const { return idt_; }
@@ -96,6 +103,7 @@ class Ksm {
   std::vector<uint64_t> area_pas_;               // per-vCPU area pages
   std::vector<uint64_t> area_pdpts_;             // per-vCPU subtrees
   std::unordered_map<uint64_t, std::vector<uint64_t>> top_copies_;
+  std::vector<uint64_t> static_frames_;          // construction-time frames
   uint64_t calls_ = 0;
 };
 

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/sim/seed_split.h"
+
 namespace cki {
 namespace {
 
@@ -84,20 +86,9 @@ SimCluster::SimCluster(const ClusterConfig& config) : config_(config) {
 }
 
 uint64_t SimCluster::ShardSeed(uint64_t root_seed, uint32_t shard_index) {
-  // Fold the root like FaultInjector folds its seed, then advance the
-  // xorshift64* state shard_index+1 steps; the star-multiplied output of
-  // the final step is the shard's seed.
-  uint64_t x = root_seed ^ 0x9e3779b97f4a7c15ULL;
-  if (x == 0) {
-    x = 0x9e3779b97f4a7c15ULL;
-  }
-  for (uint32_t i = 0; i <= shard_index; ++i) {
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-  }
-  uint64_t seed = x * 0x2545F4914F6CDD1DULL;
-  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+  // The shared fold+split scheme (src/sim/seed_split.h): FaultInjector
+  // streams and shard seeds derive from the exact same bits.
+  return SplitSeed(root_seed, shard_index);
 }
 
 ClusterResult SimCluster::Run(const ShardBody& body) const {
@@ -133,6 +124,7 @@ ClusterResult SimCluster::Run(const ShardBody& body) const {
       // at any thread count.
       if (result.obs.has_data()) {
         result.obs.ExportSelfMetrics(result.metrics);
+        result.obs.ExportSloMetrics(result.metrics);
       }
       slots[i] = std::move(result);
     }

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "src/sim/seed_split.h"
+
 namespace cki {
 
 struct InjectorConfig {
@@ -34,18 +36,16 @@ struct InjectorConfig {
   double packet_drop_rate = 0;      // vswitch drops a forwarded packet
   double packet_dup_rate = 0;       // vswitch duplicates a forwarded packet
   double snapshot_corrupt_rate = 0; // bit-flip in a serialized snapshot
+  // Orchestration chaos (src/orch): queried once per control epoch per
+  // machine / per managed container, so the rate is "per epoch".
+  double machine_kill_rate = 0;     // whole simulated machine drops dead
+  double container_kill_rate = 0;   // one container dies mid-rebalance
 };
 
 class FaultInjector {
  public:
-  explicit FaultInjector(const InjectorConfig& config) : config_(config) {
-    // xorshift64* rejects a zero state; fold the seed through a non-zero
-    // constant the same way for every run.
-    state_ = config.seed ^ 0x9e3779b97f4a7c15ULL;
-    if (state_ == 0) {
-      state_ = 0x9e3779b97f4a7c15ULL;
-    }
-  }
+  explicit FaultInjector(const InjectorConfig& config)
+      : config_(config), rng_(config.seed) {}
 
   const InjectorConfig& config() const { return config_; }
 
@@ -56,6 +56,8 @@ class FaultInjector {
   bool InjectPacketDrop() { return Draw(config_.packet_drop_rate, 5); }
   bool InjectPacketDup() { return Draw(config_.packet_dup_rate, 6); }
   bool InjectSnapshotCorruption() { return Draw(config_.snapshot_corrupt_rate, 7); }
+  bool InjectMachineKill() { return Draw(config_.machine_kill_rate, 8); }
+  bool InjectContainerKill() { return Draw(config_.container_kill_rate, 9); }
 
   uint64_t draws() const { return draws_; }
   uint64_t injected() const { return injected_; }
@@ -65,22 +67,12 @@ class FaultInjector {
   uint64_t trace_hash() const { return trace_hash_; }
 
  private:
-  uint64_t Next() {
-    // xorshift64*: tiny, fast, fully reproducible across platforms.
-    uint64_t x = state_;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    state_ = x;
-    return x * 0x2545F4914F6CDD1DULL;
-  }
-
   bool Draw(double rate, uint8_t site) {
     if (rate <= 0) {
       return false;  // disarmed sites do not consume a draw
     }
     draws_++;
-    double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    double u = rng_.NextUnit();
     if (u >= rate) {
       return false;
     }
@@ -99,7 +91,7 @@ class FaultInjector {
   }
 
   InjectorConfig config_;
-  uint64_t state_;
+  XorShift64Star rng_;  // the shared fold + step scheme (seed_split.h)
   uint64_t draws_ = 0;
   uint64_t injected_ = 0;
   uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis

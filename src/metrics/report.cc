@@ -14,8 +14,8 @@ ReportTable::ReportTable(std::string title, std::string row_header,
                          std::vector<std::string> columns)
     : title_(std::move(title)), row_header_(std::move(row_header)), columns_(std::move(columns)) {}
 
-void ReportTable::AddRow(const std::string& label, std::vector<double> values) {
-  rows_.push_back(Row{label, std::move(values)});
+void ReportTable::AddRow(const std::string& label, std::vector<double> values, uint64_t weight) {
+  rows_.push_back(Row{label, std::move(values), weight == 0 ? 1 : weight});
 }
 
 void ReportTable::MergeRows(const ReportTable& other, MergeOp op) {
@@ -37,6 +37,8 @@ void ReportTable::MergeRows(const ReportTable& other, MergeOp op) {
       continue;
     }
     mine->values.resize(std::max(mine->values.size(), incoming.values.size()), 0.0);
+    const double wa = static_cast<double>(mine->weight);
+    const double wb = static_cast<double>(incoming.weight);
     for (size_t i = 0; i < incoming.values.size(); ++i) {
       switch (op) {
         case MergeOp::kSum:
@@ -48,9 +50,26 @@ void ReportTable::MergeRows(const ReportTable& other, MergeOp op) {
         case MergeOp::kMax:
           mine->values[i] = std::max(mine->values[i], incoming.values[i]);
           break;
+        case MergeOp::kMean:
+          // Weighted by how many source rows each side already
+          // aggregates, so merge order cannot change the result beyond
+          // float associativity — and shard-index-order merging (the
+          // cluster contract) makes even that bit-stable.
+          mine->values[i] = (mine->values[i] * wa + incoming.values[i] * wb) / (wa + wb);
+          break;
       }
     }
+    mine->weight += incoming.weight;
   }
+}
+
+uint64_t ReportTable::WeightAt(const std::string& row_label) const {
+  for (const Row& row : rows_) {
+    if (row.label == row_label) {
+      return row.weight;
+    }
+  }
+  throw std::out_of_range("no such row: " + row_label);
 }
 
 double ReportTable::ValueAt(const std::string& row_label, size_t col) const {

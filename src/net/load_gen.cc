@@ -1,9 +1,104 @@
 #include "src/net/load_gen.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/guest/syscall.h"
 #include "src/obs/trace_scope.h"
 
 namespace cki {
+
+// --- ArrivalProcess ---------------------------------------------------------
+
+ArrivalConfig ArrivalConfig::DiurnalBurst(uint64_t seed, double base_rate_per_sec) {
+  ArrivalConfig c;
+  c.seed = seed;
+  c.base_rate_per_sec = base_rate_per_sec;
+  // Two-peak day: quiet night, morning ramp, lunch dip, evening peak.
+  c.diurnal = {0.2, 0.15, 0.3, 0.7, 1.0, 0.8, 0.6, 0.9, 1.2, 1.0, 0.5, 0.3};
+  // Mostly calm with a short 4x flash crowd each cycle.
+  c.burst = {1.0, 1.0, 1.0, 1.0, 4.0, 1.0, 1.0, 1.0};
+  return c;
+}
+
+namespace {
+
+// Multiplier of the repeating `table` at time `now` (1.0 when empty).
+double TableAt(const std::vector<double>& table, SimNanos period_ns, SimNanos now) {
+  if (table.empty() || period_ns == 0) {
+    return 1.0;
+  }
+  SimNanos slot_ns = period_ns / table.size();
+  if (slot_ns == 0) {
+    slot_ns = 1;
+  }
+  return table[(now / slot_ns) % table.size()];
+}
+
+double TableMax(const std::vector<double>& table) {
+  double m = 1.0;
+  for (double v : table) {
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.base_rate_per_sec <= 0) {
+    config_.base_rate_per_sec = 1;
+  }
+  peak_rate_per_sec_ =
+      config_.base_rate_per_sec * TableMax(config_.diurnal) * TableMax(config_.burst);
+}
+
+double ArrivalProcess::MultiplierAt(SimNanos now) const {
+  return TableAt(config_.diurnal, config_.diurnal_period_ns, now) *
+         TableAt(config_.burst, config_.burst_period_ns, now);
+}
+
+SimNanos ArrivalProcess::NextArrival() {
+  if (has_pending_) {
+    has_pending_ = false;
+    minted_++;
+    return pending_;
+  }
+  // Thinning: candidates arrive as a homogeneous Poisson stream at the
+  // peak rate; each survives with probability rate(t)/peak. Rejected
+  // candidates still advance the candidate clock, so the surviving
+  // sequence is exactly the non-homogeneous process.
+  const double peak_per_ns = peak_rate_per_sec_ * 1e-9;
+  for (;;) {
+    double u = rng_.NextUnit();
+    // Exponential inter-arrival at the peak rate, >= 1 ns so time moves.
+    double gap_ns = -std::log(1.0 - u) / peak_per_ns;
+    clock_ns_ += std::max<SimNanos>(1, static_cast<SimNanos>(gap_ns));
+    if (rng_.NextUnit() * peak_rate_per_sec_ < RateAt(clock_ns_)) {
+      minted_++;
+      return clock_ns_;
+    }
+  }
+}
+
+size_t ArrivalProcess::DrainUntil(SimNanos until, std::vector<SimNanos>* out) {
+  size_t n = 0;
+  for (;;) {
+    SimNanos t = NextArrival();
+    if (t >= until) {
+      // Push the overshooting arrival back for the next window.
+      pending_ = t;
+      has_pending_ = true;
+      minted_--;
+      return n;
+    }
+    out->push_back(t);
+    n++;
+  }
+}
+
+// --- LoadGenerator ----------------------------------------------------------
 
 LoadGenerator::LoadGenerator(SimContext& ctx, VSwitch& sw, std::string name, uint64_t trace_seed)
     : ctx_(ctx),
@@ -47,6 +142,31 @@ void LoadGenerator::SendRequests(int flow, int count, uint64_t bytes) {
                     .span_id = tc.span_id});
     requests_sent_++;
   }
+}
+
+uint64_t LoadGenerator::PumpOpenLoop(int flow, ArrivalProcess& arrivals, SimNanos until,
+                                     uint64_t bytes) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    return 0;
+  }
+  TraceScope obs_scope(ctx_, "loadgen/openloop");
+  uint64_t sent = 0;
+  std::vector<SimNanos> times;
+  arrivals.DrainUntil(until, &times);
+  for (SimNanos t : times) {
+    (void)t;  // open loop: the schedule, not the response stream, paces us
+    TraceContext tc = MakeTraceContext(trace_seed_, ++trace_sequence_);
+    outstanding_traces_.insert(tc.trace_id);
+    last_request_trace_ = tc.trace_id;
+    ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowStart, tc.trace_id);
+    sw_.Send(Packet{.src = port_, .dst = it->second.peer, .flow = flow,
+                    .kind = PacketKind::kData, .bytes = bytes, .trace_id = tc.trace_id,
+                    .span_id = tc.span_id});
+    requests_sent_++;
+    sent++;
+  }
+  return sent;
 }
 
 uint64_t LoadGenerator::TakeResponses(int flow) {

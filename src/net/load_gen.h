@@ -15,11 +15,72 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/net/vswitch.h"
 #include "src/obs/trace_context.h"
+#include "src/sim/seed_split.h"
 
 namespace cki {
+
+// Deterministic open-loop arrival process: the traffic millions of
+// simulated users would send, independent of how fast the service drains
+// it. A non-homogeneous Poisson process over *simulated* time, realized by
+// thinning: a homogeneous xorshift64*-driven stream at the peak rate,
+// where each candidate survives with probability rate(t)/peak. The
+// instantaneous rate is the base rate modulated by two repeating schedule
+// tables — a slow `diurnal` cycle (the day/night curve) and a fast
+// `burst` cycle (flash crowds) — both pure functions of simulated time.
+//
+// Determinism contract: the arrival sequence is a pure function of
+// (config, seed); no wall clock, no service feedback, no global state.
+// Two processes with seeds from SplitSeed(root, shard) are decorrelated
+// but individually bit-reproducible at any thread count (DESIGN.md §9).
+struct ArrivalConfig {
+  double base_rate_per_sec = 50'000;  // mean arrival rate at multiplier 1.0
+  // Rate multipliers cycled over their periods; empty tables mean 1.0.
+  std::vector<double> diurnal;                  // day/night curve
+  SimNanos diurnal_period_ns = 24'000'000;      // one simulated "day" (24 ms)
+  std::vector<double> burst;                    // flash-crowd overlay
+  SimNanos burst_period_ns = 3'000'000;
+  uint64_t seed = 1;
+
+  // The canonical fleet trace used by the orchestrator bench: a two-peak
+  // diurnal curve with a 4x flash crowd riding on it.
+  static ArrivalConfig DiurnalBurst(uint64_t seed, double base_rate_per_sec);
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& config);
+
+  const ArrivalConfig& config() const { return config_; }
+
+  // Instantaneous rate multiplier / absolute rate at `now`. Pure
+  // functions of the config and `now` (table lookups, no RNG draws).
+  double MultiplierAt(SimNanos now) const;
+  double RateAt(SimNanos now) const { return config_.base_rate_per_sec * MultiplierAt(now); }
+  double peak_rate_per_sec() const { return peak_rate_per_sec_; }
+
+  // Time of the next arrival strictly after the previous one. Arrivals
+  // are minted in nondecreasing time order, forever.
+  SimNanos NextArrival();
+
+  // Arrivals with t < `until`, appended to `out`; returns the count.
+  // The first arrival at or past `until` is buffered, not lost.
+  size_t DrainUntil(SimNanos until, std::vector<SimNanos>* out);
+
+  uint64_t minted() const { return minted_; }
+
+ private:
+  ArrivalConfig config_;
+  XorShift64Star rng_;
+  double peak_rate_per_sec_ = 0;
+  SimNanos clock_ns_ = 0;    // candidate-stream time
+  SimNanos pending_ = 0;     // buffered arrival from DrainUntil
+  bool has_pending_ = false;
+  uint64_t minted_ = 0;
+};
 
 class LoadGenerator : public NetDevice {
  public:
@@ -35,6 +96,13 @@ class LoadGenerator : public NetDevice {
   // submission batch (one client-side service charge). Every frame gets a
   // freshly minted TraceContext.
   void SendRequests(int flow, int count, uint64_t bytes);
+
+  // Open-loop injection: mints and sends one request frame per arrival of
+  // `arrivals` strictly before `until` (simulated ns). Unlike
+  // SendRequests, the submission schedule comes from the arrival process
+  // — not from responses — so traffic keeps coming whether or not the
+  // service keeps up. Returns the number of requests injected.
+  uint64_t PumpOpenLoop(int flow, ArrivalProcess& arrivals, SimNanos until, uint64_t bytes);
 
   // Returns and resets the number of responses received on `flow` since the
   // last call.

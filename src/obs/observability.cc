@@ -38,6 +38,24 @@ void Observability::ExportSelfMetrics(MetricsRegistry& metrics) const {
   metrics.Inc("obs/self/slo_samples", self_.slo_samples);
 }
 
+void Observability::ExportSloMetrics(MetricsRegistry& metrics) const {
+  if (slos_ == nullptr) {
+    return;
+  }
+  // One gauge set per container window, under slo/<owner>/..., so the SLO
+  // view reaches --metrics-csv and merged cluster registries. Rates are
+  // rounded to integers (counters are u64); the JSON slo section keeps
+  // full precision.
+  for (const auto& [owner, window] : *slos_) {
+    std::string prefix = "slo/" + std::to_string(owner) + "/";
+    metrics.Inc(prefix + "p99_ns", window.Percentile(99));
+    metrics.Inc(prefix + "window_ops", window.WindowOps());
+    metrics.Inc(prefix + "ops_per_sec", static_cast<uint64_t>(window.OpsPerSec() + 0.5));
+    metrics.Inc(prefix + "faults", window.WindowFaults());
+    metrics.Inc(prefix + "gauge", window.gauge());
+  }
+}
+
 Observability Observability::Detach() {
   Observability out;
   out.owner_ = owner_;

@@ -193,6 +193,11 @@ class Observability {
   const ObsSelfStats& self_stats() const { return self_; }
   // Dumps the self-accounting as counters `obs/self/<name>`.
   void ExportSelfMetrics(MetricsRegistry& metrics) const;
+  // Dumps every container SLO window as gauges `slo/<owner>/{p99_ns,
+  // window_ops,ops_per_sec,faults,gauge}` so the rolling SLO view shows
+  // up in --metrics-csv and merged cluster registries (SimCluster and
+  // BenchObsSink call this; values are point-in-time, not additive).
+  void ExportSloMetrics(MetricsRegistry& metrics) const;
 
   // Moves the recorded data (recorder, profiler, metrics, SLO windows,
   // self stats, owner stamp) into a standalone hub and resets this one to

@@ -1,0 +1,518 @@
+#include "src/orch/orchestrator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/cki/cki_engine.h"
+#include "src/obs/histogram.h"
+#include "src/obs/slo_window.h"
+#include "src/obs/trace_context.h"
+#include "src/snap/snapshot.h"
+
+namespace cki {
+namespace {
+
+// Hash salts that keep action records and chaos strikes from colliding in
+// the control digest (each record is salt + its fields, in order).
+constexpr uint64_t kHashEpochMark = 0xE70C;
+constexpr uint64_t kHashAction = 0xAC71;
+constexpr uint64_t kHashMachineKill = 0xFA11;
+constexpr uint64_t kHashContainerKill = 0xFA22;
+
+// Request served per arrival: open the warm tmpfs log, pread a record,
+// close. pread never allocates tmpfs blocks, so serving any number of
+// requests cannot grow the container past its delegated segment.
+constexpr uint64_t kRequestPathId = 1;
+constexpr uint64_t kRequestReadBytes = 512;
+constexpr uint64_t kTemplateLogBytes = 16384;
+
+}  // namespace
+
+// One serving container. The SloWindow and queue position travel with the
+// container across live migration; the engine pointer is null once the
+// container died (chaos) or was killed by the control plane this epoch —
+// dead entries linger until the end of Apply so a policy action aimed at
+// a chaos victim is detected (and counted aborted) instead of resolving
+// to a stale neighbor.
+struct Orchestrator::Managed {
+  std::unique_ptr<ContainerEngine> engine;
+  uint32_t id = 0;  // engine OwnerId, cached so dead entries stay addressable
+  SimNanos busy_until = 0;  // epoch-timeline instant the container frees up
+  SloWindow window;
+  uint64_t served_epoch = 0;
+  uint32_t idle_epochs = 0;
+};
+
+// One shard: a machine plus everything that must survive the machine.
+// The arrival process, the fault injector, and the work-jitter RNG are
+// deliberately NOT rebuilt when chaos destroys the machine — traffic and
+// the chaos schedule are pure functions of the seeds, independent of how
+// often the hardware underneath died.
+struct Orchestrator::ShardState {
+  uint32_t index;
+  uint64_t shard_seed;
+  bool up = false;
+  uint64_t down_until_epoch = 0;
+
+  // machine outlives tmpl/containers (declaration order = reverse
+  // destruction order), so engines never outlive their machine.
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<ContainerEngine> tmpl;
+  std::vector<Managed> containers;
+
+  ArrivalProcess arrivals;
+  FaultInjector injector;
+  XorShift64Star work_rng;
+
+  size_t rr = 0;  // round-robin serve cursor
+  Histogram epoch_lat;
+  uint64_t epoch_requests = 0;
+  uint64_t epoch_lost = 0;
+  SimNanos backlog_ns = 0;
+  uint64_t serve_hash = kTraceFnvBasis;  // cumulative per-shard serve digest
+  MetricsRegistry metrics;
+  std::vector<SimNanos> arrival_buf;
+
+  ShardState(const OrchConfig& cfg, uint32_t idx, uint64_t seed)
+      : index(idx),
+        shard_seed(seed),
+        arrivals(SkewedArrivals(cfg, idx, seed)),
+        injector(InjectorConfigFor(cfg, seed)),
+        work_rng(SplitSeed(seed, 2)) {}
+
+  static ArrivalConfig SkewedArrivals(const OrchConfig& cfg, uint32_t idx, uint64_t seed) {
+    ArrivalConfig ac = cfg.arrivals;
+    ac.seed = SplitSeed(seed, 0);
+    ac.base_rate_per_sec *= 1.0 + cfg.shard_load_skew * idx;
+    return ac;
+  }
+  static InjectorConfig InjectorConfigFor(const OrchConfig& cfg, uint64_t seed) {
+    InjectorConfig ic;
+    ic.seed = SplitSeed(seed, 1);
+    ic.machine_kill_rate = cfg.machine_kill_rate;
+    ic.container_kill_rate = cfg.container_kill_rate;
+    return ic;
+  }
+
+  SloWindow::Config WindowConfig(const OrchConfig& cfg) const {
+    return SloWindow::Config{.bucket_ns = cfg.epoch_ns, .buckets = 8};
+  }
+};
+
+Orchestrator::Orchestrator(const OrchConfig& config, const OrchPolicy& policy)
+    : config_(config),
+      policy_(policy),
+      cluster_(ClusterConfig{.shards = config.shards,
+                             .threads = config.threads,
+                             .root_seed = config.root_seed}),
+      control_hash_(kTraceFnvBasis),
+      cluster_hash_(kTraceFnvBasis) {
+  if (config_.shards == 0) {
+    config_.shards = 1;
+  }
+  if (config_.epoch_ns == 0) {
+    config_.epoch_ns = 1;
+  }
+  shards_.reserve(config_.shards);
+  for (uint32_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<ShardState>(
+        config_, i, SimCluster::ShardSeed(config_.root_seed, i)));
+    BootShard(i);
+  }
+}
+
+Orchestrator::~Orchestrator() = default;
+
+uint64_t Orchestrator::CombinedHash() const {
+  return TraceMix(TraceMix(kTraceFnvBasis, control_hash_), cluster_hash_);
+}
+
+namespace {
+
+std::unique_ptr<ContainerEngine> NewEngine(Machine& machine, const OrchConfig& cfg) {
+  if (cfg.kind == RuntimeKind::kCki) {
+    // Dense fleets want small delegated segments, not the production
+    // default (the bench_ext_coldstart convention).
+    return std::make_unique<CkiEngine>(machine, CkiAblation::kNone, cfg.cki_segment_pages);
+  }
+  return MakeEngine(machine, cfg.kind);
+}
+
+// The serverless warm-up: stage the request log in tmpfs and page in the
+// function's working set, so clones serve their first request warm.
+void WarmTemplate(ContainerEngine& e, const OrchConfig& cfg) {
+  SyscallResult r = e.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = kRequestPathId});
+  if (r.ok()) {
+    uint64_t fd = static_cast<uint64_t>(r.value);
+    e.UserSyscall(SyscallRequest{.no = Sys::kWrite, .arg0 = fd, .arg1 = kTemplateLogBytes});
+    e.UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
+  }
+  e.MmapAnon(cfg.template_warm_pages * kPageSize, /*populate=*/true);
+}
+
+}  // namespace
+
+void Orchestrator::BootShard(uint32_t index) {
+  ShardState& s = *shards_[index];
+  s.machine = std::make_unique<Machine>(
+      MachineConfigFor(config_.kind, Deployment::kBareMetal));
+  s.tmpl = NewEngine(*s.machine, config_);
+  s.tmpl->Boot();
+  WarmTemplate(*s.tmpl, config_);
+  stats_.template_boots++;
+  s.containers.clear();
+  s.rr = 0;
+  for (uint32_t i = 0; i < config_.initial_containers; ++i) {
+    Managed c;
+    c.engine = CloneContainer(*s.tmpl);
+    c.id = c.engine->id();
+    c.window = SloWindow(s.WindowConfig(config_));
+    s.containers.push_back(std::move(c));
+    stats_.clones++;
+  }
+  s.up = true;
+  s.down_until_epoch = 0;
+}
+
+OrchStats Orchestrator::Run() {
+  if (ran_) {
+    return stats_;
+  }
+  ran_ = true;
+  for (uint64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Revival sweep: machines chaos-killed `machine_down_epochs` ago come
+    // back as a full cold boot (template + minimum fleet).
+    for (uint32_t i = 0; i < config_.shards; ++i) {
+      if (!shards_[i]->up && epoch >= shards_[i]->down_until_epoch) {
+        BootShard(i);
+      }
+    }
+    ServeEpoch(epoch);
+    ClusterSnapshot snap = Collect(epoch);
+    cluster_hash_ = TraceMix(cluster_hash_, snap.Hash());
+    std::vector<OrchAction> actions = policy_.Decide(snap);
+    control_hash_ = TraceMix(control_hash_, kHashEpochMark);
+    control_hash_ = TraceMix(control_hash_, epoch);
+    for (const OrchAction& a : actions) {
+      control_hash_ = TraceMix(control_hash_, kHashAction);
+      control_hash_ = TraceMix(control_hash_, static_cast<uint64_t>(a.kind));
+      control_hash_ = TraceMix(control_hash_, a.shard);
+      control_hash_ = TraceMix(control_hash_, a.container);
+      control_hash_ = TraceMix(control_hash_, a.dst_shard);
+    }
+    Chaos(epoch);
+    Apply(epoch, actions);
+    FinishEpoch(epoch);
+    last_snapshot_ = std::move(snap);
+  }
+  // Merge per-shard metrics in index order (bit-stable at any thread
+  // count) and derive the fleet-wide latency tail from the merged
+  // histogram.
+  for (const auto& s : shards_) {
+    metrics_.Merge(s->metrics);
+  }
+  const Histogram* lat = metrics_.FindHist("orch/request_latency_ns");
+  stats_.overall_p99_ns = (lat != nullptr && lat->count() > 0) ? lat->Percentile(99) : 0;
+  return stats_;
+}
+
+void Orchestrator::ServeEpoch(uint64_t epoch) {
+  const SimNanos begin = epoch * config_.epoch_ns;
+  const SimNanos end = begin + config_.epoch_ns;
+  cluster_.Run([this, begin, end](const ShardTask& task) {
+    ShardState& s = *shards_[task.index];
+    s.epoch_lat.Clear();
+    s.epoch_requests = 0;
+    s.epoch_lost = 0;
+    s.backlog_ns = 0;
+
+    // Traffic is open-loop: the arrival stream advances whether or not
+    // this shard has a machine to serve it.
+    s.arrival_buf.clear();
+    s.arrivals.DrainUntil(end, &s.arrival_buf);
+    s.epoch_requests = s.arrival_buf.size();
+
+    if (!s.up) {
+      s.epoch_lost += s.arrival_buf.size();
+      s.serve_hash = TraceMix(s.serve_hash, s.epoch_lost);
+      return ShardResult{};
+    }
+
+    SimContext& ctx = s.machine->ctx();
+    const SimNanos jitter_span =
+        config_.request_compute_max_ns > config_.request_compute_min_ns
+            ? config_.request_compute_max_ns - config_.request_compute_min_ns
+            : 0;
+    for (SimNanos arrival : s.arrival_buf) {
+      // Round-robin over the live containers, skipping corpses.
+      Managed* chosen = nullptr;
+      for (size_t tries = 0; tries < s.containers.size(); ++tries) {
+        Managed& cand = s.containers[s.rr++ % s.containers.size()];
+        if (cand.engine != nullptr && cand.engine->alive()) {
+          chosen = &cand;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        s.epoch_lost++;
+        continue;
+      }
+
+      const SimNanos start = std::max(arrival, chosen->busy_until);
+      const SimNanos t0 = ctx.clock().now();
+      SyscallResult r =
+          chosen->engine->UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = kRequestPathId});
+      if (!r.ok()) {
+        s.epoch_lost++;
+        continue;
+      }
+      uint64_t fd = static_cast<uint64_t>(r.value);
+      chosen->engine->UserSyscall(
+          SyscallRequest{.no = Sys::kPread, .arg0 = fd, .arg1 = kRequestReadBytes});
+      chosen->engine->UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
+      if (jitter_span > 0) {
+        ctx.ChargeWork(config_.request_compute_min_ns + s.work_rng.Next() % jitter_span);
+      } else {
+        ctx.ChargeWork(config_.request_compute_min_ns);
+      }
+      const SimNanos service = ctx.clock().now() - t0;
+
+      chosen->busy_until = start + service;
+      const SimNanos latency = chosen->busy_until - arrival;
+      chosen->window.ObserveLatency(chosen->busy_until, latency);
+      chosen->served_epoch++;
+      s.epoch_lat.Add(latency);
+      s.metrics.Hist("orch/request_latency_ns").Add(latency);
+      s.metrics.Inc("orch/requests_served");
+      s.serve_hash = TraceMix(s.serve_hash, arrival);
+      s.serve_hash = TraceMix(s.serve_hash, chosen->id);
+      s.serve_hash = TraceMix(s.serve_hash, latency);
+    }
+
+    // Epoch-boundary bookkeeping: backlog (how far the most-behind
+    // container lags the epoch end), idle streaks, resident-frame gauges.
+    for (Managed& c : s.containers) {
+      if (c.engine == nullptr || !c.engine->alive()) {
+        continue;
+      }
+      if (c.busy_until > end) {
+        s.backlog_ns = std::max(s.backlog_ns, c.busy_until - end);
+      }
+      c.idle_epochs = c.served_epoch == 0 ? c.idle_epochs + 1 : 0;
+      c.served_epoch = 0;
+      c.window.SetGauge(end, s.machine->frames().OwnedFrames(c.id));
+    }
+    return ShardResult{};
+  });
+}
+
+ClusterSnapshot Orchestrator::Collect(uint64_t epoch) {
+  ClusterSnapshot snap;
+  snap.epoch = epoch;
+  snap.epoch_ns = config_.epoch_ns;
+  snap.slo_p99_ns = config_.slo_p99_ns;
+  snap.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    const ShardState& s = *sp;
+    ShardSignal sig;
+    sig.index = s.index;
+    sig.up = s.up;
+    sig.has_template = s.tmpl != nullptr && s.tmpl->alive();
+    sig.backlog_ns = s.backlog_ns;
+    sig.epoch_requests = s.epoch_requests;
+    sig.epoch_lost = s.epoch_lost;
+    sig.epoch_p99_ns = s.epoch_lat.count() > 0 ? s.epoch_lat.Percentile(99) : 0;
+    for (const Managed& c : s.containers) {
+      ContainerSignal cs;
+      cs.shard = s.index;
+      cs.id = c.id;
+      cs.alive = c.engine != nullptr && c.engine->alive();
+      cs.p99_ns = c.window.Percentile(99);
+      cs.window_ops = c.window.WindowOps();
+      cs.ops_per_sec = c.window.OpsPerSec();
+      cs.resident_frames = c.window.gauge();
+      cs.faults = c.window.WindowFaults();
+      cs.idle_epochs = c.idle_epochs;
+      sig.containers.push_back(cs);
+    }
+    std::sort(sig.containers.begin(), sig.containers.end(),
+              [](const ContainerSignal& a, const ContainerSignal& b) { return a.id < b.id; });
+    snap.shards.push_back(std::move(sig));
+  }
+  return snap;
+}
+
+void Orchestrator::Chaos(uint64_t epoch) {
+  for (auto& sp : shards_) {
+    ShardState& s = *sp;
+    if (!s.up) {
+      continue;  // a dark machine consumes no chaos draws
+    }
+    if (s.injector.InjectMachineKill()) {
+      stats_.machine_kills++;
+      control_hash_ = TraceMix(control_hash_, kHashMachineKill);
+      control_hash_ = TraceMix(control_hash_, s.index);
+      for (Managed& c : s.containers) {
+        KillAndAudit(s, c);
+      }
+      if (s.tmpl != nullptr) {
+        if (s.tmpl->alive()) {
+          s.tmpl->KillFromFault();
+        }
+        const OwnerId tid = s.tmpl->id();
+        s.tmpl.reset();
+        stats_.leaked_frames +=
+            s.machine->frames().OwnedFrames(tid) + s.machine->frames().SharedFrames(tid);
+      }
+      s.machine.reset();
+      s.up = false;
+      s.down_until_epoch = epoch + 1 + config_.machine_down_epochs;
+      continue;  // no per-container draws on a machine that just died
+    }
+    for (Managed& c : s.containers) {
+      if (c.engine == nullptr || !c.engine->alive()) {
+        continue;
+      }
+      if (s.injector.InjectContainerKill()) {
+        stats_.container_kills++;
+        control_hash_ = TraceMix(control_hash_, kHashContainerKill);
+        control_hash_ = TraceMix(control_hash_, s.index);
+        control_hash_ = TraceMix(control_hash_, c.id);
+        KillAndAudit(s, c);
+      }
+    }
+  }
+}
+
+void Orchestrator::Apply(uint64_t epoch, const std::vector<OrchAction>& actions) {
+  const SimNanos boundary = (epoch + 1) * config_.epoch_ns;
+  for (const OrchAction& a : actions) {
+    if (a.shard >= shards_.size()) {
+      continue;
+    }
+    ShardState& s = *shards_[a.shard];
+    switch (a.kind) {
+      case OrchActionKind::kScaleUp: {
+        // The shard (or its template) may have died between Decide and
+        // Apply — chaos overlaps the rebalance by design.
+        if (!s.up || s.tmpl == nullptr || !s.tmpl->alive()) {
+          break;
+        }
+        uint32_t alive_before = 0;
+        for (const Managed& c : s.containers) {
+          alive_before += (c.engine != nullptr && c.engine->alive()) ? 1 : 0;
+        }
+        Managed c;
+        c.engine = CloneContainer(*s.tmpl);
+        c.id = c.engine->id();
+        c.busy_until = boundary;
+        c.window = SloWindow(s.WindowConfig(config_));
+        s.containers.push_back(std::move(c));
+        stats_.clones++;
+        if (alive_before < config_.initial_containers) {
+          stats_.replacements++;
+        }
+        break;
+      }
+      case OrchActionKind::kMigrate: {
+        Managed* victim = nullptr;
+        for (Managed& c : s.containers) {
+          if (c.id == a.container) {
+            victim = &c;
+            break;
+          }
+        }
+        ShardState* dst =
+            a.dst_shard < shards_.size() ? shards_[a.dst_shard].get() : nullptr;
+        // Aborted when either end died mid-rebalance (the victim under a
+        // chaos strike, or a whole machine on either side).
+        if (!s.up || victim == nullptr || victim->engine == nullptr ||
+            !victim->engine->alive() || dst == nullptr || !dst->up) {
+          stats_.migrations_aborted++;
+          break;
+        }
+        SnapshotImage image = CheckpointContainer(*victim->engine);
+        RestoreOutcome out = RestoreContainer(*dst->machine, image);
+        if (!out.ok) {
+          stats_.migrations_aborted++;
+          break;
+        }
+        Managed moved;
+        moved.engine = std::move(out.engine);
+        moved.id = moved.engine->id();
+        // The queue position and the rolling SLO history migrate with the
+        // container: a hot container stays "hot" on its new machine.
+        moved.busy_until = std::max(victim->busy_until, boundary);
+        moved.window = victim->window;
+        moved.idle_epochs = victim->idle_epochs;
+        KillAndAudit(s, *victim);
+        dst->containers.push_back(std::move(moved));
+        stats_.migrations++;
+        break;
+      }
+      case OrchActionKind::kReap: {
+        if (!s.up) {
+          break;
+        }
+        for (Managed& c : s.containers) {
+          if (c.id == a.container) {
+            if (c.engine != nullptr && c.engine->alive()) {
+              KillAndAudit(s, c);
+              stats_.reaps++;
+            }
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Dead entries served their purpose (mid-rebalance victim detection);
+  // drop them so the next epoch's snapshot only lists real containers.
+  for (auto& sp : shards_) {
+    auto& v = sp->containers;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [](const Managed& c) {
+                             return c.engine == nullptr || !c.engine->alive();
+                           }),
+            v.end());
+  }
+}
+
+void Orchestrator::FinishEpoch(uint64_t epoch) {
+  (void)epoch;
+  Histogram merged;
+  uint64_t requests = 0;
+  uint64_t lost = 0;
+  for (const auto& sp : shards_) {
+    merged.Merge(sp->epoch_lat);
+    requests += sp->epoch_requests;
+    lost += sp->epoch_lost;
+    cluster_hash_ = TraceMix(cluster_hash_, sp->serve_hash);
+  }
+  const uint64_t p99 = merged.count() > 0 ? merged.Percentile(99) : 0;
+  stats_.epochs++;
+  stats_.requests += requests;
+  stats_.lost += lost;
+  stats_.served += requests - lost;
+  if (p99 <= config_.slo_p99_ns && lost == 0) {
+    stats_.epochs_slo_met++;
+  }
+}
+
+void Orchestrator::KillAndAudit(ShardState& shard, Managed& c) {
+  if (c.engine == nullptr) {
+    return;
+  }
+  if (c.engine->alive()) {
+    c.engine->KillFromFault();
+  }
+  const OwnerId id = c.engine->id();
+  c.engine.reset();
+  // The reclaim contract: after a kill the owner holds nothing — no owned
+  // frames, no CoW shares. Anything left is a leak the bench hard-fails on.
+  stats_.leaked_frames +=
+      shard.machine->frames().OwnedFrames(id) + shard.machine->frames().SharedFrames(id);
+}
+
+}  // namespace cki

@@ -1,0 +1,147 @@
+#include "src/orch/policy.h"
+
+#include <algorithm>
+
+#include "src/obs/trace_context.h"
+
+namespace cki {
+
+uint64_t ClusterSnapshot::Hash() const {
+  uint64_t h = kTraceFnvBasis;
+  h = TraceMix(h, epoch);
+  h = TraceMix(h, epoch_ns);
+  h = TraceMix(h, slo_p99_ns);
+  for (const ShardSignal& s : shards) {
+    h = TraceMix(h, s.index);
+    h = TraceMix(h, s.up ? 1 : 0);
+    h = TraceMix(h, s.has_template ? 1 : 0);
+    h = TraceMix(h, s.backlog_ns);
+    h = TraceMix(h, s.epoch_requests);
+    h = TraceMix(h, s.epoch_lost);
+    h = TraceMix(h, s.epoch_p99_ns);
+    for (const ContainerSignal& c : s.containers) {
+      h = TraceMix(h, c.id);
+      h = TraceMix(h, c.alive ? 1 : 0);
+      h = TraceMix(h, c.p99_ns);
+      h = TraceMix(h, c.window_ops);
+      h = TraceMix(h, c.resident_frames);
+      h = TraceMix(h, c.faults);
+      h = TraceMix(h, c.idle_epochs);
+    }
+  }
+  return h;
+}
+
+namespace {
+
+uint32_t AliveCount(const ShardSignal& s) {
+  uint32_t n = 0;
+  for (const ContainerSignal& c : s.containers) {
+    n += c.alive ? 1 : 0;
+  }
+  return n;
+}
+
+// Destination for a migration: the least-backlogged up shard with room,
+// excluding `src`. Ties break toward the lower shard index, so the choice
+// is a pure function of the snapshot. Returns false when no shard fits.
+bool PickDestination(const ClusterSnapshot& snap, uint32_t src, uint32_t max_containers,
+                     uint32_t* dst) {
+  bool found = false;
+  SimNanos best_backlog = 0;
+  uint64_t best_ops = 0;
+  for (const ShardSignal& s : snap.shards) {
+    if (s.index == src || !s.up || AliveCount(s) >= max_containers) {
+      continue;
+    }
+    uint64_t ops = s.epoch_requests;
+    if (!found || s.backlog_ns < best_backlog ||
+        (s.backlog_ns == best_backlog && ops < best_ops)) {
+      found = true;
+      best_backlog = s.backlog_ns;
+      best_ops = ops;
+      *dst = s.index;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+std::vector<OrchAction> StaticPolicy::Decide(const ClusterSnapshot& snap) const {
+  std::vector<OrchAction> actions;
+  for (const ShardSignal& s : snap.shards) {
+    if (!s.up) {
+      continue;
+    }
+    for (uint32_t i = AliveCount(s); i < target_; ++i) {
+      actions.push_back(OrchAction{OrchActionKind::kScaleUp, s.index, 0, 0});
+    }
+  }
+  return actions;
+}
+
+std::vector<OrchAction> ReactivePolicy::Decide(const ClusterSnapshot& snap) const {
+  std::vector<OrchAction> actions;
+  for (const ShardSignal& s : snap.shards) {
+    if (!s.up) {
+      continue;
+    }
+    const uint32_t alive = AliveCount(s);
+    const SimNanos hot_backlog =
+        snap.epoch_ns * config_.hot_backlog_permille / 1000;
+    const bool hot = s.epoch_p99_ns > snap.slo_p99_ns || s.backlog_ns > hot_backlog;
+    // Saturation by rolling rate: capacity is per serving container.
+    double rate = 0;
+    for (const ContainerSignal& c : s.containers) {
+      rate += c.alive ? c.ops_per_sec : 0;
+    }
+    const bool saturated =
+        alive > 0 && rate > config_.capacity_ops_per_sec * static_cast<double>(alive);
+
+    // Reaps first (container-ordered): quiet shards shed idle capacity.
+    uint32_t reapable = alive > config_.min_containers ? alive - config_.min_containers : 0;
+    if (!hot && !saturated) {
+      for (const ContainerSignal& c : s.containers) {
+        if (reapable == 0) {
+          break;
+        }
+        if (c.alive && c.idle_epochs >= config_.reap_idle_epochs) {
+          actions.push_back(OrchAction{OrchActionKind::kReap, s.index, c.id, 0});
+          reapable--;
+        }
+      }
+    }
+
+    // Replacement + scale-up: dead or under-min shards are refilled; hot
+    // or saturated shards grow by one container per epoch.
+    uint32_t want = std::max(alive, config_.min_containers);
+    if ((hot || saturated) && want < config_.max_containers) {
+      want++;
+    }
+    for (uint32_t i = alive; i < want; ++i) {
+      actions.push_back(OrchAction{OrchActionKind::kScaleUp, s.index, 0, 0});
+    }
+
+    // A shard already at max that is still hot moves its busiest
+    // container to the least-loaded shard with room.
+    if ((hot || saturated) && alive >= config_.max_containers) {
+      uint32_t dst = 0;
+      if (PickDestination(snap, s.index, config_.max_containers, &dst)) {
+        const ContainerSignal* busiest = nullptr;
+        for (const ContainerSignal& c : s.containers) {
+          if (c.alive && (busiest == nullptr || c.window_ops > busiest->window_ops)) {
+            busiest = &c;
+          }
+        }
+        if (busiest != nullptr) {
+          actions.push_back(
+              OrchAction{OrchActionKind::kMigrate, s.index, busiest->id, dst});
+        }
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace cki

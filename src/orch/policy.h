@@ -1,0 +1,127 @@
+// Deterministic placement/autoscaling policies for the cluster
+// orchestrator (DESIGN.md §12).
+//
+// The control loop runs in fixed epochs. After every epoch the
+// orchestrator folds each shard's load signals into one ClusterSnapshot —
+// a plain value, ordered by (shard index, container id) — and hands it to
+// a policy. A policy is a *pure function* of that snapshot: no RNG, no
+// clock reads, no mutable state, no peeking at live machines. It returns
+// the epoch's actions ordered by (shard index, container id), so the
+// decision trace of a whole run is a pure function of (workload, seed)
+// and can be FNV-1a-hashed for cross-thread-count determinism checks.
+//
+// Thread-safety: policies are immutable after construction and may be
+// shared freely; Decide is const and reentrant.
+#ifndef SRC_ORCH_POLICY_H_
+#define SRC_ORCH_POLICY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace cki {
+
+// Rolling per-container load signals, sampled at the control epoch
+// boundary from the container's SloWindow and the frame allocator.
+struct ContainerSignal {
+  uint32_t shard = 0;
+  uint32_t id = 0;  // OwnerId on its shard's machine (unique per machine)
+  bool alive = true;
+  uint64_t p99_ns = 0;         // rolling request p99 (SloWindow)
+  uint64_t window_ops = 0;     // requests served inside the window
+  double ops_per_sec = 0;      // rolling request rate
+  uint64_t resident_frames = 0;
+  uint64_t faults = 0;         // engine-path faults inside the window
+  uint32_t idle_epochs = 0;    // consecutive epochs with zero requests
+};
+
+// One shard's view at the epoch boundary. `containers` is ordered by id.
+struct ShardSignal {
+  uint32_t index = 0;
+  bool up = true;            // false while the machine is chaos-killed
+  bool has_template = false; // warm clone template available
+  SimNanos backlog_ns = 0;   // how far serving lags the epoch end (overload)
+  uint64_t epoch_requests = 0;
+  uint64_t epoch_lost = 0;   // arrivals dropped (down machine / no capacity)
+  uint64_t epoch_p99_ns = 0; // this epoch's request p99 on this shard
+  std::vector<ContainerSignal> containers;
+};
+
+// The deterministic cluster state a policy decides from.
+struct ClusterSnapshot {
+  uint64_t epoch = 0;
+  SimNanos epoch_ns = 0;
+  SimNanos slo_p99_ns = 0;
+  std::vector<ShardSignal> shards;  // ordered by shard index
+
+  // FNV-1a digest over every integer field in (shard, container) order.
+  // Doubles are excluded so the digest never depends on float formatting;
+  // the integer fields already pin the state.
+  uint64_t Hash() const;
+};
+
+enum class OrchActionKind : uint8_t {
+  kScaleUp = 0,  // clone one container from the shard's template
+  kMigrate,      // checkpoint container off `shard`, restore on `dst_shard`
+  kReap,         // kill + reclaim an idle container
+};
+
+struct OrchAction {
+  OrchActionKind kind = OrchActionKind::kScaleUp;
+  uint32_t shard = 0;      // target for scale-up; source for migrate/reap
+  uint32_t container = 0;  // victim id for migrate/reap; 0 for scale-up
+  uint32_t dst_shard = 0;  // migrate destination; 0 otherwise
+};
+
+class OrchPolicy {
+ public:
+  virtual ~OrchPolicy() = default;
+  virtual std::string_view name() const = 0;
+  // Pure function of the snapshot. Must emit actions ordered by
+  // (shard index, container id); the orchestrator applies them in order.
+  virtual std::vector<OrchAction> Decide(const ClusterSnapshot& snap) const = 0;
+};
+
+// Replacement-only baseline: keeps every up shard at `target_containers`
+// serving containers (so chaos victims are re-placed) but never scales
+// past it, never migrates, never reaps.
+class StaticPolicy : public OrchPolicy {
+ public:
+  explicit StaticPolicy(uint32_t target_containers) : target_(target_containers) {}
+  std::string_view name() const override { return "static"; }
+  std::vector<OrchAction> Decide(const ClusterSnapshot& snap) const override;
+
+ private:
+  uint32_t target_;
+};
+
+// Reactive autoscaler: scale up hot shards, migrate off saturated ones,
+// reap idle containers, re-place chaos victims.
+struct ReactiveConfig {
+  uint32_t min_containers = 1;      // per up shard
+  uint32_t max_containers = 8;      // per shard
+  // A shard is HOT when its epoch p99 misses the SLO target or its
+  // backlog exceeds this fraction of the epoch (x1000: 250 = 25%).
+  uint32_t hot_backlog_permille = 250;
+  // A container is SATURATED above this rolling request rate.
+  double capacity_ops_per_sec = 150'000;
+  // Reap a container after this many consecutive idle epochs.
+  uint32_t reap_idle_epochs = 4;
+};
+
+class ReactivePolicy : public OrchPolicy {
+ public:
+  explicit ReactivePolicy(const ReactiveConfig& config) : config_(config) {}
+  std::string_view name() const override { return "reactive"; }
+  const ReactiveConfig& config() const { return config_; }
+  std::vector<OrchAction> Decide(const ClusterSnapshot& snap) const override;
+
+ private:
+  ReactiveConfig config_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_ORCH_POLICY_H_

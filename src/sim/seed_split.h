@@ -1,0 +1,86 @@
+// The one xorshift64* seed-fold / seed-split / stream implementation.
+//
+// Three subsystems grew the same scheme independently — SimCluster's
+// per-shard seed split, FaultInjector's chaos decision stream, and the
+// workload drivers' derived seeds. This header is the single source of
+// truth for all of them, so "decorrelated streams that are a pure
+// function of (root seed, index)" means the exact same bits everywhere:
+//
+//   * FoldSeed        — maps any user seed (including 0) onto a valid
+//                       nonzero xorshift64* state, the same way for every
+//                       consumer.
+//   * XorShift64Step  — one raw state transition.
+//   * SplitSeed       — the SimCluster per-shard split: advance the
+//                       folded root `index`+1 steps and emit the
+//                       star-multiplied output (never 0). Pure function,
+//                       no global state, no wall clock.
+//   * XorShift64Star  — the streaming form FaultInjector and the arrival
+//                       processes draw from: fold once, then
+//                       step-and-multiply per draw.
+//
+// Determinism contract: everything here is a pure function of its
+// arguments / constructor seed. Two streams built from SplitSeed(root, i)
+// and SplitSeed(root, j), i != j, are decorrelated; the same (root, i)
+// reproduces the same stream on any thread, in any order, at any shard
+// count (DESIGN.md §9).
+#ifndef SRC_SIM_SEED_SPLIT_H_
+#define SRC_SIM_SEED_SPLIT_H_
+
+#include <cstdint>
+
+namespace cki {
+
+// The golden-ratio fold constant shared by every seeded subsystem.
+inline constexpr uint64_t kSeedFoldConstant = 0x9e3779b97f4a7c15ULL;
+// The xorshift64* output multiplier (Vigna's M32 constant).
+inline constexpr uint64_t kXorShiftStarMultiplier = 0x2545F4914F6CDD1DULL;
+
+// Maps an arbitrary user seed onto a valid (nonzero) xorshift64* state.
+inline constexpr uint64_t FoldSeed(uint64_t seed) {
+  uint64_t x = seed ^ kSeedFoldConstant;
+  return x != 0 ? x : kSeedFoldConstant;
+}
+
+// One raw xorshift64 state transition (state must be nonzero).
+inline constexpr uint64_t XorShift64Step(uint64_t x) {
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return x;
+}
+
+// Deterministic per-index seed split: advance the folded root `index`+1
+// steps; the star-multiplied output of the final step is the derived
+// seed (never 0, so it can seed another fold/stream directly).
+inline constexpr uint64_t SplitSeed(uint64_t root_seed, uint32_t index) {
+  uint64_t x = FoldSeed(root_seed);
+  for (uint32_t i = 0; i <= index; ++i) {
+    x = XorShift64Step(x);
+  }
+  uint64_t seed = x * kXorShiftStarMultiplier;
+  return seed != 0 ? seed : kSeedFoldConstant;
+}
+
+// The streaming form: fold once at construction, then one step + star
+// multiply per draw. Value type; copying forks the stream.
+class XorShift64Star {
+ public:
+  explicit XorShift64Star(uint64_t seed) : state_(FoldSeed(seed)) {}
+
+  uint64_t Next() {
+    state_ = XorShift64Step(state_);
+    return state_ * kXorShiftStarMultiplier;
+  }
+
+  // Uniform double in [0, 1) from the top 53 bits of one draw.
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_SIM_SEED_SPLIT_H_

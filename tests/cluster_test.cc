@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "src/cki/cki_engine.h"
 #include "src/fault/fault_domain.h"
 #include "src/fault/fault_injector.h"
+#include "src/snap/snapshot.h"
 #include "src/metrics/report.h"
 #include "src/obs/histogram.h"
 #include "src/obs/metrics_registry.h"
@@ -127,6 +129,88 @@ TEST(SimClusterTest, DifferentRootSeedChangesTheHash) {
   SimCluster a(ClusterConfig{.shards = 4, .threads = 2, .root_seed = 1});
   SimCluster b(ClusterConfig{.shards = 4, .threads = 2, .root_seed = 2});
   EXPECT_NE(a.Run(RealShardBody).trace_hash(), b.Run(RealShardBody).trace_hash());
+}
+
+// --- container teardown / re-admission (the orchestrator's reap path) -------
+
+// One shard's reap-then-reclone cycle: clone a container off a warm CKI
+// template, serve on it, reap it, verify the reclaim left nothing behind,
+// then admit a new clone and require it to reuse the freed capacity and
+// replay the same deterministic workload.
+ShardResult ReapAndRecloneBody(const ShardTask& task) {
+  ShardResult shard;
+  shard.index = task.index;
+  Machine machine(MachineConfigFor(RuntimeKind::kCki, Deployment::kBareMetal));
+  auto tmpl = std::make_unique<CkiEngine>(machine, CkiAblation::kNone, /*segment_pages=*/1024);
+  tmpl->Boot();
+  tmpl->UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 1});
+  tmpl->MmapAnon(64 * kPageSize, /*populate=*/true);
+
+  auto serve = [&shard](ContainerEngine& e) {
+    uint64_t served = 0;
+    for (int i = 0; i < 32; ++i) {
+      SyscallResult r = e.UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+      shard.HashMix(static_cast<uint64_t>(r.value));
+      served += r.ok() ? 1 : 0;
+    }
+    e.UserTouch(e.MmapAnon(4 * kPageSize, /*populate=*/true), /*write=*/true);
+    return served;
+  };
+
+  std::unique_ptr<ContainerEngine> first = CloneContainer(*tmpl);
+  const OwnerId first_id = first->id();
+  if (serve(*first) != 32) {
+    shard.ok = false;
+    shard.error = "first clone failed to serve";
+    return shard;
+  }
+  const uint64_t allocated_with_first = machine.frames().allocated_frames();
+
+  // Reap: kill + reclaim. The dead owner must hold nothing afterwards —
+  // no owned frames, no CoW shares against the template.
+  first->KillFromFault();
+  first.reset();
+  if (machine.frames().OwnedFrames(first_id) != 0 ||
+      machine.frames().SharedFrames(first_id) != 0) {
+    shard.ok = false;
+    shard.error = "reaped container leaked frames";
+    return shard;
+  }
+
+  // Re-admission: the next clone on this shard fits in the capacity the
+  // reap returned (no monotonic growth) and replays identically.
+  std::unique_ptr<ContainerEngine> second = CloneContainer(*tmpl);
+  if (serve(*second) != 32) {
+    shard.ok = false;
+    shard.error = "re-admitted clone failed to serve";
+    return shard;
+  }
+  if (machine.frames().allocated_frames() > allocated_with_first) {
+    shard.ok = false;
+    shard.error = "re-admitted clone did not reuse reclaimed capacity";
+    return shard;
+  }
+  shard.HashMix(machine.frames().allocated_frames());
+  shard.HashMix(machine.frames().OwnedFrames(second->id()));
+  second->KillFromFault();
+  shard.HashMix(machine.frames().OwnedFrames(second->id()));
+  return shard;
+}
+
+TEST(SimClusterTest, ReapedFramesReclaimedAndRecloneReusesCapacity) {
+  std::vector<uint64_t> hashes;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    SimCluster cluster(ClusterConfig{.shards = 4, .threads = threads, .root_seed = 5});
+    ClusterResult result = cluster.Run(ReapAndRecloneBody);
+    for (const ShardResult& s : result.shards()) {
+      EXPECT_TRUE(s.ok) << "shard " << s.index << ": " << s.error;
+    }
+    hashes.push_back(result.trace_hash());
+  }
+  // The teardown/re-admission cycle is part of the determinism contract:
+  // the merged hash cannot move with the thread count.
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
 }
 
 // --- merge semantics --------------------------------------------------------

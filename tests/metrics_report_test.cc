@@ -90,6 +90,52 @@ TEST(ReportTableTest, JsonOutputMirrorsRowColumnModel) {
   EXPECT_EQ(label->string_value, "slow");
 }
 
+TEST(ReportTableTest, MergeRowsMeanIsWeightedByRowCount) {
+  // A shard that averaged 4 samples and one that averaged 1 must merge to
+  // the flat mean of all 5 samples, not the midpoint of the two means.
+  ReportTable a("t", "config", {"lat"});
+  a.AddRow("CKI", {10.0}, /*weight=*/4);
+  ReportTable b("t", "config", {"lat"});
+  b.AddRow("CKI", {20.0}, /*weight=*/1);
+  a.MergeRows(b, MergeOp::kMean);
+  EXPECT_DOUBLE_EQ(a.ValueAt("CKI", 0), 12.0);  // (10*4 + 20*1) / 5
+  EXPECT_EQ(a.WeightAt("CKI"), 5u);
+
+  // Merging a third table keeps weighting by total source rows.
+  ReportTable c("t", "config", {"lat"});
+  c.AddRow("CKI", {0.0}, /*weight=*/5);
+  a.MergeRows(c, MergeOp::kMean);
+  EXPECT_DOUBLE_EQ(a.ValueAt("CKI", 0), 6.0);  // (12*5 + 0*5) / 10
+  EXPECT_EQ(a.WeightAt("CKI"), 10u);
+}
+
+TEST(ReportTableTest, MergeRowsMeanAppendsNewLabelsWithTheirWeight) {
+  ReportTable a("t", "config", {"lat"});
+  a.AddRow("CKI", {10.0});
+  ReportTable b("t", "config", {"lat"});
+  b.AddRow("PVM", {30.0}, /*weight=*/3);
+  a.MergeRows(b, MergeOp::kMean);
+  EXPECT_DOUBLE_EQ(a.ValueAt("PVM", 0), 30.0);
+  EXPECT_EQ(a.WeightAt("PVM"), 3u);
+  // Default-weight rows still average 1:1.
+  ReportTable c("t", "config", {"lat"});
+  c.AddRow("CKI", {30.0});
+  a.MergeRows(c, MergeOp::kMean);
+  EXPECT_DOUBLE_EQ(a.ValueAt("CKI", 0), 20.0);
+}
+
+TEST(ReportTableTest, MergeRowsSumStillAccumulatesWeights) {
+  // Non-mean ops ignore weights for values but keep the row-count
+  // bookkeeping, so a later kMean merge stays correctly weighted.
+  ReportTable a("t", "config", {"ops"});
+  a.AddRow("CKI", {100.0}, /*weight=*/2);
+  ReportTable b("t", "config", {"ops"});
+  b.AddRow("CKI", {50.0}, /*weight=*/3);
+  a.MergeRows(b, MergeOp::kSum);
+  EXPECT_DOUBLE_EQ(a.ValueAt("CKI", 0), 150.0);
+  EXPECT_EQ(a.WeightAt("CKI"), 5u);
+}
+
 TEST(ReportTableTest, JsonEscapesSpecialCharacters) {
   ReportTable t("ti\"tle\\", "row", {"c1"});
   t.AddRow("a\nb", {1.5});

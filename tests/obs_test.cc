@@ -447,6 +447,35 @@ TEST(ObservabilityTest, SloWindowsAndSelfStatsStayFullRateUnderSampling) {
   EXPECT_EQ(out.CounterValue("obs/self/slo_samples"), 10u);
 }
 
+TEST(ObservabilityTest, ExportSloMetricsDumpsEveryWindowAsGauges) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  bed.ctx().obs().Enable();
+  for (int i = 0; i < 10; ++i) {
+    bed.engine().UserSyscall(SyscallRequest{.no = Sys::kGetpid});
+  }
+  const uint32_t owner = bed.engine().id();
+  bed.ctx().obs().SloSetGauge(owner, bed.ctx().clock().now(), 42);
+
+  MetricsRegistry out;
+  bed.ctx().obs().ExportSloMetrics(out);
+  const std::string prefix = "slo/" + std::to_string(owner) + "/";
+  const SloWindow* slo = bed.ctx().obs().FindSlo(owner);
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(out.CounterValue(prefix + "window_ops"), slo->WindowOps());
+  EXPECT_EQ(out.CounterValue(prefix + "p99_ns"), slo->Percentile(99));
+  EXPECT_GT(out.CounterValue(prefix + "p99_ns"), 0u);
+  EXPECT_EQ(out.CounterValue(prefix + "ops_per_sec"),
+            static_cast<uint64_t>(slo->OpsPerSec() + 0.5));
+  EXPECT_EQ(out.CounterValue(prefix + "gauge"), 42u);
+  EXPECT_EQ(out.CounterValue(prefix + "faults"), 0u);
+
+  // Exporting from a never-enabled hub is a harmless no-op.
+  Observability empty;
+  MetricsRegistry none;
+  empty.ExportSloMetrics(none);
+  EXPECT_EQ(none.CounterValue(prefix + "window_ops"), 0u);
+}
+
 // -------------------------------------------------------------- SloWindow
 
 TEST(SloWindowTest, BucketsExpireByEpoch) {

@@ -1,0 +1,245 @@
+// Tests for the deterministic cluster orchestrator (src/orch): policy
+// purity, cross-thread-count hash identity, chaos re-placement with zero
+// frame leaks, autoscale/reap/migration dynamics, and snapshot hashing.
+#include <gtest/gtest.h>
+
+#include "src/orch/orchestrator.h"
+#include "src/orch/policy.h"
+
+namespace cki {
+namespace {
+
+// Small fleet that still exercises every control path quickly.
+OrchConfig SmallConfig() {
+  OrchConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 1;
+  cfg.root_seed = 11;
+  cfg.epochs = 24;
+  cfg.epoch_ns = 1'000'000;
+  cfg.initial_containers = 2;
+  cfg.arrivals = ArrivalConfig::DiurnalBurst(/*seed=*/0, /*base_rate_per_sec=*/40'000);
+  return cfg;
+}
+
+// --- policy purity --------------------------------------------------------
+
+ClusterSnapshot SyntheticSnapshot() {
+  ClusterSnapshot snap;
+  snap.epoch = 7;
+  snap.epoch_ns = 1'000'000;
+  snap.slo_p99_ns = 400'000;
+  for (uint32_t i = 0; i < 3; ++i) {
+    ShardSignal s;
+    s.index = i;
+    s.up = true;
+    s.has_template = true;
+    for (uint32_t c = 0; c < 2; ++c) {
+      ContainerSignal cs;
+      cs.shard = i;
+      cs.id = c + 2;
+      cs.window_ops = 100 * (c + 1);
+      snap.shards.push_back(ShardSignal{});
+      snap.shards.pop_back();
+      s.containers.push_back(cs);
+    }
+    snap.shards.push_back(s);
+  }
+  return snap;
+}
+
+TEST(OrchPolicyTest, DecideIsPureAndOrdered) {
+  ClusterSnapshot snap = SyntheticSnapshot();
+  ReactivePolicy policy(ReactiveConfig{});
+  std::vector<OrchAction> a = policy.Decide(snap);
+  std::vector<OrchAction> b = policy.Decide(snap);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].shard, b[i].shard);
+    EXPECT_EQ(a[i].container, b[i].container);
+  }
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].shard, a[i].shard);
+  }
+  EXPECT_EQ(snap.Hash(), SyntheticSnapshot().Hash());
+}
+
+TEST(OrchPolicyTest, StaticPolicyRefillsToTarget) {
+  ClusterSnapshot snap = SyntheticSnapshot();
+  snap.shards[1].containers.clear();  // shard 1 lost everything
+  StaticPolicy policy(2);
+  std::vector<OrchAction> actions = policy.Decide(snap);
+  ASSERT_EQ(actions.size(), 2u);
+  for (const OrchAction& a : actions) {
+    EXPECT_EQ(a.kind, OrchActionKind::kScaleUp);
+    EXPECT_EQ(a.shard, 1u);
+  }
+}
+
+TEST(OrchPolicyTest, ReactiveReapsIdleAndGrowsHotShards) {
+  ClusterSnapshot snap = SyntheticSnapshot();
+  ReactiveConfig rc;
+  rc.min_containers = 1;
+  rc.max_containers = 2;
+  rc.reap_idle_epochs = 3;
+  // Shard 0: quiet with one long-idle container -> reap.
+  snap.shards[0].containers[1].idle_epochs = 5;
+  // Shard 1: missing its SLO but already at max -> migrate, not grow.
+  snap.shards[1].epoch_p99_ns = 900'000;
+  // Shard 2: missing its SLO below max after we drop one container.
+  snap.shards[2].epoch_p99_ns = 900'000;
+  snap.shards[2].containers.pop_back();
+  ReactivePolicy policy(rc);
+  std::vector<OrchAction> actions = policy.Decide(snap);
+
+  bool reaped_idle = false, migrated_off_1 = false, grew_2 = false;
+  for (const OrchAction& a : actions) {
+    reaped_idle |= a.kind == OrchActionKind::kReap && a.shard == 0 &&
+                   a.container == snap.shards[0].containers[1].id;
+    migrated_off_1 |= a.kind == OrchActionKind::kMigrate && a.shard == 1;
+    grew_2 |= a.kind == OrchActionKind::kScaleUp && a.shard == 2;
+  }
+  EXPECT_TRUE(reaped_idle);
+  EXPECT_TRUE(migrated_off_1);
+  EXPECT_TRUE(grew_2);
+}
+
+TEST(OrchPolicyTest, SnapshotHashCoversContainerState) {
+  ClusterSnapshot a = SyntheticSnapshot();
+  ClusterSnapshot b = SyntheticSnapshot();
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.shards[2].containers[0].idle_epochs++;
+  EXPECT_NE(a.Hash(), b.Hash());
+  b = SyntheticSnapshot();
+  b.shards[0].up = false;
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+// --- orchestrated runs ----------------------------------------------------
+
+TEST(OrchestratorTest, HashesAndStatsIdenticalAtAnyThreadCount) {
+  ReactivePolicy policy(ReactiveConfig{});
+  OrchConfig cfg = SmallConfig();
+  cfg.machine_kill_rate = 0.03;
+  cfg.container_kill_rate = 0.05;
+  cfg.shard_load_skew = 0.5;
+
+  uint64_t want_hash = 0;
+  OrchStats want{};
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    Orchestrator orch(cfg, policy);
+    OrchStats got = orch.Run();
+    if (threads == 1) {
+      want_hash = orch.CombinedHash();
+      want = got;
+      continue;
+    }
+    EXPECT_EQ(orch.CombinedHash(), want_hash) << "threads=" << threads;
+    EXPECT_EQ(got.requests, want.requests);
+    EXPECT_EQ(got.served, want.served);
+    EXPECT_EQ(got.lost, want.lost);
+    EXPECT_EQ(got.epochs_slo_met, want.epochs_slo_met);
+    EXPECT_EQ(got.overall_p99_ns, want.overall_p99_ns);
+    EXPECT_EQ(got.migrations, want.migrations);
+    EXPECT_EQ(got.clones, want.clones);
+    EXPECT_EQ(got.reaps, want.reaps);
+    EXPECT_EQ(got.machine_kills, want.machine_kills);
+    EXPECT_EQ(got.container_kills, want.container_kills);
+  }
+}
+
+TEST(OrchestratorTest, ChaosVictimsAreReplacedWithoutFrameLeaks) {
+  ReactivePolicy policy(ReactiveConfig{});
+  OrchConfig cfg = SmallConfig();
+  cfg.epochs = 40;
+  cfg.machine_kill_rate = 0.05;
+  cfg.container_kill_rate = 0.10;
+  Orchestrator orch(cfg, policy);
+  OrchStats stats = orch.Run();
+
+  EXPECT_GT(stats.machine_kills, 0u);
+  EXPECT_GT(stats.container_kills, 0u);
+  EXPECT_GT(stats.replacements, 0u);  // the policy refilled killed capacity
+  EXPECT_EQ(stats.leaked_frames, 0u);
+  EXPECT_GT(stats.served, 0u);
+  // Traffic never stops: every minted arrival is either served or
+  // accounted lost, and the loop keeps meeting the SLO between strikes.
+  EXPECT_EQ(stats.requests, stats.served + stats.lost);
+  EXPECT_GT(stats.epochs_slo_met, 0u);
+}
+
+TEST(OrchestratorTest, SkewDrivesMigrationsOffHotShards) {
+  ReactiveConfig rc;
+  rc.max_containers = 2;  // hot shards saturate quickly and must migrate
+  rc.capacity_ops_per_sec = 30'000;
+  ReactivePolicy policy(rc);
+  OrchConfig cfg = SmallConfig();
+  cfg.epochs = 32;
+  cfg.shard_load_skew = 1.0;  // shard 3 runs at 4x shard 0's rate
+  // Start below the cap so quiet shards keep room for incoming moves:
+  // the hot shard fills to max_containers, stays hot, and must migrate.
+  cfg.initial_containers = 1;
+  cfg.arrivals = ArrivalConfig::DiurnalBurst(/*seed=*/0, /*base_rate_per_sec=*/60'000);
+  Orchestrator orch(cfg, policy);
+  OrchStats stats = orch.Run();
+  EXPECT_GT(stats.migrations, 0u);
+  EXPECT_EQ(stats.leaked_frames, 0u);
+  // Live migration preserved service: the moved containers keep serving.
+  EXPECT_GT(stats.served, 0u);
+}
+
+TEST(OrchestratorTest, QuietPhaseReapsIdleContainersAndRecovers) {
+  ReactiveConfig rc;
+  rc.reap_idle_epochs = 3;
+  ReactivePolicy policy(rc);
+  OrchConfig cfg = SmallConfig();
+  cfg.epochs = 48;
+  cfg.initial_containers = 3;
+  // Half the "day" is dead silence: containers go idle, get reaped, and
+  // capacity must come back when traffic returns.
+  cfg.arrivals.diurnal = {1.0, 0.0};
+  cfg.arrivals.diurnal_period_ns = 32 * cfg.epoch_ns;
+  cfg.arrivals.burst.clear();
+  Orchestrator orch(cfg, policy);
+  OrchStats stats = orch.Run();
+  EXPECT_GT(stats.reaps, 0u);
+  EXPECT_EQ(stats.leaked_frames, 0u);
+  EXPECT_GT(stats.served, 0u);
+  // The last snapshot is from the busy tail of the run: the fleet scaled
+  // back up to at least the policy minimum everywhere.
+  for (const ShardSignal& s : orch.last_snapshot().shards) {
+    if (s.up) {
+      EXPECT_GE(s.containers.size(), rc.min_containers);
+    }
+  }
+}
+
+TEST(OrchestratorTest, StaticBaselineNeverMigratesOrReaps) {
+  StaticPolicy policy(2);
+  OrchConfig cfg = SmallConfig();
+  cfg.machine_kill_rate = 0.05;
+  Orchestrator orch(cfg, policy);
+  OrchStats stats = orch.Run();
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(stats.reaps, 0u);
+  EXPECT_EQ(stats.leaked_frames, 0u);
+  EXPECT_GT(stats.served, 0u);
+}
+
+TEST(OrchestratorTest, MetricsCarryRequestLatencies) {
+  ReactivePolicy policy(ReactiveConfig{});
+  OrchConfig cfg = SmallConfig();
+  cfg.epochs = 8;
+  Orchestrator orch(cfg, policy);
+  OrchStats stats = orch.Run();
+  const Histogram* lat = orch.metrics().FindHist("orch/request_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), stats.served);
+  EXPECT_EQ(orch.metrics().CounterValue("orch/requests_served"), stats.served);
+  EXPECT_EQ(stats.overall_p99_ns, lat->Percentile(99));
+}
+
+}  // namespace
+}  // namespace cki

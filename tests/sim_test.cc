@@ -3,8 +3,13 @@
 // rely on.
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "src/cluster/sim_cluster.h"
+#include "src/fault/fault_injector.h"
 #include "src/sim/context.h"
 #include "src/sim/rng.h"
+#include "src/sim/seed_split.h"
 #include "src/sim/stats.h"
 
 namespace cki {
@@ -84,6 +89,70 @@ TEST(TraceTest, CountsAndSnapshots) {
   EXPECT_EQ(log.TotalEvents(), 4u);
   log.Clear();
   EXPECT_EQ(log.TotalEvents(), 0u);
+}
+
+// --- the shared xorshift64* seed-split helper (src/sim/seed_split.h) ------
+
+TEST(SeedSplitTest, PureAndNeverZero) {
+  // Same inputs, same output — and no split ever yields the degenerate
+  // all-zero xorshift state, not even from the adversarial seeds.
+  for (uint64_t seed : {0ull, 1ull, kSeedFoldConstant, ~0ull}) {
+    for (uint32_t idx : {0u, 1u, 7u, 1000u}) {
+      uint64_t a = SplitSeed(seed, idx);
+      uint64_t b = SplitSeed(seed, idx);
+      EXPECT_EQ(a, b);
+      EXPECT_NE(a, 0u);
+    }
+    EXPECT_NE(FoldSeed(seed), 0u);
+  }
+}
+
+TEST(SeedSplitTest, DistinctIndicesDecorrelate) {
+  std::set<uint64_t> seen;
+  for (uint32_t idx = 0; idx < 256; ++idx) {
+    seen.insert(SplitSeed(42, idx));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(SeedSplitTest, MatchesClusterShardSeeds) {
+  // SimCluster derives shard seeds through this exact helper; the two
+  // must never drift apart or every recorded cluster hash changes.
+  for (uint32_t shard = 0; shard < 16; ++shard) {
+    EXPECT_EQ(SimCluster::ShardSeed(0xDEADBEEF, shard), SplitSeed(0xDEADBEEF, shard));
+  }
+}
+
+TEST(SeedSplitTest, XorShiftStreamDeterministicAndBounded) {
+  XorShift64Star a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+    double u = a.NextUnit();
+    b.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SeedSplitTest, SplitStreamsFeedDecorrelatedInjectors) {
+  // Two injectors seeded from sibling splits of one root draw different
+  // fault schedules (the per-shard chaos decorrelation the orchestrator
+  // depends on), while re-derived ones are bit-identical.
+  InjectorConfig c0;
+  c0.seed = SplitSeed(7, 0);
+  c0.packet_drop_rate = 0.5;
+  InjectorConfig c1 = c0;
+  c1.seed = SplitSeed(7, 1);
+  FaultInjector a(c0), b(c1), a2(c0);
+  int diverged = 0;
+  for (int i = 0; i < 64; ++i) {
+    bool da = a.InjectPacketDrop();
+    diverged += da != b.InjectPacketDrop() ? 1 : 0;
+    EXPECT_EQ(da, a2.InjectPacketDrop());
+  }
+  EXPECT_GT(diverged, 0);
+  EXPECT_EQ(a.trace_hash(), a2.trace_hash());
+  EXPECT_NE(a.trace_hash(), b.trace_hash());
 }
 
 TEST(ContextTest, ChargeAdvancesClockAndRecords) {
