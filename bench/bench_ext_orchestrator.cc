@@ -54,6 +54,10 @@ OrchConfig BaseConfig(const BenchIo& io, bool smoke) {
   // per run at the default epoch counts.
   cfg.machine_kill_rate = 0.02;
   cfg.container_kill_rate = 0.05;
+  // Crash-only arms: this bench is about hard chaos + rebalancing; the
+  // request resilience layer (deadlines/retries/hedges/shedding) has its
+  // own controlled comparison in bench_ext_resilience.
+  cfg.resil.enabled = false;
   return cfg;
 }
 

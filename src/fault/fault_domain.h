@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -42,8 +43,11 @@ namespace cki {
 class SimContext;
 class MetricsRegistry;
 
-// Taxonomy of container-attributable faults. Every kind maps to "kill the
-// owning container", never "abort the machine"; see DESIGN.md section 8.
+// Taxonomy of container-attributable faults. Crash kinds map to "kill the
+// owning container", never "abort the machine" (DESIGN.md section 8); the
+// gray kinds (latency inflation, throttling, blackhole, syscall jitter —
+// DESIGN.md section 13) are advisory degradation episodes: the component
+// is alive but wrong-slow, so they are Note()d, never killed on.
 enum class FaultKind : uint8_t {
   kProtectionViolation = 0,  // guest touched memory it does not own
   kPtpVerdictRejected,       // KSM monitor rejected a page-table update
@@ -52,8 +56,12 @@ enum class FaultKind : uint8_t {
   kFrameExhausted,           // host frame allocator ran dry on a guest alloc
   kDoubleFree,               // frame freed twice (allocator corruption)
   kVirtioRingCorruption,     // malformed descriptor in a virtio ring
-  kNicOverload,              // sustained RX-ring overrun (advisory)
+  kNicOverload,              // sustained RX-ring overrun (backpressure gauge)
   kSnapshotCorrupt,          // snapshot stream failed its content hash
+  kLatencyInflation,         // gray: machine serves, but inflated (advisory)
+  kThroughputThrottle,       // gray: link/NIC rate silently degraded
+  kPacketBlackhole,          // gray: intermittent packet loss episode
+  kSyscallJitter,            // gray: slow-syscall stalls on a live machine
   kCount,
 };
 
@@ -67,12 +75,28 @@ inline constexpr auto kFaultKindNames = std::to_array<std::string_view>({
     "virtio_ring_corruption",
     "nic_overload",
     "snapshot_corrupt",
+    "latency_inflation",
+    "throughput_throttle",
+    "packet_blackhole",
+    "syscall_jitter",
 });
 static_assert(kFaultKindNames.size() == static_cast<size_t>(FaultKind::kCount),
               "kFaultKindNames must cover every FaultKind");
 
 inline constexpr std::string_view FaultKindName(FaultKind k) {
   return kFaultKindNames[static_cast<size_t>(k)];
+}
+
+// Inverse of FaultKindName (the PathEventFromName pattern); nullopt for
+// unknown names. Bench flag parsing (--chaos-kinds) goes through here so a
+// renamed kind breaks loudly instead of silently disarming a site.
+inline constexpr std::optional<FaultKind> FaultKindFromName(std::string_view name) {
+  for (size_t i = 0; i < kFaultKindNames.size(); ++i) {
+    if (kFaultKindNames[i] == name) {
+      return static_cast<FaultKind>(i);
+    }
+  }
+  return std::nullopt;
 }
 
 // One typed fault. `owner` is the container OwnerId the fault is

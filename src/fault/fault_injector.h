@@ -40,6 +40,13 @@ struct InjectorConfig {
   // machine / per managed container, so the rate is "per epoch".
   double machine_kill_rate = 0;     // whole simulated machine drops dead
   double container_kill_rate = 0;   // one container dies mid-rebalance
+  // Gray-failure episode starts (src/fault/gray_fault.h): queried once per
+  // epoch per machine, so each rate is "episodes begun per epoch". The
+  // struck machine stays alive but degraded for the episode length.
+  double latency_inflation_rate = 0;    // service latency silently inflated
+  double throughput_throttle_rate = 0;  // link/NIC serialization rate cut
+  double packet_blackhole_rate = 0;     // intermittent packet loss
+  double syscall_jitter_rate = 0;       // slow-syscall stalls
 };
 
 class FaultInjector {
@@ -58,6 +65,10 @@ class FaultInjector {
   bool InjectSnapshotCorruption() { return Draw(config_.snapshot_corrupt_rate, 7); }
   bool InjectMachineKill() { return Draw(config_.machine_kill_rate, 8); }
   bool InjectContainerKill() { return Draw(config_.container_kill_rate, 9); }
+  bool InjectLatencyInflation() { return Draw(config_.latency_inflation_rate, 10); }
+  bool InjectThroughputThrottle() { return Draw(config_.throughput_throttle_rate, 11); }
+  bool InjectPacketBlackhole() { return Draw(config_.packet_blackhole_rate, 12); }
+  bool InjectSyscallJitter() { return Draw(config_.syscall_jitter_rate, 13); }
 
   uint64_t draws() const { return draws_; }
   uint64_t injected() const { return injected_; }

@@ -1,0 +1,45 @@
+#include "src/fault/gray_fault.h"
+
+#include "src/fault/fault_injector.h"
+
+namespace cki {
+
+void GrayFault::Advance(SimNanos now, FaultInjector& injector, FaultBus* bus) {
+  // Fixed site order (10..13) so the injector stream is consumed
+  // identically on every machine every epoch.
+  if (injector.InjectLatencyInflation()) {
+    Open(now, &latency_until_, FaultKind::kLatencyInflation, bus);
+  }
+  if (injector.InjectThroughputThrottle()) {
+    Open(now, &throttle_until_, FaultKind::kThroughputThrottle, bus);
+  }
+  if (injector.InjectPacketBlackhole()) {
+    Open(now, &blackhole_until_, FaultKind::kPacketBlackhole, bus);
+  }
+  if (injector.InjectSyscallJitter()) {
+    Open(now, &jitter_until_, FaultKind::kSyscallJitter, bus);
+  }
+}
+
+void GrayFault::Open(SimNanos now, SimNanos* until, FaultKind kind, FaultBus* bus) {
+  *until = now + config_.episode_ns;
+  episodes_++;
+  Mix(static_cast<uint64_t>(kind), static_cast<uint64_t>(now));
+  if (bus != nullptr) {
+    // Advisory only: the machine is degraded, not dead — nothing to kill.
+    bus->Note({kind, /*owner=*/0, /*detail=*/static_cast<uint64_t>(now)});
+  }
+}
+
+void GrayFault::Mix(uint64_t salt, uint64_t value) {
+  auto fold = [this](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      trace_hash_ ^= (v >> (i * 8)) & 0xFF;
+      trace_hash_ *= 0x100000001b3ULL;
+    }
+  };
+  fold(salt);
+  fold(value);
+}
+
+}  // namespace cki

@@ -113,6 +113,9 @@ inline constexpr int64_t kECHILD = -10;
 inline constexpr int64_t kESRCH = -3;
 inline constexpr int64_t kEADDRINUSE = -98;
 inline constexpr int64_t kECONNREFUSED = -111;
+// Listener exists but its accept backlog is momentarily full — transient,
+// retryable (src/resil classifies it), unlike kECONNREFUSED's "no listener".
+inline constexpr int64_t kEBUSY = -16;
 // Private-range status (like ERESTARTSYS): the container was killed by its
 // fault domain; no guest code observes it because no guest code runs again.
 inline constexpr int64_t kEKILLED = -512;

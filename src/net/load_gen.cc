@@ -124,6 +124,26 @@ int64_t LoadGenerator::Connect(int dst_port, uint16_t service) {
   return flow;
 }
 
+int64_t LoadGenerator::ConnectResil(int dst_port, uint16_t service, const ResilConfig& cfg,
+                                    RetryBudget& budget) {
+  int64_t r = Connect(dst_port, service);
+  for (uint32_t attempt = 1; r < 0 && IsRetryableErrno(r) && attempt < cfg.max_attempts;
+       ++attempt) {
+    if (!budget.TryAcquire()) {
+      break;  // bucket dry: no storm, surface the transient errno
+    }
+    // Backoff is simulated time, not wall time: the wait is charged to the
+    // shared clock so the retry schedule replays bit-identically.
+    ctx_.ChargeWork(BackoffNs(cfg, attempt));
+    connect_retries_++;
+    r = Connect(dst_port, service);
+  }
+  if (r >= 0) {
+    budget.OnSuccess();
+  }
+  return r;
+}
+
 void LoadGenerator::SendRequests(int flow, int count, uint64_t bytes) {
   auto it = flows_.find(flow);
   if (it == flows_.end() || count <= 0) {
@@ -138,7 +158,8 @@ void LoadGenerator::SendRequests(int flow, int count, uint64_t bytes) {
     last_request_trace_ = tc.trace_id;
     ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowStart, tc.trace_id);
     sw_.Send(Packet{.src = port_, .dst = it->second.peer, .flow = flow,
-                    .kind = PacketKind::kData, .bytes = bytes, .trace_id = tc.trace_id,
+                    .kind = PacketKind::kData, .bytes = bytes,
+                    .deadline_ns = DeadlineFor(ctx_.clock().now()), .trace_id = tc.trace_id,
                     .span_id = tc.span_id});
     requests_sent_++;
   }
@@ -161,7 +182,8 @@ uint64_t LoadGenerator::PumpOpenLoop(int flow, ArrivalProcess& arrivals, SimNano
     last_request_trace_ = tc.trace_id;
     ctx_.obs().RecordFlowPoint(ctx_.clock().now(), TraceRecordKind::kFlowStart, tc.trace_id);
     sw_.Send(Packet{.src = port_, .dst = it->second.peer, .flow = flow,
-                    .kind = PacketKind::kData, .bytes = bytes, .trace_id = tc.trace_id,
+                    .kind = PacketKind::kData, .bytes = bytes,
+                    .deadline_ns = DeadlineFor(ctx_.clock().now()), .trace_id = tc.trace_id,
                     .span_id = tc.span_id});
     requests_sent_++;
     sent++;
@@ -196,7 +218,7 @@ bool LoadGenerator::DeliverFrame(const Packet& p) {
     case PacketKind::kRst: {
       auto it = connect_results_.find(p.flow);
       if (it != connect_results_.end()) {
-        it->second = kECONNREFUSED;
+        it->second = p.service == kRstBacklogFull ? kEBUSY : kECONNREFUSED;
       }
       return true;
     }

@@ -19,6 +19,7 @@
 
 #include "src/net/vswitch.h"
 #include "src/obs/trace_context.h"
+#include "src/resil/resilience.h"
 #include "src/sim/seed_split.h"
 
 namespace cki {
@@ -89,8 +90,22 @@ class LoadGenerator : public NetDevice {
   int port() const { return port_; }
 
   // Opens a connection to `service` on switch port `dst_port`. Returns the
-  // flow id, or a negative errno (kECONNREFUSED) if refused.
+  // flow id, or a negative errno: kECONNREFUSED when nothing listens
+  // (structural), kEBUSY when the listener's backlog is momentarily full
+  // (transient — the retry layer may try again).
   int64_t Connect(int dst_port, uint16_t service);
+
+  // Connect with the resilience layer armed: transient refusals
+  // (IsRetryableErrno) are retried up to cfg.max_attempts with exponential
+  // backoff charged to the simulated clock, each retry paid from `budget`.
+  // Fatal refusals and an exhausted budget return the last errno.
+  int64_t ConnectResil(int dst_port, uint16_t service, const ResilConfig& cfg,
+                       RetryBudget& budget);
+
+  // Deadline budget granted to every minted request frame: frames carry
+  // deadline_ns = now + budget so downstream admission control (VirtNic)
+  // can shed infeasible work. 0 (default) stamps no deadline.
+  void set_deadline_budget_ns(SimNanos budget) { deadline_budget_ns_ = budget; }
 
   // Injects `count` request frames of `bytes` each into `flow` as one
   // submission batch (one client-side service charge). Every frame gets a
@@ -111,6 +126,7 @@ class LoadGenerator : public NetDevice {
   uint64_t total_responses() const { return total_responses_; }
   uint64_t response_bytes(int flow) const;
   uint64_t requests_sent() const { return requests_sent_; }
+  uint64_t connect_retries() const { return connect_retries_; }
 
   // --- causal-trace accounting ---------------------------------------------
   // Responses whose trace id matched an outstanding request of this
@@ -130,11 +146,17 @@ class LoadGenerator : public NetDevice {
     uint64_t response_bytes = 0;  // lifetime byte accounting
   };
 
+  uint64_t DeadlineFor(SimNanos now) const {
+    return deadline_budget_ns_ > 0 ? static_cast<uint64_t>(now + deadline_budget_ns_) : 0;
+  }
+
   SimContext& ctx_;
   VSwitch& sw_;
   std::string name_;
   int port_;
   uint64_t trace_seed_;
+  SimNanos deadline_budget_ns_ = 0;
+  uint64_t connect_retries_ = 0;
 
   std::unordered_map<int, FlowState> flows_;
   std::unordered_map<int, int64_t> connect_results_;

@@ -42,13 +42,25 @@ inline std::string_view PacketKindName(PacketKind k) {
   return i < kPacketKindNames.size() ? kPacketKindNames[i] : std::string_view("unknown");
 }
 
+// Reason carried in an RST's `service` field (otherwise unused on RST):
+// distinguishes the structural refusal (no listener — fatal, retrying
+// re-asks a void) from the transient one (backlog momentarily full —
+// retryable; src/resil maps it to kEBUSY).
+inline constexpr uint16_t kRstNoListener = 0;
+inline constexpr uint16_t kRstBacklogFull = 1;
+
 struct Packet {
   int src = -1;          // source switch port
   int dst = -1;          // destination switch port
   int flow = 0;          // connection id, unique per switch
-  uint16_t service = 0;  // destination service (SYN only)
+  uint16_t service = 0;  // destination service (SYN), refusal reason (RST)
   PacketKind kind = PacketKind::kData;
   uint64_t bytes = 0;
+  // Absolute simulated-time deadline for the request this frame belongs
+  // to; 0 = none. Unlike trace_id/span_id below this IS part of the
+  // switch's packet-trace digest: deadlines change behavior (RX admission
+  // shedding, virt_nic.h), so a deadline divergence must fail replay.
+  uint64_t deadline_ns = 0;
   // Causal request identity (src/obs/trace_context.h): minted by the load
   // generator, adopted by the receiving guest kernel, re-stamped on every
   // TX hop. 0 = untraced; the defaults keep every existing aggregate-init

@@ -249,8 +249,12 @@ bool VirtNic::DeliverFrame(const Packet& p) {
       auto it = listeners_.find(p.service);
       if (it == listeners_.end() ||
           static_cast<int>(it->second.pending.size()) >= it->second.backlog) {
+        // The RST names its reason: backlog-full is a transient the client
+        // may retry (kEBUSY); no-listener is structural (kECONNREFUSED).
+        uint16_t reason = it == listeners_.end() ? kRstNoListener : kRstBacklogFull;
         stats_.refused_conns++;
-        sw_.Send(Packet{.src = port_, .dst = p.src, .flow = p.flow, .kind = PacketKind::kRst});
+        sw_.Send(Packet{.src = port_, .dst = p.src, .flow = p.flow, .service = reason,
+                        .kind = PacketKind::kRst});
         return true;
       }
       flows_[p.flow] = FlowState{.peer = p.src};
@@ -271,7 +275,7 @@ bool VirtNic::DeliverFrame(const Packet& p) {
     case PacketKind::kRst: {
       auto it = connect_results_.find(p.flow);
       if (it != connect_results_.end()) {
-        it->second = kECONNREFUSED;
+        it->second = p.service == kRstBacklogFull ? kEBUSY : kECONNREFUSED;
       }
       return true;
     }
@@ -290,10 +294,27 @@ bool VirtNic::DeliverFrame(const Packet& p) {
                                          static_cast<uint64_t>(p.flow)});
         return true;  // `it` is dead: Detach() cleared flows_ under us
       }
+      if (p.deadline_ns != 0) {
+        // Admission control: a frame whose deadline cannot be met given
+        // the queue already ahead of it is shed here, before it costs the
+        // guest anything. Consumed-and-dropped (like an unknown flow), so
+        // the switch does not requeue a doomed frame.
+        SimNanos now = ctx_.clock().now();
+        SimNanos eta = now + static_cast<SimNanos>(rx_buffered_) * config_.rx_est_service_ns;
+        if (eta > static_cast<SimNanos>(p.deadline_ns)) {
+          stats_.rx_sheds++;
+          return true;
+        }
+      }
       if (rx_buffered_ >= config_.rx_ring) {
         // Overload is a pressure signal, not a kill: the switch queues.
+        // The overrun also lands in the owner's SLO window as a gauge so
+        // dashboards and shedding policies see backpressure (satellite of
+        // DESIGN.md §13).
+        stats_.overloads++;
         engine_.machine().faults().Note(
             {FaultKind::kNicOverload, engine_.id(), static_cast<uint64_t>(rx_buffered_)});
+        ctx_.obs().SloIncOverload(engine_.id(), ctx_.clock().now());
         return false;  // ring full: the switch queues (or drops) the frame
       }
       it->second.rx.push_back(
@@ -332,6 +353,8 @@ void VirtNic::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Inc(prefix + "tx_bytes", stats_.tx_bytes);
   metrics.Inc(prefix + "rx_bytes", stats_.rx_bytes);
   metrics.Inc(prefix + "rx_drops", stats_.rx_drops);
+  metrics.Inc(prefix + "rx_sheds", stats_.rx_sheds);
+  metrics.Inc(prefix + "overloads", stats_.overloads);
   metrics.Inc(prefix + "refused", stats_.refused_conns);
   metrics.Inc(prefix + "accepted", stats_.accepted_conns);
 }
@@ -349,6 +372,8 @@ void VirtNic::SnapCapture(SnapWriter& w) const {
   w.PutU64(stats_.tx_bytes);
   w.PutU64(stats_.rx_bytes);
   w.PutU64(stats_.rx_drops);
+  w.PutU64(stats_.rx_sheds);
+  w.PutU64(stats_.overloads);
   w.PutU64(stats_.refused_conns);
   w.PutU64(stats_.accepted_conns);
 }
@@ -369,6 +394,8 @@ void VirtNic::SnapApply(SnapReader& r) {
   stats_.tx_bytes = r.GetU64();
   stats_.rx_bytes = r.GetU64();
   stats_.rx_drops = r.GetU64();
+  stats_.rx_sheds = r.GetU64();
+  stats_.overloads = r.GetU64();
   stats_.refused_conns = r.GetU64();
   stats_.accepted_conns = r.GetU64();
 }

@@ -36,6 +36,13 @@ struct NicConfig {
   // interrupt (CompleteBatch) instead of NAPI coalescing, and no
   // interrupt-acknowledge cost is charged.
   bool irq_per_batch = false;
+  // Admission control (src/resil, DESIGN.md §13): estimated per-frame
+  // guest service time used for the deadline-feasibility bound at RX. A
+  // deadline-stamped data frame is shed (consumed and dropped, counted in
+  // rx_sheds) when now + rx_buffered * est > deadline — serving it would
+  // only waste capacity on an already-doomed request. 0 sheds only frames
+  // whose deadline has already expired outright.
+  SimNanos rx_est_service_ns = 0;
 };
 
 struct NicStats {
@@ -48,6 +55,8 @@ struct NicStats {
   uint64_t tx_bytes = 0;
   uint64_t rx_bytes = 0;
   uint64_t rx_drops = 0;       // frames for unknown flows
+  uint64_t rx_sheds = 0;       // frames shed: deadline infeasible at RX
+  uint64_t overloads = 0;      // RX-ring overrun backpressure events
   uint64_t refused_conns = 0;  // SYNs answered with RST
   uint64_t accepted_conns = 0;
 };

@@ -1,6 +1,7 @@
 #include "src/net/vswitch.h"
 
 #include "src/fault/fault_injector.h"
+#include "src/fault/gray_fault.h"
 #include "src/obs/trace_scope.h"
 
 namespace cki {
@@ -10,7 +11,9 @@ namespace {
 // Chains one forwarded frame into the running FNV-1a trace digest. The
 // trace_id/span_id fields are deliberately excluded: causal identities
 // annotate the packet trace but must never perturb it (the sampling
-// determinism invariant of DESIGN.md §11 depends on this).
+// determinism invariant of DESIGN.md §11 depends on this). deadline_ns is
+// included — deadlines drive RX admission decisions, so they are behavior,
+// not annotation.
 uint64_t HashFrame(uint64_t h, const Packet& p) {
   auto mix = [&h](uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -23,6 +26,7 @@ uint64_t HashFrame(uint64_t h, const Packet& p) {
   mix(static_cast<uint64_t>(p.flow));
   mix((static_cast<uint64_t>(p.service) << 8) | static_cast<uint64_t>(p.kind));
   mix(p.bytes);
+  mix(p.deadline_ns);
   return h;
 }
 
@@ -58,10 +62,21 @@ bool VSwitch::Send(const Packet& p) {
     src.stats.tx_packets++;
     src.stats.tx_bytes += p.bytes;
   }
-  // Store-and-forward: fixed fabric latency plus serialization time.
+  // Store-and-forward: fixed fabric latency plus serialization time. Open
+  // gray episodes inflate the fixed hop and divide the serialization rate
+  // — the link is alive, just worse.
+  SimNanos now = ctx_.clock().now();
   SimNanos hop = link_.hop_latency;
-  if (link_.bytes_per_ns > 0) {
-    hop += p.bytes / link_.bytes_per_ns;
+  uint64_t rate = link_.bytes_per_ns;
+  if (gray_ != nullptr) {
+    hop = hop * gray_->LatencyMultX1000(now) / 1000;
+    rate = rate / gray_->ThrottleDiv(now);
+    if (link_.bytes_per_ns > 0 && rate == 0) {
+      rate = 1;
+    }
+  }
+  if (rate > 0) {
+    hop += p.bytes / rate;
   }
   ctx_.ChargeWork(hop);
   if (p.dst < 0 || static_cast<size_t>(p.dst) >= ports_.size()) {
@@ -84,6 +99,13 @@ bool VSwitch::Send(const Packet& p) {
   }
   if (injector_ != nullptr && injector_->InjectPacketDrop()) {
     injected_drops_++;
+    dst.stats.drops++;
+    return false;
+  }
+  if (gray_ != nullptr && gray_->SwallowPacket(ctx_.clock().now())) {
+    // Blackhole episode: the frame silently vanishes mid-fabric. No RST,
+    // no signal — exactly the loss mode timeouts exist for.
+    gray_drops_++;
     dst.stats.drops++;
     return false;
   }
@@ -141,6 +163,7 @@ void VSwitch::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Inc("net/switch/packets", forwarded_);
   metrics.Inc("net/switch/injected_drops", injected_drops_);
   metrics.Inc("net/switch/injected_dups", injected_dups_);
+  metrics.Inc("net/switch/gray_drops", gray_drops_);
   for (const PortState& port : ports_) {
     std::string prefix = "net/port/" + port.name + "/";
     metrics.Inc(prefix + "tx_pkts", port.stats.tx_packets);

@@ -27,6 +27,7 @@
 namespace cki {
 
 class FaultInjector;
+class GrayFault;
 
 // A device attached to one switch port (a VirtNic or a load generator).
 class NetDevice {
@@ -70,6 +71,11 @@ class VSwitch {
   // Arms deterministic packet drop/duplication (chaos testing).
   void set_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Arms gray degradation (src/fault/gray_fault.h): while episodes are
+  // open, hop latency is inflated, serialization rate is divided, and
+  // frames are intermittently swallowed by the blackhole.
+  void set_gray(GrayFault* gray) { gray_ = gray; }
+
   // Forwards `p` from p.src to p.dst, charging the hop. Returns false only
   // when the frame was dropped (destination busy and its FIFO full).
   bool Send(const Packet& p);
@@ -94,6 +100,7 @@ class VSwitch {
   uint64_t packets_forwarded() const { return forwarded_; }
   uint64_t injected_drops() const { return injected_drops_; }
   uint64_t injected_dups() const { return injected_dups_; }
+  uint64_t gray_drops() const { return gray_drops_; }
   // Order-sensitive FNV-1a digest over every forwarded frame.
   uint64_t trace_hash() const { return trace_hash_; }
 
@@ -117,10 +124,12 @@ class VSwitch {
   LinkConfig link_;
   std::vector<PortState> ports_;
   FaultInjector* injector_ = nullptr;
+  GrayFault* gray_ = nullptr;
   int next_flow_ = 1;
   uint64_t forwarded_ = 0;
   uint64_t injected_drops_ = 0;
   uint64_t injected_dups_ = 0;
+  uint64_t gray_drops_ = 0;
   uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
 };
 

@@ -52,6 +52,7 @@ void Observability::ExportSloMetrics(MetricsRegistry& metrics) const {
     metrics.Inc(prefix + "window_ops", window.WindowOps());
     metrics.Inc(prefix + "ops_per_sec", static_cast<uint64_t>(window.OpsPerSec() + 0.5));
     metrics.Inc(prefix + "faults", window.WindowFaults());
+    metrics.Inc(prefix + "overload", window.WindowOverloads());
     metrics.Inc(prefix + "gauge", window.gauge());
   }
 }

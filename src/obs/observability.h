@@ -176,6 +176,13 @@ class Observability {
     }
     Slo(owner).IncFaults(now);
   }
+  // RX-ring overrun event (VirtNic backpressure -> rolling SLO view).
+  void SloIncOverload(uint32_t owner, SimNanos now) {
+    if (!enabled_) {
+      return;
+    }
+    Slo(owner).IncOverloads(now);
+  }
   void SloSetGauge(uint32_t owner, SimNanos now, uint64_t value) {
     if (!enabled_) {
       return;
@@ -194,7 +201,7 @@ class Observability {
   // Dumps the self-accounting as counters `obs/self/<name>`.
   void ExportSelfMetrics(MetricsRegistry& metrics) const;
   // Dumps every container SLO window as gauges `slo/<owner>/{p99_ns,
-  // window_ops,ops_per_sec,faults,gauge}` so the rolling SLO view shows
+  // window_ops,ops_per_sec,faults,overload,gauge}` so the rolling SLO view shows
   // up in --metrics-csv and merged cluster registries (SimCluster and
   // BenchObsSink call this; values are point-in-time, not additive).
   void ExportSloMetrics(MetricsRegistry& metrics) const;

@@ -51,6 +51,14 @@ class SloWindow {
     total_faults_ += n;
   }
 
+  // RX-ring overrun backpressure events (kNicOverload promoted from
+  // advisory-only): windowed like faults so shedding decisions and
+  // dashboards see *current* backpressure, not lifetime totals.
+  void IncOverloads(SimNanos now, uint64_t n = 1) {
+    Touch(now).overloads += n;
+    total_overloads_ += n;
+  }
+
   // Latest point-in-time gauge (resident frames); last write wins.
   void SetGauge(SimNanos now, uint64_t value) {
     Touch(now);
@@ -60,6 +68,7 @@ class SloWindow {
   uint64_t gauge() const { return gauge_; }
   uint64_t total_ops() const { return total_ops_; }
   uint64_t total_faults() const { return total_faults_; }
+  uint64_t total_overloads() const { return total_overloads_; }
   // Simulated time of the most recent write (queries anchor here).
   SimNanos last_ns() const { return last_ns_; }
 
@@ -77,6 +86,12 @@ class SloWindow {
     return n;
   }
 
+  uint64_t WindowOverloads() const {
+    uint64_t n = 0;
+    ForLive([&](const Bucket& b) { n += b.overloads; });
+    return n;
+  }
+
   // Ops per simulated second over the window span.
   double OpsPerSec() const {
     double secs = static_cast<double>(window_ns()) * 1e-9;
@@ -91,7 +106,7 @@ class SloWindow {
   }
 
   // {"window_ns":..,"ops":..,"ops_per_sec":..,"p50":..,"p99":..,
-  //  "faults":..,"gauge":..}
+  //  "faults":..,"overloads":..,"gauge":..}
   void WriteJson(std::ostream& os) const {
     Histogram merged;
     ForLive([&](const Bucket& b) { merged.Merge(b.latency); });
@@ -99,7 +114,8 @@ class SloWindow {
        << ",\"ops_per_sec\":" << OpsPerSec()
        << ",\"p50\":" << (merged.count() ? merged.Percentile(50) : 0)
        << ",\"p99\":" << (merged.count() ? merged.Percentile(99) : 0)
-       << ",\"faults\":" << WindowFaults() << ",\"gauge\":" << gauge_ << "}";
+       << ",\"faults\":" << WindowFaults() << ",\"overloads\":" << WindowOverloads()
+       << ",\"gauge\":" << gauge_ << "}";
   }
 
  private:
@@ -108,6 +124,7 @@ class SloWindow {
     Histogram latency;
     uint64_t ops = 0;
     uint64_t faults = 0;
+    uint64_t overloads = 0;
   };
 
   void Init() {
@@ -130,6 +147,7 @@ class SloWindow {
       b.latency.Clear();
       b.ops = 0;
       b.faults = 0;
+      b.overloads = 0;
       b.epoch = epoch;
     }
     return b;
@@ -154,6 +172,7 @@ class SloWindow {
   uint64_t gauge_ = 0;
   uint64_t total_ops_ = 0;
   uint64_t total_faults_ = 0;
+  uint64_t total_overloads_ = 0;
 };
 
 }  // namespace cki

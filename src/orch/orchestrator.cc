@@ -7,6 +7,7 @@
 #include "src/obs/histogram.h"
 #include "src/obs/slo_window.h"
 #include "src/obs/trace_context.h"
+#include "src/resil/health.h"
 #include "src/snap/snapshot.h"
 
 namespace cki {
@@ -41,6 +42,10 @@ struct Orchestrator::Managed {
   SloWindow window;
   uint64_t served_epoch = 0;
   uint32_t idle_epochs = 0;
+  // Per-destination circuit breaker (null when resilience is disabled).
+  // Not migrated with the container: breaker history indicts the machine
+  // underneath, and the destination machine is a different suspect.
+  std::unique_ptr<CircuitBreaker> breaker;
 };
 
 // One shard: a machine plus everything that must survive the machine.
@@ -63,6 +68,11 @@ struct Orchestrator::ShardState {
   ArrivalProcess arrivals;
   FaultInjector injector;
   XorShift64Star work_rng;
+  GrayFault gray;            // degradation episodes for this machine
+  HealthTracker health;      // probe-driven dead-vs-gray discriminator
+  RetryBudget retry_budget;  // shard-wide token bucket (storm guard)
+  SloWindow latency_window;  // rolling client latency (hedge-delay quantile)
+  SloWindow service_window;  // rolling raw service time (admission estimate)
 
   size_t rr = 0;  // round-robin serve cursor
   Histogram epoch_lat;
@@ -73,12 +83,28 @@ struct Orchestrator::ShardState {
   MetricsRegistry metrics;
   std::vector<SimNanos> arrival_buf;
 
+  // Cumulative resilience accounting, summed into OrchStats after Run.
+  uint64_t blackholed = 0;
+  uint64_t probes = 0;
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t hedges_cancelled = 0;
+  uint64_t sheds = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_short_circuits = 0;
+
   ShardState(const OrchConfig& cfg, uint32_t idx, uint64_t seed)
       : index(idx),
         shard_seed(seed),
         arrivals(SkewedArrivals(cfg, idx, seed)),
         injector(InjectorConfigFor(cfg, seed)),
-        work_rng(SplitSeed(seed, 2)) {}
+        work_rng(SplitSeed(seed, 2)),
+        gray(GrayConfigFor(cfg, seed)),
+        retry_budget(cfg.resil.retry_budget_ratio, cfg.resil.retry_budget_cap),
+        latency_window(SloWindow::Config{.bucket_ns = cfg.epoch_ns, .buckets = 8}),
+        service_window(SloWindow::Config{.bucket_ns = cfg.epoch_ns, .buckets = 8}) {}
 
   static ArrivalConfig SkewedArrivals(const OrchConfig& cfg, uint32_t idx, uint64_t seed) {
     ArrivalConfig ac = cfg.arrivals;
@@ -91,7 +117,16 @@ struct Orchestrator::ShardState {
     ic.seed = SplitSeed(seed, 1);
     ic.machine_kill_rate = cfg.machine_kill_rate;
     ic.container_kill_rate = cfg.container_kill_rate;
+    ic.latency_inflation_rate = cfg.latency_inflation_rate;
+    ic.throughput_throttle_rate = cfg.throughput_throttle_rate;
+    ic.packet_blackhole_rate = cfg.packet_blackhole_rate;
+    ic.syscall_jitter_rate = cfg.syscall_jitter_rate;
     return ic;
+  }
+  static GrayConfig GrayConfigFor(const OrchConfig& cfg, uint64_t seed) {
+    GrayConfig gc = cfg.gray;
+    gc.seed = SplitSeed(seed, 3);
+    return gc;
   }
 
   SloWindow::Config WindowConfig(const OrchConfig& cfg) const {
@@ -162,11 +197,15 @@ void Orchestrator::BootShard(uint32_t index) {
   stats_.template_boots++;
   s.containers.clear();
   s.rr = 0;
+  s.health.Reset();  // a rebuilt machine starts with a clean health record
   for (uint32_t i = 0; i < config_.initial_containers; ++i) {
     Managed c;
     c.engine = CloneContainer(*s.tmpl);
     c.id = c.engine->id();
     c.window = SloWindow(s.WindowConfig(config_));
+    if (config_.resil.enabled) {
+      c.breaker = std::make_unique<CircuitBreaker>(config_.resil);
+    }
     s.containers.push_back(std::move(c));
     stats_.clones++;
   }
@@ -213,6 +252,32 @@ OrchStats Orchestrator::Run() {
   }
   const Histogram* lat = metrics_.FindHist("orch/request_latency_ns");
   stats_.overall_p99_ns = (lat != nullptr && lat->count() > 0) ? lat->Percentile(99) : 0;
+  // Fold the per-shard resilience accounting (kept shard-local during the
+  // parallel serve phase) into the fleet stats, in shard-index order.
+  for (const auto& sp : shards_) {
+    stats_.gray_episodes += sp->gray.episodes();
+    stats_.blackholed += sp->blackholed;
+    stats_.probes += sp->probes;
+    stats_.retries += sp->retries;
+    stats_.retries_denied += sp->retry_budget.denied();
+    stats_.hedges += sp->hedges;
+    stats_.hedge_wins += sp->hedge_wins;
+    stats_.hedges_cancelled += sp->hedges_cancelled;
+    stats_.sheds += sp->sheds;
+    stats_.deadline_misses += sp->deadline_misses;
+    stats_.breaker_opens += sp->breaker_opens;
+    stats_.breaker_short_circuits += sp->breaker_short_circuits;
+  }
+  metrics_.Inc("resil/gray_episodes", stats_.gray_episodes);
+  metrics_.Inc("resil/blackholed", stats_.blackholed);
+  metrics_.Inc("resil/retries", stats_.retries);
+  metrics_.Inc("resil/retries_denied", stats_.retries_denied);
+  metrics_.Inc("resil/hedges", stats_.hedges);
+  metrics_.Inc("resil/hedge_wins", stats_.hedge_wins);
+  metrics_.Inc("resil/sheds", stats_.sheds);
+  metrics_.Inc("resil/deadline_misses", stats_.deadline_misses);
+  metrics_.Inc("resil/breaker_opens", stats_.breaker_opens);
+  metrics_.Inc("resil/drains", stats_.drains);
   return stats_;
 }
 
@@ -232,6 +297,12 @@ void Orchestrator::ServeEpoch(uint64_t epoch) {
     s.arrivals.DrainUntil(end, &s.arrival_buf);
     s.epoch_requests = s.arrival_buf.size();
 
+    // Gray episodes advance on the seed schedule even while the machine
+    // is dark, so the episode calendar is a pure function of the seeds —
+    // independent of how often the hardware underneath died.
+    s.gray.Advance(begin, s.injector,
+                   s.up && s.machine != nullptr ? &s.machine->faults() : nullptr);
+
     if (!s.up) {
       s.epoch_lost += s.arrival_buf.size();
       s.serve_hash = TraceMix(s.serve_hash, s.epoch_lost);
@@ -244,49 +315,7 @@ void Orchestrator::ServeEpoch(uint64_t epoch) {
             ? config_.request_compute_max_ns - config_.request_compute_min_ns
             : 0;
     for (SimNanos arrival : s.arrival_buf) {
-      // Round-robin over the live containers, skipping corpses.
-      Managed* chosen = nullptr;
-      for (size_t tries = 0; tries < s.containers.size(); ++tries) {
-        Managed& cand = s.containers[s.rr++ % s.containers.size()];
-        if (cand.engine != nullptr && cand.engine->alive()) {
-          chosen = &cand;
-          break;
-        }
-      }
-      if (chosen == nullptr) {
-        s.epoch_lost++;
-        continue;
-      }
-
-      const SimNanos start = std::max(arrival, chosen->busy_until);
-      const SimNanos t0 = ctx.clock().now();
-      SyscallResult r =
-          chosen->engine->UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = kRequestPathId});
-      if (!r.ok()) {
-        s.epoch_lost++;
-        continue;
-      }
-      uint64_t fd = static_cast<uint64_t>(r.value);
-      chosen->engine->UserSyscall(
-          SyscallRequest{.no = Sys::kPread, .arg0 = fd, .arg1 = kRequestReadBytes});
-      chosen->engine->UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
-      if (jitter_span > 0) {
-        ctx.ChargeWork(config_.request_compute_min_ns + s.work_rng.Next() % jitter_span);
-      } else {
-        ctx.ChargeWork(config_.request_compute_min_ns);
-      }
-      const SimNanos service = ctx.clock().now() - t0;
-
-      chosen->busy_until = start + service;
-      const SimNanos latency = chosen->busy_until - arrival;
-      chosen->window.ObserveLatency(chosen->busy_until, latency);
-      chosen->served_epoch++;
-      s.epoch_lat.Add(latency);
-      s.metrics.Hist("orch/request_latency_ns").Add(latency);
-      s.metrics.Inc("orch/requests_served");
-      s.serve_hash = TraceMix(s.serve_hash, arrival);
-      s.serve_hash = TraceMix(s.serve_hash, chosen->id);
-      s.serve_hash = TraceMix(s.serve_hash, latency);
+      ServeArrival(s, arrival, jitter_span);
     }
 
     // Epoch-boundary bookkeeping: backlog (how far the most-behind
@@ -302,8 +331,209 @@ void Orchestrator::ServeEpoch(uint64_t epoch) {
       c.served_epoch = 0;
       c.window.SetGauge(end, s.machine->frames().OwnedFrames(c.id));
     }
+
+    // Health probe, off the serving path: one canonical request on the
+    // template engine, degraded through the gray model, feeds the
+    // dead-vs-gray tracker. The probe latency rides the serve hash so any
+    // health divergence across thread counts breaks the determinism check.
+    // Part of the resilience layer — the crash-only baseline has no
+    // probing and reports every up machine as fully healthy.
+    if (config_.resil.enabled && s.tmpl != nullptr && s.tmpl->alive()) {
+      const SimNanos t0 = ctx.clock().now();
+      SyscallResult r =
+          s.tmpl->UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = kRequestPathId});
+      if (r.ok()) {
+        uint64_t fd = static_cast<uint64_t>(r.value);
+        s.tmpl->UserSyscall(
+            SyscallRequest{.no = Sys::kPread, .arg0 = fd, .arg1 = kRequestReadBytes});
+        s.tmpl->UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
+        const SimNanos probe = s.gray.DegradeServiceNs(ctx.clock().now() - t0, end);
+        s.health.Observe(probe);
+        s.probes++;
+        s.serve_hash = TraceMix(s.serve_hash, probe);
+      }
+    }
+    s.serve_hash = TraceMix(s.serve_hash, s.gray.trace_hash());
     return ShardResult{};
   });
+}
+
+Orchestrator::Managed* Orchestrator::PickContainer(ShardState& s, SimNanos at,
+                                                   bool respect_breakers,
+                                                   const Managed* exclude) {
+  const size_t n = s.containers.size();
+  if (n == 0) {
+    return nullptr;
+  }
+  for (size_t tries = 0; tries < n; ++tries) {
+    Managed& cand = s.containers[s.rr++ % n];
+    if (&cand == exclude || cand.engine == nullptr || !cand.engine->alive()) {
+      continue;
+    }
+    if (respect_breakers && cand.breaker != nullptr && !cand.breaker->Allow(at)) {
+      s.breaker_short_circuits++;
+      continue;
+    }
+    return &cand;
+  }
+  return nullptr;
+}
+
+SimNanos Orchestrator::RunRequest(ShardState& s, Managed& c, SimNanos at,
+                                  SimNanos jitter_span) {
+  SimContext& ctx = s.machine->ctx();
+  const SimNanos t0 = ctx.clock().now();
+  SyscallResult r =
+      c.engine->UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = kRequestPathId});
+  if (!r.ok()) {
+    return 0;
+  }
+  uint64_t fd = static_cast<uint64_t>(r.value);
+  c.engine->UserSyscall(
+      SyscallRequest{.no = Sys::kPread, .arg0 = fd, .arg1 = kRequestReadBytes});
+  c.engine->UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
+  if (jitter_span > 0) {
+    ctx.ChargeWork(config_.request_compute_min_ns + s.work_rng.Next() % jitter_span);
+  } else {
+    ctx.ChargeWork(config_.request_compute_min_ns);
+  }
+  return s.gray.DegradeServiceNs(ctx.clock().now() - t0, at);
+}
+
+void Orchestrator::ServeArrival(ShardState& s, SimNanos arrival, SimNanos jitter_span) {
+  const ResilConfig& resil = config_.resil;
+  const bool armed = resil.enabled;
+  const SimNanos deadline =
+      armed && resil.deadline_ns > 0 ? arrival + resil.deadline_ns : 0;
+  SimNanos issue = arrival;
+  uint32_t attempt = 1;
+  for (;;) {
+    // Breakers steer load; they must never become a self-inflicted
+    // outage. If every live container's breaker is open, fall back to
+    // ignoring them rather than dropping the request on the floor.
+    Managed* chosen = PickContainer(s, issue, /*respect_breakers=*/armed, nullptr);
+    if (chosen == nullptr && armed) {
+      chosen = PickContainer(s, issue, /*respect_breakers=*/false, nullptr);
+    }
+    if (chosen == nullptr) {
+      s.epoch_lost++;
+      return;
+    }
+    const SimNanos start = std::max(issue, chosen->busy_until);
+
+    // Admission control: shed now if queue wait plus the rolling median
+    // service time cannot land inside the deadline anyway.
+    if (deadline != 0) {
+      const SimNanos est = s.service_window.Percentile(50);
+      if (start + est + resil.shed_slack_ns > deadline) {
+        s.sheds++;
+        s.epoch_lost++;
+        return;
+      }
+    }
+
+    // Blackhole: the attempt vanishes without an error. The baseline arm
+    // just loses the request; the armed arm detects it by attempt
+    // timeout, charges the breaker, and retries on the budget's dime.
+    if (s.gray.SwallowPacket(start)) {
+      s.blackholed++;
+      if (!armed) {
+        s.epoch_lost++;
+        return;
+      }
+      const SimNanos detect = start + resil.attempt_timeout_ns;
+      if (chosen->breaker != nullptr && chosen->breaker->OnFailure(detect)) {
+        s.breaker_opens++;
+      }
+      const SimNanos next_issue = detect + BackoffNs(resil, attempt);
+      if (attempt < resil.max_attempts && (deadline == 0 || next_issue < deadline) &&
+          s.retry_budget.TryAcquire()) {
+        s.retries++;
+        attempt++;
+        issue = next_issue;
+        continue;
+      }
+      s.epoch_lost++;
+      return;
+    }
+
+    const SimNanos service = RunRequest(s, *chosen, start, jitter_span);
+    if (service == 0) {
+      s.epoch_lost++;
+      return;
+    }
+    chosen->busy_until = start + service;
+    SimNanos finish = chosen->busy_until;
+
+    // Hedge: planned deterministically from the rolling latency quantile.
+    // A primary that beats the fire time cancels it (no second request);
+    // otherwise the hedge runs on a different container and the client
+    // takes whichever copy finishes first.
+    if (armed && attempt == 1) {
+      const SimNanos observed = s.latency_window.Percentile(resil.hedge_quantile);
+      const HedgePlan plan = PlanHedge(resil, issue, finish, observed);
+      if (plan.scheduled && (deadline == 0 || plan.fire_at < deadline)) {
+        if (!plan.fired) {
+          s.hedges_cancelled++;
+        } else {
+          Managed* h = PickContainer(s, plan.fire_at, /*respect_breakers=*/true, chosen);
+          if (h != nullptr) {
+            s.hedges++;
+            const SimNanos h_start = std::max(plan.fire_at, h->busy_until);
+            const SimNanos h_service = RunRequest(s, *h, h_start, jitter_span);
+            if (h_service > 0) {
+              h->busy_until = h_start + h_service;
+              h->served_epoch++;
+              const bool h_late = deadline != 0 && h->busy_until > deadline;
+              if (h->breaker != nullptr) {
+                if (h_late) {
+                  if (h->breaker->OnFailure(h->busy_until)) {
+                    s.breaker_opens++;
+                  }
+                } else {
+                  h->breaker->OnSuccess(h->busy_until);
+                }
+              }
+              if (h->busy_until < finish) {
+                s.hedge_wins++;
+                finish = h->busy_until;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Outcome bookkeeping. A served-but-late request still completes for
+    // the client, but it counts against the destination's breaker — a
+    // gray machine fails by being slow, not by erroring.
+    const bool late = deadline != 0 && finish > deadline;
+    if (late) {
+      s.deadline_misses++;
+      if (chosen->breaker != nullptr && chosen->breaker->OnFailure(chosen->busy_until)) {
+        s.breaker_opens++;
+      }
+    } else if (chosen->breaker != nullptr) {
+      chosen->breaker->OnSuccess(chosen->busy_until);
+    }
+    if (armed) {
+      s.retry_budget.OnSuccess();
+    }
+
+    const SimNanos latency = finish - arrival;
+    chosen->window.ObserveLatency(chosen->busy_until, latency);
+    chosen->served_epoch++;
+    s.latency_window.ObserveLatency(finish, latency);
+    s.service_window.ObserveLatency(finish, service);
+    s.epoch_lat.Add(latency);
+    s.metrics.Hist("orch/request_latency_ns").Add(latency);
+    s.metrics.Inc("orch/requests_served");
+    s.serve_hash = TraceMix(s.serve_hash, arrival);
+    s.serve_hash = TraceMix(s.serve_hash, chosen->id);
+    s.serve_hash = TraceMix(s.serve_hash, latency);
+    s.serve_hash = TraceMix(s.serve_hash, attempt);
+    return;
+  }
 }
 
 ClusterSnapshot Orchestrator::Collect(uint64_t epoch) {
@@ -322,6 +552,7 @@ ClusterSnapshot Orchestrator::Collect(uint64_t epoch) {
     sig.epoch_requests = s.epoch_requests;
     sig.epoch_lost = s.epoch_lost;
     sig.epoch_p99_ns = s.epoch_lat.count() > 0 ? s.epoch_lat.Percentile(99) : 0;
+    sig.health_x1000 = s.health.score_x1000();
     for (const Managed& c : s.containers) {
       ContainerSignal cs;
       cs.shard = s.index;
@@ -407,6 +638,9 @@ void Orchestrator::Apply(uint64_t epoch, const std::vector<OrchAction>& actions)
         c.id = c.engine->id();
         c.busy_until = boundary;
         c.window = SloWindow(s.WindowConfig(config_));
+        if (config_.resil.enabled) {
+          c.breaker = std::make_unique<CircuitBreaker>(config_.resil);
+        }
         s.containers.push_back(std::move(c));
         stats_.clones++;
         if (alive_before < config_.initial_containers) {
@@ -414,7 +648,8 @@ void Orchestrator::Apply(uint64_t epoch, const std::vector<OrchAction>& actions)
         }
         break;
       }
-      case OrchActionKind::kMigrate: {
+      case OrchActionKind::kMigrate:
+      case OrchActionKind::kDrain: {
         Managed* victim = nullptr;
         for (Managed& c : s.containers) {
           if (c.id == a.container) {
@@ -445,9 +680,18 @@ void Orchestrator::Apply(uint64_t epoch, const std::vector<OrchAction>& actions)
         moved.busy_until = std::max(victim->busy_until, boundary);
         moved.window = victim->window;
         moved.idle_epochs = victim->idle_epochs;
+        // Breaker history stays behind: it indicted the old machine, and
+        // the destination machine is a different suspect.
+        if (config_.resil.enabled) {
+          moved.breaker = std::make_unique<CircuitBreaker>(config_.resil);
+        }
         KillAndAudit(s, *victim);
         dst->containers.push_back(std::move(moved));
-        stats_.migrations++;
+        if (a.kind == OrchActionKind::kDrain) {
+          stats_.drains++;
+        } else {
+          stats_.migrations++;
+        }
         break;
       }
       case OrchActionKind::kReap: {

@@ -37,9 +37,11 @@
 
 #include "src/cluster/sim_cluster.h"
 #include "src/fault/fault_injector.h"
+#include "src/fault/gray_fault.h"
 #include "src/net/load_gen.h"
 #include "src/obs/metrics_registry.h"
 #include "src/orch/policy.h"
+#include "src/resil/resilience.h"
 #include "src/runtime/runtime.h"
 
 namespace cki {
@@ -74,6 +76,21 @@ struct OrchConfig {
   // jittered deterministically per request in [min, max).
   SimNanos request_compute_min_ns = 1'000;
   SimNanos request_compute_max_ns = 5'000;
+
+  // Gray-failure chaos (src/fault/gray_fault.h, sites 10-13): per-epoch
+  // per-machine episode-start rates; `gray` holds the episode magnitudes
+  // (its seed is overridden with SplitSeed(shard_seed, 3) per shard).
+  double latency_inflation_rate = 0;
+  double throughput_throttle_rate = 0;
+  double packet_blackhole_rate = 0;
+  double syscall_jitter_rate = 0;
+  GrayConfig gray;
+
+  // Request resilience layer (src/resil, DESIGN.md §13). enabled=false is
+  // the crash-only baseline: no deadlines, no retries, no hedges, no
+  // breakers, no shedding — a blackholed request is simply lost and a
+  // gray machine keeps its full traffic share.
+  ResilConfig resil;
 };
 
 // Fleet-level outcome of one orchestrated run.
@@ -94,6 +111,21 @@ struct OrchStats {
   uint64_t container_kills = 0;
   uint64_t replacements = 0;   // scale-ups on shards below their minimum
   uint64_t leaked_frames = 0;  // nonzero means a reclaim path is broken
+
+  // Gray failures + resilience (DESIGN.md §13).
+  uint64_t gray_episodes = 0;  // degradation episodes opened fleet-wide
+  uint64_t blackholed = 0;     // request attempts swallowed by blackholes
+  uint64_t drains = 0;         // containers moved off gray machines
+  uint64_t probes = 0;         // health probes executed
+  uint64_t retries = 0;        // re-issued attempts, each paid from budget
+  uint64_t retries_denied = 0; // retry wanted but the bucket was dry
+  uint64_t hedges = 0;         // hedge requests actually fired
+  uint64_t hedge_wins = 0;     // hedge finished before the primary
+  uint64_t hedges_cancelled = 0;  // primary beat the hedge delay
+  uint64_t sheds = 0;          // deadline-infeasible arrivals shed on admission
+  uint64_t deadline_misses = 0;   // served, but past the deadline
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_short_circuits = 0;
 
   double SloAttainment() const {
     return epochs > 0 ? static_cast<double>(epochs_slo_met) / static_cast<double>(epochs) : 0;
@@ -143,6 +175,17 @@ class Orchestrator {
 
   void BootShard(uint32_t index);                 // fresh machine + template
   void ServeEpoch(uint64_t epoch);                // parallel phase
+  // One arrival through the resilience loop (shard-local; runs on the
+  // serve-phase worker): pick -> shed check -> blackhole/retry -> serve
+  // -> hedge -> breaker/budget bookkeeping.
+  void ServeArrival(ShardState& s, SimNanos arrival, SimNanos jitter_span);
+  // Round-robin over live containers; optionally skips open breakers and
+  // one excluded container (hedge placement). nullptr when nothing fits.
+  Managed* PickContainer(ShardState& s, SimNanos at, bool respect_breakers,
+                         const Managed* exclude);
+  // Executes the canonical request on `c` starting at `at`; returns the
+  // gray-degraded service time (> 0), or 0 when the container failed it.
+  SimNanos RunRequest(ShardState& s, Managed& c, SimNanos at, SimNanos jitter_span);
   ClusterSnapshot Collect(uint64_t epoch);        // serial signal sweep
   void Chaos(uint64_t epoch);                     // deterministic strikes
   void Apply(uint64_t epoch, const std::vector<OrchAction>& actions);

@@ -19,6 +19,7 @@ uint64_t ClusterSnapshot::Hash() const {
     h = TraceMix(h, s.epoch_requests);
     h = TraceMix(h, s.epoch_lost);
     h = TraceMix(h, s.epoch_p99_ns);
+    h = TraceMix(h, s.health_x1000);
     for (const ContainerSignal& c : s.containers) {
       h = TraceMix(h, c.id);
       h = TraceMix(h, c.alive ? 1 : 0);
@@ -43,15 +44,18 @@ uint32_t AliveCount(const ShardSignal& s) {
 }
 
 // Destination for a migration: the least-backlogged up shard with room,
-// excluding `src`. Ties break toward the lower shard index, so the choice
-// is a pure function of the snapshot. Returns false when no shard fits.
+// excluding `src` and (when a gray threshold is set) gray shards — moving
+// work onto a degraded machine would re-create the problem elsewhere.
+// Ties break toward the lower shard index, so the choice is a pure
+// function of the snapshot. Returns false when no shard fits.
 bool PickDestination(const ClusterSnapshot& snap, uint32_t src, uint32_t max_containers,
-                     uint32_t* dst) {
+                     uint32_t gray_health_x1000, uint32_t* dst) {
   bool found = false;
   SimNanos best_backlog = 0;
   uint64_t best_ops = 0;
   for (const ShardSignal& s : snap.shards) {
-    if (s.index == src || !s.up || AliveCount(s) >= max_containers) {
+    if (s.index == src || !s.up || AliveCount(s) >= max_containers ||
+        (gray_health_x1000 > 0 && s.health_x1000 < gray_health_x1000)) {
       continue;
     }
     uint64_t ops = s.epoch_requests;
@@ -88,6 +92,37 @@ std::vector<OrchAction> ReactivePolicy::Decide(const ClusterSnapshot& snap) cons
       continue;
     }
     const uint32_t alive = AliveCount(s);
+    // Gray: alive but probing far slower than its healthy self. Drain
+    // containers toward healthy shards instead of feeding it more work.
+    const bool gray =
+        config_.gray_health_x1000 > 0 && s.health_x1000 < config_.gray_health_x1000;
+    if (gray) {
+      // Never drain below the shard minimum: arrivals are shard-local, so
+      // an emptied gray machine would lose its whole traffic share — the
+      // remaining containers serve slowly, which still beats not at all.
+      uint32_t can_drain =
+          alive > config_.min_containers ? alive - config_.min_containers : 0;
+      if (can_drain > config_.drain_per_epoch) {
+        can_drain = config_.drain_per_epoch;
+      }
+      uint32_t drained = 0;
+      for (const ContainerSignal& c : s.containers) {
+        if (drained >= can_drain) {
+          break;
+        }
+        uint32_t dst = 0;
+        if (!c.alive ||
+            !PickDestination(snap, s.index, config_.max_containers,
+                             config_.gray_health_x1000, &dst)) {
+          continue;
+        }
+        actions.push_back(OrchAction{OrchActionKind::kDrain, s.index, c.id, dst});
+        drained++;
+      }
+      // No scale-up, no reap, no hot handling on a gray shard: shrink it
+      // and let the health probe decide when it has earned traffic back.
+      continue;
+    }
     const SimNanos hot_backlog =
         snap.epoch_ns * config_.hot_backlog_permille / 1000;
     const bool hot = s.epoch_p99_ns > snap.slo_p99_ns || s.backlog_ns > hot_backlog;
@@ -127,7 +162,8 @@ std::vector<OrchAction> ReactivePolicy::Decide(const ClusterSnapshot& snap) cons
     // container to the least-loaded shard with room.
     if ((hot || saturated) && alive >= config_.max_containers) {
       uint32_t dst = 0;
-      if (PickDestination(snap, s.index, config_.max_containers, &dst)) {
+      if (PickDestination(snap, s.index, config_.max_containers, config_.gray_health_x1000,
+                          &dst)) {
         const ContainerSignal* busiest = nullptr;
         for (const ContainerSignal& c : s.containers) {
           if (c.alive && (busiest == nullptr || c.window_ops > busiest->window_ops)) {

@@ -46,6 +46,10 @@ struct ShardSignal {
   uint64_t epoch_requests = 0;
   uint64_t epoch_lost = 0;   // arrivals dropped (down machine / no capacity)
   uint64_t epoch_p99_ns = 0; // this epoch's request p99 on this shard
+  // Probe-driven machine health (src/resil/health.h): 1000 = as fast as
+  // the machine's best self, lower = gray. Integer so it rides the Hash.
+  // Dead is `!up`; gray is `up && health below the policy threshold`.
+  uint32_t health_x1000 = 1000;
   std::vector<ContainerSignal> containers;
 };
 
@@ -66,6 +70,7 @@ enum class OrchActionKind : uint8_t {
   kScaleUp = 0,  // clone one container from the shard's template
   kMigrate,      // checkpoint container off `shard`, restore on `dst_shard`
   kReap,         // kill + reclaim an idle container
+  kDrain,        // migrate off a gray (degraded-but-alive) machine
 };
 
 struct OrchAction {
@@ -109,6 +114,13 @@ struct ReactiveConfig {
   double capacity_ops_per_sec = 150'000;
   // Reap a container after this many consecutive idle epochs.
   uint32_t reap_idle_epochs = 4;
+  // Gray handling (DESIGN.md §13): a shard with up==true but
+  // health_x1000 below this is GRAY — drain up to `drain_per_epoch` of
+  // its containers per epoch toward healthy shards, never scale it up,
+  // never pick it as a migration destination. 0 disables (crash-only
+  // behavior, the pre-resilience baseline).
+  uint32_t gray_health_x1000 = 0;
+  uint32_t drain_per_epoch = 1;
 };
 
 class ReactivePolicy : public OrchPolicy {

@@ -1,0 +1,82 @@
+// Probe-driven machine health score: the dead/gray discriminator.
+//
+// Liveness (up / not up) already falls out of machine kills (src/orch);
+// what it cannot see is the machine that answers probes three times
+// slower than it used to. HealthTracker turns a stream of probe
+// latencies into an integer health score in [0, 1000]: the baseline is
+// the running minimum probe latency ever seen (the machine's own healthy
+// self, not a fleet constant), each sample scores baseline/sample scaled
+// to 1000, and an integer EWMA smooths episode noise. 1000 = as fast as
+// its best self; 333 = three times slower.
+//
+// All-integer arithmetic on purpose: the score rides inside
+// ShardSignal/ClusterSnapshot whose Hash() folds only integers
+// (src/orch/policy.h), so health is part of the control-determinism
+// digest — a probe divergence across thread counts fails the hash check.
+//
+// Thread-safety: none — one tracker per shard, touched only from that
+// shard's thread.
+#ifndef SRC_RESIL_HEALTH_H_
+#define SRC_RESIL_HEALTH_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+
+namespace cki {
+
+class HealthTracker {
+ public:
+  // `ewma_num/ewma_den`: smoothing weight of the new sample, e.g. 1/4
+  // means score = (3*old + new) / 4.
+  HealthTracker(uint32_t ewma_num = 1, uint32_t ewma_den = 4)
+      : ewma_num_(ewma_num > 0 ? ewma_num : 1),
+        ewma_den_(ewma_den > ewma_num_ ? ewma_den : ewma_num_ + 1) {}
+
+  void Observe(SimNanos probe_latency_ns) {
+    if (probe_latency_ns <= 0) {
+      probe_latency_ns = 1;
+    }
+    if (baseline_ns_ == 0 || probe_latency_ns < baseline_ns_) {
+      baseline_ns_ = probe_latency_ns;
+    }
+    uint64_t sample_x1000 =
+        static_cast<uint64_t>(baseline_ns_) * 1000 / static_cast<uint64_t>(probe_latency_ns);
+    if (sample_x1000 > 1000) {
+      sample_x1000 = 1000;
+    }
+    if (probes_ == 0) {
+      score_x1000_ = static_cast<uint32_t>(sample_x1000);
+    } else {
+      score_x1000_ = static_cast<uint32_t>(
+          (static_cast<uint64_t>(score_x1000_) * (ewma_den_ - ewma_num_) +
+           sample_x1000 * ewma_num_) /
+          ewma_den_);
+    }
+    probes_++;
+  }
+
+  // Fresh machine (reboot/replacement): its past grayness is gone.
+  void Reset() {
+    baseline_ns_ = 0;
+    score_x1000_ = 1000;
+    probes_ = 0;
+  }
+
+  // 1000 = healthy, lower = grayer; 1000 before any probe (innocent until
+  // probed otherwise, so boot epochs never look gray).
+  uint32_t score_x1000() const { return score_x1000_; }
+  SimNanos baseline_ns() const { return baseline_ns_; }
+  uint64_t probes() const { return probes_; }
+
+ private:
+  uint32_t ewma_num_;
+  uint32_t ewma_den_;
+  SimNanos baseline_ns_ = 0;
+  uint32_t score_x1000_ = 1000;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_RESIL_HEALTH_H_

@@ -1,0 +1,119 @@
+#include "src/resil/resilience.h"
+
+namespace cki {
+
+CircuitBreaker::CircuitBreaker(const ResilConfig& cfg)
+    : bucket_ns_(cfg.breaker_bucket_ns > 0 ? cfg.breaker_bucket_ns : 1),
+      threshold_x1000_(cfg.breaker_threshold_x1000),
+      min_samples_(cfg.breaker_min_samples > 0 ? cfg.breaker_min_samples : 1),
+      open_ns_(cfg.breaker_open_ns),
+      half_open_probes_(cfg.breaker_half_open_probes > 0 ? cfg.breaker_half_open_probes : 1) {
+  ring_.resize(cfg.breaker_buckets > 0 ? cfg.breaker_buckets : 1);
+}
+
+CircuitBreaker::Bucket& CircuitBreaker::Touch(SimNanos now) {
+  if (now > last_ns_) {
+    last_ns_ = now;
+  }
+  int64_t epoch = static_cast<int64_t>(now / bucket_ns_);
+  Bucket& b = ring_[static_cast<size_t>(epoch) % ring_.size()];
+  if (b.epoch != epoch) {
+    b.ok = 0;
+    b.fail = 0;
+    b.epoch = epoch;
+  }
+  return b;
+}
+
+uint64_t CircuitBreaker::WindowFailures() const {
+  int64_t anchor = static_cast<int64_t>(last_ns_ / bucket_ns_);
+  uint64_t n = 0;
+  for (const Bucket& b : ring_) {
+    if (b.epoch >= 0 && b.epoch > anchor - static_cast<int64_t>(ring_.size()) &&
+        b.epoch <= anchor) {
+      n += b.fail;
+    }
+  }
+  return n;
+}
+
+uint64_t CircuitBreaker::WindowTotal() const {
+  int64_t anchor = static_cast<int64_t>(last_ns_ / bucket_ns_);
+  uint64_t n = 0;
+  for (const Bucket& b : ring_) {
+    if (b.epoch >= 0 && b.epoch > anchor - static_cast<int64_t>(ring_.size()) &&
+        b.epoch <= anchor) {
+      n += b.ok + b.fail;
+    }
+  }
+  return n;
+}
+
+bool CircuitBreaker::Allow(SimNanos now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= open_ns_) {
+        state_ = State::kHalfOpen;
+        half_open_inflight_ = 0;
+        half_open_ok_ = 0;
+        // fallthrough into half-open admission below
+      } else {
+        short_circuits_++;
+        return false;
+      }
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (half_open_inflight_ < half_open_probes_) {
+        half_open_inflight_++;
+        return true;
+      }
+      short_circuits_++;
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::OnSuccess(SimNanos now) {
+  Bucket& b = Touch(now);
+  b.ok++;
+  if (state_ == State::kHalfOpen) {
+    half_open_ok_++;
+    if (half_open_ok_ >= half_open_probes_) {
+      // Every probe came back clean: close and start a fresh window so
+      // stale open-era failures cannot immediately re-trip.
+      state_ = State::kClosed;
+      for (Bucket& rb : ring_) {
+        rb = Bucket{};
+      }
+      Touch(now).ok++;
+    }
+  }
+}
+
+bool CircuitBreaker::OnFailure(SimNanos now) {
+  Bucket& b = Touch(now);
+  b.fail++;
+  if (state_ == State::kHalfOpen) {
+    TripOpen(now);  // one bad probe slams it shut again
+    return true;
+  }
+  if (state_ == State::kClosed) {
+    uint64_t total = WindowTotal();
+    if (total >= min_samples_ &&
+        WindowFailures() * 1000 >= static_cast<uint64_t>(threshold_x1000_) * total) {
+      TripOpen(now);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CircuitBreaker::TripOpen(SimNanos now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  opens_++;
+}
+
+}  // namespace cki

@@ -1,0 +1,213 @@
+// Request resilience primitives: deadlines, retry budgets, hedging,
+// circuit breaking, load shedding (DESIGN.md section 13).
+//
+// Gray failures (src/fault/gray_fault.h) make a machine slow or lossy
+// without making it dead, so the serving path needs client-side defenses:
+// a deadline carried with each request, bounded retries paid from a
+// token-bucket budget (so a blackhole cannot ignite a retry storm), a
+// hedge issued after a latency-quantile delay, a per-destination circuit
+// breaker that stops hammering a destination whose rolling failure rate
+// crossed threshold, and admission shedding of requests whose deadline is
+// already infeasible.
+//
+// Determinism contract: every primitive here is a pure function of
+// simulated time and its own call sequence — no wall clock, no RNG, no
+// threads. Timeouts compare SimNanos; the breaker's rolling window is the
+// SloWindow epoch-bucket ring; backoff is a shift. Two runs that feed the
+// same sequence of (now, outcome) make identical decisions at any host
+// thread count.
+//
+// Thread-safety: none — each instance belongs to one shard/flow and is
+// only touched from that shard's thread (the fault_injector.h contract).
+#ifndef SRC_RESIL_RESILIENCE_H_
+#define SRC_RESIL_RESILIENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/guest/syscall.h"
+#include "src/sim/clock.h"
+
+namespace cki {
+
+// Knobs for the whole resilience layer. `enabled = false` turns every
+// defense off (the bench's control arm); individual features disarm with
+// their own zero values.
+struct ResilConfig {
+  bool enabled = true;
+  // Deadline budget granted to each request at arrival (0 = no deadline).
+  // Kept a little above the orchestrator's default SLO p99 target
+  // (400us): late enough that healthy requests never miss, tight enough
+  // that shedding and deadline-fed breakers engage while an epoch can
+  // still be saved.
+  SimNanos deadline_ns = 500'000;
+  // Retries: total attempts per request including the first.
+  uint32_t max_attempts = 3;
+  SimNanos backoff_base_ns = 10'000;  // first retry waits this long
+  SimNanos backoff_cap_ns = 80'000;   // exponential backoff ceiling
+  // How long an attempt may stay unanswered before it is declared lost (a
+  // blackholed request has no RST to learn from). Kept near the healthy
+  // tail latency: a recovered request should finish well inside the
+  // deadline instead of dragging the fleet p99 up with it.
+  SimNanos attempt_timeout_ns = 100'000;
+  // Token-bucket retry budget: bucket starts at `cap`, refills by `ratio`
+  // tokens per successful request, each retry spends one whole token.
+  // ratio = 0.2 caps sustained retry volume at 20% of successes.
+  double retry_budget_ratio = 0.2;
+  double retry_budget_cap = 32;
+  // Hedging: issue a second copy once the first has been in flight for the
+  // rolling `hedge_quantile` latency (never sooner than `hedge_floor_ns`).
+  // quantile = 0 disables hedging.
+  double hedge_quantile = 97;
+  SimNanos hedge_floor_ns = 100'000;
+  // Circuit breaker: open when the rolling window holds at least
+  // `breaker_min_samples` outcomes and failures/total >= threshold_x1000.
+  uint32_t breaker_threshold_x1000 = 500;  // 50% failure rate trips
+  uint32_t breaker_min_samples = 8;
+  SimNanos breaker_open_ns = 2'000'000;    // open hold before half-open
+  uint32_t breaker_half_open_probes = 2;   // trial requests in half-open
+  SimNanos breaker_bucket_ns = 1'000'000;  // rolling-window bucket size
+  uint32_t breaker_buckets = 8;
+  // Admission control: shed on arrival when queue-wait + estimated
+  // service cannot finish within deadline - slack. 0 slack = exact bound.
+  SimNanos shed_slack_ns = 0;
+};
+
+// Exponential backoff with a ceiling: base << (attempt-1), attempt >= 1.
+inline constexpr SimNanos BackoffNs(const ResilConfig& cfg, uint32_t attempt) {
+  if (attempt == 0 || cfg.backoff_base_ns <= 0) {
+    return 0;
+  }
+  uint32_t shift = attempt - 1 < 20 ? attempt - 1 : 20;
+  SimNanos b = cfg.backoff_base_ns << shift;
+  return b < cfg.backoff_cap_ns ? b : cfg.backoff_cap_ns;
+}
+
+// One request's hedge decision, computed deterministically up front: the
+// hedge is scheduled for issue + delay (delay = the rolling latency
+// quantile, floored); it FIRES only if the primary is still in flight at
+// that instant — a primary that finishes first cancels it, and no second
+// request ever exists. Pure function: trivially replayable, and testable
+// without a cluster (tests/resil_test.cc).
+struct HedgePlan {
+  bool scheduled = false;  // hedging armed for this request
+  bool fired = false;      // primary was still in flight at fire_at
+  SimNanos fire_at = 0;
+};
+
+inline HedgePlan PlanHedge(const ResilConfig& cfg, SimNanos issue, SimNanos primary_finish,
+                           SimNanos observed_delay) {
+  HedgePlan plan;
+  if (!cfg.enabled || cfg.hedge_quantile <= 0) {
+    return plan;
+  }
+  SimNanos delay = observed_delay > cfg.hedge_floor_ns ? observed_delay : cfg.hedge_floor_ns;
+  plan.scheduled = true;
+  plan.fire_at = issue + delay;
+  plan.fired = primary_finish > plan.fire_at;
+  return plan;
+}
+
+// Which errno values the retry layer may retry: transient conditions
+// (momentarily full backlog, would-block) yes; structural ones (no
+// listener at all) no — retrying kECONNREFUSED just re-asks a void.
+inline constexpr bool IsRetryableErrno(int64_t err) {
+  return err == kEBUSY || err == kEAGAIN;
+}
+
+// Token-bucket retry budget. Tokens start at cap; every success deposits
+// `ratio` tokens, every granted retry withdraws one. When the bucket is
+// dry the retry is denied — that is the storm-breaker: retry volume can
+// never exceed cap + ratio * successes no matter how gray the fleet gets.
+class RetryBudget {
+ public:
+  RetryBudget(double ratio, double cap)
+      : ratio_(ratio), cap_(cap > 0 ? cap : 0), tokens_(cap > 0 ? cap : 0) {}
+
+  void OnSuccess() {
+    tokens_ += ratio_;
+    if (tokens_ > cap_) {
+      tokens_ = cap_;
+    }
+  }
+
+  // Spends one token if available. Denials are counted so the bench can
+  // assert the budget actually bit under blackhole chaos.
+  bool TryAcquire() {
+    if (tokens_ < 1.0) {
+      denied_++;
+      return false;
+    }
+    tokens_ -= 1.0;
+    granted_++;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+  uint64_t granted() const { return granted_; }
+  uint64_t denied() const { return denied_; }
+
+ private:
+  double ratio_;
+  double cap_;
+  double tokens_;
+  uint64_t granted_ = 0;
+  uint64_t denied_ = 0;
+};
+
+// Per-destination circuit breaker: closed -> open on rolling failure
+// rate, open -> half-open after `breaker_open_ns`, half-open -> closed
+// after `breaker_half_open_probes` consecutive probe successes (any probe
+// failure slams it back open). The rolling window is an epoch-keyed
+// bucket ring (the SloWindow::Touch pattern) over simulated time.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const ResilConfig& cfg);
+
+  // Whether a request may be sent to this destination at `now`. An open
+  // breaker that has cooled for breaker_open_ns transitions to half-open
+  // and admits up to `breaker_half_open_probes` trials. Denials are
+  // counted as short-circuits.
+  bool Allow(SimNanos now);
+
+  void OnSuccess(SimNanos now);
+  // Records a failure; returns true when this failure tripped the breaker
+  // closed->open or half-open->open.
+  bool OnFailure(SimNanos now);
+
+  State state() const { return state_; }
+  uint64_t opens() const { return opens_; }
+  uint64_t short_circuits() const { return short_circuits_; }
+  uint64_t WindowFailures() const;
+  uint64_t WindowTotal() const;
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;
+    uint32_t ok = 0;
+    uint32_t fail = 0;
+  };
+
+  Bucket& Touch(SimNanos now);
+  void TripOpen(SimNanos now);
+
+  SimNanos bucket_ns_;
+  uint32_t threshold_x1000_;
+  uint32_t min_samples_;
+  SimNanos open_ns_;
+  uint32_t half_open_probes_;
+  std::vector<Bucket> ring_;
+  SimNanos last_ns_ = 0;
+  State state_ = State::kClosed;
+  SimNanos opened_at_ = 0;
+  uint32_t half_open_inflight_ = 0;
+  uint32_t half_open_ok_ = 0;
+  uint64_t opens_ = 0;
+  uint64_t short_circuits_ = 0;
+};
+
+}  // namespace cki
+
+#endif  // SRC_RESIL_RESILIENCE_H_

@@ -6,6 +6,8 @@
 
 #include <string_view>
 
+#include "src/fault/fault_injector.h"
+#include "src/fault/gray_fault.h"
 #include "src/net/load_gen.h"
 #include "src/net/virt_nic.h"
 #include "src/net/vswitch.h"
@@ -79,8 +81,11 @@ TEST(NetTest, BacklogOverflowRefusesUntilAcceptFreesASlot) {
       SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 1});
   ASSERT_TRUE(lfd.ok());
 
-  EXPECT_GT(gen.Connect(nic.port(), 80), 0);                // fills the backlog
-  EXPECT_EQ(gen.Connect(nic.port(), 80), kECONNREFUSED);    // overflow -> RST
+  EXPECT_GT(gen.Connect(nic.port(), 80), 0);        // fills the backlog
+  // Overflow is a TRANSIENT refusal (kEBUSY, retryable): the listener
+  // exists, it is just momentarily full — unlike the structural
+  // kECONNREFUSED for a service nobody listens on.
+  EXPECT_EQ(gen.Connect(nic.port(), 80), kEBUSY);
   EXPECT_EQ(nic.stats().refused_conns, 1u);
 
   SyscallResult sock = bed.engine().UserSyscall(
@@ -282,6 +287,137 @@ TEST(NetTest, SameSeedReplaysIdenticalPacketTrace) {
   ChainResult c = RunChainWithSeed(43);
   EXPECT_NE(a.trace_hash, c.trace_hash);  // jittered sizes change the trace
   EXPECT_EQ(a.switch_packets, c.switch_packets);  // ... but not the schedule
+}
+
+// --- gray failures on the switch (DESIGN.md §13) --------------------------
+
+struct GrayRun {
+  uint64_t switch_hash = 0;
+  uint64_t gray_hash = 0;
+  uint64_t gray_drops = 0;
+  SimNanos elapsed_ns = 0;
+};
+
+// Raw-flow burst through a switch with an open blackhole + latency
+// episode; everything observable about the run is a pure function of the
+// two seeds.
+GrayRun RunGrayBurst(uint64_t injector_seed, uint64_t gray_seed) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0", NicConfig{.rx_ring = 128});
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  nic.OpenRawFlow(7, gen.port());
+
+  InjectorConfig ic;
+  ic.seed = injector_seed;
+  ic.packet_blackhole_rate = 1.0;   // first draw opens the episode
+  ic.latency_inflation_rate = 1.0;  // ... and the 3x hop-latency episode
+  FaultInjector injector(ic);
+  GrayConfig gc;
+  gc.seed = gray_seed;
+  gc.blackhole_permille = 400;
+  GrayFault gray(gc);
+  gray.Advance(bed.ctx().clock().now(), injector, nullptr);
+  sw.set_gray(&gray);
+
+  const SimNanos t0 = bed.ctx().clock().now();
+  for (int i = 0; i < 64; ++i) {
+    sw.Send(Packet{.src = gen.port(), .dst = nic.port(), .flow = 7, .bytes = 200});
+  }
+  return GrayRun{.switch_hash = sw.trace_hash(),
+                 .gray_hash = gray.trace_hash(),
+                 .gray_drops = sw.gray_drops(),
+                 .elapsed_ns = bed.ctx().clock().now() - t0};
+}
+
+TEST(NetTest, GrayDropAndDelayReplayBitIdentically) {
+  GrayRun a = RunGrayBurst(11, 21);
+  GrayRun b = RunGrayBurst(11, 21);
+  // Same seeds: every swallowed packet, the inflated hop timing, and the
+  // forwarded-frame digest replay exactly.
+  EXPECT_EQ(a.switch_hash, b.switch_hash);
+  EXPECT_EQ(a.gray_hash, b.gray_hash);
+  EXPECT_EQ(a.gray_drops, b.gray_drops);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  // The blackhole is intermittent, not total: some frames vanish, not all.
+  EXPECT_GT(a.gray_drops, 0u);
+  EXPECT_LT(a.gray_drops, 64u);
+
+  // A different gray seed swallows a different packet subset.
+  GrayRun c = RunGrayBurst(11, 22);
+  EXPECT_NE(a.gray_hash, c.gray_hash);
+}
+
+TEST(NetTest, GrayLatencyEpisodeInflatesHopTime) {
+  // Same injector stream, but a gray model with no blackhole at all: the
+  // only difference from a healthy run is the 3x hop-latency episode.
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0", NicConfig{.rx_ring = 16});
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  nic.OpenRawFlow(7, gen.port());
+
+  const SimNanos healthy0 = bed.ctx().clock().now();
+  sw.Send(Packet{.src = gen.port(), .dst = nic.port(), .flow = 7, .bytes = 120});
+  const SimNanos healthy = bed.ctx().clock().now() - healthy0;
+
+  InjectorConfig ic;
+  ic.seed = 5;
+  ic.latency_inflation_rate = 1.0;
+  FaultInjector injector(ic);
+  GrayConfig gc;
+  gc.blackhole_permille = 0;
+  GrayFault gray(gc);
+  gray.Advance(bed.ctx().clock().now(), injector, nullptr);
+  sw.set_gray(&gray);
+
+  const SimNanos gray0 = bed.ctx().clock().now();
+  sw.Send(Packet{.src = gen.port(), .dst = nic.port(), .flow = 7, .bytes = 120});
+  const SimNanos inflated = bed.ctx().clock().now() - gray0;
+  EXPECT_GT(inflated, healthy);
+  EXPECT_EQ(sw.gray_drops(), 0u);
+}
+
+// --- deadline admission control at the NIC (DESIGN.md §13) ----------------
+
+TEST(NetTest, NicShedsDataFramesWhoseDeadlineAlreadyExpired) {
+  Testbed bed(RuntimeKind::kRunc, Deployment::kBareMetal);
+  VSwitch sw(bed.ctx());
+  VirtNic nic(bed.engine(), sw, "eth0");
+  LoadGenerator gen(bed.ctx(), sw, "client");
+  bed.engine().kernel().set_net(&nic);
+  SyscallResult lfd = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kListen, .arg0 = 80, .arg1 = 8});
+  ASSERT_TRUE(lfd.ok());
+  int64_t flow = gen.Connect(nic.port(), 80);
+  ASSERT_GT(flow, 0);
+  SyscallResult sock = bed.engine().UserSyscall(
+      SyscallRequest{.no = Sys::kAccept, .arg0 = static_cast<uint64_t>(lfd.value)});
+  ASSERT_TRUE(sock.ok());
+
+  // A 1ns deadline budget is always stale by the time the frame crosses
+  // the 250ns hop: the NIC consumes the frame and sheds it at RX.
+  gen.set_deadline_budget_ns(1);
+  gen.SendRequests(static_cast<int>(flow), 2, 256);
+  EXPECT_EQ(nic.stats().rx_sheds, 2u);
+  EXPECT_EQ(bed.engine()
+                .UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                            .arg0 = static_cast<uint64_t>(sock.value),
+                                            .arg1 = 256})
+                .value,
+            kEAGAIN);
+
+  // With a sane budget the same path delivers normally.
+  gen.set_deadline_budget_ns(1'000'000);
+  gen.SendRequests(static_cast<int>(flow), 1, 256);
+  EXPECT_EQ(nic.stats().rx_sheds, 2u);
+  EXPECT_EQ(bed.engine()
+                .UserSyscall(SyscallRequest{.no = Sys::kRecvfrom,
+                                            .arg0 = static_cast<uint64_t>(sock.value),
+                                            .arg1 = 256})
+                .value,
+            256);
+  bed.engine().kernel().set_net(nullptr);
 }
 
 // --- causal request tracing (DESIGN.md §11) -------------------------------

@@ -228,6 +228,130 @@ TEST(OrchestratorTest, StaticBaselineNeverMigratesOrReaps) {
   EXPECT_GT(stats.served, 0u);
 }
 
+// --- gray failures + request resilience (DESIGN.md §13) -------------------
+
+// SmallConfig plus gray chaos on every site, hot enough that episodes
+// overlap and the health score has time to sink below any drain threshold.
+OrchConfig GrayChaosConfig() {
+  OrchConfig cfg = SmallConfig();
+  cfg.epochs = 32;
+  cfg.latency_inflation_rate = 0.15;
+  cfg.throughput_throttle_rate = 0.05;
+  cfg.packet_blackhole_rate = 0.10;
+  cfg.syscall_jitter_rate = 0.10;
+  return cfg;
+}
+
+TEST(OrchPolicyTest, GrayShardDrainsAndIsNeverADestination) {
+  ClusterSnapshot snap = SyntheticSnapshot();
+  ReactiveConfig rc;
+  rc.gray_health_x1000 = 600;
+  rc.drain_per_epoch = 1;
+  snap.shards[1].health_x1000 = 300;  // alive, but probing 3x slow
+  ReactivePolicy policy(rc);
+
+  std::vector<OrchAction> actions = policy.Decide(snap);
+  int drains = 0;
+  for (const OrchAction& a : actions) {
+    if (a.kind == OrchActionKind::kDrain) {
+      drains++;
+      EXPECT_EQ(a.shard, 1u);
+      EXPECT_NE(a.dst_shard, 1u);
+      EXPECT_GE(snap.shards[a.dst_shard].health_x1000, rc.gray_health_x1000);
+    }
+    // A gray shard gets no new capacity and donates no migrations —
+    // draining it is the only action it participates in.
+    EXPECT_FALSE(a.kind == OrchActionKind::kScaleUp && a.shard == 1);
+  }
+  EXPECT_EQ(drains, 1);
+
+  // Even a hot gray shard is shrunk, not grown.
+  snap.shards[1].epoch_p99_ns = 900'000;
+  for (const OrchAction& a : policy.Decide(snap)) {
+    EXPECT_FALSE(a.kind == OrchActionKind::kScaleUp && a.shard == 1);
+  }
+
+  // Below the threshold the same shard is healthy again: no drains.
+  snap.shards[1].epoch_p99_ns = 0;
+  snap.shards[1].health_x1000 = 650;
+  for (const OrchAction& a : policy.Decide(snap)) {
+    EXPECT_NE(a.kind, OrchActionKind::kDrain);
+  }
+}
+
+TEST(OrchestratorTest, ResilienceRecoversWhatGrayChaosSwallows) {
+  // Control arm: same gray chaos, every defense off. Blackholed requests
+  // are simply lost and nothing retries, hedges, sheds, or probes back.
+  OrchConfig off_cfg = GrayChaosConfig();
+  off_cfg.resil.enabled = false;
+  ReactivePolicy off_policy(ReactiveConfig{});
+  Orchestrator off_orch(off_cfg, off_policy);
+  OrchStats off = off_orch.Run();
+  EXPECT_GT(off.gray_episodes, 0u);
+  EXPECT_GT(off.blackholed, 0u);
+  EXPECT_GT(off.lost, 0u);
+  EXPECT_EQ(off.retries, 0u);
+  EXPECT_EQ(off.hedges, 0u);
+  EXPECT_EQ(off.sheds, 0u);
+  EXPECT_EQ(off.requests, off.served + off.lost);
+
+  // Treatment arm: identical seeds and chaos, resilience on, gray-aware
+  // policy. Retries paid from the budget recover blackholed attempts.
+  OrchConfig on_cfg = GrayChaosConfig();
+  ReactiveConfig rc;
+  rc.gray_health_x1000 = 700;
+  ReactivePolicy on_policy(rc);
+  Orchestrator on_orch(on_cfg, on_policy);
+  OrchStats on = on_orch.Run();
+  EXPECT_GT(on.retries, 0u);
+  EXPECT_GT(on.probes, 0u);
+  EXPECT_LT(on.lost, off.lost);
+  EXPECT_EQ(on.leaked_frames, 0u);
+  EXPECT_EQ(on.requests, on.served + on.lost);
+  // The retry volume respects the token bucket: never more than the
+  // per-shard caps plus the ratio-metered refill.
+  const ResilConfig& resil = on_cfg.resil;
+  EXPECT_LE(on.retries, static_cast<uint64_t>(resil.retry_budget_cap) * on_cfg.shards +
+                            static_cast<uint64_t>(resil.retry_budget_ratio *
+                                                  static_cast<double>(on.served)) +
+                            1);
+}
+
+TEST(OrchestratorTest, GrayResilienceHashesIdenticalAtAnyThreadCount) {
+  // The whole resilience layer — gray draws, retries, hedge placement,
+  // breaker decisions, probes, drains — must stay on the shard-serial
+  // timeline: the combined digest cannot move with the worker count.
+  ReactiveConfig rc;
+  rc.gray_health_x1000 = 700;
+  ReactivePolicy policy(rc);
+  OrchConfig cfg = GrayChaosConfig();
+  cfg.machine_kill_rate = 0.02;
+  cfg.shard_load_skew = 0.5;
+
+  uint64_t want_hash = 0;
+  OrchStats want{};
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    Orchestrator orch(cfg, policy);
+    OrchStats got = orch.Run();
+    if (threads == 1) {
+      want_hash = orch.CombinedHash();
+      want = got;
+      continue;
+    }
+    EXPECT_EQ(orch.CombinedHash(), want_hash) << "threads=" << threads;
+    EXPECT_EQ(got.blackholed, want.blackholed);
+    EXPECT_EQ(got.retries, want.retries);
+    EXPECT_EQ(got.hedges, want.hedges);
+    EXPECT_EQ(got.hedge_wins, want.hedge_wins);
+    EXPECT_EQ(got.sheds, want.sheds);
+    EXPECT_EQ(got.drains, want.drains);
+    EXPECT_EQ(got.breaker_opens, want.breaker_opens);
+    EXPECT_EQ(got.served, want.served);
+    EXPECT_EQ(got.overall_p99_ns, want.overall_p99_ns);
+  }
+}
+
 TEST(OrchestratorTest, MetricsCarryRequestLatencies) {
   ReactivePolicy policy(ReactiveConfig{});
   OrchConfig cfg = SmallConfig();

@@ -1,0 +1,310 @@
+// Tests for the request resilience layer (src/resil, DESIGN.md §13):
+// circuit-breaker state machine, retry-budget token bucket, hedge
+// planning, backoff/deadline arithmetic, the probe-driven health tracker,
+// and the FaultKind name round-trip used by bench --chaos-kinds parsing.
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_domain.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/gray_fault.h"
+#include "src/resil/health.h"
+#include "src/resil/resilience.h"
+
+namespace cki {
+namespace {
+
+ResilConfig TestConfig() {
+  ResilConfig cfg;
+  cfg.breaker_threshold_x1000 = 500;
+  cfg.breaker_min_samples = 4;
+  cfg.breaker_open_ns = 1'000'000;
+  cfg.breaker_half_open_probes = 2;
+  cfg.breaker_bucket_ns = 100'000;
+  cfg.breaker_buckets = 8;
+  return cfg;
+}
+
+// --- circuit breaker ------------------------------------------------------
+
+TEST(CircuitBreakerTest, ClosedUntilFailureRateCrossesThresholdAtMinSamples) {
+  CircuitBreaker b(TestConfig());
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  // Three straight failures: under min_samples, still closed.
+  EXPECT_FALSE(b.OnFailure(1'000));
+  EXPECT_FALSE(b.OnFailure(2'000));
+  EXPECT_FALSE(b.OnFailure(3'000));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.Allow(4'000));
+  // Fourth outcome reaches min_samples with 100% failures: trips.
+  EXPECT_TRUE(b.OnFailure(4'000));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.opens(), 1u);
+}
+
+TEST(CircuitBreakerTest, MajoritySuccessKeepsItClosed) {
+  CircuitBreaker b(TestConfig());
+  for (SimNanos t = 1'000; t <= 16'000; t += 1'000) {
+    if (t % 4'000 == 0) {
+      b.OnFailure(t);  // 25% failure rate, threshold is 50%
+    } else {
+      b.OnSuccess(t);
+    }
+  }
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.opens(), 0u);
+}
+
+TEST(CircuitBreakerTest, OpenShortCircuitsThenHalfOpenAdmitsProbeQuota) {
+  ResilConfig cfg = TestConfig();
+  CircuitBreaker b(cfg);
+  for (SimNanos t = 1'000; t <= 4'000; t += 1'000) {
+    b.OnFailure(t);
+  }
+  ASSERT_EQ(b.state(), CircuitBreaker::State::kOpen);
+
+  // While open and not yet cooled: everything short-circuits.
+  EXPECT_FALSE(b.Allow(10'000));
+  EXPECT_FALSE(b.Allow(500'000));
+  EXPECT_EQ(b.short_circuits(), 2u);
+
+  // Cooled past breaker_open_ns: half-open, admits exactly the probe quota.
+  const SimNanos cooled = 4'000 + cfg.breaker_open_ns;
+  EXPECT_TRUE(b.Allow(cooled));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.Allow(cooled + 1));
+  EXPECT_FALSE(b.Allow(cooled + 2));  // quota (2) exhausted
+}
+
+TEST(CircuitBreakerTest, HalfOpenClosesAfterProbeSuccessesAndWipesHistory) {
+  ResilConfig cfg = TestConfig();
+  CircuitBreaker b(cfg);
+  for (SimNanos t = 1'000; t <= 4'000; t += 1'000) {
+    b.OnFailure(t);
+  }
+  const SimNanos cooled = 4'000 + cfg.breaker_open_ns;
+  ASSERT_TRUE(b.Allow(cooled));
+  ASSERT_TRUE(b.Allow(cooled + 1));
+  b.OnSuccess(cooled + 10);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  b.OnSuccess(cooled + 20);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  // The pre-open failure window was wiped on close: one new failure must
+  // not re-trip against stale history.
+  EXPECT_FALSE(b.OnFailure(cooled + 30));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, AnyHalfOpenFailureReTrips) {
+  ResilConfig cfg = TestConfig();
+  CircuitBreaker b(cfg);
+  for (SimNanos t = 1'000; t <= 4'000; t += 1'000) {
+    b.OnFailure(t);
+  }
+  const SimNanos cooled = 4'000 + cfg.breaker_open_ns;
+  ASSERT_TRUE(b.Allow(cooled));
+  b.OnSuccess(cooled + 10);
+  ASSERT_TRUE(b.Allow(cooled + 20));
+  EXPECT_TRUE(b.OnFailure(cooled + 30));  // one bad probe slams it shut
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.opens(), 2u);
+  // The open hold restarts from the re-trip instant.
+  EXPECT_FALSE(b.Allow(cooled + 40));
+}
+
+// --- retry budget ---------------------------------------------------------
+
+TEST(RetryBudgetTest, ExhaustsAtCapAndCountsDenials) {
+  RetryBudget budget(/*ratio=*/0.0, /*cap=*/3);
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  // Bucket dry, no successes refilling it: every further retry is denied.
+  EXPECT_FALSE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+  EXPECT_EQ(budget.granted(), 3u);
+  EXPECT_EQ(budget.denied(), 2u);
+}
+
+TEST(RetryBudgetTest, SuccessesRefillAtRatioAndClampAtCap) {
+  RetryBudget budget(/*ratio=*/0.5, /*cap=*/2);
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+  // Two successes deposit one whole token.
+  budget.OnSuccess();
+  EXPECT_FALSE(budget.TryAcquire());  // 0.5 tokens: still short of one
+  budget.OnSuccess();
+  EXPECT_TRUE(budget.TryAcquire());
+  // Refill clamps at cap: retry volume stays <= cap + ratio * successes.
+  for (int i = 0; i < 100; ++i) {
+    budget.OnSuccess();
+  }
+  EXPECT_EQ(budget.tokens(), 2.0);
+}
+
+// --- hedge planning -------------------------------------------------------
+
+TEST(HedgePlanTest, PrimaryWinCancelsTheHedge) {
+  ResilConfig cfg;
+  cfg.hedge_floor_ns = 50'000;
+  // Primary finishes at issue+40k, before the 50k floor: never fires.
+  HedgePlan plan = PlanHedge(cfg, /*issue=*/100'000, /*primary_finish=*/140'000,
+                             /*observed_delay=*/30'000);
+  EXPECT_TRUE(plan.scheduled);
+  EXPECT_FALSE(plan.fired);
+  EXPECT_EQ(plan.fire_at, 150'000u);
+}
+
+TEST(HedgePlanTest, SlowPrimaryFiresAtObservedQuantileDelay) {
+  ResilConfig cfg;
+  cfg.hedge_floor_ns = 50'000;
+  HedgePlan plan = PlanHedge(cfg, /*issue=*/100'000, /*primary_finish=*/400'000,
+                             /*observed_delay=*/120'000);
+  EXPECT_TRUE(plan.scheduled);
+  EXPECT_TRUE(plan.fired);
+  EXPECT_EQ(plan.fire_at, 220'000u);  // issue + observed (above the floor)
+}
+
+TEST(HedgePlanTest, DisabledConfigNeverSchedules) {
+  ResilConfig off;
+  off.enabled = false;
+  EXPECT_FALSE(PlanHedge(off, 0, 1'000'000, 10'000).scheduled);
+  ResilConfig no_quantile;
+  no_quantile.hedge_quantile = 0;
+  EXPECT_FALSE(PlanHedge(no_quantile, 0, 1'000'000, 10'000).scheduled);
+}
+
+// --- backoff / deadline arithmetic ----------------------------------------
+
+TEST(BackoffTest, DoublesFromBaseAndSaturatesAtCap) {
+  ResilConfig cfg;
+  cfg.backoff_base_ns = 20'000;
+  cfg.backoff_cap_ns = 100'000;
+  EXPECT_EQ(BackoffNs(cfg, 1), 20'000u);
+  EXPECT_EQ(BackoffNs(cfg, 2), 40'000u);
+  EXPECT_EQ(BackoffNs(cfg, 3), 80'000u);
+  EXPECT_EQ(BackoffNs(cfg, 4), 100'000u);   // capped
+  EXPECT_EQ(BackoffNs(cfg, 60), 100'000u);  // shift clamped, still capped
+}
+
+TEST(BackoffTest, DeadlineExpiredRetryIsDropped) {
+  // The retry-gate arithmetic the serve loop uses: a retry whose re-issue
+  // time lands past the deadline must not be attempted at all.
+  ResilConfig cfg;
+  cfg.deadline_ns = 500'000;
+  cfg.attempt_timeout_ns = 300'000;
+  cfg.backoff_base_ns = 20'000;
+  const SimNanos arrival = 1'000'000;
+  const SimNanos deadline = arrival + cfg.deadline_ns;
+  // Attempt 1 blackholed at arrival: detected at +300k, retry at +320k —
+  // inside the deadline, so the retry proceeds.
+  SimNanos detect = arrival + cfg.attempt_timeout_ns;
+  SimNanos next_issue = detect + BackoffNs(cfg, 1);
+  EXPECT_LT(next_issue, deadline);
+  // Attempt 2 blackholed too: the would-be third attempt starts past the
+  // deadline and is dropped instead of issued.
+  detect = next_issue + cfg.attempt_timeout_ns;
+  next_issue = detect + BackoffNs(cfg, 2);
+  EXPECT_GE(next_issue, deadline);
+}
+
+TEST(RetryableErrnoTest, TransientYesStructuralNo) {
+  EXPECT_TRUE(IsRetryableErrno(kEBUSY));
+  EXPECT_TRUE(IsRetryableErrno(kEAGAIN));
+  EXPECT_FALSE(IsRetryableErrno(kECONNREFUSED));
+  EXPECT_FALSE(IsRetryableErrno(kEADDRINUSE));
+  EXPECT_FALSE(IsRetryableErrno(0));
+}
+
+// --- health tracker -------------------------------------------------------
+
+TEST(HealthTrackerTest, InnocentUntilProbedThenTracksDegradation) {
+  HealthTracker h;
+  EXPECT_EQ(h.score_x1000(), 1000u);  // no probe yet: full health
+  h.Observe(10'000);
+  EXPECT_EQ(h.score_x1000(), 1000u);  // first probe defines the baseline
+  // A 4x-slower machine decays toward 250 as probes accumulate.
+  for (int i = 0; i < 32; ++i) {
+    h.Observe(40'000);
+  }
+  EXPECT_LT(h.score_x1000(), 400u);
+  EXPECT_GE(h.score_x1000(), 250u);
+  // Recovery pulls the score back up — gray is not a death sentence.
+  for (int i = 0; i < 32; ++i) {
+    h.Observe(10'000);
+  }
+  EXPECT_GT(h.score_x1000(), 900u);
+}
+
+TEST(HealthTrackerTest, BaselineIsRunningMinAndResetClears) {
+  HealthTracker h;
+  h.Observe(40'000);
+  h.Observe(10'000);  // faster probe lowers the baseline
+  EXPECT_EQ(h.baseline_ns(), 10'000u);
+  h.Reset();
+  EXPECT_EQ(h.probes(), 0u);
+  EXPECT_EQ(h.score_x1000(), 1000u);
+}
+
+// --- FaultKind name round-trip (bench --chaos-kinds parsing) --------------
+
+TEST(FaultKindNameTest, EveryKindRoundTripsAndUnknownIsNullopt) {
+  for (size_t i = 0; i < static_cast<size_t>(FaultKind::kCount); ++i) {
+    const FaultKind kind = static_cast<FaultKind>(i);
+    auto parsed = FaultKindFromName(FaultKindName(kind));
+    ASSERT_TRUE(parsed.has_value()) << FaultKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(FaultKindFromName("not-a-fault").has_value());
+  EXPECT_FALSE(FaultKindFromName("").has_value());
+}
+
+TEST(FaultKindNameTest, GrayKindsAreNamed) {
+  EXPECT_EQ(FaultKindFromName("latency_inflation"), FaultKind::kLatencyInflation);
+  EXPECT_EQ(FaultKindFromName("throughput_throttle"), FaultKind::kThroughputThrottle);
+  EXPECT_EQ(FaultKindFromName("packet_blackhole"), FaultKind::kPacketBlackhole);
+  EXPECT_EQ(FaultKindFromName("syscall_jitter"), FaultKind::kSyscallJitter);
+}
+
+// --- gray episode model ---------------------------------------------------
+
+TEST(GrayFaultTest, EpisodesOpenFromInjectorDrawsAndExpire) {
+  InjectorConfig ic;
+  ic.seed = 7;
+  ic.latency_inflation_rate = 1.0;
+  ic.syscall_jitter_rate = 1.0;
+  FaultInjector injector(ic);
+  GrayConfig gc;
+  gc.episode_ns = 1'000'000;
+  GrayFault gray(gc);
+
+  EXPECT_FALSE(gray.AnyOpen(0));
+  EXPECT_EQ(gray.LatencyMultX1000(0), 1000u);
+  gray.Advance(0, injector, nullptr);
+  EXPECT_TRUE(gray.LatencyInflated(500'000));
+  EXPECT_TRUE(gray.JitterOpen(500'000));
+  EXPECT_EQ(gray.LatencyMultX1000(500'000), gc.latency_mult_x1000);
+  // DegradeServiceNs applies the multiplier plus a jitter draw.
+  EXPECT_GE(gray.DegradeServiceNs(10'000, 500'000), 30'000u);
+  // Past episode_ns the machine is healthy again and draws stop.
+  EXPECT_FALSE(gray.AnyOpen(1'000'001));
+  EXPECT_EQ(gray.DegradeServiceNs(10'000, 1'000'001), 10'000u);
+  EXPECT_EQ(gray.episodes(), 2u);
+}
+
+TEST(GrayFaultTest, DisarmedSitesConsumeNoDrawsAndStayHealthy) {
+  InjectorConfig ic;
+  ic.seed = 7;  // no gray rates armed
+  FaultInjector injector(ic);
+  GrayConfig gc;
+  GrayFault gray(gc);
+  for (SimNanos t = 0; t < 10; ++t) {
+    gray.Advance(t * 1'000'000, injector, nullptr);
+  }
+  EXPECT_EQ(gray.episodes(), 0u);
+  EXPECT_FALSE(gray.AnyOpen(5'000'000));
+  EXPECT_EQ(gray.trace_hash(), GrayFault(gc).trace_hash());
+}
+
+}  // namespace
+}  // namespace cki

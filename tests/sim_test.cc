@@ -96,7 +96,7 @@ TEST(TraceTest, CountsAndSnapshots) {
 TEST(SeedSplitTest, PureAndNeverZero) {
   // Same inputs, same output — and no split ever yields the degenerate
   // all-zero xorshift state, not even from the adversarial seeds.
-  for (uint64_t seed : {0ull, 1ull, kSeedFoldConstant, ~0ull}) {
+  for (uint64_t seed : {uint64_t{0}, uint64_t{1}, kSeedFoldConstant, ~uint64_t{0}}) {
     for (uint32_t idx : {0u, 1u, 7u, 1000u}) {
       uint64_t a = SplitSeed(seed, idx);
       uint64_t b = SplitSeed(seed, idx);
