@@ -72,13 +72,8 @@ uint64_t WarmWorkload(ContainerEngine& e) {
 // Deterministic post-start probe used by the migration check: syscall
 // results + kernel counters, folded FNV-1a style. No clock reads.
 uint64_t WorkloadHash(ContainerEngine& e) {
-  uint64_t h = kSnapFnvBasis;
-  auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xFF;
-      h *= kSnapFnvPrime;
-    }
-  };
+  uint64_t h = kFnvOffsetBasis;
+  auto mix = [&h](uint64_t v) { h = FnvMix64(h, v); };
   mix(static_cast<uint64_t>(e.UserSyscall(SyscallRequest{.no = Sys::kGetpid}).value));
   mix(static_cast<uint64_t>(e.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 1}).value));
   mix(static_cast<uint64_t>(e.UserSyscall(SyscallRequest{.no = Sys::kBrk, .arg0 = 0}).value));

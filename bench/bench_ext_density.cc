@@ -17,6 +17,7 @@
 #include "bench/bench_util.h"
 #include "src/cki/cki_engine.h"
 #include "src/cluster/sim_cluster.h"
+#include "src/sim/fnv.h"
 #include "src/metrics/report.h"
 #include "src/runtime/runtime.h"
 
@@ -81,7 +82,7 @@ void Run(const BenchIo& io) {
   ReportTable table("Container boot cost & density", "design",
                     {"containers", "boot us p50", "boot us p99", "host frames/container",
                      "boots/s (1 core)"});
-  uint64_t fleet_hash = 0xcbf29ce484222325ULL;
+  uint64_t fleet_hash = kFnvOffsetBasis;
 
   for (RuntimeKind kind : {RuntimeKind::kRunc, RuntimeKind::kHvm, RuntimeKind::kPvm,
                            RuntimeKind::kGvisor, RuntimeKind::kLibOs, RuntimeKind::kCki}) {
@@ -99,7 +100,7 @@ void Run(const BenchIo& io) {
                   mean_us > 0 ? 1e6 / mean_us : 0});
     // Fold per-design cluster hashes into one fleet digest, design order.
     fleet_hash ^= result.trace_hash();
-    fleet_hash *= 0x100000001b3ULL;
+    fleet_hash *= kFnvPrime;  // whole-word fold, not the byte-wise mixer
     for (const ShardResult& shard : result.shards()) {
       sink.AddConfig(std::string(RuntimeKindName(kind)) + "/shard-" +
                          std::to_string(shard.index),

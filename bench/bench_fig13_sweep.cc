@@ -7,29 +7,22 @@
 // machine, so the whole sweep runs as one SimCluster over `--threads`
 // workers (DESIGN.md §9). Cell results are merged in cell order, so the
 // tables and the determinism hash are identical at any thread count.
+//
+// The cell list and per-cell body live in bench/fig13_cells.h, shared with
+// bench_ext_simspeed so the raw-speed gate pins the hash of *this* sweep.
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/fig13_cells.h"
 #include "src/cluster/sim_cluster.h"
 #include "src/metrics/report.h"
 #include "src/workloads/mem_apps.h"
 
 namespace cki {
 namespace {
-
-enum class SweepApp : uint8_t { kBtree, kXsbench };
-
-// One independent simulated machine of the sweep.
-struct Cell {
-  std::string label;  // config label ("RunC" rows are the baselines)
-  RuntimeKind kind;
-  Deployment deployment;
-  SweepApp app;
-  double param;  // lookup/insert ratio or particle count
-};
 
 double OverheadPct(double runc_ns, double measured_ns) {
   return (measured_ns / runc_ns - 1.0) * 100.0;
@@ -42,26 +35,7 @@ void Run(const BenchIo& io) {
       {"PVM", RuntimeKind::kPvm, Deployment::kBareMetal},
       {"CKI", RuntimeKind::kCki, Deployment::kBareMetal},
   };
-  const double ratios[] = {0.5, 1, 2, 4, 8, 16};
-  const int particles[] = {2000, 5000, 10000, 20000, 40000};
-
-  // Build the cell list: RunC baselines first, then every config, for
-  // both sweeps. Cell order is the merge order and never depends on the
-  // thread count.
-  std::vector<Cell> cells;
-  auto add_sweep = [&cells, &configs](SweepApp app, const double* params, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      cells.push_back({"RunC", RuntimeKind::kRunc, Deployment::kBareMetal, app, params[i]});
-    }
-    for (const BenchConfig& config : configs) {
-      for (size_t i = 0; i < n; ++i) {
-        cells.push_back({config.label, config.kind, config.deployment, app, params[i]});
-      }
-    }
-  };
-  add_sweep(SweepApp::kBtree, ratios, std::size(ratios));
-  std::vector<double> particle_params(std::begin(particles), std::end(particles));
-  add_sweep(SweepApp::kXsbench, particle_params.data(), particle_params.size());
+  const std::vector<Fig13Cell> cells = Fig13CellList();
 
   ClusterConfig cc;
   cc.shards = static_cast<uint32_t>(cells.size());
@@ -70,22 +44,13 @@ void Run(const BenchIo& io) {
   SimCluster cluster(cc);
 
   ClusterResult result = cluster.Run([&cells](const ShardTask& task) {
-    const Cell& cell = cells[task.index];
-    ShardResult r;
-    Testbed bed(cell.kind, cell.deployment);
-    SimNanos ns = cell.app == SweepApp::kBtree
-                      ? RunBtreeRatio(bed.engine(), cell.param)
-                      : RunXsbenchParticles(bed.engine(), static_cast<int>(cell.param));
-    r.sim_ns = bed.ctx().clock().now();
-    r.values["ns"] = static_cast<double>(ns);
-    r.HashMix(ns);
-    return r;
+    return RunFig13Cell(cells[task.index]);
   });
 
   // Reassemble the tables from the flat cell results.
-  auto cell_ns = [&](const std::string& label, SweepApp app, double param) {
+  auto cell_ns = [&](const std::string& label, Fig13App app, double param) {
     for (size_t i = 0; i < cells.size(); ++i) {
-      const Cell& cell = cells[i];
+      const Fig13Cell& cell = cells[i];
       if (cell.label == label && cell.app == app && cell.param == param) {
         return result.shards()[i].values.at("ns");
       }
@@ -93,31 +58,36 @@ void Run(const BenchIo& io) {
     return 0.0;
   };
 
+  size_t n_ratios = 0;
+  const double* ratios = Fig13Ratios(&n_ratios);
   std::vector<std::string> ratio_labels;
-  for (double r : ratios) {
-    ratio_labels.push_back("L/I=" + std::to_string(r).substr(0, 4));
+  for (size_t i = 0; i < n_ratios; ++i) {
+    ratio_labels.push_back("L/I=" + std::to_string(ratios[i]).substr(0, 4));
   }
   ReportTable btree("Figure 13a: BTree overhead vs RunC (%)", "config", ratio_labels);
   for (const BenchConfig& config : configs) {
     std::vector<double> row;
-    for (double ratio : ratios) {
-      row.push_back(OverheadPct(cell_ns("RunC", SweepApp::kBtree, ratio),
-                                cell_ns(config.label, SweepApp::kBtree, ratio)));
+    for (size_t i = 0; i < n_ratios; ++i) {
+      row.push_back(OverheadPct(cell_ns("RunC", Fig13App::kBtree, ratios[i]),
+                                cell_ns(config.label, Fig13App::kBtree, ratios[i])));
     }
     btree.AddRow(config.label, row);
   }
   btree.Print(std::cout, 1);
 
+  size_t n_particles = 0;
+  const int* particles = Fig13Particles(&n_particles);
   std::vector<std::string> particle_labels;
-  for (int p : particles) {
-    particle_labels.push_back(std::to_string(p) + "p");
+  for (size_t i = 0; i < n_particles; ++i) {
+    particle_labels.push_back(std::to_string(particles[i]) + "p");
   }
   ReportTable xs("Figure 13b: XSBench overhead vs RunC (%)", "config", particle_labels);
   for (const BenchConfig& config : configs) {
     std::vector<double> row;
-    for (double p : particle_params) {
-      row.push_back(OverheadPct(cell_ns("RunC", SweepApp::kXsbench, p),
-                                cell_ns(config.label, SweepApp::kXsbench, p)));
+    for (size_t i = 0; i < n_particles; ++i) {
+      double p = static_cast<double>(particles[i]);
+      row.push_back(OverheadPct(cell_ns("RunC", Fig13App::kXsbench, p),
+                                cell_ns(config.label, Fig13App::kXsbench, p)));
     }
     xs.AddRow(config.label, row);
   }

@@ -1,0 +1,89 @@
+// The Figure 13 sweep cell list, shared between bench_fig13_sweep (the
+// paper tables) and bench_ext_simspeed (the raw-speed gate). Both must run
+// the *same* cells in the *same* order so the determinism hash pinned by
+// the speed gate is the hash of the real sweep, not of a lookalike.
+#ifndef BENCH_FIG13_CELLS_H_
+#define BENCH_FIG13_CELLS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/sim_cluster.h"
+#include "src/workloads/mem_apps.h"
+
+namespace cki {
+
+enum class Fig13App : uint8_t { kBtree, kXsbench };
+
+// One independent simulated machine of the sweep.
+struct Fig13Cell {
+  std::string label;  // config label ("RunC" rows are the baselines)
+  RuntimeKind kind;
+  Deployment deployment;
+  Fig13App app;
+  double param;  // lookup/insert ratio or particle count
+};
+
+inline const double* Fig13Ratios(size_t* n) {
+  static const double ratios[] = {0.5, 1, 2, 4, 8, 16};
+  *n = std::size(ratios);
+  return ratios;
+}
+
+inline const int* Fig13Particles(size_t* n) {
+  static const int particles[] = {2000, 5000, 10000, 20000, 40000};
+  *n = std::size(particles);
+  return particles;
+}
+
+// Builds the cell list: RunC baselines first, then every config, for both
+// sweeps. Cell order is the merge order and never depends on thread count.
+inline std::vector<Fig13Cell> Fig13CellList() {
+  const std::vector<BenchConfig> configs = {
+      {"HVM-NST", RuntimeKind::kHvm, Deployment::kNested},
+      {"HVM-BM", RuntimeKind::kHvm, Deployment::kBareMetal},
+      {"PVM", RuntimeKind::kPvm, Deployment::kBareMetal},
+      {"CKI", RuntimeKind::kCki, Deployment::kBareMetal},
+  };
+  std::vector<Fig13Cell> cells;
+  auto add_sweep = [&cells, &configs](Fig13App app, const double* params, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      cells.push_back({"RunC", RuntimeKind::kRunc, Deployment::kBareMetal, app, params[i]});
+    }
+    for (const BenchConfig& config : configs) {
+      for (size_t i = 0; i < n; ++i) {
+        cells.push_back({config.label, config.kind, config.deployment, app, params[i]});
+      }
+    }
+  };
+  size_t n_ratios = 0;
+  const double* ratios = Fig13Ratios(&n_ratios);
+  add_sweep(Fig13App::kBtree, ratios, n_ratios);
+  size_t n_particles = 0;
+  const int* particles = Fig13Particles(&n_particles);
+  std::vector<double> particle_params(particles, particles + n_particles);
+  add_sweep(Fig13App::kXsbench, particle_params.data(), particle_params.size());
+  return cells;
+}
+
+// Runs one cell on a fresh simulated machine. Mixes only the workload's
+// simulated time into the shard digest — host-side data structures and
+// wall-clock speed are free to change under this hash (DESIGN.md §14).
+inline ShardResult RunFig13Cell(const Fig13Cell& cell) {
+  ShardResult r;
+  Testbed bed(cell.kind, cell.deployment);
+  SimNanos ns = cell.app == Fig13App::kBtree
+                    ? RunBtreeRatio(bed.engine(), cell.param)
+                    : RunXsbenchParticles(bed.engine(), static_cast<int>(cell.param));
+  r.sim_ns = bed.ctx().clock().now();
+  r.values["ns"] = static_cast<double>(ns);
+  r.values["events"] = static_cast<double>(bed.ctx().trace().TotalEvents());
+  r.HashMix(ns);
+  return r;
+}
+
+}  // namespace cki
+
+#endif  // BENCH_FIG13_CELLS_H_

@@ -17,6 +17,7 @@ CkiEngine::CkiEngine(Machine& machine, CkiAblation ablation, uint64_t segment_pa
       segment_pages_(segment_pages),
       n_vcpus_(n_vcpus < 1 ? 1 : n_vcpus) {
   AllocPcids(256);
+  fast_touch_ = true;  // DoUserTouch prologue is the canonical hit sequence
   if (!machine.cpu().extensions().pks_priv_gating) {
     throw FatalHostError(
         "CkiEngine requires a machine with the CKI hardware extensions");

@@ -6,26 +6,12 @@
 #include <thread>
 #include <utility>
 
+#include "src/sim/fnv.h"
 #include "src/sim/seed_split.h"
 
 namespace cki {
-namespace {
 
-constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
-
-// Byte-wise FNV-1a over one 64-bit value (the vswitch/fault-bus mixer).
-uint64_t FnvMix(uint64_t hash, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (i * 8)) & 0xFF;
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
-}  // namespace
-
-void ShardResult::HashMix(uint64_t v) { trace_hash_ = FnvMix(trace_hash_, v); }
+void ShardResult::HashMix(uint64_t v) { trace_hash_ = FnvMix64(trace_hash_, v); }
 
 size_t ClusterResult::failed_count() const {
   size_t n = 0;
@@ -68,12 +54,12 @@ MetricsRegistry ClusterResult::MergedMetrics() const {
 }
 
 uint64_t ClusterResult::trace_hash() const {
-  uint64_t hash = kFnvOffset;
+  uint64_t hash = kFnvOffsetBasis;
   for (const ShardResult& s : shards_) {
-    hash = FnvMix(hash, s.index);
-    hash = FnvMix(hash, s.ok ? 1 : 0);
-    hash = FnvMix(hash, s.sim_ns);
-    hash = FnvMix(hash, s.trace_hash());
+    hash = FnvMix64(hash, s.index);
+    hash = FnvMix64(hash, s.ok ? 1 : 0);
+    hash = FnvMix64(hash, s.sim_ns);
+    hash = FnvMix64(hash, s.trace_hash());
   }
   return hash;
 }

@@ -4,20 +4,9 @@
 
 #include "src/obs/metrics_registry.h"
 #include "src/sim/context.h"
+#include "src/sim/fnv.h"
 
 namespace cki {
-namespace {
-
-inline uint64_t Fnv1aMix(uint64_t hash, uint64_t value) {
-  // Byte-wise FNV-1a, the same mixing vswitch.cc uses for packet traces.
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (i * 8)) & 0xFF;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-}  // namespace
 
 void FaultBus::RegisterDomain(uint32_t owner, std::string name,
                               std::function<void()> on_kill) {
@@ -49,9 +38,9 @@ bool FaultBus::alive(uint32_t owner) const {
 void FaultBus::Record(const FaultReport& report) {
   faults_reported_++;
   kind_counts_[static_cast<size_t>(report.kind)]++;
-  trace_hash_ = Fnv1aMix(trace_hash_, static_cast<uint64_t>(report.kind));
-  trace_hash_ = Fnv1aMix(trace_hash_, report.owner);
-  trace_hash_ = Fnv1aMix(trace_hash_, report.detail);
+  trace_hash_ = FnvMix64(trace_hash_, static_cast<uint64_t>(report.kind));
+  trace_hash_ = FnvMix64(trace_hash_, report.owner);
+  trace_hash_ = FnvMix64(trace_hash_, report.detail);
   // Rolling per-container fault count for the SLO window (always-on
   // telemetry; no-op while observability is disabled).
   ctx_.obs().SloIncFault(report.owner, ctx_.clock().now());

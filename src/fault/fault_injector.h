@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "src/sim/fnv.h"
 #include "src/sim/seed_split.h"
 
 namespace cki {
@@ -93,19 +94,13 @@ class FaultInjector {
     return true;
   }
 
-  static uint64_t Mix(uint64_t hash, uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (value >> (i * 8)) & 0xFF;
-      hash *= 0x100000001b3ULL;
-    }
-    return hash;
-  }
+  static uint64_t Mix(uint64_t hash, uint64_t value) { return FnvMix64(hash, value); }
 
   InjectorConfig config_;
   XorShift64Star rng_;  // the shared fold + step scheme (seed_split.h)
   uint64_t draws_ = 0;
   uint64_t injected_ = 0;
-  uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  uint64_t trace_hash_ = kFnvOffsetBasis;
 };
 
 }  // namespace cki

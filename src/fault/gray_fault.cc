@@ -1,5 +1,7 @@
 #include "src/fault/gray_fault.h"
 
+#include "src/sim/fnv.h"
+
 #include "src/fault/fault_injector.h"
 
 namespace cki {
@@ -32,14 +34,8 @@ void GrayFault::Open(SimNanos now, SimNanos* until, FaultKind kind, FaultBus* bu
 }
 
 void GrayFault::Mix(uint64_t salt, uint64_t value) {
-  auto fold = [this](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      trace_hash_ ^= (v >> (i * 8)) & 0xFF;
-      trace_hash_ *= 0x100000001b3ULL;
-    }
-  };
-  fold(salt);
-  fold(value);
+  const uint64_t words[] = {salt, value};
+  trace_hash_ = FnvMixWords(trace_hash_, words, 2);
 }
 
 }  // namespace cki

@@ -28,6 +28,7 @@
 
 #include "src/fault/fault_domain.h"
 #include "src/sim/clock.h"
+#include "src/sim/fnv.h"
 #include "src/sim/seed_split.h"
 
 namespace cki {
@@ -128,7 +129,7 @@ class GrayFault {
   SimNanos jitter_until_ = 0;
   uint64_t episodes_ = 0;
   uint64_t swallowed_ = 0;
-  uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  uint64_t trace_hash_ = kFnvOffsetBasis;
 };
 
 }  // namespace cki

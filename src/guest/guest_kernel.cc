@@ -117,13 +117,13 @@ int GuestKernel::NewProcessSlot() {
   auto proc = std::make_unique<Process>();
   proc->pid = pid;
   proc->asid = next_asid_++;
-  procs_[pid] = std::move(proc);
+  procs_.Adopt(std::move(proc));
   return pid;
 }
 
 int GuestKernel::CreateInitProcess() {
   int pid = NewProcessSlot();
-  Process& proc = *procs_[pid];
+  Process& proc = *procs_.Get(pid);
   proc.pt_root = NewAddressSpace();
   proc.vmas.Insert(Vma{.start = kUserTextBase,
                        .end = kUserTextBase + kTextPages * kPageSize,
@@ -146,10 +146,7 @@ int GuestKernel::CreateInitProcess() {
   return pid;
 }
 
-Process* GuestKernel::process(int pid) {
-  auto it = procs_.find(pid);
-  return it == procs_.end() ? nullptr : it->second.get();
-}
+Process* GuestKernel::process(int pid) { return procs_.Get(pid); }
 
 Process& GuestKernel::current() {
   Process* p = process(current_pid_);
@@ -172,15 +169,15 @@ int GuestKernel::Schedule() {
   // Round robin: next runnable pid after the current one.
   std::vector<int> pids;
   pids.reserve(procs_.size());
-  for (const auto& [pid, proc] : procs_) {
-    if (proc->state == ProcState::kRunnable) {
-      pids.push_back(pid);
+  procs_.ForEach([&pids](Process& proc) {
+    if (proc.state == ProcState::kRunnable) {
+      pids.push_back(proc.pid);
     }
-  }
+  });
   if (pids.empty()) {
     return -1;
   }
-  std::sort(pids.begin(), pids.end());
+  // pids are ascending by construction (pid-indexed slab) — no sort.
   auto it = std::upper_bound(pids.begin(), pids.end(), current_pid_);
   int next = (it == pids.end()) ? pids.front() : *it;
   SwitchTo(next);
@@ -191,13 +188,12 @@ void GuestKernel::KillAllProcesses() {
   // Pure data-structure teardown; the frames themselves are swept by the
   // engine's OwnerId reclaim, and the dying container's page tables are
   // never walked again.
-  for (auto& [pid, proc] : procs_) {
-    (void)pid;
-    proc->fds.clear();
-    proc->vmas.Clear();
-    proc->pt_root = 0;
-    proc->state = ProcState::kZombie;
-  }
+  procs_.ForEach([](Process& proc) {
+    proc.fds.clear();
+    proc.vmas.Clear();
+    proc.pt_root = 0;
+    proc.state = ProcState::kZombie;
+  });
   current_pid_ = -1;
   channels_.clear();
   page_refs_.clear();
@@ -207,23 +203,21 @@ void GuestKernel::KillAllProcesses() {
 
 std::vector<int> GuestKernel::LivePids() const {
   std::vector<int> pids;
-  for (const auto& [pid, proc] : procs_) {
-    if (proc->pt_root != 0) {
-      pids.push_back(pid);
+  procs_.ForEach([&pids](Process& proc) {
+    if (proc.pt_root != 0) {
+      pids.push_back(proc.pid);
     }
-  }
-  std::sort(pids.begin(), pids.end());
+  });
   return pids;
 }
 
 size_t GuestKernel::live_processes() const {
   size_t n = 0;
-  for (const auto& [pid, proc] : procs_) {
-    (void)pid;
-    if (proc->state == ProcState::kRunnable || proc->state == ProcState::kBlocked) {
+  procs_.ForEach([&n](Process& proc) {
+    if (proc.state == ProcState::kRunnable || proc.state == ProcState::kBlocked) {
       n++;
     }
-  }
+  });
   return n;
 }
 
@@ -662,7 +656,7 @@ SyscallResult GuestKernel::SysBrk(Process& proc, const SyscallRequest& req) {
 
 SyscallResult GuestKernel::SysFork(Process& proc) {
   int child_pid = NewProcessSlot();
-  Process& child = *procs_[child_pid];
+  Process& child = *procs_.Get(child_pid);
   child.parent = proc.pid;
   child.pt_root = NewAddressSpace();
   child.vmas = proc.vmas;
@@ -730,17 +724,22 @@ SyscallResult GuestKernel::SysExit(Process& proc, const SyscallRequest& req) {
 
 SyscallResult GuestKernel::SysWaitpid(Process& proc, const SyscallRequest& req) {
   int want = static_cast<int>(static_cast<int64_t>(req.arg0));
+  // Ascending-pid sweep: with several reapable zombies, waitpid(-1)
+  // returns the lowest pid — deterministic by construction.
   bool have_child = false;
-  for (auto& [pid, child] : procs_) {
-    if (child->parent != proc.pid) {
-      continue;
+  int reaped = -1;
+  procs_.ForEach([&](Process& child) {
+    if (child.parent != proc.pid || reaped >= 0) {
+      return;
     }
     have_child = true;
-    if (child->state == ProcState::kZombie && (want <= 0 || want == pid)) {
-      int reaped = pid;
-      procs_.erase(pid);
-      return {reaped};
+    if (child.state == ProcState::kZombie && (want <= 0 || want == child.pid)) {
+      reaped = child.pid;
     }
+  });
+  if (reaped >= 0) {
+    procs_.Erase(reaped);
+    return {reaped};
   }
   return {have_child ? 0 : kECHILD};
 }

@@ -202,7 +202,7 @@ class GuestKernel {
   EnginePort& port_;
   PageTableEditor editor_;
 
-  std::unordered_map<int, std::unique_ptr<Process>> procs_;
+  ProcessTable procs_;  // pid-indexed slab, ascending-pid sweeps
   int next_pid_ = 1;
   int current_pid_ = -1;
   uint16_t next_asid_ = 1;

@@ -34,17 +34,6 @@ std::vector<SnapLeaf> UserLeaves(PageTableEditor& editor, uint64_t root) {
   return leaves;
 }
 
-std::vector<int> SortedKeys(const std::unordered_map<int, std::unique_ptr<Process>>& m) {
-  std::vector<int> keys;
-  keys.reserve(m.size());
-  for (const auto& [k, v] : m) {
-    (void)v;
-    keys.push_back(k);
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
 }  // namespace
 
 void GuestKernel::SnapshotTo(SnapWriter& w,
@@ -109,10 +98,10 @@ void GuestKernel::SnapshotTo(SnapWriter& w,
     (void)key;
     assign(pa);
   }
-  std::vector<int> pids = SortedKeys(procs_);
+  std::vector<int> pids = procs_.Pids();
   std::unordered_map<int, std::vector<SnapLeaf>> proc_leaves;
   for (int pid : pids) {
-    Process& proc = *procs_.at(pid);
+    Process& proc = *procs_.Get(pid);
     if (proc.pt_root == 0) {
       proc_leaves[pid] = {};
       continue;
@@ -140,7 +129,7 @@ void GuestKernel::SnapshotTo(SnapWriter& w,
   // --- processes ----------------------------------------------------------
   w.PutU32(static_cast<uint32_t>(pids.size()));
   for (int pid : pids) {
-    const Process& proc = *procs_.at(pid);
+    const Process& proc = *procs_.Get(pid);
     w.PutI64(proc.pid);
     w.PutI64(proc.parent);
     w.PutU8(static_cast<uint8_t>(proc.state));
@@ -199,14 +188,14 @@ void GuestKernel::SnapshotTo(SnapWriter& w,
 void GuestKernel::ResetForImage() {
   // Teardown through the port (unlike KillAllProcesses): the engine stays
   // healthy, so every user page and PTP must be returned one by one.
-  std::vector<int> pids = SortedKeys(procs_);
+  std::vector<int> pids = procs_.Pids();
   for (int pid : pids) {
-    Process& proc = *procs_.at(pid);
+    Process& proc = *procs_.Get(pid);
     if (proc.pt_root != 0) {
       TeardownAddressSpace(proc);
     }
   }
-  procs_.clear();
+  procs_.Clear();
   current_pid_ = -1;
   // Release the page cache's own pins last (mapped file pages survive
   // process teardown exactly because of these).
@@ -391,13 +380,13 @@ bool GuestKernel::RestoreFrom(SnapReader& r,
       // accounting stays exact even on a rejected stream.
       if (proc->pt_root != 0) {
         int pid = proc->pid;
-        procs_[pid] = std::move(proc);
-        TeardownAddressSpace(*procs_[pid]);
-        procs_.erase(pid);
+        Process* adopted = procs_.Adopt(std::move(proc));
+        TeardownAddressSpace(*adopted);
+        procs_.Erase(pid);
       }
       return false;
     }
-    procs_[proc->pid] = std::move(proc);
+    procs_.Adopt(std::move(proc));
   }
 
   // --- shared-page refcounts ----------------------------------------------
@@ -461,9 +450,9 @@ void GuestKernel::CloneFrom(GuestKernel& parent,
   // --- processes: map every parent user page read-only in the clone and
   // demote the parent's writable mappings, so the first write on either
   // side takes a CoW fault that breaks the cross-container sharing.
-  std::vector<int> pids = SortedKeys(parent.procs_);
+  std::vector<int> pids = parent.procs_.Pids();
   for (int pid : pids) {
-    Process& src = *parent.procs_.at(pid);
+    Process& src = *parent.procs_.Get(pid);
     auto proc = std::make_unique<Process>();
     proc->pid = src.pid;
     proc->parent = src.parent;
@@ -502,7 +491,7 @@ void GuestKernel::CloneFrom(GuestKernel& parent,
         }
       }
     }
-    procs_[proc->pid] = std::move(proc);
+    procs_.Adopt(std::move(proc));
   }
 
   // --- refcounts mirror the parent's, translated --------------------------

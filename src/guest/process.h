@@ -3,6 +3,7 @@
 #define SRC_GUEST_PROCESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/guest/vma.h"
@@ -69,6 +70,74 @@ struct Process {
     fds.push_back(FileDesc{});
     return static_cast<int>(fds.size() - 1);
   }
+};
+
+// Pid-indexed process slab (DESIGN.md §14). Pids come from a monotonic
+// counter starting at 1, so the table is a flat vector indexed by
+// pid - 1: lookup is a bounds check plus a load, and every sweep walks
+// ascending pid *by construction*. That order is behavior — SysWaitpid
+// reaps the lowest-pid matching zombie — so it must never come from
+// hash-map iteration (the container-order regression tests pin this).
+class ProcessTable {
+ public:
+  // Takes ownership of a process whose pid field is already set.
+  Process* Adopt(std::unique_ptr<Process> proc) {
+    size_t idx = static_cast<size_t>(proc->pid - 1);
+    if (idx >= slots_.size()) {
+      slots_.resize(idx + 1);
+    }
+    if (slots_[idx] == nullptr) {
+      live_++;
+    }
+    slots_[idx] = std::move(proc);
+    return slots_[idx].get();
+  }
+
+  Process* Get(int pid) const {
+    size_t idx = static_cast<size_t>(pid) - 1;
+    return pid >= 1 && idx < slots_.size() ? slots_[idx].get() : nullptr;
+  }
+
+  void Erase(int pid) {
+    size_t idx = static_cast<size_t>(pid) - 1;
+    if (pid >= 1 && idx < slots_.size() && slots_[idx] != nullptr) {
+      slots_[idx].reset();
+      live_--;
+    }
+  }
+
+  void Clear() {
+    slots_.clear();
+    live_ = 0;
+  }
+
+  size_t size() const { return live_; }
+
+  // Live pids, ascending by construction — no sort step.
+  std::vector<int> Pids() const {
+    std::vector<int> pids;
+    pids.reserve(live_);
+    for (const auto& slot : slots_) {
+      if (slot != nullptr) {
+        pids.push_back(slot->pid);
+      }
+    }
+    return pids;
+  }
+
+  // Visits every live process in ascending pid order.
+  template <typename F>
+  void ForEach(F f) const {
+    for (const auto& slot : slots_) {
+      if (slot != nullptr) {
+        f(*slot);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<Process>> slots_;  // index = pid - 1
+  size_t live_ = 0;
 };
 
 }  // namespace cki

@@ -13,6 +13,17 @@ FrameAllocator::FrameAllocator(PhysMem& mem, uint64_t base, uint64_t pages)
   assert((base & (kPageSize - 1)) == 0 && "frame range must be page aligned");
 }
 
+FrameAllocator::OwnerNode& FrameAllocator::EnsureNode(uint64_t idx) {
+  uint64_t n = idx >> kNodeShift;
+  if (n >= nodes_.size()) {
+    nodes_.resize(n + 1);
+  }
+  if (nodes_[n] == nullptr) {
+    nodes_[n] = std::make_unique<OwnerNode>();
+  }
+  return *nodes_[n];
+}
+
 uint64_t FrameAllocator::AllocFrame(OwnerId owner) {
   uint64_t pa;
   if (!free_list_.empty()) {
@@ -33,28 +44,31 @@ uint64_t FrameAllocator::AllocFrame(OwnerId owner) {
     bump_++;
     mem_.InstallFrame(pa);
   }
-  owner_[pa >> kPageShift] = owner;
+  uint64_t idx = FrameIndex(pa);
+  EnsureNode(idx).owner[idx & (kNodeFrames - 1)] = owner;
   allocated_++;
   return pa;
 }
 
 FreeResult FrameAllocator::FreeFrame(uint64_t pa) {
-  auto it = owner_.find(pa >> kPageShift);
-  if (it == owner_.end()) {
+  uint64_t idx = FrameIndex(pa);
+  OwnerNode* node = NodeFor(idx);
+  uint64_t off = idx & (kNodeFrames - 1);
+  if (node == nullptr || node->owner[off] == kNoOwner) {
     double_frees_++;
     if (bus_ != nullptr) {
       bus_->Note(FaultReport{FaultKind::kDoubleFree, kHostOwner, pa});
     }
     return FreeResult::kDoubleFree;
   }
-  if (shares_.count(pa >> kPageShift) != 0) {
+  if (shares_.count(idx) != 0) {
     // Sharers still map this frame: transfer primacy instead of freeing
     // (the safety net behind ReleaseShare-aware engine free paths).
-    TransferPrimary(pa >> kPageShift);
+    TransferPrimary(idx);
     return FreeResult::kOk;
   }
-  owner_.erase(it);
-  carved_.erase(pa >> kPageShift);
+  node->owner[off] = kNoOwner;
+  node->carved[off] = false;
   free_list_.push_back(pa);
   allocated_--;
   return FreeResult::kOk;
@@ -96,27 +110,30 @@ uint64_t FrameAllocator::ReclaimOwner(OwnerId owner) {
     }
   }
 
-  // Singleton frames: collect, sort, then free. owner_ is an unordered
-  // map, so without the sort the free-list order (and thus every later
-  // allocation) would depend on hash-table iteration order. Frames a
-  // sibling clone still shares are transferred, not freed.
-  std::vector<uint64_t> keys;
-  for (const auto& [key, frame_owner] : owner_) {
-    if (frame_owner == owner) {
-      keys.push_back(key);
-    }
-  }
-  std::sort(keys.begin(), keys.end());
+  // Singleton frames: the direct-indexed table iterates in ascending frame
+  // order by construction, so the free list (and thus every later
+  // allocation) is deterministic with no sort step. Frames a sibling clone
+  // still shares are transferred, not freed.
   uint64_t freed = 0;
-  for (uint64_t key : keys) {
-    if (shares_.count(key) != 0) {
-      TransferPrimary(key);
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    OwnerNode* node = nodes_[n].get();
+    if (node == nullptr) {
       continue;
     }
-    owner_.erase(key);
-    carved_.erase(key);
-    free_list_.push_back(key << kPageShift);
-    freed++;
+    for (uint64_t off = 0; off < kNodeFrames; ++off) {
+      if (node->owner[off] != owner) {
+        continue;
+      }
+      uint64_t idx = (static_cast<uint64_t>(n) << kNodeShift) | off;
+      if (shares_.count(idx) != 0) {
+        TransferPrimary(idx);
+        continue;
+      }
+      node->owner[off] = kNoOwner;
+      node->carved[off] = false;
+      free_list_.push_back(base_ + idx * kPageSize);
+      freed++;
+    }
   }
 
   // Delegated segments: return every page, drop the ownership record.
@@ -126,20 +143,22 @@ uint64_t FrameAllocator::ReclaimOwner(OwnerId owner) {
     if (it->second == owner) {
       const PhysSegment& seg = it->first;
       for (uint64_t i = 0; i < seg.pages; ++i) {
-        uint64_t idx = (seg.base + i * kPageSize) >> kPageShift;
-        if (owner_.count(idx) != 0) {
-          carved_.erase(idx);  // segment record goes away; owner_ rules now
+        uint64_t idx = FrameIndex(seg.base + i * kPageSize);
+        OwnerNode* node = NodeFor(idx);
+        uint64_t off = idx & (kNodeFrames - 1);
+        if (node != nullptr && node->owner[off] != kNoOwner) {
+          node->carved[off] = false;  // segment record goes away; owner rules now
           continue;
         }
         if (auto sh = shares_.find(idx); sh != shares_.end()) {
-          owner_[idx] = sh->second.front();
+          EnsureNode(idx).owner[off] = sh->second.front();
           sh->second.erase(sh->second.begin());
           if (sh->second.empty()) {
             shares_.erase(sh);
           }
           continue;
         }
-        free_list_.push_back(idx << kPageShift);
+        free_list_.push_back(base_ + idx * kPageSize);
         freed++;
       }
       it = segments_.erase(it);
@@ -153,20 +172,25 @@ uint64_t FrameAllocator::ReclaimOwner(OwnerId owner) {
 
 uint64_t FrameAllocator::OwnedFrames(OwnerId owner) const {
   uint64_t n = 0;
-  for (const auto& [key, frame_owner] : owner_) {
-    (void)key;
-    if (frame_owner == owner) {
-      n++;
+  for (const auto& node : nodes_) {
+    if (node == nullptr) {
+      continue;
+    }
+    for (uint64_t off = 0; off < kNodeFrames; ++off) {
+      if (node->owner[off] == owner) {
+        n++;
+      }
     }
   }
   for (const auto& [seg, seg_owner] : segments_) {
     if (seg_owner == owner) {
       n += seg.pages;
       // Carved pages were transferred to another container; they are
-      // counted through their owner_ entry instead.
-      for (const auto& [idx, carved] : carved_) {
-        (void)carved;
-        if (seg.Contains(idx << kPageShift)) {
+      // counted through their singleton owner slot instead.
+      for (uint64_t i = 0; i < seg.pages; ++i) {
+        uint64_t idx = FrameIndex(seg.base + i * kPageSize);
+        const OwnerNode* node = NodeFor(idx);
+        if (node != nullptr && node->carved[idx & (kNodeFrames - 1)]) {
           n--;
         }
       }
@@ -176,20 +200,20 @@ uint64_t FrameAllocator::OwnedFrames(OwnerId owner) const {
 }
 
 OwnerId FrameAllocator::OwnerOf(uint64_t pa) const {
-  auto it = owner_.find(pa >> kPageShift);
-  if (it != owner_.end()) {
-    return it->second;
+  OwnerId owner = OwnerSlot(FrameIndex(pa));
+  if (owner != kNoOwner) {
+    return owner;
   }
-  for (const auto& [seg, owner] : segments_) {
+  for (const auto& [seg, seg_owner] : segments_) {
     if (seg.Contains(pa)) {
-      return owner;
+      return seg_owner;
     }
   }
   return kHostOwner;
 }
 
 void FrameAllocator::ShareFrame(uint64_t pa, OwnerId sharer) {
-  shares_[pa >> kPageShift].push_back(sharer);
+  shares_[FrameIndex(pa)].push_back(sharer);
 }
 
 void FrameAllocator::TransferPrimary(uint64_t idx) {
@@ -200,16 +224,18 @@ void FrameAllocator::TransferPrimary(uint64_t idx) {
   if (sh->second.empty()) {
     shares_.erase(sh);
   }
-  if (owner_.count(idx) == 0) {
+  OwnerNode& node = EnsureNode(idx);
+  uint64_t off = idx & (kNodeFrames - 1);
+  if (node.owner[off] == kNoOwner) {
     // The primary held this page through a delegated segment: carve it out
     // so the segment's sweep and leak count skip it from now on.
-    carved_[idx] = true;
+    node.carved[off] = true;
   }
-  owner_[idx] = next;
+  node.owner[off] = next;
 }
 
 bool FrameAllocator::ReleaseShare(uint64_t pa, OwnerId holder) {
-  uint64_t idx = pa >> kPageShift;
+  uint64_t idx = FrameIndex(pa);
   auto sh = shares_.find(idx);
   bool is_primary = OwnerOf(pa) == holder;
   if (sh != shares_.end() && !is_primary) {
@@ -232,14 +258,14 @@ bool FrameAllocator::ReleaseShare(uint64_t pa, OwnerId holder) {
 }
 
 bool FrameAllocator::IsShared(uint64_t pa) const {
-  return shares_.count(pa >> kPageShift) != 0;
+  return shares_.count(FrameIndex(pa)) != 0;
 }
 
 bool FrameAllocator::OwnedOrSharedBy(uint64_t pa, OwnerId holder) const {
   if (OwnerOf(pa) == holder) {
     return true;
   }
-  auto sh = shares_.find(pa >> kPageShift);
+  auto sh = shares_.find(FrameIndex(pa));
   if (sh == shares_.end()) {
     return false;
   }

@@ -16,7 +16,10 @@
 #ifndef SRC_HOST_FRAME_ALLOCATOR_H_
 #define SRC_HOST_FRAME_ALLOCATOR_H_
 
+#include <array>
+#include <bitset>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -104,6 +107,41 @@ class FrameAllocator {
   uint64_t double_frees() const { return double_frees_; }
 
  private:
+  // Singleton-frame ownership lives in a direct-indexed two-level table
+  // (DESIGN.md §14): frames allocate bump-ordered from the range base, so
+  // only the low nodes ever materialize even though the range covers
+  // gigabytes. Direct indexing makes owner lookups O(1) pointer math and —
+  // more importantly — makes every sweep (ReclaimOwner, OwnedFrames)
+  // iterate in ascending frame order *by construction*, so free-list order
+  // can never depend on hash-map iteration order.
+  static constexpr uint64_t kNodeShift = 12;  // frames per node = 4096
+  static constexpr uint64_t kNodeFrames = 1ull << kNodeShift;
+  // kHostOwner (0) is a real owner; the "no singleton record" sentinel
+  // must be distinct.
+  static constexpr OwnerId kNoOwner = 0xFFFFFFFFu;
+  struct OwnerNode {
+    std::array<OwnerId, kNodeFrames> owner;
+    // Segment pages whose primacy was transferred away from the segment
+    // owner (excluded from the segment's sweep and leak count).
+    std::bitset<kNodeFrames> carved;
+    OwnerNode() { owner.fill(kNoOwner); }
+  };
+
+  // Local frame index (0-based within the managed range) for `pa`.
+  uint64_t FrameIndex(uint64_t pa) const { return (pa - base_) >> kPageShift; }
+
+  OwnerNode* NodeFor(uint64_t idx) const {
+    uint64_t n = idx >> kNodeShift;
+    return n < nodes_.size() ? nodes_[n].get() : nullptr;
+  }
+  OwnerNode& EnsureNode(uint64_t idx);
+
+  // Owner slot for local index `idx`; kNoOwner when absent.
+  OwnerId OwnerSlot(uint64_t idx) const {
+    const OwnerNode* node = NodeFor(idx);
+    return node != nullptr ? node->owner[idx & (kNodeFrames - 1)] : kNoOwner;
+  }
+
   // Moves primacy of frame `idx` to the first sharer, carving the page
   // out of its segment when the primary was a segment owner.
   void TransferPrimary(uint64_t idx);
@@ -113,14 +151,12 @@ class FrameAllocator {
   uint64_t total_pages_;
   uint64_t bump_;  // next-never-allocated frame index
   std::vector<uint64_t> free_list_;
-  std::unordered_map<uint64_t, OwnerId> owner_;  // frame index -> owner
+  std::vector<std::unique_ptr<OwnerNode>> nodes_;  // local idx -> owner
   std::vector<std::pair<PhysSegment, OwnerId>> segments_;
-  // frame index -> sharers beyond the primary owner (insertion order; the
-  // first entry inherits primacy on transfer).
+  // local frame index -> sharers beyond the primary owner (insertion
+  // order; the first entry inherits primacy on transfer). Sparse: only
+  // CoW-cloned frames appear.
   std::unordered_map<uint64_t, std::vector<OwnerId>> shares_;
-  // Segment-page frame indices whose primacy was transferred away from
-  // the segment owner (excluded from the segment's sweep and leak count).
-  std::unordered_map<uint64_t, bool> carved_;
   uint64_t allocated_ = 0;
   uint64_t double_frees_ = 0;
   FaultBus* bus_ = nullptr;

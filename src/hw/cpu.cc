@@ -98,7 +98,7 @@ Fault Cpu::Access(uint64_t va, AccessIntent intent) {
 
 Fault Cpu::AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa) {
   uint16_t pcid = Cr3Pcid(cr3_);
-  if (std::optional<TlbEntry> hit = tlb_.Lookup(pcid, va); hit.has_value()) {
+  if (const TlbEntry* hit = tlb_.Lookup(pcid, va)) {
     ctx_.RecordEvent(PathEvent::kTlbHit, va);
     Fault f = CheckLeafPermissions(hit->flags, hit->pkey, va, intent, /*from_tlb=*/true);
     if (f) {
@@ -118,7 +118,31 @@ Fault Cpu::AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa) {
   ctx_.RecordEvent(PathEvent::kTlbMiss, va);
   ctx_.Charge(ctx_.cost().WalkCost(two_dim),
               two_dim ? PathEvent::kPageWalk2D : PathEvent::kPageWalk1D);
-  WalkResult walk = WalkCurrent(va);
+  uint64_t page = va >> kPageShift;
+  uint64_t ept_gen = two_dim ? ept_->generation() : 0;
+  // Slot index mixes cr3 so distinct address spaces with identical VA
+  // layouts (sibling containers) spread over the cache instead of
+  // thrashing one slot per page.
+  size_t slot = static_cast<size_t>(page ^ ((cr3_ * 0x9E3779B97F4A7C15ULL) >> 40)) &
+                (kWalkCacheEntries - 1);
+  WalkCacheEntry& wce = walk_cache_[slot];
+  uint64_t gen_key = tlb_.shootdown_gen() + walk_inval_gen_;
+  WalkResult walk;
+  if (wce.tag == page + 1 && wce.cr3 == cr3_ && wce.ept == ept_ &&
+      wce.tlb_gen == gen_key && wce.ept_gen == ept_gen) {
+    walk = wce.walk;
+    walk.pa = (walk.pa & ~(kPageSize - 1)) | (va & (kPageSize - 1));
+  } else {
+    walk = WalkCurrent(va);
+    if (!walk.fault) {
+      wce.tag = page + 1;
+      wce.cr3 = cr3_;
+      wce.ept = ept_;
+      wce.tlb_gen = gen_key;
+      wce.ept_gen = ept_gen;
+      wce.walk = walk;
+    }
+  }
   if (walk.fault) {
     walk.fault.was_write = intent.write;
     walk.fault.was_user = (cpl_ == Cpl::kUser);
@@ -130,10 +154,12 @@ Fault Cpu::AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa) {
   if (f) {
     return f;
   }
-  // Set accessed/dirty bits in the leaf entry.
+  // Set accessed/dirty bits in the leaf entry; the walk cache entry (which
+  // the lines above made current for this page) mirrors the write.
   uint64_t updated = walk.leaf_pte | kPteA | (intent.write ? kPteD : 0);
   if (updated != walk.leaf_pte) {
     mem_.WriteU64(walk.leaf_pte_pa, updated);
+    wce.walk.leaf_pte = updated;
   }
   tlb_.Insert(pcid, va, walk.pa, walk.leaf_pte & ~kPteAddrMask, PtePkey(walk.leaf_pte),
               walk.leaf_level == 2);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/hw/ept.h"
 #include "src/hw/fault.h"
@@ -88,6 +89,27 @@ class Cpu {
   // Like Access but also reports the translated PA (for device DMA etc.).
   Fault AccessTranslate(uint64_t va, AccessIntent intent, uint64_t* out_pa);
 
+  // Clean-TLB-hit fast path (DESIGN.md §14). Commits exactly the side
+  // effects Access() has for a no-fault TLB hit — the TLB hit counter and
+  // the kTlbHit event — and returns true. Every other outcome (TLB miss,
+  // any permission/key fault) returns false with ZERO side effects; the
+  // caller must then run the full Access() path, which re-probes and
+  // produces the identical event, counter, and cost stream it always
+  // did. Inline so the workload loop pays one probe, not two virtual
+  // calls plus a Fault round-trip, for the ~70% of touches that hit.
+  bool TryUserTouchFast(uint64_t va, AccessIntent intent) {
+    const TlbEntry* hit = tlb_.Probe(Cr3Pcid(cr3_), va);
+    if (hit == nullptr) {
+      return false;
+    }
+    if (CheckLeafPermissions(hit->flags, hit->pkey, va, intent, /*from_tlb=*/true)) {
+      return false;
+    }
+    tlb_.CountHit();
+    ctx_.RecordEvent(PathEvent::kTlbHit, va);
+    return true;
+  }
+
   // --- privileged instructions -----------------------------------------------
   // Executes a privileged instruction subject to CPL and the CKI PKS-gating
   // extension. Returns the fault the hardware would raise, if any.
@@ -129,6 +151,14 @@ class Cpu {
   // anti-forgery property).
   InterruptEntry DeliverInterrupt(uint8_t vector, bool hardware);
 
+  // Host-side cache maintenance: drops every cached walk (O(1), via a
+  // generation bump). Required when trusted software rewrites a live leaf
+  // PTE without an architectural TLB shootdown (the one known case is
+  // PVM's hidden shadow fill; everything else pairs PTE stores with
+  // invlpg/INVPCID, which the cache observes via Tlb::shootdown_gen).
+  // Never charged: real hardware has no such cache (DESIGN.md §14).
+  void InvalidateWalkCache() { walk_inval_gen_++; }
+
  private:
   // Two-dimensional walk: guest page tables hold gPAs; every table access
   // and the final data page go through the active EPT.
@@ -136,10 +166,32 @@ class Cpu {
   Fault CheckLeafPermissions(uint64_t flags, uint32_t pkey, uint64_t va, AccessIntent intent,
                              bool from_tlb) const;
 
+  // Software walk cache (DESIGN.md §14): a TLB miss repeats the same 1D/2D
+  // walk over the same hot pages, and translations can only change behind
+  // a TLB shootdown or an EPT mapping change. Each entry therefore records
+  // the (cr3, Tlb::shootdown_gen, ept identity + generation) under which it
+  // was filled; a hit with all four unchanged is bit-identical to
+  // re-walking. Costs are still charged per miss exactly as before — this
+  // caches the host-side table reads, never the simulated behavior. The
+  // cached leaf_pte mirrors memory (A/D updates write through).
+  struct WalkCacheEntry {
+    uint64_t tag = 0;  // va page + 1; 0 = empty
+    uint64_t cr3 = 0;
+    uint64_t tlb_gen = 0;  // Tlb::shootdown_gen + walk_inval_gen at fill
+    uint64_t ept_gen = 0;
+    const Ept* ept = nullptr;
+    WalkResult walk;
+  };
+  static constexpr size_t kWalkCacheEntries = 4096;  // power of two
+
   SimContext& ctx_;
   PhysMem& mem_;
   CkiHwExtensions ext_;
   Tlb tlb_;
+  mutable std::vector<WalkCacheEntry> walk_cache_{std::vector<WalkCacheEntry>(kWalkCacheEntries)};
+  // Bumped by InvalidateWalkCache. Summed with Tlb::shootdown_gen for the
+  // cache key: both only grow, so the sum changes whenever either does.
+  uint64_t walk_inval_gen_ = 0;
 
   Cpl cpl_ = Cpl::kKernel;
   uint64_t cr3_ = 0;

@@ -18,6 +18,7 @@ bool Ept::Map(uint64_t gpa, uint64_t hpa, PageSize size) {
   bool ok = editor_.MapPage(root_pa_, gpa, hpa, kPteP | kPteW | kPteU, /*pkey=*/0, size);
   if (ok) {
     mapped_pages_++;
+    gen_++;  // O(1) cache invalidation
   }
   return ok;
 }
@@ -27,15 +28,27 @@ bool Ept::Unmap(uint64_t gpa) {
   if (ok && mapped_pages_ > 0) {
     mapped_pages_--;
   }
+  gen_++;
   return ok;
 }
 
 WalkResult Ept::Translate(uint64_t gpa) const {
+  uint64_t page = gpa >> kPageShift;
+  CacheEntry& slot = cache_[page & (kCacheEntries - 1)];
+  if (slot.tag == page + 1 && slot.gen == gen_) {
+    WalkResult result = slot.walk;
+    result.pa = (result.pa & ~(kPageSize - 1)) | (gpa & (kPageSize - 1));
+    return result;
+  }
   WalkResult result = WalkPageTable(mem_, root_pa_, gpa);
   if (result.fault) {
     result.fault.type = FaultType::kEptViolation;
     result.fault.va = gpa;
+    return result;  // only successful walks are cached
   }
+  slot.tag = page + 1;
+  slot.gen = gen_;
+  slot.walk = result;
   return result;
 }
 

@@ -8,6 +8,7 @@
 #ifndef SRC_HW_EPT_H_
 #define SRC_HW_EPT_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -34,12 +35,31 @@ class Ept {
 
   uint64_t mapped_pages() const { return mapped_pages_; }
 
+  // Monotonic count of mapping changes; consumers caching translation
+  // results (the CPU walk cache, this EPT's own cache) key on it.
+  uint64_t generation() const { return gen_; }
+
  private:
+  // Direct-mapped translation cache over successful walks: a 2D TLB miss
+  // performs up to five EPT walks (four table pages + the data page) over
+  // the same handful of hot gPA pages. Entries carry the full WalkResult
+  // (including mem_refs) so a hit is indistinguishable from a re-walk;
+  // any Map/Unmap bumps the generation, invalidating everything in O(1).
+  // Purely host-side state — never charged, never hashed (DESIGN.md §14).
+  struct CacheEntry {
+    uint64_t tag = 0;  // gpa page + 1; 0 = empty
+    uint64_t gen = 0;
+    WalkResult walk;
+  };
+  static constexpr size_t kCacheEntries = 4096;  // power of two
+
   PhysMem& mem_;
   PtpAllocFn alloc_;
   PageTableEditor editor_;
   uint64_t root_pa_;
   uint64_t mapped_pages_ = 0;
+  mutable std::array<CacheEntry, kCacheEntries> cache_{};
+  uint64_t gen_ = 1;
 };
 
 }  // namespace cki

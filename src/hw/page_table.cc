@@ -138,7 +138,33 @@ WalkResult WalkPageTableFn(const PteReadFn& read, uint64_t root_pa, uint64_t va)
 }
 
 WalkResult WalkPageTable(const PhysMem& mem, uint64_t root_pa, uint64_t va) {
-  return WalkPageTableFn([&mem](uint64_t pa) { return mem.ReadU64(pa); }, root_pa, va);
+  // Same algorithm as WalkPageTableFn, but reading simulated memory
+  // directly: this overload is the translation hot path (every 1D TLB miss
+  // and every EPT level of a 2D miss), and wrapping `mem` in a fresh
+  // std::function per call used to dominate the walk cost (DESIGN.md §14).
+  WalkResult result;
+  uint64_t table_pa = root_pa;
+  for (int level = kPtLevels; level >= 1; --level) {
+    uint64_t slot_pa = table_pa + static_cast<uint64_t>(PtIndex(va, level)) * 8;
+    result.mem_refs++;
+    uint64_t entry = mem.ReadU64(slot_pa);
+    if (!PtePresent(entry)) {
+      result.fault = Fault{.type = FaultType::kPageNotPresent, .va = va};
+      return result;
+    }
+    bool is_leaf = (level == 1) || (level == 2 && PteHuge(entry));
+    if (is_leaf) {
+      result.leaf_pte = entry;
+      result.leaf_pte_pa = slot_pa;
+      result.leaf_level = level;
+      uint64_t offset_mask = (level == 2) ? (kHugePageSize - 1) : (kPageSize - 1);
+      result.pa = (PteAddr(entry) & ~offset_mask) | (va & offset_mask);
+      return result;
+    }
+    table_pa = PteAddr(entry);
+  }
+  result.fault = Fault{.type = FaultType::kPageNotPresent, .va = va};
+  return result;
 }
 
 }  // namespace cki

@@ -1,6 +1,5 @@
 #include "src/hw/phys_mem.h"
 
-#include <cassert>
 #include <cstdio>
 #include <string>
 
@@ -8,27 +7,63 @@
 
 namespace cki {
 
-void PhysMem::InstallFrame(uint64_t pa) { installed_.insert(FrameIndex(pa)); }
+const PhysMem::Node* PhysMem::OverflowNodeFor(uint64_t node_idx) const {
+  if (overflow_.empty()) {
+    return nullptr;
+  }
+  auto it = overflow_.find(node_idx);
+  return it != overflow_.end() ? it->second.get() : nullptr;
+}
+
+PhysMem::Node& PhysMem::EnsureNode(uint64_t frame_idx) {
+  uint64_t n = frame_idx >> kNodeShift;
+  if (n < kMaxDirectNodes) {
+    if (n >= nodes_.size()) {
+      nodes_.resize(static_cast<size_t>(n) + 1);
+    }
+    if (!nodes_[n]) {
+      nodes_[n] = std::make_unique<Node>();
+    }
+    return *nodes_[n];
+  }
+  auto& slot = overflow_[n];
+  if (!slot) {
+    slot = std::make_unique<Node>();
+  }
+  return *slot;
+}
+
+void PhysMem::InstallFrame(uint64_t pa) {
+  uint64_t idx = FrameIndex(pa);
+  EnsureNode(idx).installed.set(idx & kNodeMask);
+}
 
 void PhysMem::InstallRange(uint64_t base, uint64_t pages) {
   assert((base & (kPageSize - 1)) == 0 && "range must be page aligned");
   if (pages == 0) {
     return;
   }
+  // O(1) regardless of range size: membership is resolved lazily by
+  // InstalledSlow and memoized into node bitmaps on first touch.
   installed_ranges_.emplace_back(FrameIndex(base), FrameIndex(base) + pages - 1);
 }
 
-bool PhysMem::HasFrame(uint64_t pa) const {
-  uint64_t idx = FrameIndex(pa);
-  if (installed_.count(idx) != 0) {
-    return true;
-  }
+bool PhysMem::InstalledSlow(uint64_t frame_idx) const {
   for (const auto& [first, last] : installed_ranges_) {
-    if (idx >= first && idx <= last) {
+    if (frame_idx >= first && frame_idx <= last) {
       return true;
     }
   }
   return false;
+}
+
+bool PhysMem::HasFrame(uint64_t pa) const {
+  uint64_t idx = FrameIndex(pa);
+  const Node* node = NodeFor(idx);
+  if (node != nullptr && node->installed.test(idx & kNodeMask)) {
+    return true;
+  }
+  return InstalledSlow(idx);
 }
 
 void PhysMem::CheckInstalled(uint64_t pa) const {
@@ -43,36 +78,40 @@ void PhysMem::CheckInstalled(uint64_t pa) const {
 }
 
 PhysMem::Page& PhysMem::MaterializePage(uint64_t pa) {
+  CheckInstalled(pa);
   uint64_t idx = FrameIndex(pa);
-  auto it = pages_.find(idx);
-  if (it == pages_.end()) {
-    CheckInstalled(pa);
-    auto page = std::make_unique<Page>();
-    page->fill(0);
-    it = pages_.emplace(idx, std::move(page)).first;
+  Node& node = EnsureNode(idx);
+  node.installed.set(idx & kNodeMask);  // memoize range membership
+  Page*& slot = node.pages[idx & kNodeMask];
+  if (slot == nullptr) {
+    if (arena_free_ == 0) {
+      arena_.emplace_back(new Page[kArenaChunkPages]());  // value-init: zeroed
+      arena_free_ = kArenaChunkPages;
+    }
+    slot = &arena_.back()[kArenaChunkPages - arena_free_];
+    arena_free_--;
+    materialized_++;
   }
-  return *it->second;
+  return *slot;
 }
 
-uint64_t PhysMem::ReadU64(uint64_t pa) const {
-  assert((pa & 7) == 0 && "unaligned 64-bit physical read");
-  auto it = pages_.find(FrameIndex(pa));
-  if (it == pages_.end()) {
-    CheckInstalled(pa);
-    return 0;  // installed but never written: reads as zero
-  }
-  return (*it->second)[(pa & (kPageSize - 1)) >> 3];
+uint64_t PhysMem::ReadSlow(uint64_t pa) const {
+  CheckInstalled(pa);
+  return 0;  // installed but never written: reads as zero
 }
 
-void PhysMem::WriteU64(uint64_t pa, uint64_t value) {
-  assert((pa & 7) == 0 && "unaligned 64-bit physical write");
+void PhysMem::WriteSlow(uint64_t pa, uint64_t value) {
   MaterializePage(pa)[(pa & (kPageSize - 1)) >> 3] = value;
 }
 
 void PhysMem::ZeroFrame(uint64_t pa) {
-  auto it = pages_.find(FrameIndex(pa));
-  if (it != pages_.end()) {
-    it->second->fill(0);
+  uint64_t idx = FrameIndex(pa);
+  Node* node = NodeFor(idx);
+  if (node != nullptr) {
+    Page* page = node->pages[idx & kNodeMask];
+    if (page != nullptr) {
+      page->fill(0);
+    }
   }
 }
 

@@ -7,92 +7,107 @@ namespace cki {
 Tlb::Tlb(int sets, int ways)
     : sets_(sets),
       ways_(ways),
+      pow2_sets_(sets > 0 && (sets & (sets - 1)) == 0),
+      set_mask_(static_cast<size_t>(sets) - 1),
+      tags_(static_cast<size_t>(sets) * static_cast<size_t>(ways), 0),
       entries_(static_cast<size_t>(sets) * static_cast<size_t>(ways)),
       next_victim_(static_cast<size_t>(sets), 0) {}
 
-size_t Tlb::SetIndex(uint64_t vpn) const {
-  return static_cast<size_t>(vpn % static_cast<uint64_t>(sets_));
-}
-
-std::optional<TlbEntry> Tlb::Lookup(uint16_t pcid, uint64_t va) const {
+const TlbEntry* Tlb::Lookup(uint16_t pcid, uint64_t va) const {
   // Probe both the 4K VPN and the 2M VPN, mirroring a unified TLB that
-  // stores both leaf sizes.
-  uint64_t vpn4k = va >> kPageShift;
-  uint64_t vpn2m = va >> kHugePageShift;
-  for (bool huge : {false, true}) {
-    uint64_t vpn = huge ? vpn2m : vpn4k;
-    size_t base = SetIndex(vpn) * static_cast<size_t>(ways_);
-    for (int w = 0; w < ways_; ++w) {
-      const TlbEntry& e = entries_[base + static_cast<size_t>(w)];
-      if (e.valid && e.pcid == pcid && e.huge == huge && e.vpn == vpn) {
-        hits_++;
-        return e;
-      }
-    }
+  // stores both leaf sizes (the match loop lives in Probe, shared with
+  // the clean-hit fast path). The 2M probe is skipped outright while no
+  // valid huge entry exists anywhere — the common case for 4K-only
+  // workloads — which cannot change the outcome: a probe of a
+  // huge-entry-free TLB can only miss.
+  if (const TlbEntry* entry = Probe(pcid, va)) {
+    hits_++;
+    return entry;
   }
   misses_++;
-  return std::nullopt;
+  return nullptr;
 }
 
-TlbEntry* Tlb::FindSlot(uint16_t pcid, uint64_t vpn, bool huge) {
+size_t Tlb::FindSlot(uint16_t pcid, uint64_t vpn, bool huge) {
   size_t base = SetIndex(vpn) * static_cast<size_t>(ways_);
   // Reuse a matching or invalid way first.
+  uint64_t want = PackTag(pcid, vpn, huge);
   for (int w = 0; w < ways_; ++w) {
-    TlbEntry& e = entries_[base + static_cast<size_t>(w)];
-    if (!e.valid || (e.pcid == pcid && e.huge == huge && e.vpn == vpn)) {
-      return &e;
+    uint64_t tag = tags_[base + static_cast<size_t>(w)];
+    if (tag == 0 || tag == want) {
+      return base + static_cast<size_t>(w);
     }
   }
   // Round-robin eviction.
   size_t set = SetIndex(vpn);
   uint32_t victim = next_victim_[set];
-  next_victim_[set] = (victim + 1) % static_cast<uint32_t>(ways_);
-  return &entries_[base + victim];
+  uint32_t next = victim + 1;
+  next_victim_[set] = next == static_cast<uint32_t>(ways_) ? 0 : next;
+  return base + victim;
+}
+
+void Tlb::ClearSlot(size_t slot) {
+  if (tags_[slot] != 0 && entries_[slot].huge) {
+    huge_valid_--;
+  }
+  tags_[slot] = 0;
+  entries_[slot].valid = false;
 }
 
 void Tlb::Insert(uint16_t pcid, uint64_t va, uint64_t pa, uint64_t flags, uint32_t pkey,
                  bool huge) {
   uint64_t vpn = huge ? (va >> kHugePageShift) : (va >> kPageShift);
   uint64_t pfn = huge ? (pa >> kHugePageShift) : (pa >> kPageShift);
-  TlbEntry* slot = FindSlot(pcid, vpn, huge);
-  *slot = TlbEntry{
+  size_t slot = FindSlot(pcid, vpn, huge);
+  if (tags_[slot] != 0 && entries_[slot].huge) {
+    huge_valid_--;  // overwriting (evicting or refreshing) a huge entry
+  }
+  tags_[slot] = PackTag(pcid, vpn, huge);
+  entries_[slot] = TlbEntry{
       .valid = true, .pcid = pcid, .vpn = vpn, .pfn = pfn, .flags = flags, .pkey = pkey,
       .huge = huge};
+  if (huge) {
+    huge_valid_++;
+  }
 }
 
 void Tlb::InvalidatePage(uint16_t pcid, uint64_t va) {
+  shootdown_gen_++;
   uint64_t vpn4k = va >> kPageShift;
   uint64_t vpn2m = va >> kHugePageShift;
   for (bool huge : {false, true}) {
     uint64_t vpn = huge ? vpn2m : vpn4k;
     size_t base = SetIndex(vpn) * static_cast<size_t>(ways_);
+    uint64_t want = PackTag(pcid, vpn, huge);
     for (int w = 0; w < ways_; ++w) {
-      TlbEntry& e = entries_[base + static_cast<size_t>(w)];
-      if (e.valid && e.pcid == pcid && e.huge == huge && e.vpn == vpn) {
-        e.valid = false;
+      if (tags_[base + static_cast<size_t>(w)] == want) {
+        ClearSlot(base + static_cast<size_t>(w));
       }
     }
   }
 }
 
 void Tlb::InvalidatePcid(uint16_t pcid) {
-  for (TlbEntry& e : entries_) {
-    if (e.valid && e.pcid == pcid) {
-      e.valid = false;
+  shootdown_gen_++;
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] != 0 && entries_[i].pcid == pcid) {
+      ClearSlot(i);
     }
   }
 }
 
 void Tlb::InvalidatePcidRange(uint16_t base, uint16_t count) {
+  shootdown_gen_++;
   uint32_t end = static_cast<uint32_t>(base) + count;
-  for (TlbEntry& e : entries_) {
-    if (e.valid && e.pcid >= base && e.pcid < end) {
-      e.valid = false;
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] != 0 && entries_[i].pcid >= base && entries_[i].pcid < end) {
+      ClearSlot(i);
     }
   }
 }
 
 void Tlb::InvalidatePagePcidRange(uint16_t base, uint16_t count, uint64_t va) {
+  shootdown_gen_++;
   uint32_t end = static_cast<uint32_t>(base) + count;
   uint64_t vpn4k = va >> kPageShift;
   uint64_t vpn2m = va >> kHugePageShift;
@@ -100,32 +115,36 @@ void Tlb::InvalidatePagePcidRange(uint16_t base, uint16_t count, uint64_t va) {
     uint64_t vpn = huge ? vpn2m : vpn4k;
     size_t set_base = SetIndex(vpn) * static_cast<size_t>(ways_);
     for (int w = 0; w < ways_; ++w) {
-      TlbEntry& e = entries_[set_base + static_cast<size_t>(w)];
-      if (e.valid && e.pcid >= base && e.pcid < end && e.huge == huge && e.vpn == vpn) {
-        e.valid = false;
+      size_t i = set_base + static_cast<size_t>(w);
+      const TlbEntry& e = entries_[i];
+      if (tags_[i] != 0 && e.pcid >= base && e.pcid < end && e.huge == huge && e.vpn == vpn) {
+        ClearSlot(i);
       }
     }
   }
 }
 
 void Tlb::FlushAll() {
-  for (TlbEntry& e : entries_) {
-    e.valid = false;
+  shootdown_gen_++;
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    tags_[i] = 0;
+    entries_[i].valid = false;
   }
+  huge_valid_ = 0;
 }
 
 size_t Tlb::ValidCount() const {
   size_t n = 0;
-  for (const TlbEntry& e : entries_) {
-    n += e.valid ? 1 : 0;
+  for (uint64_t tag : tags_) {
+    n += tag != 0 ? 1 : 0;
   }
   return n;
 }
 
 size_t Tlb::ValidCountForPcid(uint16_t pcid) const {
   size_t n = 0;
-  for (const TlbEntry& e : entries_) {
-    n += (e.valid && e.pcid == pcid) ? 1 : 0;
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    n += (tags_[i] != 0 && entries_[i].pcid == pcid) ? 1 : 0;
   }
   return n;
 }

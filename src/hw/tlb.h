@@ -6,12 +6,21 @@
 // lookups match on (pcid, vpn), INVLPG invalidates one page within one
 // PCID, INVPCID-single drops a whole context, and a non-PCID CR3 write
 // flushes everything.
+//
+// Layout (DESIGN.md §14): the match loop runs over a packed tag array —
+// one uint64 per way encoding (vpn, pcid, huge, valid) — so a set probe
+// touches one cache line instead of six; the full TlbEntry payload lives
+// in a parallel array read only on a hit. A global count of valid huge
+// entries skips the 2 MiB probe entirely for workloads that never map
+// huge pages. None of this changes hit/miss outcomes or counters.
 #ifndef SRC_HW_TLB_H_
 #define SRC_HW_TLB_H_
 
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#include "src/hw/phys_mem.h"
 
 namespace cki {
 
@@ -31,7 +40,39 @@ class Tlb {
   explicit Tlb(int sets = 128, int ways = 8);
 
   // Finds the entry translating `va` under `pcid`, considering huge pages.
-  std::optional<TlbEntry> Lookup(uint16_t pcid, uint64_t va) const;
+  // Returns a pointer into the TLB (no copy — the hot path reads two
+  // fields), valid until the next Insert/invalidate; nullptr on a miss.
+  const TlbEntry* Lookup(uint16_t pcid, uint64_t va) const;
+
+  // Side-effect-free probe: Lookup's match logic without the hit/miss
+  // counters. The clean-hit fast path (Cpu::TryUserTouchFast) uses it so
+  // a probe that does not commit — e.g. the entry hits but permissions
+  // fault, sending the access back through the full path — leaves no
+  // trace; the full path then counts the one hit exactly as before.
+  const TlbEntry* Probe(uint16_t pcid, uint64_t va) const {
+    uint64_t vpn4k = va >> kPageShift;
+    size_t base = SetIndex(vpn4k) * static_cast<size_t>(ways_);
+    uint64_t want = PackTag(pcid, vpn4k, false);
+    for (int w = 0; w < ways_; ++w) {
+      if (tags_[base + static_cast<size_t>(w)] == want) {
+        return &entries_[base + static_cast<size_t>(w)];
+      }
+    }
+    if (huge_valid_ != 0) {
+      uint64_t vpn2m = va >> kHugePageShift;
+      base = SetIndex(vpn2m) * static_cast<size_t>(ways_);
+      want = PackTag(pcid, vpn2m, true);
+      for (int w = 0; w < ways_; ++w) {
+        if (tags_[base + static_cast<size_t>(w)] == want) {
+          return &entries_[base + static_cast<size_t>(w)];
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  // Commits the counter side effect of a Probe the caller acted on.
+  void CountHit() const { hits_++; }
 
   void Insert(uint16_t pcid, uint64_t va, uint64_t pa, uint64_t flags, uint32_t pkey, bool huge);
 
@@ -63,14 +104,36 @@ class Tlb {
   uint64_t misses() const { return misses_; }
   void ResetCounters() { hits_ = misses_ = 0; }
 
+  // Monotonic count of invalidation operations (any granularity). The
+  // CPU's software walk cache keys on this: translations can only change
+  // behind a shootdown, so "no shootdown since" proves a cached walk is
+  // still what the tables would produce (DESIGN.md §14).
+  uint64_t shootdown_gen() const { return shootdown_gen_; }
+
  private:
-  size_t SetIndex(uint64_t vpn) const;
-  TlbEntry* FindSlot(uint16_t pcid, uint64_t vpn, bool huge);
+  // Packed way tag: vpn in the high bits, then pcid, the huge bit, and a
+  // valid bit in bit 0 so an all-zero word can never match a probe.
+  static uint64_t PackTag(uint16_t pcid, uint64_t vpn, bool huge) {
+    return (vpn << 18) | (static_cast<uint64_t>(pcid) << 2) | (huge ? 2u : 0u) | 1u;
+  }
+
+  size_t SetIndex(uint64_t vpn) const {
+    return pow2_sets_ ? static_cast<size_t>(vpn) & set_mask_
+                      : static_cast<size_t>(vpn % static_cast<uint64_t>(sets_));
+  }
+
+  size_t FindSlot(uint16_t pcid, uint64_t vpn, bool huge);
+  void ClearSlot(size_t slot);
 
   int sets_;
   int ways_;
-  std::vector<TlbEntry> entries_;  // sets_ * ways_, set-major
+  bool pow2_sets_;
+  size_t set_mask_;
+  std::vector<uint64_t> tags_;         // sets_ * ways_, set-major (match loop)
+  std::vector<TlbEntry> entries_;      // parallel payload, read on hit
   std::vector<uint32_t> next_victim_;  // per-set round robin
+  size_t huge_valid_ = 0;              // valid 2 MiB entries; 0 => skip 2M probe
+  uint64_t shootdown_gen_ = 1;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
 };

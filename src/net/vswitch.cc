@@ -1,8 +1,11 @@
 #include "src/net/vswitch.h"
 
+#include <iterator>
+
 #include "src/fault/fault_injector.h"
 #include "src/fault/gray_fault.h"
 #include "src/obs/trace_scope.h"
+#include "src/sim/fnv.h"
 
 namespace cki {
 
@@ -15,19 +18,15 @@ namespace {
 // included — deadlines drive RX admission decisions, so they are behavior,
 // not annotation.
 uint64_t HashFrame(uint64_t h, const Packet& p) {
-  auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xff;
-      h *= 0x100000001b3ULL;
-    }
+  const uint64_t words[] = {
+      static_cast<uint64_t>(p.src),
+      static_cast<uint64_t>(p.dst),
+      static_cast<uint64_t>(p.flow),
+      (static_cast<uint64_t>(p.service) << 8) | static_cast<uint64_t>(p.kind),
+      p.bytes,
+      p.deadline_ns,
   };
-  mix(static_cast<uint64_t>(p.src));
-  mix(static_cast<uint64_t>(p.dst));
-  mix(static_cast<uint64_t>(p.flow));
-  mix((static_cast<uint64_t>(p.service) << 8) | static_cast<uint64_t>(p.kind));
-  mix(p.bytes);
-  mix(p.deadline_ns);
-  return h;
+  return FnvMixWords(h, words, std::size(words));
 }
 
 }  // namespace

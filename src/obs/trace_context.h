@@ -27,6 +27,8 @@
 
 #include <cstdint>
 
+#include "src/sim/fnv.h"
+
 namespace cki {
 
 struct TraceContext {
@@ -36,16 +38,10 @@ struct TraceContext {
   bool active() const { return trace_id != 0; }
 };
 
-// FNV-1a over the 8 bytes of `v`, chained from `h`.
-inline uint64_t TraceMix(uint64_t h, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xff;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+// FNV-1a over the 8 bytes of `v`, chained from `h` (the canonical mixer).
+inline uint64_t TraceMix(uint64_t h, uint64_t v) { return FnvMix64(h, v); }
 
-inline constexpr uint64_t kTraceFnvBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kTraceFnvBasis = kFnvOffsetBasis;
 
 // Mints the context for request `sequence` of the generator seeded with
 // `seed`. Pure function of its arguments; never returns trace_id 0.

@@ -62,7 +62,7 @@ SyscallResult ContainerEngine::UserSyscall(const SyscallRequest& req) {
   }
 }
 
-TouchResult ContainerEngine::UserTouch(uint64_t va, bool write) {
+TouchResult ContainerEngine::UserTouchSlow(uint64_t va, bool write) {
   if (killed_) {
     return TouchResult::kKilled;
   }

@@ -86,7 +86,26 @@ class ContainerEngine : public EnginePort {
 
   // A user-mode memory access, through the MMU; faults are carried through
   // the design's full delivery/handling/return path.
-  TouchResult UserTouch(uint64_t va, bool write);
+  //
+  // Clean-hit fast path (DESIGN.md §14): engines whose DoUserTouch
+  // prologue is exactly {touch scope, cpl := user, Access} opt in via
+  // fast_touch_. For those, a committed TLB hit with no fault is
+  // bit-identical to the full path whenever observability is disabled
+  // (the touch span is the only thing the full path would add, and a
+  // disabled hub records nothing). A live injector, a killed container,
+  // an enabled hub, a miss, or any fault falls through to the full
+  // wrapper — which re-runs the access from scratch, side effects
+  // untouched (TryUserTouchFast commits nothing on failure).
+  TouchResult UserTouch(uint64_t va, bool write) {
+    if (fast_touch_ && !killed_ && injector_ == nullptr && !ctx_.obs().enabled()) {
+      Cpu& cpu = machine_.cpu();
+      cpu.set_cpl(Cpl::kUser);
+      if (cpu.TryUserTouchFast(va, write ? AccessIntent::Write() : AccessIntent::Read())) {
+        return TouchResult::kOk;
+      }
+    }
+    return UserTouchSlow(va, write);
+  }
 
   // A guest-kernel-level request to the host (the "empty hypercall" of the
   // microbenchmarks). RunC has no hypervisor, so its engine returns 0 cost.
@@ -164,8 +183,17 @@ class ContainerEngine : public EnginePort {
   uint16_t pcid_base_ = 0;
   uint16_t pcid_count_ = 0;
   FaultInjector* injector_ = nullptr;
+  // Opt-in for the clean-hit touch fast path (see UserTouch). An engine
+  // may set this ONLY if its DoUserTouch does nothing on a no-fault hit
+  // beyond the canonical {touch scope, cpl := user, Access} sequence.
+  bool fast_touch_ = false;
 
  private:
+  // The full fault-domain path: injector hook, DoUserTouch dispatch,
+  // ContainerKilled unwind. Every touch took this route before the
+  // fast path existed; misses and faults still do.
+  TouchResult UserTouchSlow(uint64_t va, bool write);
+
   bool killed_ = false;
 };
 

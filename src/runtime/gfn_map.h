@@ -1,0 +1,53 @@
+// Direct-indexed guest-frame map (DESIGN.md §14).
+//
+// The engines' gPA->hPA backing tables key on guest frame numbers that a
+// bump allocator hands out densely from a per-region base, so a flat
+// vector indexed by (gfn - base) replaces the former hash maps: lookups on
+// the fault path become one bounds check plus one load, and there is no
+// hash-table iteration order anywhere a sweep could accidentally depend
+// on. Host frame addresses are never 0 (the frame range starts high), so
+// 0 doubles as the "absent" sentinel.
+#ifndef SRC_RUNTIME_GFN_MAP_H_
+#define SRC_RUNTIME_GFN_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cki {
+
+class GfnMap {
+ public:
+  explicit GfnMap(uint64_t base_gfn = 0) : base_(base_gfn) {}
+
+  // Host address backing `gfn`; 0 when absent.
+  uint64_t Get(uint64_t gfn) const {
+    uint64_t idx = gfn - base_;
+    return idx < slots_.size() ? slots_[idx] : 0;
+  }
+
+  void Set(uint64_t gfn, uint64_t hpa) {
+    uint64_t idx = gfn - base_;
+    if (idx >= slots_.size()) {
+      uint64_t grown = slots_.size() * 2;
+      slots_.resize(idx + 1 > grown ? idx + 1 : grown, 0);
+    }
+    slots_[idx] = hpa;
+  }
+
+  void Erase(uint64_t gfn) {
+    uint64_t idx = gfn - base_;
+    if (idx < slots_.size()) {
+      slots_[idx] = 0;
+    }
+  }
+
+  void Clear() { slots_.clear(); }
+
+ private:
+  uint64_t base_;
+  std::vector<uint64_t> slots_;
+};
+
+}  // namespace cki
+
+#endif  // SRC_RUNTIME_GFN_MAP_H_

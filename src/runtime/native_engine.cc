@@ -6,6 +6,7 @@ namespace cki {
 
 NativeEngine::NativeEngine(Machine& machine) : ContainerEngine(machine) {
   AllocPcids(256);
+  fast_touch_ = true;  // DoUserTouch prologue is the canonical hit sequence
 }
 
 SyscallResult NativeEngine::DoUserSyscall(const SyscallRequest& req) {

@@ -1,0 +1,58 @@
+// Canonical FNV-1a hashing for every determinism digest in the simulator.
+//
+// Multiple subsystems chain deterministic trace digests — the cluster
+// shard hash, the vswitch packet trace, the fault bus, the gray-failure
+// and fault injectors, snapshot streams, causal trace ids. They must all
+// use the *same* mixing function (byte-wise FNV-1a over little-endian
+// u64 words) so digests composed across subsystems stay comparable and a
+// refactor can never silently change one copy of the constants. This
+// header is the single definition; DESIGN.md §14 lists it as part of the
+// determinism contract.
+//
+// FnvMixWords is the batched form for hot paths (the vswitch hashes six
+// words per forwarded frame): one call, same bit-identical result as six
+// chained FnvMix64 calls.
+#ifndef SRC_SIM_FNV_H_
+#define SRC_SIM_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cki {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// FNV-1a over one byte, continuing from `h`.
+inline constexpr uint64_t FnvMixByte(uint64_t h, uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+// FNV-1a over the 8 bytes of `v` (little-endian), continuing from `h`.
+inline constexpr uint64_t FnvMix64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = FnvMixByte(h, static_cast<uint8_t>(v >> (i * 8)));
+  }
+  return h;
+}
+
+// Batched FNV-1a over `n` u64 words, continuing from `h`. Bit-identical
+// to chaining FnvMix64 over the words in order.
+inline constexpr uint64_t FnvMixWords(uint64_t h, const uint64_t* words, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h = FnvMix64(h, words[i]);
+  }
+  return h;
+}
+
+// FNV-1a over a raw byte range, continuing from `h` (snapshot streams).
+inline uint64_t FnvMixBytes(uint64_t h, const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h = FnvMixByte(h, data[i]);
+  }
+  return h;
+}
+
+}  // namespace cki
+
+#endif  // SRC_SIM_FNV_H_

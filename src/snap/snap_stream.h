@@ -21,18 +21,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/fnv.h"
+
 namespace cki {
 
-inline constexpr uint64_t kSnapFnvBasis = 0xcbf29ce484222325ULL;
-inline constexpr uint64_t kSnapFnvPrime = 0x100000001b3ULL;
+inline constexpr uint64_t kSnapFnvBasis = kFnvOffsetBasis;
 
 // FNV-1a over a byte range, continuing from `hash`.
 inline uint64_t SnapHashBytes(uint64_t hash, const uint8_t* data, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    hash ^= data[i];
-    hash *= kSnapFnvPrime;
-  }
-  return hash;
+  return FnvMixBytes(hash, data, n);
 }
 
 class SnapWriter {

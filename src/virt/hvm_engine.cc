@@ -10,6 +10,7 @@ HvmEngine::HvmEngine(Machine& machine)
       ept_(machine.mem(),
            [this](int /*level*/) { return machine_.frames().AllocFrame(kHostOwner); }) {
   AllocPcids(256);
+  fast_touch_ = true;  // DoUserTouch prologue is the canonical hit sequence
 }
 
 void HvmEngine::Boot() {
@@ -34,9 +35,8 @@ uint64_t HvmEngine::GuestPhysAlloc() {
 
 uint64_t HvmEngine::Backing(uint64_t gpa, bool create) {
   uint64_t gfn = gpa >> kPageShift;
-  auto it = backing_.find(gfn);
-  if (it != backing_.end()) {
-    return it->second | (gpa & (kPageSize - 1));
+  if (uint64_t hpa = BackingMapFor(gfn).Get(gfn); hpa != 0) {
+    return hpa | (gpa & (kPageSize - 1));
   }
   if (!create) {
     // An EPT reference to a gPA the host never assigned: protection
@@ -45,7 +45,7 @@ uint64_t HvmEngine::Backing(uint64_t gpa, bool create) {
         FaultReport{FaultKind::kProtectionViolation, id_, gpa});
   }
   uint64_t hpa = machine_.frames().AllocFrame(id_);
-  backing_[gfn] = hpa;
+  BackingMapFor(gfn).Set(gfn, hpa);
   ept_.Map(gfn << kPageShift, hpa, PageSize::k4K);
   return hpa | (gpa & (kPageSize - 1));
 }
@@ -92,7 +92,8 @@ void HvmEngine::HandleEptViolation(uint64_t gpa) {
     uint64_t gpa_base = gpa & ~(kHugePageSize - 1);
     PhysSegment seg = machine_.frames().AllocSegment(kHugePageSize / kPageSize, id_);
     for (uint64_t i = 0; i < kHugePageSize / kPageSize; ++i) {
-      backing_[(gpa_base >> kPageShift) + i] = seg.base + i * kPageSize;
+      uint64_t gfn = (gpa_base >> kPageShift) + i;
+      BackingMapFor(gfn).Set(gfn, seg.base + i * kPageSize);
     }
     ept_.Map(gpa_base, seg.base, PageSize::k2M);
   } else {
@@ -163,7 +164,8 @@ uint64_t HvmEngine::DoGuestHypercall(HypercallOp op, uint64_t a0, uint64_t a1) {
 void HvmEngine::OnKill() {
   // Drop gPA bookkeeping before the owner sweep reclaims the backing
   // frames (the host-owned EPT table pages stay with the host allocator).
-  backing_.clear();
+  ram_backing_.Clear();
+  data_backing_.Clear();
   guest_free_list_.clear();
   data_free_list_.clear();
 }
@@ -236,7 +238,7 @@ void HvmEngine::FreeDataPage(uint64_t pa) {
     // The shared host frame stays with its remaining holders; the gPA is
     // ours alone, so unbind it and recycle (backing re-materializes
     // lazily if the gPA is reused).
-    backing_.erase(pa >> kPageShift);
+    data_backing_.Erase(pa >> kPageShift);
     ept_.Unmap(pa & ~(kPageSize - 1));
     data_free_list_.push_back(pa);
     return;
@@ -277,11 +279,12 @@ void HvmEngine::SnapApplyConfig(SnapReader& r) {
 }
 
 uint64_t HvmEngine::HostFrameFor(uint64_t pa) const {
-  auto it = backing_.find(pa >> kPageShift);
-  if (it == backing_.end()) {
+  uint64_t gfn = pa >> kPageShift;
+  uint64_t hpa = BackingMapFor(gfn).Get(gfn);
+  if (hpa == 0) {
     return kNoPage;  // lazily backed gPA: all-zero by construction
   }
-  return it->second | (pa & (kPageSize - 1));
+  return hpa | (pa & (kPageSize - 1));
 }
 
 uint64_t HvmEngine::EnsureHostFrame(uint64_t pa) { return Backing(pa, /*create=*/true); }
@@ -289,7 +292,7 @@ uint64_t HvmEngine::EnsureHostFrame(uint64_t pa) { return Backing(pa, /*create=*
 uint64_t HvmEngine::AdoptSharedFrame(uint64_t host_pa) {
   machine_.frames().ShareFrame(host_pa, id_);
   uint64_t gpa = AllocDataPage();
-  backing_[gpa >> kPageShift] = host_pa;
+  data_backing_.Set(gpa >> kPageShift, host_pa);
   // Map eagerly: Backing() short-circuits on an existing entry, so a later
   // EPT violation would spin instead of installing this mapping.
   ept_.Map(gpa & ~(kPageSize - 1), host_pa, PageSize::k4K);

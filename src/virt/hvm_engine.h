@@ -9,10 +9,9 @@
 #ifndef SRC_VIRT_HVM_ENGINE_H_
 #define SRC_VIRT_HVM_ENGINE_H_
 
-#include <unordered_map>
-
 #include "src/hw/ept.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/gfn_map.h"
 
 namespace cki {
 
@@ -75,8 +74,21 @@ class HvmEngine : public ContainerEngine {
   uint64_t Backing(uint64_t gpa, bool create);
   uint64_t GuestPhysAlloc();
 
+  // Both gPA arenas are bump-allocated from their region base, so the
+  // gPA -> hPA backing tables are direct-indexed vectors (one per
+  // region), not hash maps: the EPT-violation path resolves backing with
+  // a bounds check and a load.
+  static constexpr uint64_t kDataGfnBase = (1ull << 40) >> kPageShift;
+  GfnMap& BackingMapFor(uint64_t gfn) {
+    return gfn >= kDataGfnBase ? data_backing_ : ram_backing_;
+  }
+  const GfnMap& BackingMapFor(uint64_t gfn) const {
+    return gfn >= kDataGfnBase ? data_backing_ : ram_backing_;
+  }
+
   Ept ept_;
-  std::unordered_map<uint64_t, uint64_t> backing_;  // gPA page -> hPA page
+  GfnMap ram_backing_;                  // table/RAM arena (gfn 1+)
+  GfnMap data_backing_{kDataGfnBase};   // data arena
   std::vector<uint64_t> guest_free_list_;
   std::vector<uint64_t> data_free_list_;
   // Bump pointer in gPA space (page index). gPA page 0 is never handed
@@ -85,7 +97,7 @@ class HvmEngine : public ContainerEngine {
   uint64_t guest_ram_next_ = 1;
   // Data pages come from a separate gPA arena so 2 MiB EPT backing never
   // covers (and corrupts) page-table pages.
-  uint64_t data_gpa_next_ = (1ull << 40) >> kPageShift;
+  uint64_t data_gpa_next_ = kDataGfnBase;
   bool cold_faults_ = false;
   bool ept_huge_pages_ = false;
   bool deployment_unavailable_ = false;

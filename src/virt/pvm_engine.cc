@@ -14,6 +14,7 @@ PvmEngine::PvmEngine(Machine& machine)
                        return true;
                      }) {
   AllocPcids(256);
+  fast_touch_ = true;  // DoUserTouch prologue is the canonical hit sequence
 }
 
 uint64_t PvmEngine::GuestPhysAlloc() {
@@ -27,9 +28,8 @@ uint64_t PvmEngine::GuestPhysAlloc() {
 
 uint64_t PvmEngine::Backing(uint64_t gpa, bool create) {
   uint64_t gfn = gpa >> kPageShift;
-  auto it = backing_.find(gfn);
-  if (it != backing_.end()) {
-    return it->second | (gpa & (kPageSize - 1));
+  if (uint64_t hpa = backing_.Get(gfn); hpa != 0) {
+    return hpa | (gpa & (kPageSize - 1));
   }
   if (!create) {
     // The guest referenced a gPA the host never assigned it: a protection
@@ -46,7 +46,7 @@ uint64_t PvmEngine::Backing(uint64_t gpa, bool create) {
     ctx_.ChargeWork(ctx_.cost().pvm_cold_backing_work);
   }
   uint64_t hpa = machine_.frames().AllocFrame(id_);
-  backing_[gfn] = hpa;
+  backing_.Set(gfn, hpa);
   return hpa | (gpa & (kPageSize - 1));
 }
 
@@ -72,21 +72,27 @@ void PvmEngine::ChargeSyscallRedirect() {
 }
 
 uint64_t PvmEngine::ShadowRoot(uint64_t guest_root) {
-  auto it = shadow_roots_.find(guest_root);
-  if (it != shadow_roots_.end()) {
-    return it->second;
+  for (const auto& [root, shadow] : shadow_roots_) {
+    if (root == guest_root) {
+      return shadow;
+    }
   }
   uint64_t shadow = machine_.frames().AllocFrame(kHostOwner);
-  shadow_roots_[guest_root] = shadow;
+  shadow_roots_.emplace_back(guest_root, shadow);
   return shadow;
 }
 
 void PvmEngine::SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_pte) {
-  auto it = shadow_roots_.find(guest_root);
-  if (it == shadow_roots_.end()) {
+  uint64_t shadow_root = 0;
+  for (const auto& [root, shadow] : shadow_roots_) {
+    if (root == guest_root) {
+      shadow_root = shadow;
+      break;
+    }
+  }
+  if (shadow_root == 0) {
     return;  // never activated: the shadow will be built lazily on faults
   }
-  uint64_t shadow_root = it->second;
   if (!PtePresent(guest_pte)) {
     shadow_editor_.UnmapPage(shadow_root, va);
     // The guest kernel follows each unmap with invlpg (paravirt contract),
@@ -96,6 +102,10 @@ void PvmEngine::SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_
   uint64_t hpa = Backing(PteAddr(guest_pte), /*create=*/true) & kPteAddrMask;
   uint64_t flags = guest_pte & ~(kPteAddrMask | kPtePkeyMask);
   shadow_editor_.MapPage(shadow_root, va, hpa, flags, /*pkey=*/0, PageSize::k4K);
+  // Hidden fill: this rewrite of a live shadow leaf has no architectural
+  // shootdown (the guest never sees it), so the CPU's software walk cache
+  // must be told explicitly (DESIGN.md §14).
+  machine_.cpu().InvalidateWalkCache();
   shadow_fills_++;
 }
 
@@ -168,7 +178,7 @@ void PvmEngine::OnKill() {
   // Drop the gPA->hPA and shadow maps before the owner sweep reclaims the
   // backing frames (the host-owned shadow tables themselves stay with the
   // host allocator; see DESIGN.md section 8).
-  backing_.clear();
+  backing_.Clear();
   shadow_roots_.clear();
   guest_free_list_.clear();
   in_batch_ = false;
@@ -264,7 +274,7 @@ void PvmEngine::FreeDataPage(uint64_t pa) {
   if (ReleaseSharedDataFrame(pa)) {
     // Shared host frame stays with its remaining holders; unbind our gPA
     // (shadow leaves were already cleared by the preceding unmap).
-    backing_.erase(pa >> kPageShift);
+    backing_.Erase(pa >> kPageShift);
   }
   guest_free_list_.push_back(pa);
 }
@@ -299,11 +309,11 @@ void PvmEngine::SnapCaptureConfig(SnapWriter& w) const { w.PutBool(cold_faults_)
 void PvmEngine::SnapApplyConfig(SnapReader& r) { cold_faults_ = r.GetBool(); }
 
 uint64_t PvmEngine::HostFrameFor(uint64_t pa) const {
-  auto it = backing_.find(pa >> kPageShift);
-  if (it == backing_.end()) {
+  uint64_t hpa = backing_.Get(pa >> kPageShift);
+  if (hpa == 0) {
     return kNoPage;  // never-touched gPA: all-zero by construction
   }
-  return it->second | (pa & (kPageSize - 1));
+  return hpa | (pa & (kPageSize - 1));
 }
 
 uint64_t PvmEngine::EnsureHostFrame(uint64_t pa) { return Backing(pa, /*create=*/true); }
@@ -313,7 +323,7 @@ uint64_t PvmEngine::AdoptSharedFrame(uint64_t host_pa) {
   uint64_t gpa = GuestPhysAlloc();
   // Shadow leaves resolve gPA -> hPA through backing_, so wiring the map
   // entry is all the adoption the shadow stage needs.
-  backing_[gpa >> kPageShift] = host_pa;
+  backing_.Set(gpa >> kPageShift, host_pa);
   return gpa;
 }
 

@@ -11,10 +11,10 @@
 #ifndef SRC_VIRT_PVM_ENGINE_H_
 #define SRC_VIRT_PVM_ENGINE_H_
 
-#include <unordered_map>
 
 #include "src/hw/page_table.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/gfn_map.h"
 
 namespace cki {
 
@@ -77,8 +77,15 @@ class PvmEngine : public ContainerEngine {
   void SyncShadowLeaf(uint64_t guest_root, uint64_t va, uint64_t guest_pte);
 
   PageTableEditor shadow_editor_;
-  std::unordered_map<uint64_t, uint64_t> backing_;       // gPA page -> hPA page
-  std::unordered_map<uint64_t, uint64_t> shadow_roots_;  // guest root -> shadow root (hPA)
+  // gPA pages are bump-allocated densely from page 1, so the gPA -> hPA
+  // backing table is a direct-indexed vector, not a hash map.
+  GfnMap backing_;
+  // guest root -> shadow root (hPA), in creation order. A plain vector:
+  // a guest has a handful of processes, and StorePte scans this on every
+  // leaf update — insertion order makes that scan deterministic (an
+  // unordered_map here would hand iteration order to the hash function;
+  // see the container-order regression test).
+  std::vector<std::pair<uint64_t, uint64_t>> shadow_roots_;
   std::vector<uint64_t> guest_free_list_;
   // gPA page 0 is reserved: the first allocation is the init PML4, and
   // pt_root == 0 is the guest kernel's "no address space" sentinel.

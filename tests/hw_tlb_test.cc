@@ -12,16 +12,16 @@ TEST(TlbTest, InsertAndLookup) {
   Tlb tlb;
   tlb.Insert(1, 0x40'0000, 0x9000, kPteW, 0, false);
   auto hit = tlb.Lookup(1, 0x40'0123);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_EQ(hit->pfn, 0x9000u >> kPageShift);
-  EXPECT_FALSE(tlb.Lookup(1, 0x41'0000).has_value());
+  EXPECT_FALSE(tlb.Lookup(1, 0x41'0000) != nullptr);
 }
 
 TEST(TlbTest, PcidTagsSeparateContexts) {
   Tlb tlb;
   tlb.Insert(1, 0x40'0000, 0x9000, 0, 0, false);
-  EXPECT_TRUE(tlb.Lookup(1, 0x40'0000).has_value());
-  EXPECT_FALSE(tlb.Lookup(2, 0x40'0000).has_value());
+  EXPECT_TRUE(tlb.Lookup(1, 0x40'0000) != nullptr);
+  EXPECT_FALSE(tlb.Lookup(2, 0x40'0000) != nullptr);
   tlb.Insert(2, 0x40'0000, 0xA000, 0, 0, false);
   EXPECT_EQ(tlb.Lookup(1, 0x40'0000)->pfn, 0x9000u >> kPageShift);
   EXPECT_EQ(tlb.Lookup(2, 0x40'0000)->pfn, 0xA000u >> kPageShift);
@@ -32,8 +32,8 @@ TEST(TlbTest, InvalidatePageIsPcidLocal) {
   tlb.Insert(1, 0x40'0000, 0x9000, 0, 0, false);
   tlb.Insert(2, 0x40'0000, 0xA000, 0, 0, false);
   tlb.InvalidatePage(1, 0x40'0000);
-  EXPECT_FALSE(tlb.Lookup(1, 0x40'0000).has_value());
-  EXPECT_TRUE(tlb.Lookup(2, 0x40'0000).has_value());
+  EXPECT_FALSE(tlb.Lookup(1, 0x40'0000) != nullptr);
+  EXPECT_TRUE(tlb.Lookup(2, 0x40'0000) != nullptr);
 }
 
 TEST(TlbTest, InvalidatePcidDropsWholeContext) {
@@ -60,9 +60,9 @@ TEST(TlbTest, HugePagesCoverTwoMegabytes) {
   tlb.Insert(1, 0x40'0000, 0x20'0000, 0, 0, /*huge=*/true);
   // Anywhere in the same 2 MiB region hits.
   auto hit = tlb.Lookup(1, 0x40'0000 + 0x12'3456);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_TRUE(hit->huge);
-  EXPECT_FALSE(tlb.Lookup(1, 0x60'0000).has_value());
+  EXPECT_FALSE(tlb.Lookup(1, 0x60'0000) != nullptr);
 }
 
 TEST(TlbTest, EvictionKeepsCapacityBounded) {
@@ -89,7 +89,7 @@ TEST(TlbTest, ReinsertUpdatesExistingEntry) {
   tlb.Insert(1, 0x7000, 0x1000, 0, 0, false);
   tlb.Insert(1, 0x7000, 0x2000, kPteW, 5, false);
   auto hit = tlb.Lookup(1, 0x7000);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_EQ(hit->pfn, 0x2000u >> kPageShift);
   EXPECT_EQ(hit->pkey, 5u);
 }

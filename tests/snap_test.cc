@@ -276,13 +276,8 @@ TEST(Snapshot, CrossShardMigrationReproducesWorkloadExactly) {
   ASSERT_TRUE(img.Valid());
 
   auto workload_hash = [](ContainerEngine& e) {
-    uint64_t h = kSnapFnvBasis;
-    auto mix = [&h](uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (i * 8)) & 0xFF;
-        h *= kSnapFnvPrime;
-      }
-    };
+    uint64_t h = kFnvOffsetBasis;
+    auto mix = [&h](uint64_t v) { h = FnvMix64(h, v); };
     for (const int64_t v : Probe(e)) {
       mix(static_cast<uint64_t>(v));
     }

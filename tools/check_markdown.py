@@ -9,10 +9,21 @@ Checks, per file:
     (```sh, ```cpp, ```text, ...), so rendered docs always highlight;
   * fenced code blocks are balanced (no unterminated fence).
 
+Repo-level checks (run whenever the corresponding doc is among the
+arguments):
+  * EXPERIMENTS.md must mention every bench binary: each bench/bench_*.cc
+    stem (`bench_fig10_breakdown`, `bench_ext_simspeed`, ...) has to
+    appear literally somewhere in EXPERIMENTS.md, so no bench can land
+    without its paper-vs-measured entry;
+  * README.md's architecture map must cover every source layer: each
+    direct subdirectory of src/ has to appear as `src/<dir>` somewhere in
+    README.md.
+
 Usage: python3 tools/check_markdown.py FILE.md [FILE.md ...]
 Exits non-zero listing every violation; prints a summary when clean.
 """
 
+import glob
 import os
 import re
 import sys
@@ -71,6 +82,37 @@ def check_file(path, repo_root):
     return problems
 
 
+def check_bench_coverage(experiments_path, repo_root):
+    """Every bench/bench_*.cc must be documented in EXPERIMENTS.md."""
+    problems = []
+    with open(experiments_path, encoding="utf-8") as f:
+        text = f.read()
+    for src in sorted(glob.glob(os.path.join(repo_root, "bench", "bench_*.cc"))):
+        stem = os.path.splitext(os.path.basename(src))[0]
+        if stem not in text:
+            problems.append(
+                f"{experiments_path}: bench/{stem}.cc has no entry "
+                f"(mention `{stem}` with its results + regenerate recipe)"
+            )
+    return problems
+
+
+def check_readme_architecture_map(readme_path, repo_root):
+    """Every src/<dir> layer must appear in README.md's architecture map."""
+    problems = []
+    with open(readme_path, encoding="utf-8") as f:
+        text = f.read()
+    src_root = os.path.join(repo_root, "src")
+    for entry in sorted(os.listdir(src_root)):
+        if not os.path.isdir(os.path.join(src_root, entry)):
+            continue
+        if f"src/{entry}" not in text:
+            problems.append(
+                f"{readme_path}: src/{entry} missing from the architecture map"
+            )
+    return problems
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -82,6 +124,11 @@ def main(argv):
             all_problems.append(f"{path}: file not found")
             continue
         all_problems.extend(check_file(path, repo_root))
+        name = os.path.basename(path)
+        if name == "EXPERIMENTS.md":
+            all_problems.extend(check_bench_coverage(path, repo_root))
+        elif name == "README.md":
+            all_problems.extend(check_readme_architecture_map(path, repo_root))
     if all_problems:
         print("\n".join(all_problems))
         print(f"\nmarkdown hygiene: {len(all_problems)} problem(s)")
