@@ -3,16 +3,41 @@
 // CKI increases write-pattern throughput by up to 24% over PVM; reads show
 // no significant gap; CKI/HVM/RunC are equivalent (native syscalls, no
 // virtualized I/O on tmpfs).
+//
+// Extension section: the same workload with the database on the blkfs
+// block store (src/blkfs) across the six Fig.16 configurations — the
+// journal barrier now reaches a device FLUSH and every page access goes
+// through the guest page cache, so the table carries cache hit/miss/
+// readahead/writeback columns. `--json-out` / `--metrics-csv` dump the
+// per-config observability (including the blkfs/* counters).
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/blkfs/blkfs.h"
 #include "src/metrics/report.h"
 #include "src/workloads/sqlite_bench.h"
 
 namespace cki {
 namespace {
 
-void Run() {
+// The db file name RunOnce opens (sqlite_bench.cc) and its 64-page
+// pre-sized extent, as base blocks of a template image.
+constexpr uint64_t kDbName = 777;
+constexpr uint64_t kDbBlocks = 64;
+
+const SqlitePattern& PatternNamed(std::string_view name) {
+  for (const SqlitePattern& p : SqliteSuite()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  std::cerr << "unknown sqlite pattern: " << name << "\n";
+  std::exit(2);
+}
+
+void RunTmpfs() {
   std::vector<std::string> pattern_names;
   for (const SqlitePattern& p : SqliteSuite()) {
     pattern_names.emplace_back(p.name);
@@ -43,13 +68,67 @@ void Run() {
   freq.Print(std::cout, 2);
   std::cout << "Paper: PVM loses 19~24% on write patterns (syscall redirection\n"
                "proportional to syscall frequency); reads show little gap;\n"
-               "CKI == HVM == RunC.\n";
+               "CKI == HVM == RunC.\n\n";
+}
+
+void RunBlkfs(BenchObsSink* sink) {
+  const SqlitePattern& fillseq = PatternNamed("fillseq");
+  const SqlitePattern& readrandom = PatternNamed("readrandom");
+  ReportTable table("Figure 14 (ext): SQLite on the blkfs block store", "config",
+                    {"fillseq kops/s", "readrand kops/s", "cache hit%", "misses",
+                     "readahead", "writebacks"});
+  for (const BenchConfig& config : Fig16Configs()) {
+    Testbed bed(config.kind, config.deployment);
+    LayerStore store(bed.machine());
+    BlkfsImageSpec spec{{{.name = kDbName, .blocks = kDbBlocks, .tag_seed = 5}}};
+    int image = BuildBlkfsImage(store, spec);
+    Blkfs fs(bed.engine(), store, image, spec);
+
+    if (sink->active()) {
+      bed.ctx().obs().Enable();
+      bed.ctx().obs().set_owner(bed.engine().id());
+      bed.ctx().obs().set_sample_every(sink->io().sample_every);
+    }
+    SimNanos t0 = bed.ctx().clock().now();
+    BlkfsCounters before = fs.counters();
+    SqliteResult w = RunSqlitePatternBlkfs(bed.engine(), fillseq);
+    SqliteResult r = RunSqlitePatternBlkfs(bed.engine(), readrandom);
+    const BlkfsCounters& after = fs.counters();
+    if (sink->active()) {
+      bed.ctx().obs().Disable();
+      fs.ExportMetrics(bed.ctx().obs().metrics());
+      sink->AddConfig("sqlite-blkfs/" + config.label, bed.ctx().clock().now() - t0,
+                      bed.ctx().obs());
+    }
+
+    double hits = static_cast<double>(after.hits - before.hits);
+    double misses = static_cast<double>(after.misses - before.misses);
+    double lookups = hits + misses;
+    table.AddRow(config.label,
+                 {w.ops_per_sec * 1e-3, r.ops_per_sec * 1e-3,
+                  lookups > 0 ? 100.0 * hits / lookups : 0, misses,
+                  static_cast<double>(after.readahead - before.readahead),
+                  static_cast<double>(after.writebacks - before.writebacks)});
+  }
+  table.Print(std::cout, 1);
+  std::cout << "blkfs moves the journal barrier onto the device: write patterns pay\n"
+               "the virtio FLUSH ladder on top of the Figure 14 syscall gap; the\n"
+               "read pattern stays cache-resident after the warm pass.\n";
+}
+
+int Run(const BenchIo& io) {
+  BenchObsSink sink(io);
+  RunTmpfs();
+  RunBlkfs(&sink);
+  if (sink.active() && !sink.Write("bench_fig14_sqlite")) {
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace cki
 
-int main() {
-  cki::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return cki::Run(cki::BenchIo::Parse(argc, argv));
 }

@@ -1,0 +1,65 @@
+// Operation vocabulary of the blkfs subsystem (DESIGN.md §15). Every
+// guest-visible page-cache / block-layer event is one of these ops; the
+// Blkfs trace hash folds (op, ino, block, tag) tuples over this enum, and
+// the bench/chaos flags accept the names below.
+#ifndef SRC_BLKFS_BLKFS_OPS_H_
+#define SRC_BLKFS_BLKFS_OPS_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cki {
+
+enum class BlkfsOp : uint8_t {
+  kRead = 0,       // cached read through the page cache
+  kWrite,          // cached write (dirty a page)
+  kCacheHit,       // page-cache lookup hit
+  kCacheMiss,      // page-cache lookup miss (read-through)
+  kReadahead,      // page prefetched by the sequential window
+  kWriteback,      // dirty page pushed into the delta layer
+  kFsync,          // durability barrier (writeback + flush)
+  kEvict,          // clean page dropped for capacity
+  kDirectRead,     // O_DIRECT read around the cache
+  kDirectWrite,    // O_DIRECT write around the cache
+  kBaseShare,      // base-image frame mapped from a sibling (dedup hit)
+  kCowBreak,       // shared cache page privatized on first store
+  kCount,
+};
+
+// Compile-checked name table (house style of kSysNames / kFaultKindNames):
+// adding an op without a name, or renaming out of sync, fails the build.
+inline constexpr auto kBlkfsOpNames = std::to_array<std::string_view>({
+    "read",
+    "write",
+    "cache_hit",
+    "cache_miss",
+    "readahead",
+    "writeback",
+    "fsync",
+    "evict",
+    "direct_read",
+    "direct_write",
+    "base_share",
+    "cow_break",
+});
+static_assert(kBlkfsOpNames.size() == static_cast<size_t>(BlkfsOp::kCount),
+              "every BlkfsOp needs a name in kBlkfsOpNames");
+
+inline constexpr std::string_view BlkfsOpName(BlkfsOp op) {
+  return kBlkfsOpNames[static_cast<size_t>(op)];
+}
+
+// Reverse lookup for CLI flags; kCount when the name is unknown.
+inline constexpr BlkfsOp BlkfsOpFromName(std::string_view name) {
+  for (size_t i = 0; i < kBlkfsOpNames.size(); ++i) {
+    if (kBlkfsOpNames[i] == name) {
+      return static_cast<BlkfsOp>(i);
+    }
+  }
+  return BlkfsOp::kCount;
+}
+
+}  // namespace cki
+
+#endif  // SRC_BLKFS_BLKFS_OPS_H_

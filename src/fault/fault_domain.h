@@ -62,6 +62,8 @@ enum class FaultKind : uint8_t {
   kThroughputThrottle,       // gray: link/NIC rate silently degraded
   kPacketBlackhole,          // gray: intermittent packet loss episode
   kSyscallJitter,            // gray: slow-syscall stalls on a live machine
+  kBlkfsIoError,             // advisory: device read failed into the blkfs
+                             // path (surfaced to the guest as -EIO, no kill)
   kCount,
 };
 
@@ -79,6 +81,7 @@ inline constexpr auto kFaultKindNames = std::to_array<std::string_view>({
     "throughput_throttle",
     "packet_blackhole",
     "syscall_jitter",
+    "blkfs_io_error",
 });
 static_assert(kFaultKindNames.size() == static_cast<size_t>(FaultKind::kCount),
               "kFaultKindNames must cover every FaultKind");

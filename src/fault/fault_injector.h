@@ -48,6 +48,9 @@ struct InjectorConfig {
   double throughput_throttle_rate = 0;  // link/NIC serialization rate cut
   double packet_blackhole_rate = 0;     // intermittent packet loss
   double syscall_jitter_rate = 0;       // slow-syscall stalls
+  // Storage chaos (src/blkfs): queried once per device block read, so the
+  // rate is "per read request". Advisory — surfaces as -EIO, never a kill.
+  double blkfs_io_error_rate = 0;       // device read fails into blkfs
 };
 
 class FaultInjector {
@@ -70,6 +73,7 @@ class FaultInjector {
   bool InjectThroughputThrottle() { return Draw(config_.throughput_throttle_rate, 11); }
   bool InjectPacketBlackhole() { return Draw(config_.packet_blackhole_rate, 12); }
   bool InjectSyscallJitter() { return Draw(config_.syscall_jitter_rate, 13); }
+  bool InjectBlkfsIoError() { return Draw(config_.blkfs_io_error_rate, 14); }
 
   uint64_t draws() const { return draws_; }
   uint64_t injected() const { return injected_; }

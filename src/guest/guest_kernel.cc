@@ -248,7 +248,7 @@ SyscallResult GuestKernel::HandleSyscall(const SyscallRequest& req) {
     case Sys::kFstat:
       return SysStat(proc, req);
     case Sys::kFsync:
-      return {0};
+      return SysFsync(proc, req);
     case Sys::kMmap:
       return SysMmap(proc, req);
     case Sys::kMunmap:
@@ -328,6 +328,25 @@ SyscallResult GuestKernel::SysRead(Process& proc, const SyscallRequest& req) {
     }
     case FdKind::kNetSocket:
       return SysSendRecv(proc, req, /*send=*/false);
+    case FdKind::kBlkFile: {
+      if (blkfs_ == nullptr) {
+        return {kEBADF};
+      }
+      uint64_t offset = (req.no == Sys::kPread) ? req.arg2 : fd->offset;
+      int64_t got = blkfs_->Read(fd->ino - kBlkfsInoBase, offset, bytes, fd->direct);
+      if (got < 0) {
+        return {got};
+      }
+      if (!fd->direct) {
+        // Copy-out from the page cache; O_DIRECT lands in the user buffer.
+        ctx_.ChargeWork(ctx_.cost().copy_per_4k *
+                        ((static_cast<uint64_t>(got) + kPageSize - 1) / kPageSize));
+      }
+      if (req.no != Sys::kPread) {
+        fd->offset += static_cast<uint64_t>(got);
+      }
+      return {got};
+    }
     default:
       return {kEBADF};
   }
@@ -375,6 +394,24 @@ SyscallResult GuestKernel::SysWrite(Process& proc, const SyscallRequest& req) {
     }
     case FdKind::kNetSocket:
       return SysSendRecv(proc, req, /*send=*/true);
+    case FdKind::kBlkFile: {
+      if (blkfs_ == nullptr) {
+        return {kEBADF};
+      }
+      uint64_t offset = (req.no == Sys::kPwrite) ? req.arg2 : fd->offset;
+      int64_t put = blkfs_->Write(fd->ino - kBlkfsInoBase, offset, bytes, fd->direct);
+      if (put < 0) {
+        return {put};
+      }
+      if (!fd->direct) {
+        ctx_.ChargeWork(ctx_.cost().copy_per_4k *
+                        ((static_cast<uint64_t>(put) + kPageSize - 1) / kPageSize));
+      }
+      if (req.no != Sys::kPwrite) {
+        fd->offset += static_cast<uint64_t>(put);
+      }
+      return {put};
+    }
     default:
       return {kEBADF};
   }
@@ -382,6 +419,22 @@ SyscallResult GuestKernel::SysWrite(Process& proc, const SyscallRequest& req) {
 
 SyscallResult GuestKernel::SysOpen(Process& proc, const SyscallRequest& req) {
   // arg0: a small integer naming the file (paths are interned by callers).
+  // arg1: open flags (kOpenBlkfs routes to the block filesystem).
+  if ((req.arg1 & kOpenBlkfs) != 0) {
+    if (blkfs_ == nullptr) {
+      return {kENOENT};
+    }
+    int64_t ino = blkfs_->Open(req.arg0);
+    if (ino < 0) {
+      return {ino};
+    }
+    int fdn = proc.AllocFd();
+    proc.fds[static_cast<size_t>(fdn)] =
+        FileDesc{.kind = FdKind::kBlkFile,
+                 .ino = kBlkfsInoBase + static_cast<int>(ino),
+                 .direct = (req.arg1 & kOpenDirect) != 0};
+    return {fdn};
+  }
   std::string path = "/file" + std::to_string(req.arg0);
   int ino = tmpfs_.OpenOrCreate(path);
   int fdn = proc.AllocFd();
@@ -415,7 +468,14 @@ SyscallResult GuestKernel::SysClose(Process& proc, const SyscallRequest& req) {
 SyscallResult GuestKernel::SysStat(Process& proc, const SyscallRequest& req) {
   if (req.no == Sys::kFstat) {
     FileDesc* fd = proc.fd(static_cast<int>(req.arg0));
-    if (fd == nullptr || fd->kind != FdKind::kTmpfsFile) {
+    if (fd == nullptr) {
+      return {kEBADF};
+    }
+    if (fd->kind == FdKind::kBlkFile) {
+      return blkfs_ != nullptr ? SyscallResult{blkfs_->FileSize(fd->ino - kBlkfsInoBase)}
+                               : SyscallResult{kEBADF};
+    }
+    if (fd->kind != FdKind::kTmpfsFile) {
       return {kEBADF};
     }
     return {static_cast<int64_t>(tmpfs_.Get(fd->ino)->size)};
@@ -426,6 +486,21 @@ SyscallResult GuestKernel::SysStat(Process& proc, const SyscallRequest& req) {
     return {kENOENT};
   }
   return {static_cast<int64_t>(tmpfs_.Get(ino)->size)};
+}
+
+SyscallResult GuestKernel::SysFsync(Process& proc, const SyscallRequest& req) {
+  FileDesc* fd = proc.fd(static_cast<int>(req.arg0));
+  if (fd == nullptr) {
+    return {kEBADF};
+  }
+  if (fd->kind == FdKind::kBlkFile) {
+    if (blkfs_ == nullptr) {
+      return {kEBADF};
+    }
+    return {blkfs_->Fsync(fd->ino - kBlkfsInoBase)};
+  }
+  // tmpfs and channels are memory-backed: nothing to make durable.
+  return {0};
 }
 
 SyscallResult GuestKernel::SysPipe(Process& proc) {
@@ -561,7 +636,8 @@ SyscallResult GuestKernel::SysMmap(Process& proc, const SyscallRequest& req) {
   Vma area{.prot = prot, .kind = VmaKind::kAnon};
   if (file_shared || file_private) {
     FileDesc* fd = proc.fd(static_cast<int>(req.arg3));
-    if (fd == nullptr || fd->kind != FdKind::kTmpfsFile) {
+    if (fd == nullptr ||
+        (fd->kind != FdKind::kTmpfsFile && fd->kind != FdKind::kBlkFile)) {
       return {kEBADF};
     }
     area.kind = VmaKind::kFile;

@@ -68,6 +68,39 @@ class NetPort {
   virtual void CloseConn(int conn) { (void)conn; }
 };
 
+// Interface the kernel's block-file syscalls and page-cache fill path
+// delegate to; wired to the src/blkfs subsystem by the container runtime
+// (the NetPort pattern applied to storage). Inode numbers here are
+// blkfs-local; the kernel offsets fds and VMAs into the kBlkfsInoBase
+// range so tmpfs and blkfs share one inode namespace.
+class BlkfsPort {
+ public:
+  virtual ~BlkfsPort() = default;
+  // Opens (creating if absent) the blkfs file named by `name_arg`;
+  // returns the blkfs-local inode or a negative errno.
+  virtual int64_t Open(uint64_t name_arg) = 0;
+  virtual int64_t FileSize(int ino) const = 0;
+  // Reads/writes `bytes` at `offset` through the page cache, or around it
+  // when `direct`. Returns bytes moved or a negative errno.
+  virtual int64_t Read(int ino, uint64_t offset, uint64_t bytes, bool direct) = 0;
+  virtual int64_t Write(int ino, uint64_t offset, uint64_t bytes, bool direct) = 0;
+  // Writes back the inode's dirty pages and issues the flush barrier.
+  virtual int64_t Fsync(int ino) = 0;
+  // Page-cache page backing `block` of `ino`, read in (and pinned in the
+  // kernel page cache via PinFilePage) on miss. kNoPage on OOM/I/O error.
+  virtual uint64_t PageForMap(int ino, uint64_t block) = 0;
+  // Marks a mapped page dirty on a shared-mapping write fault, breaking
+  // cross-container frame sharing first. Returns the (possibly new)
+  // backing page, or kNoPage on OOM.
+  virtual uint64_t DirtyMappedPage(int ino, uint64_t block) = 0;
+};
+
+// Inodes at or above this value belong to the blkfs port; below, tmpfs.
+// (FileDesc::ino and Vma::file_ino carry the offset form, so the existing
+// snapshot stream and VMA machinery need no new discriminator field.)
+inline constexpr int kBlkfsInoBase = 1 << 20;
+inline constexpr bool IsBlkfsIno(int ino) { return ino >= kBlkfsInoBase; }
+
 class GuestKernel {
  public:
   GuestKernel(SimContext& ctx, EnginePort& port);
@@ -104,7 +137,31 @@ class GuestKernel {
 
   // --- services wired by the runtime ------------------------------------
   void set_net(NetPort* net) { net_ = net; }
+  void set_blkfs(BlkfsPort* blkfs) { blkfs_ = blkfs; }
+  BlkfsPort* blkfs() { return blkfs_; }
   Tmpfs& tmpfs() { return tmpfs_; }
+
+  // --- page-cache cooperation with src/blkfs ------------------------------
+  // The blkfs page cache stores its pages in the kernel's file_pages_ map
+  // (under kBlkfsInoBase-offset inodes), so snapshot/clone/restore and the
+  // pin bookkeeping treat tmpfs and blkfs pages identically. `ino` is the
+  // offset (kernel-visible) inode in all of these.
+  // Inserts `pa` as the cache page of (ino, block) and takes the cache pin.
+  void PinFilePage(int ino, uint64_t block, uint64_t pa);
+  // Drops the cache entry and its pin; frees the page if unmapped.
+  void UnpinFilePage(int ino, uint64_t block);
+  // Current refcount of `pa` (1 = cache pin only, safe to evict).
+  int PageRefs(uint64_t pa) const;
+  // CoW-break rmap: repoints the cache entry and every process mapping of
+  // (ino, block) from `old_pa` to `new_pa`, moving the refs; frees old_pa
+  // through the port (which drops a cross-container share if present).
+  void ReplaceFilePage(int ino, uint64_t block, uint64_t old_pa, uint64_t new_pa);
+  // Writeback rmap: demotes every writable mapping of (ino, block) to
+  // read-only so the next store refaults into the dirty-tracking path.
+  void WriteProtectFilePage(int ino, uint64_t block, uint64_t pa);
+  const std::map<std::pair<int, uint64_t>, uint64_t>& file_pages() const {
+    return file_pages_;
+  }
 
   // Installs an accepted network connection as a socket fd of the current
   // process (models accept() on a listening virtio-net backed socket).
@@ -164,6 +221,8 @@ class GuestKernel {
   void MapUserPage(Process& proc, uint64_t va, uint64_t pa, uint64_t prot, bool cow_readonly);
   bool FaultInPage(Process& proc, Vma& vma, uint64_t va, bool write);
   bool HandleCowFault(Process& proc, Vma& vma, uint64_t va);
+  // Write fault on a clean shared blkfs mapping: dirty-tracking refault.
+  bool HandleBlkfsDirtyFault(Process& proc, Vma& vma, uint64_t va);
   void UnmapRange(Process& proc, uint64_t start, uint64_t end);
   void TeardownAddressSpace(Process& proc);
   void FreeTableTree(uint64_t table_pa, int level);
@@ -179,6 +238,7 @@ class GuestKernel {
   SyscallResult SysOpen(Process& proc, const SyscallRequest& req);
   SyscallResult SysClose(Process& proc, const SyscallRequest& req);
   SyscallResult SysStat(Process& proc, const SyscallRequest& req);
+  SyscallResult SysFsync(Process& proc, const SyscallRequest& req);
   SyscallResult SysMmap(Process& proc, const SyscallRequest& req);
   SyscallResult SysMunmap(Process& proc, const SyscallRequest& req);
   SyscallResult SysMprotect(Process& proc, const SyscallRequest& req);
@@ -211,6 +271,7 @@ class GuestKernel {
   std::unordered_map<int, IpcChannel> channels_;
   int next_channel_ = 1;
   NetPort* net_ = nullptr;
+  BlkfsPort* blkfs_ = nullptr;
 
   // Shared-page refcounts (copy-on-write).
   std::unordered_map<uint64_t, int> page_refs_;

@@ -88,6 +88,12 @@ bool GuestKernel::HandlePageFault(uint64_t va, bool write) {
   if (!walk.fault && write && !PteWritable(walk.leaf_pte) && vma->cow) {
     return HandleCowFault(proc, *vma, page_va);
   }
+  if (!walk.fault && write && !PteWritable(walk.leaf_pte) && !vma->cow &&
+      vma->kind == VmaKind::kFile && IsBlkfsIno(vma->file_ino) && blkfs_ != nullptr) {
+    // Clean shared blkfs mapping hit by a store: dirty-tracking refault
+    // (shared maps start read-only so writeback can re-protect them).
+    return HandleBlkfsDirtyFault(proc, *vma, page_va);
+  }
   if (!walk.fault) {
     // Spurious fault (e.g. stale TLB after another vCPU mapped it): done.
     return true;
@@ -101,6 +107,11 @@ uint64_t GuestKernel::FilePageFor(int ino, uint64_t block) {
   if (it != file_pages_.end()) {
     return it->second;
   }
+  if (IsBlkfsIno(ino)) {
+    // Read-through: blkfs fills the page from the layer store and pins it
+    // here via PinFilePage (so the entry exists when this returns).
+    return blkfs_ != nullptr ? blkfs_->PageForMap(ino - kBlkfsInoBase, block) : kNoPage;
+  }
   uint64_t pa = port_.AllocDataPage();
   if (pa == kNoPage) {
     return kNoPage;  // page-cache miss under OOM; caller fails the fault
@@ -108,6 +119,103 @@ uint64_t GuestKernel::FilePageFor(int ino, uint64_t block) {
   file_pages_[key] = pa;
   RefPage(pa);  // the cache's own pin
   return pa;
+}
+
+void GuestKernel::PinFilePage(int ino, uint64_t block, uint64_t pa) {
+  auto key = std::make_pair(ino, block);
+  assert(file_pages_.find(key) == file_pages_.end() && "page already cached");
+  file_pages_[key] = pa;
+  RefPage(pa);
+}
+
+void GuestKernel::UnpinFilePage(int ino, uint64_t block) {
+  auto it = file_pages_.find(std::make_pair(ino, block));
+  if (it == file_pages_.end()) {
+    return;
+  }
+  uint64_t pa = it->second;
+  file_pages_.erase(it);
+  UnrefPage(pa);  // frees the frame when no mapping still holds it
+}
+
+int GuestKernel::PageRefs(uint64_t pa) const {
+  auto it = page_refs_.find(pa);
+  return it == page_refs_.end() ? 0 : it->second;
+}
+
+void GuestKernel::ReplaceFilePage(int ino, uint64_t block, uint64_t old_pa,
+                                  uint64_t new_pa) {
+  auto it = file_pages_.find(std::make_pair(ino, block));
+  assert(it != file_pages_.end() && it->second == old_pa && "stale replace");
+  it->second = new_pa;
+  // Rmap walk: repoint every process mapping of (ino, block). Ascending
+  // pid plus VMA start order keeps the shootdown sequence deterministic.
+  int moved = 0;
+  procs_.ForEach([&](Process& proc) {
+    if (proc.pt_root == 0) {
+      return;
+    }
+    for (auto& [start, vma] : proc.vmas.mutable_areas()) {
+      (void)start;
+      if (vma.kind != VmaKind::kFile || vma.file_ino != ino) {
+        continue;
+      }
+      uint64_t byte_off = block << kPageShift;
+      if (byte_off < vma.file_offset) {
+        continue;
+      }
+      uint64_t va = vma.start + (byte_off - vma.file_offset);
+      if (va >= vma.end) {
+        continue;
+      }
+      WalkResult walk = editor_.Walk(proc.pt_root, va);
+      if (walk.fault || PteAddr(walk.leaf_pte) != old_pa) {
+        continue;  // not mapped, or already privatized by a CoW break
+      }
+      // Preserve writability: a mapping that had already taken its dirty
+      // fault stays writable on the new frame.
+      bool was_writable = PteWritable(walk.leaf_pte);
+      uint64_t flags = PteFlagsFor(vma.prot, /*cow_readonly=*/!was_writable);
+      editor_.MapPage(proc.pt_root, va, new_pa, flags, /*pkey=*/0, PageSize::k4K);
+      port_.CowBreakShootdown(va);
+      moved++;
+    }
+  });
+  // Move the cache pin plus the mapping refs, then release the old frame
+  // (the engine drops a cross-container share instead of freeing if one
+  // exists).
+  page_refs_[new_pa] = moved + 1;
+  page_refs_.erase(old_pa);
+  port_.FreeDataPage(old_pa);
+}
+
+void GuestKernel::WriteProtectFilePage(int ino, uint64_t block, uint64_t pa) {
+  procs_.ForEach([&](Process& proc) {
+    if (proc.pt_root == 0) {
+      return;
+    }
+    for (auto& [start, vma] : proc.vmas.mutable_areas()) {
+      (void)start;
+      if (vma.kind != VmaKind::kFile || vma.file_ino != ino) {
+        continue;
+      }
+      uint64_t byte_off = block << kPageShift;
+      if (byte_off < vma.file_offset) {
+        continue;
+      }
+      uint64_t va = vma.start + (byte_off - vma.file_offset);
+      if (va >= vma.end) {
+        continue;
+      }
+      WalkResult walk = editor_.Walk(proc.pt_root, va);
+      if (walk.fault || PteAddr(walk.leaf_pte) != pa || !PteWritable(walk.leaf_pte)) {
+        continue;
+      }
+      editor_.ProtectPage(proc.pt_root, va, PteFlagsFor(vma.prot, /*cow_readonly=*/true),
+                          /*pkey=*/0);
+      port_.InvalidatePage(va);
+    }
+  });
 }
 
 bool GuestKernel::FaultInPage(Process& proc, Vma& vma, uint64_t va, bool write) {
@@ -120,14 +228,22 @@ bool GuestKernel::FaultInPage(Process& proc, Vma& vma, uint64_t va, bool write) 
   if (vma.kind == VmaKind::kFile && vma.file_ino >= 0) {
     // File-backed: map the shared page-cache page. Private (CoW) mappings
     // start read-only; the existing CoW path copies on the first write.
+    // Shared blkfs mappings also start read-only when faulted by a load,
+    // so stores refault into the dirty-tracking path; a write fault dirties
+    // (and CoW-breaks) the cache page right here.
     uint64_t block = (va - vma.start + vma.file_offset) >> kPageShift;
-    uint64_t pa = FilePageFor(vma.file_ino, block);
+    bool blk = IsBlkfsIno(vma.file_ino) && blkfs_ != nullptr;
+    bool dirty_now = blk && write && !vma.cow && (vma.prot & kProtWrite) != 0;
+    uint64_t pa = dirty_now
+                      ? blkfs_->DirtyMappedPage(vma.file_ino - kBlkfsInoBase, block)
+                      : FilePageFor(vma.file_ino, block);
     if (pa == kNoPage) {
       ctx_.RecordEvent(PathEvent::kGuestOom);
       return false;
     }
     RefPage(pa);
-    MapUserPage(proc, va, pa, vma.prot, /*cow_readonly=*/vma.cow);
+    bool cow_readonly = vma.cow || (blk && !dirty_now);
+    MapUserPage(proc, va, pa, vma.prot, cow_readonly);
     return true;
   }
   uint64_t pa = port_.AllocDataPage();
@@ -181,6 +297,29 @@ bool GuestKernel::HandleCowFault(Process& proc, Vma& vma, uint64_t va) {
   if (external) {
     port_.CowBreakShootdown(va);  // siblings may cache the old mapping
   } else {
+    port_.InvalidatePage(va);
+  }
+  return true;
+}
+
+bool GuestKernel::HandleBlkfsDirtyFault(Process& proc, Vma& vma, uint64_t va) {
+  ctx_.ChargeWork(ctx_.cost().pgfault_handler_core);
+  uint64_t block = (va - vma.start + vma.file_offset) >> kPageShift;
+  // Blkfs dirties the cache page; if the frame was shared across
+  // containers it allocates a private copy and the ReplaceFilePage rmap
+  // walk has already remapped this PTE (writable, see was_writable there).
+  uint64_t pa = blkfs_->DirtyMappedPage(vma.file_ino - kBlkfsInoBase, block);
+  if (pa == kNoPage) {
+    ctx_.RecordEvent(PathEvent::kGuestOom);
+    return false;
+  }
+  WalkResult walk = editor_.Walk(proc.pt_root, va);
+  if (walk.fault) {
+    return false;
+  }
+  if (!PteWritable(walk.leaf_pte)) {
+    editor_.ProtectPage(proc.pt_root, va, PteFlagsFor(vma.prot, /*cow_readonly=*/false),
+                        /*pkey=*/0);
     port_.InvalidatePage(va);
   }
   return true;

@@ -145,6 +145,7 @@ void GuestKernel::SnapshotTo(SnapWriter& w,
       w.PutU64(fd.offset);
       w.PutI64(fd.channel);
       w.PutI64(fd.net_conn);
+      w.PutBool(fd.direct);
     }
     w.PutU32(static_cast<uint32_t>(proc.vmas.areas().size()));
     for (const auto& [start, vma] : proc.vmas.areas()) {
@@ -325,7 +326,7 @@ bool GuestKernel::RestoreFrom(SnapReader& r,
     proc->brk = r.GetU64();
     proc->mmap_hint = r.GetU64();
     bool has_root = r.GetBool();
-    uint64_t n_fds = r.GetCount(1 + 8 + 8 + 8 + 8);
+    uint64_t n_fds = r.GetCount(1 + 8 + 8 + 8 + 8 + 1);
     for (uint64_t f = 0; f < n_fds && r.ok(); ++f) {
       FileDesc fd;
       fd.kind = static_cast<FdKind>(r.GetU8());
@@ -333,6 +334,7 @@ bool GuestKernel::RestoreFrom(SnapReader& r,
       fd.offset = r.GetU64();
       fd.channel = static_cast<int>(r.GetI64());
       fd.net_conn = static_cast<int>(r.GetI64());
+      fd.direct = r.GetBool();
       proc->fds.push_back(fd);
     }
     uint64_t n_vmas = r.GetCount(8 * 3 + 1 + 1 + 8 + 8);

@@ -18,14 +18,16 @@ enum class FdKind : uint8_t {
   kChannelBoth,   // socketpair end
   kNetSocket,     // virtio-net backed socket
   kNetListen,     // listening socket (accept pops connections)
+  kBlkFile,       // block-backed file through the blkfs page cache
 };
 
 struct FileDesc {
   FdKind kind = FdKind::kFree;
-  int ino = -1;         // tmpfs inode
+  int ino = -1;         // tmpfs inode, or kBlkfsInoBase + blkfs inode
   uint64_t offset = 0;  // file position
   int channel = -1;     // ipc channel id
   int net_conn = -1;    // network connection id
+  bool direct = false;  // O_DIRECT: blkfs I/O bypasses the page cache
 };
 
 enum class ProcState : uint8_t { kRunnable, kBlocked, kZombie, kDead };

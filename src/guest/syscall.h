@@ -103,6 +103,7 @@ struct SyscallResult {
 };
 
 // errno values used by the model kernel.
+inline constexpr int64_t kEIO = -5;
 inline constexpr int64_t kEBADF = -9;
 inline constexpr int64_t kENOMEM = -12;
 inline constexpr int64_t kEFAULT = -14;
@@ -129,6 +130,13 @@ inline constexpr uint64_t kProtExec = 4;
 inline constexpr uint64_t kMapPopulate = 1;
 inline constexpr uint64_t kMapShared = 2;   // file-backed, shared page cache
 inline constexpr uint64_t kMapPrivate = 4;  // file-backed, copy-on-write
+
+// open(2) flag bits (SyscallRequest::arg1). Default (0) opens a tmpfs
+// file; kOpenBlkfs routes the name to the block-backed filesystem
+// (src/blkfs) and kOpenDirect additionally bypasses its page cache
+// (O_DIRECT — device I/O per request, no cached pages, no readahead).
+inline constexpr uint64_t kOpenBlkfs = 1;
+inline constexpr uint64_t kOpenDirect = 2;
 
 }  // namespace cki
 

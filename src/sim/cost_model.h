@@ -170,6 +170,23 @@ struct CostModel {
   SimNanos snap_clone_page = 40;          // share + write-protect one page
   SimNanos cow_break_ipi = 700;           // cross-PCID shootdown on CoW break
 
+  // --- Block filesystem / page cache (src/blkfs, DESIGN.md §15) ----------------
+  // Guest page-cache bookkeeping per lookup: radix descent plus metadata
+  // update, a handful of cache-resident references (cf. walk_mem_ref with
+  // LRU/dirty maintenance on top).
+  SimNanos blkfs_cache_lookup = 40;
+  // Host-side layer resolution per chain step (delta-map probe or base
+  // image index load; overlayfs lookup-per-layer analog).
+  SimNanos blkfs_layer_resolve = 60;
+  // Granting an already-materialized base-image frame to another
+  // container: a share record plus mapping bookkeeping, no storage access
+  // (the cross-tenant dedup fast path, amortized over a grant batch).
+  SimNanos blkfs_base_share_map = 300;
+  // Pushing one dirty page into the container's delta layer: tag update
+  // and request construction; the device round trip is charged separately
+  // through the virtio path.
+  SimNanos blkfs_writeback_page = 90;
+
   // Returns the model calibrated against the paper (the defaults above).
   static CostModel Calibrated() { return CostModel{}; }
 

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "src/blkfs/blkfs.h"
 #include "src/fault/fault_injector.h"
 #include "src/net/virt_nic.h"
 #include "src/runtime/runtime.h"
@@ -56,10 +57,16 @@ bool SnapshotImage::Valid() const {
 }
 
 SnapshotImage CheckpointContainer(ContainerEngine& engine, FaultInjector* injector,
-                                  const VirtNic* nic) {
+                                  const VirtNic* nic, Blkfs* blkfs) {
   SimContext& ctx = engine.machine().ctx();
   PhysMem& mem = engine.machine().mem();
   ctx.ChargeWork(ctx.cost().snap_fixed);
+
+  // Quiesce storage before the kernel section: writeback demotes PTEs
+  // (write-protect), so it must happen before page tables serialize.
+  if (blkfs != nullptr) {
+    blkfs->FlushAll();
+  }
 
   SnapWriter w;
   w.PutU64(kSnapMagic);
@@ -102,6 +109,13 @@ SnapshotImage CheckpointContainer(ContainerEngine& engine, FaultInjector* inject
     nic->SnapCapture(dev);
   }
   w.PutBlob(dev.bytes());
+
+  SnapWriter bw;
+  bw.PutBool(blkfs != nullptr);
+  if (blkfs != nullptr) {
+    blkfs->SnapCapture(bw);
+  }
+  w.PutBlob(bw.bytes());
 
   w.PutU64(w.Hash());
   SnapshotImage image{w.Take()};
@@ -179,6 +193,7 @@ RestoreOutcome RestoreContainer(Machine& machine, const SnapshotImage& image) {
       SnapReader sr(state);
       engine->SnapApplyState(sr);
       out.device_state = r.GetBlob();
+      out.blkfs_state = r.GetBlob();
       restored = sr.ok() && r.ok();
     }
     if (!restored || !r.ok()) {

@@ -29,6 +29,7 @@
 
 namespace cki {
 
+class Blkfs;
 class FaultInjector;
 class VirtNic;
 
@@ -59,13 +60,18 @@ struct RestoreOutcome {
   // attached to the restored engine with ApplySnapshotDeviceState (a NIC
   // can only be constructed after the engine exists, hence two steps).
   std::vector<uint8_t> device_state;
+  // Opaque blkfs blob (config, image tags, delta, inode table); rebuild
+  // the filesystem with RestoreBlkfsState (src/blkfs/blkfs.h) against
+  // the destination machine's LayerStore.
+  std::vector<uint8_t> blkfs_state;
 };
 
 // Serializes `engine`'s full container state. `nic` adds the device blob;
 // `injector` arms the snapshot-corruption chaos site (a deterministic
-// bit-flip in the finished stream).
+// bit-flip in the finished stream); `blkfs` quiesces the filesystem
+// (writeback + barrier) and appends its delta-layer blob.
 SnapshotImage CheckpointContainer(ContainerEngine& engine, FaultInjector* injector = nullptr,
-                                  const VirtNic* nic = nullptr);
+                                  const VirtNic* nic = nullptr, Blkfs* blkfs = nullptr);
 
 // Rebuilds the container on `machine` (same or different shard).
 RestoreOutcome RestoreContainer(Machine& machine, const SnapshotImage& image);

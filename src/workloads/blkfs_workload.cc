@@ -1,0 +1,88 @@
+#include "src/workloads/blkfs_workload.h"
+
+namespace cki {
+
+namespace {
+
+struct CounterSnapshot {
+  BlkfsCounters cache;
+  VirtioBlkStats dev;
+};
+
+CounterSnapshot Snap(const Blkfs& fs) { return {fs.counters(), fs.device_stats()}; }
+
+void FillDeltas(BlkfsRunResult& r, const CounterSnapshot& before, const Blkfs& fs) {
+  const BlkfsCounters& c = fs.counters();
+  const VirtioBlkStats& d = fs.device_stats();
+  r.hits = c.hits - before.cache.hits;
+  r.misses = c.misses - before.cache.misses;
+  r.readahead = c.readahead - before.cache.readahead;
+  r.writebacks = c.writebacks - before.cache.writebacks;
+  r.base_shares = c.base_shares - before.cache.base_shares;
+  r.dev_reads = d.reads - before.dev.reads;
+  r.dev_writes = d.writes - before.dev.writes;
+  r.dev_flushes = d.flushes - before.dev.flushes;
+}
+
+}  // namespace
+
+BlkfsRunResult RunBlkfsWal(ContainerEngine& engine, Blkfs& fs, int transactions,
+                           uint64_t wal_name) {
+  SimContext& ctx = engine.machine().ctx();
+  BlkfsRunResult result;
+  SyscallResult open = engine.UserSyscall(
+      SyscallRequest{.no = Sys::kOpen, .arg0 = wal_name, .arg1 = kOpenBlkfs});
+  if (!open.ok()) {
+    return result;
+  }
+  uint64_t fd = static_cast<uint64_t>(open.value);
+  CounterSnapshot before = Snap(fs);
+
+  SimNanos start = ctx.clock().now();
+  for (int txn = 0; txn < transactions; ++txn) {
+    // Log record into a 64-page circular window, then the durability
+    // barrier: writeback of the dirty page + device FLUSH.
+    engine.UserSyscall(SyscallRequest{.no = Sys::kPwrite,
+                                      .arg0 = fd,
+                                      .arg1 = kPageSize,
+                                      .arg2 = (static_cast<uint64_t>(txn) % 64) * kPageSize});
+    ctx.ChargeWork(2500);  // transaction body
+    engine.UserSyscall(SyscallRequest{.no = Sys::kFsync, .arg0 = fd});
+  }
+  result.elapsed = ctx.clock().now() - start;
+
+  engine.UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
+  FillDeltas(result, before, fs);
+  double secs = static_cast<double>(result.elapsed) * 1e-9;
+  result.ops_per_sec = secs > 0 ? static_cast<double>(transactions) / secs : 0;
+  return result;
+}
+
+BlkfsRunResult RunBlkfsScan(ContainerEngine& engine, Blkfs& fs, uint64_t file_name,
+                            uint64_t blocks) {
+  SimContext& ctx = engine.machine().ctx();
+  BlkfsRunResult result;
+  SyscallResult open = engine.UserSyscall(
+      SyscallRequest{.no = Sys::kOpen, .arg0 = file_name, .arg1 = kOpenBlkfs});
+  if (!open.ok()) {
+    return result;
+  }
+  uint64_t fd = static_cast<uint64_t>(open.value);
+  CounterSnapshot before = Snap(fs);
+
+  SimNanos start = ctx.clock().now();
+  for (uint64_t b = 0; b < blocks; ++b) {
+    engine.UserSyscall(SyscallRequest{
+        .no = Sys::kPread, .arg0 = fd, .arg1 = kPageSize, .arg2 = b * kPageSize});
+    ctx.ChargeWork(300);  // per-page processing in user space
+  }
+  result.elapsed = ctx.clock().now() - start;
+
+  engine.UserSyscall(SyscallRequest{.no = Sys::kClose, .arg0 = fd});
+  FillDeltas(result, before, fs);
+  double secs = static_cast<double>(result.elapsed) * 1e-9;
+  result.ops_per_sec = secs > 0 ? static_cast<double>(blocks) / secs : 0;
+  return result;
+}
+
+}  // namespace cki

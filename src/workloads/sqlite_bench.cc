@@ -31,11 +31,13 @@ const std::vector<SqlitePattern>& SqliteSuite() {
 
 namespace {
 
-SqliteResult RunOnce(ContainerEngine& engine, const SqlitePattern& p, uint64_t seed) {
+SqliteResult RunOnce(ContainerEngine& engine, const SqlitePattern& p, uint64_t seed,
+                     bool on_blkfs) {
   SimContext& ctx = engine.machine().ctx();
   Rng rng(seed);
 
-  SyscallResult db = engine.UserSyscall(SyscallRequest{.no = Sys::kOpen, .arg0 = 777});
+  SyscallResult db = engine.UserSyscall(SyscallRequest{
+      .no = Sys::kOpen, .arg0 = 777, .arg1 = on_blkfs ? kOpenBlkfs : 0});
   uint64_t dbfd = static_cast<uint64_t>(db.value);
   // Pre-size the database file so reads find data.
   engine.UserSyscall(SyscallRequest{.no = Sys::kWrite, .arg0 = dbfd, .arg1 = 64 * kPageSize});
@@ -48,6 +50,7 @@ SqliteResult RunOnce(ContainerEngine& engine, const SqlitePattern& p, uint64_t s
   int grown = 0;
   double syscall_budget = 0;
   uint64_t syscalls_done = 0;
+  int writes_since_sync = 0;
 
   SimNanos start = ctx.clock().now();
   for (int op = 0; op < p.ops; ++op) {
@@ -61,6 +64,13 @@ SqliteResult RunOnce(ContainerEngine& engine, const SqlitePattern& p, uint64_t s
                                         .arg0 = dbfd,
                                         .arg1 = 200,
                                         .arg2 = off});
+      // On real storage the journal must hit the device: barrier every
+      // 50 write syscalls (tmpfs runs keep the pure-memory path).
+      if (on_blkfs && is_write && ++writes_since_sync >= 50) {
+        writes_since_sync = 0;
+        syscalls_done++;
+        engine.UserSyscall(SyscallRequest{.no = Sys::kFsync, .arg0 = dbfd});
+      }
     }
     // Heap growth of the SQL engine / page cache.
     int target = growth_pages * (op + 1) / p.ops;
@@ -93,9 +103,17 @@ SqliteResult RunSqlitePattern(ContainerEngine& engine, const SqlitePattern& patt
   if (warm) {
     // Untimed pass: backing memory gets allocated and freed; the timed pass
     // reuses it (the paper runs every case twice for the same reason).
-    RunOnce(engine, pattern, seed);
+    RunOnce(engine, pattern, seed, /*on_blkfs=*/false);
   }
-  return RunOnce(engine, pattern, seed + 1);
+  return RunOnce(engine, pattern, seed + 1, /*on_blkfs=*/false);
+}
+
+SqliteResult RunSqlitePatternBlkfs(ContainerEngine& engine, const SqlitePattern& pattern,
+                                   bool warm, uint64_t seed) {
+  if (warm) {
+    RunOnce(engine, pattern, seed, /*on_blkfs=*/true);
+  }
+  return RunOnce(engine, pattern, seed + 1, /*on_blkfs=*/true);
 }
 
 }  // namespace cki

@@ -38,6 +38,13 @@ struct SqliteResult {
 SqliteResult RunSqlitePattern(ContainerEngine& engine, const SqlitePattern& pattern,
                               bool warm = true, uint64_t seed = 11);
 
+// Same pattern with the database on the block-backed filesystem
+// (src/blkfs) instead of tmpfs: reads and writes go through the page
+// cache, and a journal barrier (fsync) lands every 50 write syscalls.
+// Requires a Blkfs port attached to the engine's kernel.
+SqliteResult RunSqlitePatternBlkfs(ContainerEngine& engine, const SqlitePattern& pattern,
+                                   bool warm = true, uint64_t seed = 11);
+
 }  // namespace cki
 
 #endif  // SRC_WORKLOADS_SQLITE_BENCH_H_
